@@ -1,0 +1,70 @@
+//! The floor baseline: shuffle rows, chunk into k-groups.
+
+use kanon_core::error::Result;
+use kanon_core::Partition;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A uniformly random feasible partition: rows shuffled, cut into blocks of
+/// `k` (the final block absorbs the remainder, size `k..2k−1`).
+///
+/// # Errors
+/// [`kanon_core::Error::KZero`] / [`kanon_core::Error::KExceedsRows`]-style
+/// partition validation errors when `k` is 0 or exceeds `n`.
+pub fn random_partition(rng: &mut impl Rng, n: usize, k: usize) -> Result<Partition> {
+    if k == 0 {
+        return Err(kanon_core::Error::KZero);
+    }
+    if k > n {
+        return Err(kanon_core::Error::KExceedsRows { k, n });
+    }
+    let mut rows: Vec<u32> = (0..n as u32).collect();
+    rows.shuffle(rng);
+    let mut blocks: Vec<Vec<u32>> = Vec::with_capacity(n / k);
+    let mut rest: &[u32] = &rows;
+    while rest.len() >= 2 * k {
+        let (head, tail) = rest.split_at(k);
+        blocks.push(head.to_vec());
+        rest = tail;
+    }
+    blocks.push(rest.to_vec());
+    Partition::new(blocks, n, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn block_sizes_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (n, k) in [(10, 3), (9, 3), (11, 3), (4, 4), (7, 2), (1, 1)] {
+            let p = random_partition(&mut rng, n, k).unwrap();
+            for b in p.blocks() {
+                assert!(
+                    b.len() >= k && b.len() < 2 * k,
+                    "n={n} k={k} got {}",
+                    b.len()
+                );
+            }
+            let total: usize = p.blocks().iter().map(Vec::len).sum();
+            assert_eq!(total, n);
+        }
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(random_partition(&mut rng, 5, 0).is_err());
+        assert!(random_partition(&mut rng, 5, 6).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_partition(&mut StdRng::seed_from_u64(3), 12, 3).unwrap();
+        let b = random_partition(&mut StdRng::seed_from_u64(3), 12, 3).unwrap();
+        assert_eq!(a.blocks(), b.blocks());
+    }
+}

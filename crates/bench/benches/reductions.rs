@@ -1,0 +1,66 @@
+//! Criterion bench for the hardness-reduction pipeline (Theorems 3.1/3.2):
+//! construction, exact matching search, and the full decision roundtrip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kanon_core::exact;
+use kanon_hypergraph::generate::planted_matching;
+use kanon_hypergraph::matching::{find_perfect_matching, MatchingConfig};
+use kanon_reductions::{AttributeReduction, EntryReduction};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matching_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reductions/matching_solver_3uniform");
+    group.sample_size(10);
+    for n in [12usize, 18, 24, 30] {
+        let mut rng = StdRng::seed_from_u64(41 + n as u64);
+        let (h, _) = planted_matching(&mut rng, n, 3, 2 * n).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| {
+                find_perfect_matching(h, &MatchingConfig::default())
+                    .unwrap()
+                    .is_some()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_entry_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reductions/entry_decision_n9_k3");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(43);
+    let (h, _) = planted_matching(&mut rng, 9, 3, 3).unwrap();
+    group.bench_function("reduce_and_solve", |b| {
+        b.iter(|| {
+            let red = EntryReduction::new(&h, 3).unwrap();
+            let opt = exact::optimal(red.dataset(), 3).unwrap();
+            opt.cost <= red.threshold()
+        });
+    });
+    group.finish();
+}
+
+fn bench_attribute_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reductions/attribute_decision_n9_k3");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(47);
+    let (h, _) = planted_matching(&mut rng, 9, 3, 4).unwrap();
+    group.bench_function("reduce_and_solve", |b| {
+        b.iter(|| {
+            let red = AttributeReduction::new(&h, 3).unwrap();
+            let (min_suppressed, _) =
+                kanon_core::attr::min_suppressed_attributes(red.dataset(), 3, 22).unwrap();
+            Some(min_suppressed) == red.threshold()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matching_solver,
+    bench_entry_roundtrip,
+    bench_attribute_roundtrip
+);
+criterion_main!(benches);

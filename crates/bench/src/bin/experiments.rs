@@ -1,0 +1,95 @@
+//! The experiment runner: regenerates every table in EXPERIMENTS.md.
+//!
+//! ```text
+//! experiments all [--quick] [--seed N]
+//! experiments e1 e5 e8 [--quick]
+//! experiments list
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use kanon_bench::experiments;
+use kanon_bench::Ctx;
+
+fn usage() -> String {
+    let mut s = String::from(
+        "usage: experiments <all | list | ids...> [--quick] [--seed N]\n\navailable experiments:\n",
+    );
+    for e in experiments::all() {
+        s.push_str(&format!("  {:4} {}\n", e.id, e.claim));
+    }
+    s
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = Ctx::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut run_all = false;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => ctx.quick = true,
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => ctx.seed = seed,
+                None => {
+                    eprintln!("--seed needs an integer argument\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "all" => run_all = true,
+            "list" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            id if id.starts_with('e') => ids.push(id.to_string()),
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !run_all && ids.is_empty() {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    let selected: Vec<experiments::Experiment> = if run_all {
+        experiments::all()
+    } else {
+        let mut sel = Vec::new();
+        for id in &ids {
+            match experiments::by_id(id) {
+                Some(e) => sel.push(e),
+                None => {
+                    eprintln!("unknown experiment `{id}`\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        sel
+    };
+
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    writeln!(
+        lock,
+        "kanon experiments  (seed = {}, mode = {})",
+        ctx.seed,
+        if ctx.quick { "quick" } else { "full" }
+    )
+    .expect("stdout");
+    for e in selected {
+        let started = std::time::Instant::now();
+        let report = (e.run)(&ctx);
+        writeln!(lock, "\n{}", "=".repeat(78)).expect("stdout");
+        write!(lock, "{report}").expect("stdout");
+        writeln!(lock, "[{} finished in {:.2?}]", e.id, started.elapsed()).expect("stdout");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,87 @@
+//! E7 — Figure 1: the triangle inequality on diameters.
+//!
+//! The paper's only figure illustrates `d(S_i ∪ S_j) ≤ d(S_i) + d(S_j)`
+//! for overlapping sets — the fact `Reduce` leans on. This experiment
+//! hammers the inequality with random overlapping set pairs over random
+//! datasets and counts violations (expected: zero), and also measures how
+//! tight the inequality typically is.
+
+use crate::report::{self, Table};
+use crate::Ctx;
+use kanon_core::diameter::diameter;
+use kanon_workloads::uniform;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs E7.
+#[must_use]
+pub fn run(ctx: &Ctx) -> String {
+    let trials: u64 = if ctx.quick { 2_000 } else { 50_000 };
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xE7);
+    let mut violations = 0usize;
+    let mut slack_ratios = Vec::new();
+
+    for _ in 0..trials {
+        let n = rng.gen_range(3..12);
+        let m = rng.gen_range(2..8);
+        let alphabet = rng.gen_range(2..5);
+        let ds = uniform(&mut rng, n, m, alphabet);
+        // Two sets sharing at least one row.
+        let shared = rng.gen_range(0..n);
+        let mut s_i: Vec<usize> = vec![shared];
+        let mut s_j: Vec<usize> = vec![shared];
+        for r in 0..n {
+            if r != shared {
+                if rng.gen_bool(0.5) {
+                    s_i.push(r);
+                }
+                if rng.gen_bool(0.5) {
+                    s_j.push(r);
+                }
+            }
+        }
+        let mut union: Vec<usize> = s_i.iter().chain(&s_j).copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        let du = diameter(&ds, &union);
+        let di = diameter(&ds, &s_i);
+        let dj = diameter(&ds, &s_j);
+        if du > di + dj {
+            violations += 1;
+        }
+        if di + dj > 0 {
+            slack_ratios.push(du as f64 / (di + dj) as f64);
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("E7  Figure 1: d(Si u Sj) <= d(Si) + d(Sj) for overlapping sets\n\n");
+    let mut table = Table::new(&["trials", "violations", "mean d(U)/(d(Si)+d(Sj))", "max"]);
+    let mean = slack_ratios.iter().sum::<f64>() / slack_ratios.len().max(1) as f64;
+    let max = slack_ratios.iter().copied().fold(0.0, f64::max);
+    table.row(vec![
+        trials.to_string(),
+        violations.to_string(),
+        report::f(mean, 3),
+        report::f(max, 3),
+    ]);
+    out.push_str(&table.render());
+    out.push_str("\nexpected: 0 violations; max ratio <= 1.0 by the triangle inequality.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_violations_in_quick_run() {
+        let report = run(&Ctx {
+            quick: true,
+            ..Default::default()
+        });
+        let line = report.lines().find(|l| l.starts_with("2000")).unwrap();
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(cols[1], "0", "{report}");
+    }
+}

@@ -1,0 +1,111 @@
+//! E10 — §4.2.2: `Reduce` converts covers to partitions without increasing
+//! the diameter sum.
+//!
+//! Generates random overlapping ball covers (the shape the center greedy
+//! emits) over random datasets, reduces them, and audits: output is a valid
+//! partition with blocks ≥ k, and its diameter sum never exceeds the
+//! cover's. Expected violations: zero.
+
+use crate::report::{self, Table};
+use crate::Ctx;
+use kanon_core::greedy::reduce;
+use kanon_core::metric::hamming;
+use kanon_core::Cover;
+use kanon_workloads::uniform;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs E10.
+#[must_use]
+pub fn run(ctx: &Ctx) -> String {
+    let trials: u64 = if ctx.quick { 300 } else { 5_000 };
+    let k = 2usize;
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xE10);
+    let mut structure_viol = 0usize;
+    let mut diameter_viol = 0usize;
+    let mut shrink_ratios = Vec::new();
+
+    for _ in 0..trials {
+        let n = rng.gen_range(6..16);
+        let m = rng.gen_range(3..7);
+        let ds = uniform(&mut rng, n, m, 3);
+        // Random ball cover: pick random centers/radii until all covered,
+        // then one sweeper ball from an uncovered row if needed.
+        let mut sets: Vec<Vec<u32>> = Vec::new();
+        let mut covered = vec![false; n];
+        for _ in 0..rng.gen_range(2..6) {
+            let c = rng.gen_range(0..n);
+            let radius = rng.gen_range(0..=m);
+            let ball: Vec<u32> = (0..n)
+                .filter(|&r| hamming(ds.row(c), ds.row(r)) <= radius)
+                .map(|r| r as u32)
+                .collect();
+            if ball.len() >= k {
+                for &r in &ball {
+                    covered[r as usize] = true;
+                }
+                sets.push(ball);
+            }
+        }
+        if covered.iter().any(|&c| !c) {
+            sets.push((0..n as u32).collect());
+        }
+        let cover = Cover::new(sets, n, k).expect("constructed to be valid");
+        let before = cover.diameter_sum(&ds);
+        let partition = match reduce(&cover, k) {
+            Ok(p) => p,
+            Err(_) => {
+                structure_viol += 1;
+                continue;
+            }
+        };
+        if partition.min_block_size().unwrap_or(0) < k
+            || partition.blocks().iter().map(Vec::len).sum::<usize>() != n
+        {
+            structure_viol += 1;
+        }
+        let after = partition.diameter_sum(&ds);
+        if after > before {
+            diameter_viol += 1;
+        }
+        if before > 0 {
+            shrink_ratios.push(after as f64 / before as f64);
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("E10  Reduce: cover -> partition, diameter sum non-increasing\n\n");
+    let mut table = Table::new(&[
+        "trials",
+        "structure violations",
+        "diameter violations",
+        "mean after/before",
+    ]);
+    let mean = shrink_ratios.iter().sum::<f64>() / shrink_ratios.len().max(1) as f64;
+    table.row(vec![
+        trials.to_string(),
+        structure_viol.to_string(),
+        diameter_viol.to_string(),
+        report::f(mean, 3),
+    ]);
+    out.push_str(&table.render());
+    out.push_str("\nexpected: 0 violations of both kinds.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_violations_in_quick_run() {
+        let report = run(&Ctx {
+            quick: true,
+            ..Default::default()
+        });
+        let line = report.lines().find(|l| l.starts_with("300")).unwrap();
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(cols[1], "0", "{report}");
+        assert_eq!(cols[2], "0", "{report}");
+    }
+}

@@ -1,0 +1,99 @@
+//! E18 — correlation structure vs anonymization cost.
+//!
+//! The paper analyses worst-case inputs; real quasi-identifiers are
+//! correlated, which lowers the data's effective dimensionality and should
+//! make k-anonymization dramatically cheaper. This experiment sweeps the
+//! correlation knob `rho` of the latent-variable generator and tracks the
+//! center greedy's suppression rate, the k-NN lower bound, and the gap
+//! between them. Expected shape: cost falls monotonically(ish) in `rho`,
+//! collapsing to ~0 as rows concentrate on `|Σ|` archetypes.
+
+use crate::report::{self, Table};
+use crate::Ctx;
+use kanon_core::algo;
+use kanon_workloads::correlated::{correlated, CorrelatedParams};
+use kanon_workloads::knn_lower_bound;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs E18.
+#[must_use]
+pub fn run(ctx: &Ctx) -> String {
+    let n = if ctx.quick { 60 } else { 200 };
+    let k = 5usize;
+    let rhos: &[f64] = if ctx.quick {
+        &[0.0, 0.8, 1.0]
+    } else {
+        &[0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0]
+    };
+    let mut out = String::new();
+    out.push_str("E18  column correlation vs suppression cost (center greedy, k = 5)\n\n");
+    let mut table = Table::new(&["rho", "suppr. rate", "stars", "knn-LB", "LB ratio"]);
+    let mut rates = Vec::new();
+    for &rho in rhos {
+        let mut rng = StdRng::seed_from_u64(ctx.seed ^ (0xE18 + (rho * 100.0) as u64));
+        let ds = correlated(
+            &mut rng,
+            &CorrelatedParams {
+                n,
+                m: 8,
+                alphabet: 6,
+                rho,
+            },
+        );
+        let result = algo::center_greedy(&ds, k, &Default::default()).expect("within guards");
+        let lb = knn_lower_bound(&ds, k);
+        rates.push(result.suppression_rate());
+        table.row(vec![
+            report::f(rho, 1),
+            format!("{:.1}%", 100.0 * result.suppression_rate()),
+            result.cost.to_string(),
+            lb.to_string(),
+            if lb > 0 {
+                report::f(result.cost as f64 / lb as f64, 2)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    out.push_str(&table.render());
+    let monotone_ends =
+        rates.first().copied().unwrap_or(0.0) >= rates.last().copied().unwrap_or(0.0);
+    out.push_str(&format!(
+        "\nn = {n}, m = 8, |Sigma| = 6. endpoint monotonicity (rho 0 vs 1): {} — \
+         correlated quasi-identifiers are far cheaper to anonymize than the \
+         independent worst case the bounds address.\n",
+        if monotone_ends { "holds" } else { "VIOLATED" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_correlation_is_nearly_free() {
+        let report = run(&Ctx {
+            quick: true,
+            ..Default::default()
+        });
+        assert!(
+            report.contains("endpoint monotonicity (rho 0 vs 1): holds"),
+            "{report}"
+        );
+        let last = report
+            .lines()
+            .find(|l| l.starts_with("1.0"))
+            .expect("rho = 1 row");
+        // At rho = 1 only the tail-group merges can cost anything.
+        let rate: f64 = last
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(rate < 20.0, "{last}");
+    }
+}

@@ -1,0 +1,104 @@
+//! E19 — the attribute-suppression variant in practice.
+//!
+//! Theorem 3.2 proves k-ANONYMITY-ON-ATTRIBUTES NP-hard even for binary
+//! data, and the paper leaves the variant's approximability untouched. This
+//! experiment measures how the natural greedy (drop the column whose
+//! removal best repairs group sizes) compares with the exact optimum across
+//! alphabet sizes and k — the attribute-level analogue of E1/E2, filling in
+//! the practical picture for the problem the paper only classifies.
+
+use crate::report::{self, Table};
+use crate::Ctx;
+use kanon_core::attr::{greedy_attribute_suppression, min_suppressed_attributes};
+use kanon_workloads::{correlated, uniform, CorrelatedParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs E19.
+#[must_use]
+pub fn run(ctx: &Ctx) -> String {
+    let seeds: u64 = if ctx.quick { 5 } else { 25 };
+    let n = 30usize;
+    let m = 10usize;
+    let mut out = String::new();
+    out.push_str("E19  attribute suppression: greedy vs exact (Thm 3.2's problem)\n\n");
+    let mut table = Table::new(&[
+        "workload",
+        "k",
+        "seeds",
+        "mean exact",
+        "mean greedy",
+        "worst gap",
+        "greedy optimal",
+    ]);
+
+    for (name, alphabet, rho) in [("binary", 2u32, 0.0f64), ("skewed", 4, 0.7)] {
+        for &k in &[3usize, 5] {
+            let mut worst_gap = 0usize;
+            let mut exact_sum = 0usize;
+            let mut greedy_sum = 0usize;
+            let mut optimal_hits = 0usize;
+            for s in 0..seeds {
+                let mut rng = StdRng::seed_from_u64(
+                    ctx.seed ^ (0xE19 + s * 53 + k as u64 + u64::from(alphabet)),
+                );
+                let ds = if rho == 0.0 {
+                    uniform(&mut rng, n, m, alphabet)
+                } else {
+                    correlated(
+                        &mut rng,
+                        &CorrelatedParams {
+                            n,
+                            m,
+                            alphabet,
+                            rho,
+                        },
+                    )
+                };
+                let (exact, _) = min_suppressed_attributes(&ds, k, 22).expect("m = 10 fits");
+                let (greedy, _) = greedy_attribute_suppression(&ds, k).expect("k <= n");
+                worst_gap = worst_gap.max(greedy - exact);
+                exact_sum += exact;
+                greedy_sum += greedy;
+                optimal_hits += usize::from(greedy == exact);
+            }
+            table.row(vec![
+                name.into(),
+                k.to_string(),
+                seeds.to_string(),
+                report::f(exact_sum as f64 / seeds as f64, 2),
+                report::f(greedy_sum as f64 / seeds as f64, 2),
+                worst_gap.to_string(),
+                format!("{optimal_hits}/{seeds}"),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nn = {n}, m = {m}. The greedy is exact on most instances and never \
+         below the optimum (guaranteed by construction; the exact solver \
+         enumerates kept-sets by suppressed count).\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_never_reported_below_exact() {
+        let report = run(&Ctx {
+            quick: true,
+            ..Default::default()
+        });
+        for line in report.lines() {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            if cols.len() >= 6 && (line.starts_with("binary") || line.starts_with("skewed")) {
+                let exact: f64 = cols[3].parse().unwrap();
+                let greedy: f64 = cols[4].parse().unwrap();
+                assert!(greedy >= exact - 1e-9, "{line}");
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The experiment registry. Each experiment validates one claim of the
+//! paper (see DESIGN.md §6) and returns a plain-text report.
+
+pub mod e01_ratio_full;
+pub mod e02_ratio_center;
+pub mod e03_runtime;
+pub mod e04_lemma41;
+pub mod e05_entry_reduction;
+pub mod e06_attr_reduction;
+pub mod e07_triangle;
+pub mod e08_baselines;
+pub mod e09_dimensionality;
+pub mod e10_reduce;
+pub mod e11_ablations;
+pub mod e12_local_search;
+pub mod e13_alphabet;
+pub mod e14_k_sweep;
+pub mod e15_generalization;
+pub mod e16_open_question;
+pub mod e17_linkage;
+pub mod e18_correlation;
+pub mod e19_attribute_gap;
+pub mod e20_weighted;
+pub mod e21_diversity;
+
+use crate::Ctx;
+
+/// A registered experiment: id, one-line claim, and runner.
+pub struct Experiment {
+    /// Short id, e.g. `e1`.
+    pub id: &'static str,
+    /// The paper claim being validated.
+    pub claim: &'static str,
+    /// Produces the report text.
+    pub run: fn(&Ctx) -> String,
+}
+
+/// All experiments in id order.
+#[must_use]
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "e1",
+            claim: "Thm 4.1: exhaustive greedy is a 3k(1+ln k)-approximation",
+            run: e01_ratio_full::run,
+        },
+        Experiment {
+            id: "e2",
+            claim: "Thm 4.2: center greedy is a 6k(1+ln m)-approximation",
+            run: e02_ratio_center::run,
+        },
+        Experiment {
+            id: "e3",
+            claim: "Thm 4.2: center greedy runs in O(m n^2 + n^3)",
+            run: e03_runtime::run,
+        },
+        Experiment {
+            id: "e4",
+            claim: "Lemma 4.1: (k/2) dPi* <= OPT; printed upper bound audited",
+            run: e04_lemma41::run,
+        },
+        Experiment {
+            id: "e5",
+            claim: "Thm 3.1: PM exists iff OPT <= n(m-1) (entry suppression)",
+            run: e05_entry_reduction::run,
+        },
+        Experiment {
+            id: "e6",
+            claim: "Thm 3.2: PM exists iff m - n/k attributes suffice",
+            run: e06_attr_reduction::run,
+        },
+        Experiment {
+            id: "e7",
+            claim: "Figure 1: diameter triangle inequality on overlapping sets",
+            run: e07_triangle::run,
+        },
+        Experiment {
+            id: "e8",
+            claim: "practical comparison: paper's algorithms vs baselines",
+            run: e08_baselines::run,
+        },
+        Experiment {
+            id: "e9",
+            claim: "paper's remark: best suited to high-dimensional records",
+            run: e09_dimensionality::run,
+        },
+        Experiment {
+            id: "e10",
+            claim: "Reduce never increases the diameter sum (Sec 4.2.2)",
+            run: e10_reduce::run,
+        },
+        Experiment {
+            id: "e11",
+            claim: "ablations: zero-radius balls, block splitting",
+            run: e11_ablations::run,
+        },
+        Experiment {
+            id: "e12",
+            claim: "extension: local-search recovery of the greedy-OPT gap",
+            run: e12_local_search::run,
+        },
+        Experiment {
+            id: "e13",
+            claim: "Sec 5 open question: effect of alphabet size",
+            run: e13_alphabet::run,
+        },
+        Experiment {
+            id: "e14",
+            claim: "privacy/utility frontier across k (practical k ~ 5-6)",
+            run: e14_k_sweep::run,
+        },
+        Experiment {
+            id: "e15",
+            claim: "extension: suppression vs full-domain vs cell-level models",
+            run: e15_generalization::run,
+        },
+        Experiment {
+            id: "e16",
+            claim: "Sec 5 open question: ratio growth in k, incl. k-forest",
+            run: e16_open_question::run,
+        },
+        Experiment {
+            id: "e17",
+            claim: "Sec 1 motivation: linkage-attack risk before/after",
+            run: e17_linkage::run,
+        },
+        Experiment {
+            id: "e18",
+            claim: "column correlation vs cost (beyond the worst case)",
+            run: e18_correlation::run,
+        },
+        Experiment {
+            id: "e19",
+            claim: "Thm 3.2's problem in practice: attribute greedy vs exact",
+            run: e19_attribute_gap::run,
+        },
+        Experiment {
+            id: "e20",
+            claim: "extension: entropy-weighted objective vs flat stars",
+            run: e20_weighted::run,
+        },
+        Experiment {
+            id: "e21",
+            claim: "extension: the price of l-diversity atop k-anonymity",
+            run: e21_diversity::run,
+        },
+    ]
+}
+
+/// Look up one experiment by id.
+#[must_use]
+pub fn by_id(id: &str) -> Option<Experiment> {
+    all().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let all = super::all();
+        assert_eq!(all.len(), 21);
+        let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 21);
+        assert!(super::by_id("e5").is_some());
+        assert!(super::by_id("e99").is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! # kanon-bench
+//!
+//! The experiment harness reproducing the quantitative content of Meyerson
+//! & Williams (PODS 2004). The paper is theoretical — it has no result
+//! tables — so each experiment here validates one theorem/lemma/figure
+//! empirically; DESIGN.md §6 maps experiment ids to paper claims and
+//! EXPERIMENTS.md records claim-vs-measured.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p kanon-bench --bin experiments -- all
+//! ```
+//!
+//! or one experiment (`e1` … `e11`), optionally `--quick` (reduced grids,
+//! used by the integration tests) and `--seed <u64>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+/// Shared experiment context.
+#[derive(Clone, Copy, Debug)]
+pub struct Ctx {
+    /// Base RNG seed; every instance derives its own seed from this.
+    pub seed: u64,
+    /// Reduced grids for smoke tests.
+    pub quick: bool,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx {
+            seed: 20040614, // PODS 2004, June 14 — the paper's venue date.
+            quick: false,
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Hand-rolled argument parsing (no external parser dependency).
+
+use crate::CliError;
+
+/// Which solver `anonymize` uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Theorem 4.2 center greedy (default; strongly polynomial).
+    #[default]
+    Center,
+    /// Theorem 4.1 exhaustive greedy (small instances only).
+    Exhaustive,
+    /// The k-forest construction from the follow-up literature.
+    Forest,
+    /// Exact optimum (tiny instances only).
+    Exact,
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `kanon anonymize`.
+    Anonymize {
+        /// Privacy parameter.
+        k: usize,
+        /// Input CSV path (`-` reads stdin).
+        input: String,
+        /// Output CSV path (`None` = stdout).
+        output: Option<String>,
+        /// Solver.
+        algorithm: Algorithm,
+        /// Quasi-identifier column names (`None` = all columns).
+        quasi: Option<Vec<String>>,
+        /// Worker threads for the center greedy (1 = sequential).
+        threads: usize,
+        /// Optional path for the 0/1 suppression-mask audit artifact.
+        emit_mask: Option<String>,
+    },
+    /// `kanon verify`.
+    Verify {
+        /// Privacy parameter to check.
+        k: usize,
+        /// Input CSV path (`-` reads stdin).
+        input: String,
+        /// Quasi-identifier column names (`None` = all columns).
+        quasi: Option<Vec<String>>,
+    },
+    /// `kanon attack`: linkage attack a released CSV with external data.
+    Attack {
+        /// Released CSV path (stars/bands allowed).
+        released: String,
+        /// External (attacker) CSV path with raw values.
+        external: String,
+        /// Join columns, same names on both sides.
+        join: Vec<String>,
+    },
+    /// `kanon generate` (census-like sample data).
+    Generate {
+        /// Number of records.
+        rows: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Zip-code regions.
+        regions: usize,
+    },
+    /// `kanon help`.
+    Help,
+}
+
+/// The usage text.
+#[must_use]
+pub fn usage() -> String {
+    "kanon — optimal k-anonymity by entry suppression (Meyerson-Williams, PODS 2004)
+
+USAGE:
+    kanon anonymize -k <K> --input <FILE|-> [--output <FILE>]
+                    [--algorithm center|exhaustive|forest|exact]
+                    [--quasi col1,col2,...] [--threads N]
+                    [--emit-mask <FILE>]
+    kanon verify    -k <K> --input <FILE|-> [--quasi col1,col2,...]
+    kanon attack    --released <FILE> --external <FILE> --join col1,col2,...
+    kanon generate  [--rows N] [--seed S] [--regions R]
+    kanon help
+
+COMMANDS:
+    anonymize   Suppress a minimum of entries so every record matches
+                k-1 others on the quasi-identifier columns.
+    verify      Check that a released CSV (with * for suppressed cells)
+                is k-anonymous; reports the actual anonymity level.
+    attack      Play the adversary: join a released CSV against external
+                data and report how many records are uniquely linkable.
+    generate    Emit a synthetic census-like CSV for experimentation.
+"
+    .to_string()
+}
+
+fn parse_k(value: Option<&String>) -> Result<usize, CliError> {
+    value
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&k| k >= 1)
+        .ok_or_else(|| CliError::Usage(format!("-k needs a positive integer\n\n{}", usage())))
+}
+
+/// Parses argv (program name excluded).
+///
+/// # Errors
+/// [`CliError::Usage`] with usage text on any problem.
+pub fn parse(argv: &[String]) -> Result<Command, CliError> {
+    let mut it = argv.iter();
+    let Some(cmd) = it.next() else {
+        return Err(CliError::Usage(usage()));
+    };
+    let rest: Vec<&String> = it.collect();
+    let flag = |name: &str| -> Option<&String> {
+        rest.iter()
+            .position(|a| *a == name)
+            .and_then(|i| rest.get(i + 1).copied())
+    };
+    let unexpected = |allowed: &[&str]| -> Result<(), CliError> {
+        let mut i = 0;
+        while i < rest.len() {
+            let a = rest[i].as_str();
+            if allowed.contains(&a) {
+                i += 2; // flag + value
+            } else {
+                return Err(CliError::Usage(format!(
+                    "unexpected argument `{a}`\n\n{}",
+                    usage()
+                )));
+            }
+        }
+        Ok(())
+    };
+    let quasi = |raw: Option<&String>| -> Option<Vec<String>> {
+        raw.map(|s| {
+            s.split(',')
+                .map(str::trim)
+                .map(ToString::to_string)
+                .collect()
+        })
+    };
+
+    match cmd.as_str() {
+        "anonymize" => {
+            unexpected(&[
+                "-k",
+                "--input",
+                "--output",
+                "--algorithm",
+                "--quasi",
+                "--threads",
+                "--emit-mask",
+            ])?;
+            let k = parse_k(flag("-k"))?;
+            let input = flag("--input")
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("--input is required\n\n{}", usage())))?;
+            let algorithm = match flag("--algorithm").map(String::as_str) {
+                None | Some("center") => Algorithm::Center,
+                Some("exhaustive") => Algorithm::Exhaustive,
+                Some("forest") => Algorithm::Forest,
+                Some("exact") => Algorithm::Exact,
+                Some(other) => {
+                    return Err(CliError::Usage(format!(
+                        "unknown algorithm `{other}` (center | exhaustive | forest | exact)\n\n{}",
+                        usage()
+                    )))
+                }
+            };
+            let threads = match flag("--threads") {
+                None => 1,
+                Some(v) => v.parse::<usize>().ok().filter(|&t| t >= 1).ok_or_else(|| {
+                    CliError::Usage(format!("--threads needs a positive integer\n\n{}", usage()))
+                })?,
+            };
+            Ok(Command::Anonymize {
+                k,
+                input,
+                output: flag("--output").cloned(),
+                algorithm,
+                quasi: quasi(flag("--quasi")),
+                threads,
+                emit_mask: flag("--emit-mask").cloned(),
+            })
+        }
+        "verify" => {
+            unexpected(&["-k", "--input", "--quasi"])?;
+            let k = parse_k(flag("-k"))?;
+            let input = flag("--input")
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("--input is required\n\n{}", usage())))?;
+            Ok(Command::Verify {
+                k,
+                input,
+                quasi: quasi(flag("--quasi")),
+            })
+        }
+        "attack" => {
+            unexpected(&["--released", "--external", "--join"])?;
+            let released = flag("--released")
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("--released is required\n\n{}", usage())))?;
+            let external = flag("--external")
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("--external is required\n\n{}", usage())))?;
+            let join = quasi(flag("--join"))
+                .ok_or_else(|| CliError::Usage(format!("--join is required\n\n{}", usage())))?;
+            Ok(Command::Attack {
+                released,
+                external,
+                join,
+            })
+        }
+        "generate" => {
+            unexpected(&["--rows", "--seed", "--regions"])?;
+            let parse_or = |name: &str, default: u64| -> Result<u64, CliError> {
+                match flag(name) {
+                    None => Ok(default),
+                    Some(v) => v.parse::<u64>().map_err(|_| {
+                        CliError::Usage(format!("{name} needs an integer\n\n{}", usage()))
+                    }),
+                }
+            };
+            Ok(Command::Generate {
+                rows: parse_or("--rows", 100)? as usize,
+                seed: parse_or("--seed", 0)?,
+                regions: parse_or("--regions", 8)? as usize,
+            })
+        }
+        "help" | "-h" | "--help" => Ok(Command::Help),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parse_anonymize_full() {
+        let cmd = parse(&argv(
+            "anonymize -k 3 --input a.csv --output b.csv --algorithm exact --quasi age,zip",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Anonymize {
+                k: 3,
+                input: "a.csv".into(),
+                output: Some("b.csv".into()),
+                algorithm: Algorithm::Exact,
+                quasi: Some(vec!["age".into(), "zip".into()]),
+                threads: 1,
+                emit_mask: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let cmd = parse(&argv("anonymize -k 2 --input -")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Anonymize {
+                k: 2,
+                input: "-".into(),
+                output: None,
+                algorithm: Algorithm::Center,
+                quasi: None,
+                threads: 1,
+                emit_mask: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv("generate")).unwrap(),
+            Command::Generate {
+                rows: 100,
+                seed: 0,
+                regions: 8
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(parse(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&argv("bogus")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&argv("anonymize --input x")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("anonymize -k 0 --input x")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("anonymize -k 2")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("anonymize -k 2 --input x --algorithm turbo")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("verify -k 2 --input x --bogus y")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("generate --rows abc")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parse_attack() {
+        let cmd = parse(&argv(
+            "attack --released r.csv --external e.csv --join age,zip",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Attack {
+                released: "r.csv".into(),
+                external: "e.csv".into(),
+                join: vec!["age".into(), "zip".into()],
+            }
+        );
+        assert!(matches!(
+            parse(&argv("attack --released r.csv")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["help", "-h", "--help"] {
+            assert_eq!(parse(&argv(h)).unwrap(), Command::Help);
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! Command execution for the `kanon` binary.
+
+use std::io::Read;
+
+use kanon_core::algo;
+use kanon_relation::csv;
+use kanon_relation::{Schema, Table};
+use kanon_workloads::{census_table, CensusParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::args::{usage, Algorithm, Command};
+use crate::{CliError, Outcome};
+
+/// Executes a parsed command.
+///
+/// # Errors
+/// [`CliError::Failed`] on I/O or solver failures; [`CliError::Usage`] on
+/// semantic argument problems (e.g. unknown quasi-identifier column).
+pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
+    match cmd {
+        Command::Help => Ok(Outcome {
+            stdout: usage(),
+            notes: Vec::new(),
+        }),
+        Command::Generate {
+            rows,
+            seed,
+            regions,
+        } => generate(*rows, *seed, *regions),
+        Command::Attack {
+            released,
+            external,
+            join,
+        } => {
+            let released_text = read_input(released)?;
+            let external_text = read_input(external)?;
+            attack(&released_text, &external_text, join)
+        }
+        Command::Verify { k, input, quasi } => {
+            let text = read_input(input)?;
+            verify(&text, *k, quasi.as_deref())
+        }
+        Command::Anonymize {
+            k,
+            input,
+            output,
+            algorithm,
+            quasi,
+            threads,
+            emit_mask,
+        } => {
+            let text = read_input(input)?;
+            let (mut outcome, mask) = anonymize(&text, *k, *algorithm, quasi.as_deref(), *threads)?;
+            if let Some(path) = emit_mask {
+                std::fs::write(path, mask)
+                    .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
+                outcome
+                    .notes
+                    .push(format!("wrote suppression mask to {path}"));
+            }
+            if let Some(path) = output {
+                std::fs::write(path, &outcome.stdout)
+                    .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
+                outcome.notes.push(format!("wrote {path}"));
+                outcome.stdout = String::new();
+            }
+            Ok(outcome)
+        }
+    }
+}
+
+fn read_input(path: &str) -> Result<String, CliError> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| CliError::Failed(format!("cannot read stdin: {e}")))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::Failed(format!("cannot read `{path}`: {e}")))
+    }
+}
+
+fn generate(rows: usize, seed: u64, regions: usize) -> Result<Outcome, CliError> {
+    if regions == 0 || regions > 900 {
+        return Err(CliError::Usage(format!(
+            "--regions must be in 1..=900\n\n{}",
+            usage()
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let table = census_table(&mut rng, &CensusParams { n: rows, regions });
+    Ok(Outcome {
+        stdout: csv::to_string(&table),
+        notes: vec![format!(
+            "generated {rows} census-like records (seed {seed})"
+        )],
+    })
+}
+
+/// Resolves quasi-identifier names to column indices (default: all).
+fn quasi_indices(schema: &Schema, quasi: Option<&[String]>) -> Result<Vec<usize>, CliError> {
+    match quasi {
+        None => Ok((0..schema.arity()).collect()),
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                schema
+                    .index_of(n)
+                    .map_err(|_| CliError::Usage(format!("unknown quasi-identifier column `{n}`")))
+            })
+            .collect(),
+    }
+}
+
+fn attack(released_text: &str, external_text: &str, join: &[String]) -> Result<Outcome, CliError> {
+    let released = csv::parse(released_text).map_err(|e| CliError::Failed(e.to_string()))?;
+    let external = csv::parse(external_text).map_err(|e| CliError::Failed(e.to_string()))?;
+    let pairs: Vec<(&str, &str)> = join.iter().map(|c| (c.as_str(), c.as_str())).collect();
+    let report = kanon_relation::linkage_attack(&released, &external, &pairs)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let stdout = format!(
+        "attacked records: {}\nuniquely re-identified: {} ({:.1}%)\nno candidates: {}\nsmallest candidate set: {}\nmean candidate set: {:.2}\n",
+        report.attacked,
+        report.unique_matches,
+        100.0 * report.reidentification_rate(),
+        report.no_match,
+        report.min_candidates,
+        report.mean_candidates,
+    );
+    Ok(Outcome {
+        stdout,
+        notes: vec![format!(
+            "joined on {} column(s): {}",
+            join.len(),
+            join.join(",")
+        )],
+    })
+}
+
+fn verify(text: &str, k: usize, quasi: Option<&[String]>) -> Result<Outcome, CliError> {
+    let table = csv::parse(text).map_err(|e| CliError::Failed(e.to_string()))?;
+    let cols = quasi_indices(table.schema(), quasi)?;
+    let mut counts: std::collections::HashMap<Vec<&str>, usize> = std::collections::HashMap::new();
+    for row in table.rows() {
+        let key: Vec<&str> = cols.iter().map(|&j| row[j].as_str()).collect();
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    let level = counts.values().copied().min().unwrap_or(0);
+    let stars = table
+        .rows()
+        .flat_map(|r| cols.iter().map(move |&j| &r[j]))
+        .filter(|v| v.as_str() == "*")
+        .count();
+    let report = format!(
+        "rows: {}\nquasi-identifier columns: {}\nanonymity level: {}\nsuppressed cells: {}\n",
+        table.n_rows(),
+        cols.len(),
+        level,
+        stars
+    );
+    if table.n_rows() > 0 && level < k {
+        // Name the first few offending rows so the failure is actionable:
+        // the first row of each under-sized group, in table order.
+        let mut seen: std::collections::HashSet<Vec<&str>> = std::collections::HashSet::new();
+        let mut offenders: Vec<usize> = Vec::new();
+        for (i, row) in table.rows().enumerate() {
+            let key: Vec<&str> = cols.iter().map(|&j| row[j].as_str()).collect();
+            if counts[&key] < k && seen.insert(key) {
+                offenders.push(i);
+                if offenders.len() == 5 {
+                    break;
+                }
+            }
+        }
+        return Err(CliError::Failed(format!(
+            "{report}NOT {k}-anonymous (smallest group has {level} rows; \
+             first offending rows: {offenders:?})"
+        )));
+    }
+    Ok(Outcome {
+        stdout: report,
+        notes: vec![format!("{k}-anonymity holds")],
+    })
+}
+
+fn anonymize(
+    text: &str,
+    k: usize,
+    algorithm: Algorithm,
+    quasi: Option<&[String]>,
+    threads: usize,
+) -> Result<(Outcome, String), CliError> {
+    let table = csv::parse(text).map_err(|e| CliError::Failed(e.to_string()))?;
+    let cols = quasi_indices(table.schema(), quasi)?;
+    if table.n_rows() < k {
+        return Err(CliError::Failed(format!(
+            "{} rows cannot be {k}-anonymized",
+            table.n_rows()
+        )));
+    }
+
+    // Project onto the quasi-identifier columns and encode.
+    let qi_names: Vec<&str> = cols
+        .iter()
+        .map(|&j| table.schema().names()[j].as_str())
+        .collect();
+    let qi_schema = Schema::new(qi_names.clone()).map_err(|e| CliError::Failed(e.to_string()))?;
+    let mut qi_table = Table::new(qi_schema);
+    for row in table.rows() {
+        qi_table
+            .push_row(cols.iter().map(|&j| row[j].clone()).collect())
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+    }
+    let (ds, _codec) = qi_table.encode();
+
+    let started = std::time::Instant::now();
+    let center_config = kanon_core::greedy::CenterConfig {
+        threads,
+        ..Default::default()
+    };
+    let result = match algorithm {
+        Algorithm::Center => algo::center_greedy(&ds, k, &center_config),
+        Algorithm::Exhaustive => algo::exhaustive_greedy(&ds, k, &Default::default()),
+        Algorithm::Forest => {
+            kanon_baselines::forest::forest(&ds, k, &Default::default()).and_then(|partition| {
+                let suppressor = kanon_core::rounding::suppressor_for_partition(&ds, &partition)?;
+                let (table, cost) =
+                    kanon_core::suppression::verify_k_anonymity(&ds, &suppressor, k)?;
+                Ok(kanon_core::Anonymization {
+                    partition,
+                    suppressor,
+                    table,
+                    cost,
+                    algorithm: kanon_core::Algorithm::External("k-forest"),
+                })
+            })
+        }
+        Algorithm::Exact => algo::exact_optimal(&ds, k),
+    }
+    .map_err(|e| {
+        CliError::Failed(format!(
+            "anonymization failed: {e}\nhint: `center` handles the largest instances"
+        ))
+    })?;
+    let elapsed = started.elapsed();
+
+    // Reassemble the full table, starring suppressed quasi cells.
+    let mut out = Table::new(table.schema().clone());
+    for (i, row) in table.rows().enumerate() {
+        let mut new_row: Vec<String> = row.to_vec();
+        for (qi_pos, &j) in cols.iter().enumerate() {
+            if result.suppressor.is_suppressed(i, qi_pos) {
+                new_row[j] = "*".to_string();
+            }
+        }
+        out.push_row(new_row)
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+    }
+
+    let algo_name = match algorithm {
+        Algorithm::Center => "center greedy (Thm 4.2)",
+        Algorithm::Exhaustive => "exhaustive greedy (Thm 4.1)",
+        Algorithm::Forest => "k-forest (follow-up literature)",
+        Algorithm::Exact => "exact optimum",
+    };
+    let notes = vec![
+        format!("algorithm: {algo_name}"),
+        format!(
+            "suppressed {} of {} quasi-identifier cells ({:.1}%)",
+            result.cost,
+            ds.n_cells(),
+            100.0 * result.suppression_rate()
+        ),
+        format!("groups: {}", result.partition.n_blocks()),
+        format!("time: {elapsed:.2?}"),
+    ];
+    Ok((
+        Outcome {
+            stdout: csv::to_string(&out),
+            notes,
+        },
+        result.suppressor.to_mask_string(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "first,last,age,race\n\
+        Harry,Stone,34,Afr-Am\n\
+        John,Reyser,36,Cauc\n\
+        Beatrice,Stone,47,Afr-Am\n\
+        John,Ramos,22,Hisp\n";
+
+    #[test]
+    fn anonymize_then_verify_roundtrip() {
+        let (out, mask) = anonymize(SAMPLE, 2, Algorithm::Exact, None, 1).unwrap();
+        assert!(mask.lines().count() == 4);
+        assert!(out.stdout.contains('*'));
+        let verified = verify(&out.stdout, 2, None).unwrap();
+        assert!(verified.stdout.contains("anonymity level: 2"));
+    }
+
+    #[test]
+    fn quasi_columns_keep_sensitive_data() {
+        let quasi: Vec<String> = vec!["first".into(), "last".into(), "age".into()];
+        let (out, _) = anonymize(SAMPLE, 2, Algorithm::Center, Some(&quasi), 1).unwrap();
+        // Race column survives untouched.
+        for race in ["Afr-Am", "Cauc", "Hisp"] {
+            assert!(out.stdout.contains(race), "{}", out.stdout);
+        }
+        let verified = verify(&out.stdout, 2, Some(&quasi)).unwrap();
+        assert!(verified.stdout.contains("anonymity level:"));
+    }
+
+    #[test]
+    fn verify_rejects_raw_table() {
+        let err = verify(SAMPLE, 2, None).unwrap_err();
+        assert!(matches!(err, CliError::Failed(_)));
+        assert!(err.to_string().contains("NOT 2-anonymous"));
+        // The diagnostic names the offending rows (all four are unique).
+        assert!(
+            err.to_string()
+                .contains("first offending rows: [0, 1, 2, 3]"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn emit_mask_roundtrips_through_execute() {
+        let dir = std::env::temp_dir().join(format!("kanon-mask-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.csv");
+        let mask_path = dir.join("mask.txt");
+        std::fs::write(&input, SAMPLE).unwrap();
+        let outcome = execute(&Command::Anonymize {
+            k: 2,
+            input: input.to_string_lossy().into_owned(),
+            output: None,
+            algorithm: Algorithm::Exact,
+            quasi: None,
+            threads: 1,
+            emit_mask: Some(mask_path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(outcome.notes.iter().any(|n| n.contains("suppression mask")));
+        let mask_text = std::fs::read_to_string(&mask_path).unwrap();
+        let mask = kanon_core::Suppressor::from_mask_string(&mask_text).unwrap();
+        assert_eq!(mask.n_rows(), 4);
+        // Re-applying the stored mask to the original data reproduces a
+        // 2-anonymous release with the same star count.
+        let table = csv::parse(SAMPLE).unwrap();
+        let (ds, _) = {
+            let mut qi = Table::new(table.schema().clone());
+            for row in table.rows() {
+                qi.push_row(row.to_vec()).unwrap();
+            }
+            qi.encode()
+        };
+        let released = mask.apply(&ds).unwrap();
+        assert!(released.is_k_anonymous(2));
+        assert_eq!(released.suppressed_cells(), mask.cost());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_quasi_column_is_usage_error() {
+        let quasi: Vec<String> = vec!["bogus".into()];
+        let err = anonymize(SAMPLE, 2, Algorithm::Center, Some(&quasi), 1).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn too_few_rows() {
+        let err = anonymize("a\nx\n", 3, Algorithm::Center, None, 1).unwrap_err();
+        assert!(err.to_string().contains("cannot be 3-anonymized"));
+    }
+
+    #[test]
+    fn generate_emits_parseable_csv() {
+        let out = generate(25, 7, 4).unwrap();
+        let parsed = csv::parse(&out.stdout).unwrap();
+        assert_eq!(parsed.n_rows(), 25);
+        assert_eq!(parsed.arity(), 8);
+        assert!(generate(1, 0, 0).is_err());
+    }
+
+    #[test]
+    fn generated_data_anonymizes_end_to_end() {
+        let data = generate(40, 3, 3).unwrap().stdout;
+        let quasi: Vec<String> = vec!["age".into(), "sex".into(), "race".into(), "zip".into()];
+        let (out, _) = anonymize(&data, 3, Algorithm::Center, Some(&quasi), 2).unwrap();
+        assert!(verify(&out.stdout, 3, Some(&quasi)).is_ok());
+    }
+
+    #[test]
+    fn execute_help_and_generate() {
+        let help = execute(&Command::Help).unwrap();
+        assert!(help.stdout.contains("USAGE"));
+        let gen = execute(&Command::Generate {
+            rows: 5,
+            seed: 1,
+            regions: 2,
+        })
+        .unwrap();
+        assert!(gen.stdout.starts_with("age,sex"));
+    }
+
+    #[test]
+    fn attack_reports_unique_linkage() {
+        let released = "age,zip\n34,02139\n47,02144\n";
+        let external = "name,age,zip\nHarry,34,02139\nBea,47,02144\n";
+        let out = attack(released, external, &["age".into(), "zip".into()]).unwrap();
+        assert!(
+            out.stdout.contains("uniquely re-identified: 2 (100.0%)"),
+            "{}",
+            out.stdout
+        );
+        // Anonymized release: both rows identical.
+        let anon = "age,zip\n30-39,021**\n30-39,021**\n";
+        let out = attack(anon, external, &["age".into(), "zip".into()]).unwrap();
+        assert!(
+            out.stdout.contains("uniquely re-identified: 0"),
+            "{}",
+            out.stdout
+        );
+        // Bad join column.
+        assert!(attack(released, external, &["bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn missing_file_fails_cleanly() {
+        let err = read_input("/definitely/not/here.csv").unwrap_err();
+        assert!(matches!(err, CliError::Failed(_)));
+    }
+}

@@ -1,0 +1,24 @@
+//! The `kanon` binary: see `kanon help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match kanon_cli::run(&argv) {
+        Ok(outcome) => {
+            print!("{}", outcome.stdout);
+            for note in &outcome.notes {
+                eprintln!("{note}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(kanon_cli::CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+        Err(kanon_cli::CliError::Failed(msg)) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! l-diversity: the follow-up privacy notion, layered on k-anonymity.
+//!
+//! k-anonymity (this paper's subject) stops *identity* disclosure but not
+//! *attribute* disclosure: if all `k` members of a group share the same
+//! sensitive value, an attacker who locates the group learns the value
+//! without identifying anyone. Machanavajjhala et al.'s **l-diversity**
+//! (ICDE 2006) patches this: every group must contain at least `l`
+//! *distinct* sensitive values. This module provides:
+//!
+//! * [`is_l_diverse`] / [`diversity_violations`] — the check, given a
+//!   partition and a designated sensitive column (held *outside* the
+//!   quasi-identifier dataset, as in practice);
+//! * [`enforce_l_diversity`] — greedy repair: merge each violating group
+//!   with the quasi-identifier-nearest group that adds sensitive variety,
+//!   preserving the ≥ k floor throughout.
+//!
+//! Flagged as an extension in DESIGN.md; experiment E21 measures what the
+//! stronger notion costs on census microdata.
+
+use std::collections::HashSet;
+
+use crate::dataset::Dataset;
+use crate::diameter::diameter;
+use crate::error::{Error, Result};
+use crate::partition::Partition;
+
+/// Distinct sensitive values within one block.
+fn block_diversity(sensitive: &[u32], block: &[u32]) -> usize {
+    let mut seen = HashSet::new();
+    for &r in block {
+        seen.insert(sensitive[r as usize]);
+    }
+    seen.len()
+}
+
+/// Whether every block of `partition` contains at least `l` distinct values
+/// of the sensitive column.
+///
+/// # Errors
+/// [`Error::InvalidPartition`] if `sensitive` does not cover every row.
+pub fn is_l_diverse(partition: &Partition, sensitive: &[u32], l: usize) -> Result<bool> {
+    Ok(diversity_violations(partition, sensitive, l)?.is_empty())
+}
+
+/// Indices of blocks with fewer than `l` distinct sensitive values.
+///
+/// # Errors
+/// [`Error::InvalidPartition`] if `sensitive` does not cover every row.
+pub fn diversity_violations(
+    partition: &Partition,
+    sensitive: &[u32],
+    l: usize,
+) -> Result<Vec<usize>> {
+    if sensitive.len() != partition.n_rows() {
+        return Err(Error::InvalidPartition(format!(
+            "{} sensitive values for {} rows",
+            sensitive.len(),
+            partition.n_rows()
+        )));
+    }
+    Ok(partition
+        .blocks()
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| block_diversity(sensitive, b) < l)
+        .map(|(i, _)| i)
+        .collect())
+}
+
+/// Outcome of [`enforce_l_diversity`].
+#[derive(Clone, Debug)]
+pub struct DiversityResult {
+    /// The repaired partition (k-feasible, l-diverse).
+    pub partition: Partition,
+    /// Number of merges performed.
+    pub merges: usize,
+    /// Suppression cost before repair.
+    pub cost_before: usize,
+    /// Suppression cost after repair (≥ before; diversity is not free).
+    pub cost_after: usize,
+}
+
+/// Greedily repairs a k-feasible partition until every block is l-diverse:
+/// each violating block merges with the (quasi-identifier) nearest other
+/// block whose union improves diversity — measured by group diameter — until
+/// no violations remain.
+///
+/// # Errors
+/// * [`Error::InvalidPartition`] on a sensitive-column arity mismatch;
+/// * [`Error::InstanceTooLarge`]-style failure is impossible, but the
+///   repair fails with [`Error::InvalidPartition`] if the *whole table*
+///   has fewer than `l` distinct sensitive values (no partition can fix
+///   that).
+pub fn enforce_l_diversity(
+    ds: &Dataset,
+    partition: &Partition,
+    sensitive: &[u32],
+    l: usize,
+) -> Result<DiversityResult> {
+    if sensitive.len() != partition.n_rows() {
+        return Err(Error::InvalidPartition(format!(
+            "{} sensitive values for {} rows",
+            sensitive.len(),
+            partition.n_rows()
+        )));
+    }
+    let global: HashSet<u32> = sensitive.iter().copied().collect();
+    if global.len() < l {
+        return Err(Error::InvalidPartition(format!(
+            "table has only {} distinct sensitive values; l = {l} is unreachable",
+            global.len()
+        )));
+    }
+
+    let cost_before = partition.anonymization_cost(ds);
+    let mut blocks: Vec<Vec<u32>> = partition.blocks().to_vec();
+    let mut merges = 0usize;
+
+    while let Some(violator) = blocks
+        .iter()
+        .position(|b| block_diversity(sensitive, b) < l)
+    {
+        // Nearest partner (by merged diameter) that strictly improves
+        // diversity; fall back to the overall nearest if none improves —
+        // repeated merging must eventually reach l since the table has
+        // enough distinct values.
+        let base_div = block_diversity(sensitive, &blocks[violator]);
+        let mut best: Option<(bool, usize, usize)> = None; // (improves, diameter, idx)
+        for (i, other) in blocks.iter().enumerate() {
+            if i == violator {
+                continue;
+            }
+            let mut union: Vec<usize> = blocks[violator]
+                .iter()
+                .chain(other)
+                .map(|&r| r as usize)
+                .collect();
+            union.sort_unstable();
+            let d = diameter(ds, &union);
+            let improves = block_diversity(sensitive, &merged(&blocks[violator], other)) > base_div;
+            // Prefer improving partners; among equals, smaller diameter.
+            let key = (improves, d, i);
+            let better = match best {
+                None => true,
+                Some((bi, bd, _)) => (improves && !bi) || (improves == bi && d < bd),
+            };
+            if better {
+                best = Some(key);
+            }
+        }
+        let (_, _, partner) = best.ok_or_else(|| {
+            Error::InvalidPartition("cannot repair: only one block remains".into())
+        })?;
+        // Remove the higher index via swap_remove so the lower stays valid,
+        // then fold the absorbed block into the survivor.
+        let (hi, lo) = if partner > violator {
+            (partner, violator)
+        } else {
+            (violator, partner)
+        };
+        let absorbed = blocks.swap_remove(hi);
+        blocks[lo].extend(absorbed);
+        merges += 1;
+    }
+
+    let repaired = Partition::new_unchecked(blocks, ds.n_rows());
+    let cost_after = repaired.anonymization_cost(ds);
+    Ok(DiversityResult {
+        partition: repaired,
+        merges,
+        cost_before,
+        cost_after,
+    })
+}
+
+fn merged(a: &[u32], b: &[u32]) -> Vec<u32> {
+    a.iter().chain(b).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    /// Two QI clusters; sensitive values chosen so one group is uniform.
+    fn setup() -> (Dataset, Partition, Vec<u32>) {
+        let ds = Dataset::from_rows(vec![vec![0, 0], vec![0, 1], vec![9, 9], vec![9, 8]]).unwrap();
+        let p = Partition::new(vec![vec![0, 1], vec![2, 3]], 4, 2).unwrap();
+        // Group {0,1} shares sensitive value 5: k-anonymous but not 2-diverse.
+        let sensitive = vec![5, 5, 1, 2];
+        (ds, p, sensitive)
+    }
+
+    #[test]
+    fn detects_uniform_sensitive_groups() {
+        let (_, p, sensitive) = setup();
+        assert!(!is_l_diverse(&p, &sensitive, 2).unwrap());
+        assert_eq!(diversity_violations(&p, &sensitive, 2).unwrap(), vec![0]);
+        assert!(is_l_diverse(&p, &sensitive, 1).unwrap());
+    }
+
+    #[test]
+    fn repair_merges_until_diverse() {
+        let (ds, p, sensitive) = setup();
+        let result = enforce_l_diversity(&ds, &p, &sensitive, 2).unwrap();
+        assert!(is_l_diverse(&result.partition, &sensitive, 2).unwrap());
+        assert!(result.merges >= 1);
+        assert!(result.cost_after >= result.cost_before);
+        assert!(result.partition.min_block_size().unwrap() >= 2);
+        let total: usize = result.partition.blocks().iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn already_diverse_is_untouched() {
+        let ds = Dataset::from_rows(vec![vec![0], vec![0], vec![1], vec![1]]).unwrap();
+        let p = Partition::new(vec![vec![0, 1], vec![2, 3]], 4, 2).unwrap();
+        let sensitive = vec![1, 2, 3, 4];
+        let result = enforce_l_diversity(&ds, &p, &sensitive, 2).unwrap();
+        assert_eq!(result.merges, 0);
+        assert_eq!(result.cost_after, result.cost_before);
+    }
+
+    #[test]
+    fn unreachable_l_is_an_error() {
+        let (ds, p, _) = setup();
+        let uniform_sensitive = vec![7, 7, 7, 7];
+        assert!(enforce_l_diversity(&ds, &p, &uniform_sensitive, 2).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let (ds, p, _) = setup();
+        assert!(is_l_diverse(&p, &[1, 2], 2).is_err());
+        assert!(enforce_l_diversity(&ds, &p, &[1, 2], 2).is_err());
+    }
+
+    #[test]
+    fn end_to_end_with_greedy_partition() {
+        // Census-flavoured: anonymize QI, then enforce diversity on a
+        // synthetic sensitive column engineered to violate it.
+        let ds = Dataset::from_fn(12, 3, |i, j| ((i / 3) * 10 + j) as u32);
+        let result = algo::center_greedy(&ds, 3, &Default::default()).unwrap();
+        // Sensitive: constant within each natural cluster of 3.
+        let sensitive: Vec<u32> = (0..12).map(|i| (i / 3) as u32).collect();
+        let repaired = enforce_l_diversity(&ds, &result.partition, &sensitive, 2).unwrap();
+        assert!(is_l_diverse(&repaired.partition, &sensitive, 2).unwrap());
+        assert!(repaired.partition.min_block_size().unwrap() >= 3);
+    }
+}

@@ -1,0 +1,330 @@
+//! Phase 1 of Theorem 4.2: greedy set cover over center/radius balls.
+//!
+//! Instead of all `O(n^{2k−1})` small subsets, the candidate family is
+//! `D = { S_{c,i} = {v : d(c,v) ≤ i} : c ∈ V, i ∈ {1..m}, |S_{c,i}| ≥ k }`
+//! (or, alternatively, `S_{c,c'} = {v : d(c,v) ≤ d(c,c')}` over row pairs —
+//! the paper advises using whichever family is smaller). By Lemma 4.2 a ball
+//! of radius `i` has diameter at most `2i`, and by Lemma 4.3 restricting to
+//! centered sets at most doubles the optimal cover diameter sum. Running the
+//! greedy with the radius as the weight therefore loses a factor
+//! `2·(1 + ln m)` against the unrestricted optimum, which Corollary 4.1
+//! turns into the `6k(1 + ln m)` anonymization guarantee.
+//!
+//! **Implementation note.** For a fixed center `c`, `S_{c,i}` only changes
+//! at *realized* distances `i = d(c, v)`; between realized radii the
+//! membership is identical but the weight is larger, so the greedy would
+//! never prefer the non-realized radius. Scanning, for every center, the
+//! rows in ascending distance order therefore optimizes over both candidate
+//! families at once, in `O(n)` per center per round after an `O(m·n²)`
+//! preprocessing step — giving the paper's `O(m·n² + n³)` total.
+
+use super::Ratio;
+use crate::cover::Cover;
+use crate::dataset::Dataset;
+use crate::error::{Error, Result};
+use crate::metric::DistanceMatrix;
+
+/// Tuning knobs for the center-based greedy cover.
+#[derive(Clone, Debug)]
+pub struct CenterConfig {
+    /// Row-count guard: the algorithm stores an `n × n` distance matrix and
+    /// per-center sorted orders (`≈ 8n²` bytes); instances above the guard
+    /// are rejected rather than silently exhausting memory.
+    pub max_rows: usize,
+    /// Whether a ball of radius 0 (exact duplicates of the center) may be
+    /// selected when it already has ≥ k members. Radius-0 balls have weight
+    /// 0 and are always safe; disabling them reproduces the paper's literal
+    /// `i ∈ {1..m}` family (an ablation knob — see bench `ablations`).
+    pub include_zero_radius: bool,
+    /// OS threads for the distance-matrix build and the per-round center
+    /// scan. `1` (the default) is fully sequential; any value produces the
+    /// **same cover** — ties are broken by the deterministic key
+    /// `(ratio, center, prefix)` regardless of scan order.
+    pub threads: usize,
+}
+
+impl Default for CenterConfig {
+    fn default() -> Self {
+        CenterConfig {
+            max_rows: 8_000,
+            include_zero_radius: true,
+            threads: 1,
+        }
+    }
+}
+
+/// Runs Phase 1 of Theorem 4.2, returning a `(k, ·)`-cover of ball-shaped
+/// sets (sizes may exceed `2k−1`; `Reduce` + block splitting handle that).
+///
+/// ```
+/// use kanon_core::{Dataset, greedy::{center_greedy_cover, reduce, CenterConfig}};
+/// let ds = Dataset::from_rows(vec![
+///     vec![0, 0], vec![0, 1],   // one tight pair
+///     vec![9, 9], vec![9, 8],   // another
+/// ]).unwrap();
+/// let cover = center_greedy_cover(&ds, 2, &CenterConfig::default()).unwrap();
+/// let partition = reduce(&cover, 2).unwrap();
+/// assert_eq!(partition.anonymization_cost(&ds), 4); // pairs, never cross-cluster
+/// ```
+///
+/// # Errors
+/// * [`Error::KZero`] / [`Error::KExceedsRows`] on a bad `k`;
+/// * [`Error::InstanceTooLarge`] when `n` exceeds `config.max_rows`.
+pub fn center_greedy_cover(ds: &Dataset, k: usize, config: &CenterConfig) -> Result<Cover> {
+    ds.check_k(k)?;
+    let n = ds.n_rows();
+    if n > config.max_rows {
+        return Err(Error::InstanceTooLarge {
+            solver: "center_greedy_cover",
+            limit: format!("n = {n} exceeds max_rows = {}", config.max_rows),
+        });
+    }
+
+    // O(m·n²) preprocessing.
+    let dm = DistanceMatrix::build_parallel(ds, config.threads);
+    // order[c] = all rows sorted by distance from c (c itself first).
+    let orders: Vec<Vec<u32>> = (0..n)
+        .map(|c| {
+            let mut idx: Vec<u32> = (0..n as u32).collect();
+            idx.sort_by_key(|&r| dm.get(c, r as usize));
+            idx
+        })
+        .collect();
+
+    let mut covered = vec![false; n];
+    let mut remaining = n;
+    let mut chosen: Vec<Vec<u32>> = Vec::new();
+
+    while remaining > 0 {
+        // Best candidate this round, minimizing the deterministic key
+        // (ratio, center, prefix length).
+        let best = scan_centers(&orders, &dm, &covered, k, config);
+
+        let Some((_, c, p)) = best else {
+            // Every remaining candidate is a zero-radius ball that was
+            // excluded by configuration; fall back to including them so the
+            // cover always completes.
+            return Err(Error::InvalidPartition(
+                "center greedy found no eligible ball; \
+                 enable include_zero_radius or check the instance"
+                    .into(),
+            ));
+        };
+        let members: Vec<u32> = orders[c][..=p].to_vec();
+        for &r in &members {
+            if !covered[r as usize] {
+                covered[r as usize] = true;
+                remaining -= 1;
+            }
+        }
+        chosen.push(members);
+    }
+
+    Cover::new(chosen, n, k)
+}
+
+/// One greedy round: the best ball over all centers, by the key
+/// `(ratio, center, prefix)`. Splits the center range across
+/// `config.threads` when asked to.
+fn scan_centers(
+    orders: &[Vec<u32>],
+    dm: &DistanceMatrix,
+    covered: &[bool],
+    k: usize,
+    config: &CenterConfig,
+) -> Option<(Ratio, usize, usize)> {
+    let n = orders.len();
+    if config.threads <= 1 || n < 64 {
+        return scan_center_range(orders, dm, covered, k, config, 0, n);
+    }
+    let band = n.div_ceil(config.threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + band).min(n);
+            handles.push(
+                scope.spawn(move || scan_center_range(orders, dm, covered, k, config, start, end)),
+            );
+            start = end;
+        }
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("scan thread never panics"))
+            .min()
+    })
+}
+
+/// Sequential scan of centers `start..end`.
+fn scan_center_range(
+    orders: &[Vec<u32>],
+    dm: &DistanceMatrix,
+    covered: &[bool],
+    k: usize,
+    config: &CenterConfig,
+    start: usize,
+    end: usize,
+) -> Option<(Ratio, usize, usize)> {
+    let mut best: Option<(Ratio, usize, usize)> = None;
+    for (c, order) in orders.iter().enumerate().take(end).skip(start) {
+        let mut fresh = 0u64;
+        for (p, &r) in order.iter().enumerate() {
+            if !covered[r as usize] {
+                fresh += 1;
+            }
+            let size = p + 1;
+            if size < k || fresh == 0 {
+                continue;
+            }
+            let radius = u64::from(dm.get(c, r as usize));
+            if radius == 0 && !config.include_zero_radius {
+                continue;
+            }
+            // Only prefixes ending at the last row of a radius class are
+            // candidate balls; a prefix cut inside a class is not
+            // S_{c,radius}. Peek at the next row's distance.
+            if let Some(&next) = order.get(p + 1) {
+                if u64::from(dm.get(c, next as usize)) == radius {
+                    continue;
+                }
+            }
+            let key = (Ratio::new(radius, fresh), c, p);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::reduce::reduce;
+
+    fn clustered() -> Dataset {
+        // Three tight clusters of three rows each; within a cluster rows
+        // differ in at most 1 column, across clusters in all 4.
+        Dataset::from_rows(vec![
+            vec![0, 0, 0, 0],
+            vec![0, 0, 0, 1],
+            vec![0, 0, 0, 2],
+            vec![5, 5, 5, 5],
+            vec![5, 5, 5, 6],
+            vec![5, 5, 5, 7],
+            vec![9, 9, 9, 9],
+            vec![9, 9, 9, 8],
+            vec![9, 9, 9, 7],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_the_planted_clusters() {
+        let ds = clustered();
+        let cover = center_greedy_cover(&ds, 3, &CenterConfig::default()).unwrap();
+        // Each cluster is a radius-1 ball around any of its members; the
+        // greedy should never pay a cross-cluster diameter.
+        assert_eq!(cover.diameter_sum(&ds), 3);
+        let p = reduce(&cover, 3).unwrap();
+        assert_eq!(p.n_blocks(), 3);
+        assert_eq!(p.anonymization_cost(&ds), 9);
+    }
+
+    #[test]
+    fn zero_radius_balls_capture_duplicates() {
+        let ds = Dataset::from_rows(vec![
+            vec![1, 1],
+            vec![1, 1],
+            vec![1, 1],
+            vec![7, 8],
+            vec![7, 9],
+            vec![7, 7],
+        ])
+        .unwrap();
+        let cover = center_greedy_cover(&ds, 3, &CenterConfig::default()).unwrap();
+        // The duplicate triple costs 0; the other three form a radius-1 ball.
+        assert_eq!(cover.diameter_sum(&ds), 1);
+    }
+
+    #[test]
+    fn disabling_zero_radius_still_covers() {
+        let ds = Dataset::from_rows(vec![vec![1, 1], vec![1, 1], vec![2, 1], vec![2, 2]]).unwrap();
+        let config = CenterConfig {
+            include_zero_radius: false,
+            ..Default::default()
+        };
+        let cover = center_greedy_cover(&ds, 2, &config).unwrap();
+        let p = reduce(&cover, 2).unwrap();
+        assert!(p.min_block_size().unwrap() >= 2);
+    }
+
+    #[test]
+    fn all_identical_rows_are_free() {
+        let ds = Dataset::from_fn(10, 3, |_, _| 42);
+        let cover = center_greedy_cover(&ds, 4, &CenterConfig::default()).unwrap();
+        assert_eq!(cover.diameter_sum(&ds), 0);
+    }
+
+    #[test]
+    fn row_guard_triggers() {
+        let ds = Dataset::from_fn(20, 1, |i, _| i as u32);
+        let config = CenterConfig {
+            max_rows: 10,
+            ..Default::default()
+        };
+        assert!(matches!(
+            center_greedy_cover(&ds, 2, &config),
+            Err(Error::InstanceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn k_equals_n() {
+        let ds = Dataset::from_rows(vec![vec![0, 0], vec![1, 1], vec![2, 2]]).unwrap();
+        let cover = center_greedy_cover(&ds, 3, &CenterConfig::default()).unwrap();
+        assert_eq!(cover.n_sets(), 1);
+        assert_eq!(cover.sets()[0].len(), 3);
+    }
+
+    #[test]
+    fn bad_k_rejected() {
+        let ds = Dataset::from_rows(vec![vec![0], vec![1]]).unwrap();
+        assert!(center_greedy_cover(&ds, 0, &CenterConfig::default()).is_err());
+        assert!(center_greedy_cover(&ds, 5, &CenterConfig::default()).is_err());
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        let ds = Dataset::from_fn(90, 5, |i, j| ((i * 13 + j * 29) % 6) as u32);
+        let seq = center_greedy_cover(&ds, 4, &CenterConfig::default()).unwrap();
+        for threads in [2, 3, 8] {
+            let config = CenterConfig {
+                threads,
+                ..Default::default()
+            };
+            let par = center_greedy_cover(&ds, 4, &config).unwrap();
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn cover_then_reduce_is_feasible_on_awkward_instance() {
+        // Rows arranged so balls overlap heavily.
+        let ds = Dataset::from_rows(vec![
+            vec![0, 0, 0],
+            vec![0, 0, 1],
+            vec![0, 1, 1],
+            vec![1, 1, 1],
+            vec![1, 1, 0],
+            vec![1, 0, 0],
+            vec![2, 2, 2],
+        ])
+        .unwrap();
+        let cover = center_greedy_cover(&ds, 2, &CenterConfig::default()).unwrap();
+        let p = reduce(&cover, 2).unwrap();
+        assert!(p.min_block_size().unwrap() >= 2);
+        let total: usize = p.blocks().iter().map(Vec::len).sum();
+        assert_eq!(total, 7);
+    }
+}

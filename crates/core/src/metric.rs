@@ -1,0 +1,279 @@
+//! The Hamming distance of Definition 4.1.
+//!
+//! `d(u, v) = |{j : u[j] ≠ v[j]}|` — the number of coordinates in which two
+//! records differ, i.e. the minimum number of suppressions needed *in each of
+//! the two records* to make them identical. The paper notes this function is
+//! a metric; `proptest` checks in this module verify the axioms.
+
+use crate::dataset::{Dataset, Value};
+
+/// Hamming distance between two equal-length value slices.
+///
+/// ```
+/// use kanon_core::metric::hamming;
+/// assert_eq!(hamming(&[1, 0, 1, 0], &[0, 1, 1, 0]), 2); // the paper's §4 example
+/// ```
+///
+/// # Panics
+/// Panics in debug builds if the slices have different lengths.
+#[must_use]
+pub fn hamming(u: &[Value], v: &[Value]) -> usize {
+    debug_assert_eq!(u.len(), v.len(), "hamming distance needs equal lengths");
+    u.iter().zip(v).filter(|(a, b)| a != b).count()
+}
+
+/// Hamming distance with early exit: returns `None` as soon as the distance
+/// is known to exceed `limit`, otherwise `Some(distance)`.
+///
+/// Useful in nearest-neighbour loops where most pairs are far apart.
+#[must_use]
+pub fn hamming_within(u: &[Value], v: &[Value], limit: usize) -> Option<usize> {
+    debug_assert_eq!(u.len(), v.len());
+    let mut d = 0;
+    for (a, b) in u.iter().zip(v) {
+        if a != b {
+            d += 1;
+            if d > limit {
+                return None;
+            }
+        }
+    }
+    Some(d)
+}
+
+/// Distance between two rows of a dataset.
+///
+/// # Panics
+/// Panics if either index is out of bounds.
+#[must_use]
+pub fn row_distance(ds: &Dataset, i: usize, j: usize) -> usize {
+    hamming(ds.row(i), ds.row(j))
+}
+
+/// The full `n × n` pairwise distance matrix, stored row-major as `u32`.
+///
+/// Costs `O(m·n²)` time and `4n²` bytes; this is the preprocessing step of
+/// the strongly polynomial algorithm (Theorem 4.2).
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    n: usize,
+    entries: Box<[u32]>,
+}
+
+impl DistanceMatrix {
+    /// Computes all pairwise row distances.
+    #[must_use]
+    pub fn build(ds: &Dataset) -> Self {
+        let n = ds.n_rows();
+        let mut entries = vec![0u32; n * n];
+        for i in 0..n {
+            let ri = ds.row(i);
+            for j in (i + 1)..n {
+                let d = hamming(ri, ds.row(j)) as u32;
+                entries[i * n + j] = d;
+                entries[j * n + i] = d;
+            }
+        }
+        DistanceMatrix {
+            n,
+            entries: entries.into_boxed_slice(),
+        }
+    }
+
+    /// Like [`DistanceMatrix::build`], splitting the `O(m·n²)` work across
+    /// `threads` OS threads. Each thread fills a contiguous band of rows
+    /// (recomputing both triangle halves — simpler ownership, same
+    /// asymptotics). `threads <= 1` falls back to the sequential build.
+    #[must_use]
+    pub fn build_parallel(ds: &Dataset, threads: usize) -> Self {
+        let n = ds.n_rows();
+        if threads <= 1 || n < 64 {
+            return Self::build(ds);
+        }
+        let mut entries = vec![0u32; n * n];
+        let rows_per_band = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut rest: &mut [u32] = &mut entries;
+            let mut start = 0usize;
+            while start < n {
+                let band = rows_per_band.min(n - start);
+                let (chunk, tail) = rest.split_at_mut(band * n);
+                rest = tail;
+                let first = start;
+                scope.spawn(move || {
+                    for (local, i) in (first..first + band).enumerate() {
+                        let ri = ds.row(i);
+                        for j in 0..n {
+                            chunk[local * n + j] = hamming(ri, ds.row(j)) as u32;
+                        }
+                    }
+                });
+                start += band;
+            }
+        });
+        DistanceMatrix {
+            n,
+            entries: entries.into_boxed_slice(),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between rows `i` and `j`.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> u32 {
+        self.entries[i * self.n + j]
+    }
+
+    /// The row of distances from `i` to every row (including itself, 0).
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.entries[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Distance from row `i` to its `t`-th nearest *other* row
+    /// (`t = 1` is the nearest neighbour). Returns `None` if `t >= n`.
+    ///
+    /// `kth_neighbor_distance(i, k-1)` is the per-row lower bound used by the
+    /// exact branch-and-bound: in any k-anonymization, row `i`'s group
+    /// contains `k-1` other rows, so at least this many of its entries must
+    /// be suppressed.
+    #[must_use]
+    pub fn kth_neighbor_distance(&self, i: usize, t: usize) -> Option<u32> {
+        if t == 0 {
+            return Some(0);
+        }
+        if t >= self.n {
+            return None;
+        }
+        let mut ds: Vec<u32> = (0..self.n)
+            .filter(|&j| j != i)
+            .map(|j| self.get(i, j))
+            .collect();
+        ds.sort_unstable();
+        Some(ds[t - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_distances() {
+        assert_eq!(hamming(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(hamming(&[1, 2, 3], &[1, 9, 3]), 1);
+        assert_eq!(hamming(&[1, 2, 3], &[4, 5, 6]), 3);
+        assert_eq!(hamming(&[], &[]), 0);
+    }
+
+    #[test]
+    fn paper_example_distance() {
+        // §4 example: V = {1010, 1110, 0110}; 1010 and 0110 differ in two
+        // coordinates.
+        let a = [1, 0, 1, 0];
+        let b = [0, 1, 1, 0];
+        assert_eq!(hamming(&a, &b), 2);
+    }
+
+    #[test]
+    fn hamming_within_early_exit() {
+        assert_eq!(hamming_within(&[1, 2, 3], &[9, 9, 9], 3), Some(3));
+        assert_eq!(hamming_within(&[1, 2, 3], &[9, 9, 9], 2), None);
+        assert_eq!(hamming_within(&[1, 2, 3], &[1, 2, 3], 0), Some(0));
+    }
+
+    #[test]
+    fn distance_matrix_symmetric_zero_diagonal() {
+        let ds =
+            Dataset::from_rows(vec![vec![1, 0, 1, 0], vec![1, 1, 1, 0], vec![0, 1, 1, 0]]).unwrap();
+        let dm = DistanceMatrix::build(&ds);
+        for i in 0..3 {
+            assert_eq!(dm.get(i, i), 0);
+            for j in 0..3 {
+                assert_eq!(dm.get(i, j), dm.get(j, i));
+                assert_eq!(dm.get(i, j) as usize, row_distance(&ds, i, j));
+            }
+        }
+        assert_eq!(dm.get(0, 2), 2);
+    }
+
+    #[test]
+    fn kth_neighbor_distance_sorted() {
+        let ds = Dataset::from_rows(vec![
+            vec![0, 0, 0],
+            vec![0, 0, 1],
+            vec![1, 1, 1],
+            vec![0, 0, 0],
+        ])
+        .unwrap();
+        let dm = DistanceMatrix::build(&ds);
+        // Row 0's other-row distances: [1, 3, 0] sorted -> [0, 1, 3].
+        assert_eq!(dm.kth_neighbor_distance(0, 1), Some(0));
+        assert_eq!(dm.kth_neighbor_distance(0, 2), Some(1));
+        assert_eq!(dm.kth_neighbor_distance(0, 3), Some(3));
+        assert_eq!(dm.kth_neighbor_distance(0, 4), None);
+        assert_eq!(dm.kth_neighbor_distance(0, 0), Some(0));
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let ds = Dataset::from_fn(80, 5, |i, j| ((i * 31 + j * 17) % 4) as u32);
+        let seq = DistanceMatrix::build(&ds);
+        for threads in [1, 2, 3, 7] {
+            let par = DistanceMatrix::build_parallel(&ds, threads);
+            for i in 0..80 {
+                for j in 0..80 {
+                    assert_eq!(seq.get(i, j), par.get(i, j), "threads={threads} ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_small_input_falls_back() {
+        let ds = Dataset::from_fn(10, 3, |i, j| (i + j) as u32);
+        let par = DistanceMatrix::build_parallel(&ds, 8);
+        let seq = DistanceMatrix::build(&ds);
+        assert_eq!(par.row(3), seq.row(3));
+    }
+
+    proptest! {
+        #[test]
+        fn metric_axioms(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0u32..4, 6),
+                3,
+            )
+        ) {
+            let (u, v, w) = (&rows[0], &rows[1], &rows[2]);
+            // Identity of indiscernibles.
+            prop_assert_eq!(hamming(u, u), 0);
+            prop_assert_eq!(hamming(u, v) == 0, u == v);
+            // Symmetry.
+            prop_assert_eq!(hamming(u, v), hamming(v, u));
+            // Triangle inequality.
+            prop_assert!(hamming(u, w) <= hamming(u, v) + hamming(v, w));
+        }
+
+        #[test]
+        fn hamming_within_agrees_with_hamming(
+            u in proptest::collection::vec(0u32..3, 8),
+            v in proptest::collection::vec(0u32..3, 8),
+            limit in 0usize..10,
+        ) {
+            let d = hamming(&u, &v);
+            let w = hamming_within(&u, &v, limit);
+            if d <= limit {
+                prop_assert_eq!(w, Some(d));
+            } else {
+                prop_assert_eq!(w, None);
+            }
+        }
+    }
+}

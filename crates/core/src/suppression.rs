@@ -1,0 +1,572 @@
+//! Suppressors and anonymized tables (Definitions 2.1 and 2.2).
+//!
+//! A *suppressor* `t` maps each record to itself with some coordinates
+//! replaced by `*`. Here it is represented positionally: one column
+//! [`BitSet`] per row, bit `j` set meaning entry `(row, j)` is starred.
+//! Applying a suppressor yields an [`AnonymizedTable`], on which the
+//! k-anonymity predicate of Definition 2.2 can be checked: every suppressed
+//! record must coincide, entry for entry (stars included), with at least
+//! `k − 1` other suppressed records.
+
+use std::collections::HashMap;
+
+use crate::bitset::BitSet;
+use crate::dataset::{Dataset, Value};
+use crate::error::{Error, Result};
+
+/// A positional suppressor: which cells of which rows are starred.
+///
+/// ```
+/// use kanon_core::{Dataset, Suppressor};
+/// let ds = Dataset::from_rows(vec![vec![7, 1], vec![7, 2]]).unwrap();
+/// let mut t = Suppressor::identity(2, 2);
+/// t.suppress(0, 1);
+/// t.suppress(1, 1);
+/// let released = t.apply(&ds).unwrap();
+/// assert!(released.is_k_anonymous(2)); // both rows are now `7 *`
+/// assert_eq!(released.suppressed_cells(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suppressor {
+    masks: Vec<BitSet>,
+    m: usize,
+}
+
+impl Suppressor {
+    /// The identity suppressor (stars nothing) for an `n × m` table.
+    #[must_use]
+    pub fn identity(n: usize, m: usize) -> Self {
+        Suppressor {
+            masks: vec![BitSet::new(m); n],
+            m,
+        }
+    }
+
+    /// Builds a suppressor from per-row column masks.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidPartition`] if a mask's capacity differs
+    /// from `m`.
+    pub fn from_masks(masks: Vec<BitSet>, m: usize) -> Result<Self> {
+        for (i, mask) in masks.iter().enumerate() {
+            if mask.capacity() != m {
+                return Err(Error::InvalidPartition(format!(
+                    "mask {i} has capacity {} but m = {m}",
+                    mask.capacity()
+                )));
+            }
+        }
+        Ok(Suppressor { masks, m })
+    }
+
+    /// Number of rows covered.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Stars cell `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    pub fn suppress(&mut self, row: usize, col: usize) {
+        self.masks[row].insert(col);
+    }
+
+    /// Whether cell `(row, col)` is starred.
+    #[must_use]
+    pub fn is_suppressed(&self, row: usize, col: usize) -> bool {
+        self.masks[row].contains(col)
+    }
+
+    /// Borrow the mask of `row`.
+    #[must_use]
+    pub fn mask(&self, row: usize) -> &BitSet {
+        &self.masks[row]
+    }
+
+    /// Total number of starred cells — the objective value the paper
+    /// minimizes.
+    #[must_use]
+    pub fn cost(&self) -> usize {
+        self.masks.iter().map(BitSet::count).sum()
+    }
+
+    /// Serializes the suppressor as a mask grid: one line per row, `1` for
+    /// a starred cell, `0` otherwise. A stable artifact for audit trails —
+    /// reapplying a stored mask to the original table reproduces the exact
+    /// release.
+    ///
+    /// ```
+    /// use kanon_core::Suppressor;
+    /// let mut s = Suppressor::identity(2, 3);
+    /// s.suppress(0, 2);
+    /// s.suppress(1, 0);
+    /// let text = s.to_mask_string();
+    /// assert_eq!(text, "001\n100\n");
+    /// assert_eq!(Suppressor::from_mask_string(&text).unwrap(), s);
+    /// ```
+    #[must_use]
+    pub fn to_mask_string(&self) -> String {
+        let mut out = String::with_capacity(self.masks.len() * (self.m + 1));
+        for mask in &self.masks {
+            for j in 0..self.m {
+                out.push(if mask.contains(j) { '1' } else { '0' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a mask grid produced by [`Suppressor::to_mask_string`].
+    ///
+    /// # Errors
+    /// [`Error::InvalidPartition`] on ragged lines or characters other than
+    /// `0`/`1`.
+    pub fn from_mask_string(text: &str) -> Result<Self> {
+        let lines: Vec<&str> = text.lines().collect();
+        let m = lines.first().map_or(0, |l| l.chars().count());
+        let mut masks = Vec::with_capacity(lines.len());
+        for (i, line) in lines.iter().enumerate() {
+            if line.chars().count() != m {
+                return Err(Error::InvalidPartition(format!(
+                    "mask line {i} has {} cells, expected {m}",
+                    line.chars().count()
+                )));
+            }
+            let mut mask = BitSet::new(m);
+            for (j, ch) in line.chars().enumerate() {
+                match ch {
+                    '1' => {
+                        mask.insert(j);
+                    }
+                    '0' => {}
+                    other => {
+                        return Err(Error::InvalidPartition(format!(
+                            "mask line {i} contains `{other}`; only 0/1 allowed"
+                        )))
+                    }
+                }
+            }
+            masks.push(mask);
+        }
+        Ok(Suppressor { masks, m })
+    }
+
+    /// Applies the suppressor to a dataset, producing the released table.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidPartition`] on a shape mismatch.
+    pub fn apply(&self, ds: &Dataset) -> Result<AnonymizedTable> {
+        if ds.n_rows() != self.masks.len() || ds.n_cols() != self.m {
+            return Err(Error::InvalidPartition(format!(
+                "suppressor shaped {}x{} applied to dataset {}x{}",
+                self.masks.len(),
+                self.m,
+                ds.n_rows(),
+                ds.n_cols()
+            )));
+        }
+        let cells = ds
+            .rows()
+            .zip(&self.masks)
+            .flat_map(|(row, mask)| {
+                row.iter().enumerate().map(move |(j, &v)| {
+                    if mask.contains(j) {
+                        Cell::Star
+                    } else {
+                        Cell::Value(v)
+                    }
+                })
+            })
+            .collect();
+        Ok(AnonymizedTable {
+            n: ds.n_rows(),
+            m: self.m,
+            cells,
+        })
+    }
+}
+
+/// One released entry: a value or a star.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cell {
+    /// The original value survived.
+    Value(Value),
+    /// The entry was suppressed.
+    Star,
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cell::Value(v) => write!(f, "{v}"),
+            Cell::Star => write!(f, "*"),
+        }
+    }
+}
+
+/// The result of applying a suppressor: records over `Σ ∪ {*}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnonymizedTable {
+    n: usize,
+    m: usize,
+    cells: Vec<Cell>,
+}
+
+impl AnonymizedTable {
+    /// Number of records.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn n_cols(&self) -> usize {
+        self.m
+    }
+
+    /// Borrow row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= n_rows()`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[Cell] {
+        &self.cells[i * self.m..(i + 1) * self.m]
+    }
+
+    /// Iterates over rows.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[Cell]> {
+        self.cells.chunks_exact(self.m.max(1)).take(self.n)
+    }
+
+    /// Number of starred entries — the suppression cost.
+    #[must_use]
+    pub fn suppressed_cells(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c, Cell::Star))
+            .count()
+    }
+
+    /// Definition 2.2: every released record equals at least `k − 1` others.
+    ///
+    /// `k = 1` is trivially satisfied; `k = 0` returns `false` by convention
+    /// (use [`Dataset::check_k`] to reject it earlier).
+    #[must_use]
+    pub fn is_k_anonymous(&self, k: usize) -> bool {
+        if k == 0 {
+            return false;
+        }
+        self.group_sizes().iter().all(|&(_, size)| size >= k)
+    }
+
+    /// The k-groups of the released table: each distinct suppressed record
+    /// with its multiplicity. Order is by first occurrence.
+    #[must_use]
+    pub fn group_sizes(&self) -> Vec<(usize, usize)> {
+        // Map each distinct row to (first_row_index, count).
+        let mut groups: HashMap<&[Cell], (usize, usize)> = HashMap::new();
+        let mut order: Vec<&[Cell]> = Vec::new();
+        for (i, row) in self.rows().enumerate() {
+            match groups.entry(row) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().1 += 1,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((i, 1));
+                    order.push(row);
+                }
+            }
+        }
+        order.iter().map(|r| groups[r]).collect()
+    }
+
+    /// The smallest k-group size, i.e. the largest `k` for which the table
+    /// is k-anonymous. `None` for an empty table.
+    #[must_use]
+    pub fn anonymity_level(&self) -> Option<usize> {
+        self.group_sizes().iter().map(|&(_, s)| s).min()
+    }
+
+    /// Diagnoses k-anonymity violations: returns, for every group smaller
+    /// than `k`, its first row index and size — the actionable evidence a
+    /// verification tool should print. Empty means the table is
+    /// k-anonymous.
+    ///
+    /// ```
+    /// use kanon_core::{Dataset, Suppressor};
+    /// let ds = Dataset::from_rows(vec![vec![1], vec![1], vec![2]]).unwrap();
+    /// let t = Suppressor::identity(3, 1).apply(&ds).unwrap();
+    /// assert_eq!(t.violations(2), vec![(2, 1)]); // the lone `2` row
+    /// assert!(t.violations(1).is_empty());
+    /// ```
+    #[must_use]
+    pub fn violations(&self, k: usize) -> Vec<(usize, usize)> {
+        let mut v: Vec<(usize, usize)> = self
+            .group_sizes()
+            .into_iter()
+            .filter(|&(_, size)| size < k)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Renders the table for display/debugging, one row per line, entries
+    /// separated by spaces, stars as `*`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for row in self.rows() {
+            let mut first = true;
+            for cell in row {
+                if !first {
+                    out.push(' ');
+                }
+                first = false;
+                out.push_str(&cell.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Checks that `suppressor` applied to `ds` is k-anonymous and returns the
+/// released table along with its cost.
+///
+/// # Errors
+/// Propagates shape mismatches; returns [`Error::InvalidPartition`] if the
+/// result is not k-anonymous (the message names the smallest group).
+pub fn verify_k_anonymity(
+    ds: &Dataset,
+    suppressor: &Suppressor,
+    k: usize,
+) -> Result<(AnonymizedTable, usize)> {
+    let table = suppressor.apply(ds)?;
+    if !table.is_k_anonymous(k) {
+        let worst = table.anonymity_level().unwrap_or(0);
+        return Err(Error::InvalidPartition(format!(
+            "released table is only {worst}-anonymous, needed {k}"
+        )));
+    }
+    let cost = table.suppressed_cells();
+    Ok((table, cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The §1 hospital example, dictionary coded:
+    /// first: Harry=0 John=1 Beatrice=2; last: Stone=0 Reyser=1 Ramos=2;
+    /// age buckets kept as raw years; race: AfrAm=0 Cauc=1 Hisp=2.
+    fn hospital() -> Dataset {
+        Dataset::from_rows(vec![
+            vec![0, 0, 34, 0],
+            vec![1, 1, 36, 1],
+            vec![2, 0, 47, 0],
+            vec![1, 2, 22, 2],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_on_distinct_rows_is_1_anonymous_only() {
+        let ds = hospital();
+        let t = Suppressor::identity(4, 4).apply(&ds).unwrap();
+        assert!(t.is_k_anonymous(1));
+        assert!(!t.is_k_anonymous(2));
+        assert_eq!(t.anonymity_level(), Some(1));
+        assert_eq!(t.suppressed_cells(), 0);
+    }
+
+    #[test]
+    fn hospital_two_anonymization() {
+        // Mirror the paper's 2-anonymized table: group {Harry, Beatrice}
+        // keeps (last=Stone, race=AfrAm); group {John, John} keeps
+        // (first=John).
+        let ds = hospital();
+        let mut s = Suppressor::identity(4, 4);
+        for row in [0, 2] {
+            s.suppress(row, 0); // first
+            s.suppress(row, 2); // age
+        }
+        for row in [1, 3] {
+            s.suppress(row, 1); // last
+            s.suppress(row, 2); // age
+            s.suppress(row, 3); // race
+        }
+        let (table, cost) = verify_k_anonymity(&ds, &s, 2).unwrap();
+        assert_eq!(cost, 2 * 2 + 2 * 3);
+        assert!(table.is_k_anonymous(2));
+        assert!(!table.is_k_anonymous(3));
+        let groups = table.group_sizes();
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().all(|&(_, s)| s == 2));
+    }
+
+    #[test]
+    fn verify_rejects_insufficient_anonymity() {
+        let ds = hospital();
+        let s = Suppressor::identity(4, 4);
+        let err = verify_k_anonymity(&ds, &s, 2).unwrap_err();
+        assert!(err.to_string().contains("1-anonymous"));
+    }
+
+    #[test]
+    fn apply_shape_mismatch() {
+        let ds = hospital();
+        let s = Suppressor::identity(3, 4);
+        assert!(s.apply(&ds).is_err());
+        let s = Suppressor::identity(4, 3);
+        assert!(s.apply(&ds).is_err());
+    }
+
+    #[test]
+    fn cost_counts_stars() {
+        let mut s = Suppressor::identity(2, 3);
+        assert_eq!(s.cost(), 0);
+        s.suppress(0, 1);
+        s.suppress(1, 0);
+        s.suppress(1, 2);
+        assert_eq!(s.cost(), 3);
+        assert!(s.is_suppressed(0, 1));
+        assert!(!s.is_suppressed(0, 0));
+    }
+
+    #[test]
+    fn full_suppression_is_n_anonymous() {
+        let ds = hospital();
+        let mut s = Suppressor::identity(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                s.suppress(i, j);
+            }
+        }
+        let t = s.apply(&ds).unwrap();
+        assert!(t.is_k_anonymous(4));
+        assert_eq!(t.suppressed_cells(), 16);
+        assert_eq!(t.anonymity_level(), Some(4));
+    }
+
+    #[test]
+    fn k_zero_is_never_anonymous() {
+        let ds = hospital();
+        let t = Suppressor::identity(4, 4).apply(&ds).unwrap();
+        assert!(!t.is_k_anonymous(0));
+    }
+
+    #[test]
+    fn empty_table_edge_cases() {
+        let ds = Dataset::from_rows(vec![]).unwrap();
+        let t = Suppressor::identity(0, 0).apply(&ds).unwrap();
+        assert!(t.is_k_anonymous(5)); // vacuously
+        assert_eq!(t.anonymity_level(), None);
+        assert_eq!(t.suppressed_cells(), 0);
+    }
+
+    #[test]
+    fn render_shows_stars() {
+        let ds = Dataset::from_rows(vec![vec![7, 8]]).unwrap();
+        let mut s = Suppressor::identity(1, 2);
+        s.suppress(0, 1);
+        let t = s.apply(&ds).unwrap();
+        assert_eq!(t.render(), "7 *\n");
+    }
+
+    #[test]
+    fn from_masks_validates_capacity() {
+        let good = vec![BitSet::new(3), BitSet::new(3)];
+        assert!(Suppressor::from_masks(good, 3).is_ok());
+        let bad = vec![BitSet::new(3), BitSet::new(2)];
+        assert!(Suppressor::from_masks(bad, 3).is_err());
+    }
+
+    #[test]
+    fn group_sizes_multiset_semantics() {
+        // Duplicate raw rows count toward anonymity without suppression.
+        let ds = Dataset::from_rows(vec![vec![1, 2], vec![1, 2], vec![1, 2]]).unwrap();
+        let t = Suppressor::identity(3, 2).apply(&ds).unwrap();
+        assert!(t.is_k_anonymous(3));
+        assert_eq!(t.group_sizes(), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn mask_string_rejects_bad_input() {
+        assert!(Suppressor::from_mask_string("01\n0\n").is_err()); // ragged
+        assert!(Suppressor::from_mask_string("0x\n").is_err()); // bad char
+        let empty = Suppressor::from_mask_string("").unwrap();
+        assert_eq!(empty.n_rows(), 0);
+    }
+
+    #[test]
+    fn violations_report_small_groups() {
+        let ds = Dataset::from_rows(vec![vec![1, 1], vec![1, 1], vec![2, 2], vec![3, 3]]).unwrap();
+        let t = Suppressor::identity(4, 2).apply(&ds).unwrap();
+        assert_eq!(t.violations(2), vec![(2, 1), (3, 1)]);
+        assert_eq!(t.violations(3), vec![(0, 2), (2, 1), (3, 1)]);
+    }
+
+    proptest! {
+        /// Mask serialization roundtrips for arbitrary suppressors.
+        #[test]
+        fn mask_string_roundtrip(
+            bits in proptest::collection::vec(proptest::bool::ANY, 5 * 4),
+        ) {
+            let mut s = Suppressor::identity(5, 4);
+            for (idx, &b) in bits.iter().enumerate() {
+                if b {
+                    s.suppress(idx / 4, idx % 4);
+                }
+            }
+            let text = s.to_mask_string();
+            prop_assert_eq!(Suppressor::from_mask_string(&text).unwrap(), s);
+        }
+
+        /// A suppressor's cost always equals the released table's star count.
+        #[test]
+        fn cost_equals_star_count(
+            flat in proptest::collection::vec(0u32..3, 4 * 3),
+            bits in proptest::collection::vec(proptest::bool::ANY, 4 * 3),
+        ) {
+            let ds = Dataset::from_flat(4, 3, flat).unwrap();
+            let mut s = Suppressor::identity(4, 3);
+            for (idx, &b) in bits.iter().enumerate() {
+                if b {
+                    s.suppress(idx / 3, idx % 3);
+                }
+            }
+            let t = s.apply(&ds).unwrap();
+            prop_assert_eq!(s.cost(), t.suppressed_cells());
+        }
+
+        /// Suppressing more cells never decreases the anonymity level when
+        /// the extra suppression is applied uniformly to a whole column.
+        #[test]
+        fn column_suppression_monotone(
+            flat in proptest::collection::vec(0u32..3, 5 * 3),
+            col in 0usize..3,
+        ) {
+            let ds = Dataset::from_flat(5, 3, flat).unwrap();
+            let base = Suppressor::identity(5, 3).apply(&ds).unwrap();
+            let mut s = Suppressor::identity(5, 3);
+            for i in 0..5 {
+                s.suppress(i, col);
+            }
+            let t = s.apply(&ds).unwrap();
+            prop_assert!(t.anonymity_level() >= base.anonymity_level());
+        }
+
+        /// group_sizes sums to n.
+        #[test]
+        fn group_sizes_partition_rows(
+            flat in proptest::collection::vec(0u32..2, 6 * 2),
+        ) {
+            let ds = Dataset::from_flat(6, 2, flat).unwrap();
+            let t = Suppressor::identity(6, 2).apply(&ds).unwrap();
+            let total: usize = t.group_sizes().iter().map(|&(_, s)| s).sum();
+            prop_assert_eq!(total, 6);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type for hypergraph construction and solving.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from hypergraph validation and the matching solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An edge references a vertex `>= n_vertices`.
+    VertexOutOfRange {
+        /// Offending edge index.
+        edge: usize,
+        /// Offending vertex id.
+        vertex: u32,
+        /// Number of vertices.
+        n: usize,
+    },
+    /// An edge contains a repeated vertex.
+    DuplicateVertexInEdge {
+        /// Offending edge index.
+        edge: usize,
+    },
+    /// The hypergraph is not k-uniform as required.
+    NotUniform {
+        /// Offending edge index.
+        edge: usize,
+        /// Its size.
+        found: usize,
+        /// Required size.
+        expected: usize,
+    },
+    /// Two edges are identical (the reductions require simple hypergraphs).
+    NotSimple {
+        /// The two equal edge indices.
+        first: usize,
+        /// Second of the pair.
+        second: usize,
+    },
+    /// The exact matching solver exceeded its limits.
+    SolverLimit(String),
+    /// Generator parameters are inconsistent (e.g. `n` not divisible by `k`).
+    BadParameters(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::VertexOutOfRange { edge, vertex, n } => {
+                write!(f, "edge {edge} references vertex {vertex}, but n = {n}")
+            }
+            Error::DuplicateVertexInEdge { edge } => {
+                write!(f, "edge {edge} contains a repeated vertex")
+            }
+            Error::NotUniform {
+                edge,
+                found,
+                expected,
+            } => write!(
+                f,
+                "edge {edge} has {found} vertices; expected a {expected}-uniform hypergraph"
+            ),
+            Error::NotSimple { first, second } => {
+                write!(
+                    f,
+                    "edges {first} and {second} are identical; hypergraph must be simple"
+                )
+            }
+            Error::SolverLimit(msg) => write!(f, "matching solver limit: {msg}"),
+            Error::BadParameters(msg) => write!(f, "bad generator parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        assert!(Error::VertexOutOfRange {
+            edge: 1,
+            vertex: 9,
+            n: 5
+        }
+        .to_string()
+        .contains("vertex 9"));
+        assert!(Error::DuplicateVertexInEdge { edge: 2 }
+            .to_string()
+            .contains("edge 2"));
+        assert!(Error::NotUniform {
+            edge: 0,
+            found: 2,
+            expected: 3
+        }
+        .to_string()
+        .contains("3-uniform"));
+        assert!(Error::NotSimple {
+            first: 0,
+            second: 4
+        }
+        .to_string()
+        .contains("identical"));
+        assert!(Error::SolverLimit("x".into()).to_string().contains("x"));
+        assert!(Error::BadParameters("y".into()).to_string().contains("y"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Seeded instance generators for matching experiments.
+//!
+//! The hardness experiments (E5/E6) need both YES instances (a planted
+//! perfect matching, optionally hidden among noise edges) and NO instances
+//! (certified to admit no perfect matching). Everything is driven by a
+//! caller-supplied [`rand::Rng`] so experiments are reproducible.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::{Error, Result};
+use crate::graph::Hypergraph;
+use crate::matching::{has_perfect_matching, MatchingConfig};
+
+/// Generates a k-uniform hypergraph on `n` vertices containing a planted
+/// perfect matching plus `noise_edges` additional random distinct edges.
+///
+/// Returns the hypergraph and the indices of the planted matching's edges
+/// (the matching edges are shuffled among the noise so position leaks
+/// nothing).
+///
+/// # Errors
+/// [`Error::BadParameters`] if `k == 0`, `n` is not a positive multiple of
+/// `k`, or the requested number of distinct edges exceeds the number of
+/// k-subsets.
+pub fn planted_matching(
+    rng: &mut impl Rng,
+    n: usize,
+    k: usize,
+    noise_edges: usize,
+) -> Result<(Hypergraph, Vec<usize>)> {
+    if k == 0 || n == 0 || n % k != 0 {
+        return Err(Error::BadParameters(format!(
+            "need n a positive multiple of k, got n = {n}, k = {k}"
+        )));
+    }
+
+    // Plant: shuffle vertices, chop into n/k blocks.
+    let mut vertices: Vec<u32> = (0..n as u32).collect();
+    vertices.shuffle(rng);
+    let planted: Vec<Vec<u32>> = vertices.chunks(k).map(<[u32]>::to_vec).collect();
+
+    // Noise: random distinct k-subsets not colliding with planted edges.
+    let mut seen: std::collections::HashSet<Vec<u32>> = planted
+        .iter()
+        .map(|e| {
+            let mut s = e.clone();
+            s.sort_unstable();
+            s
+        })
+        .collect();
+    let capacity = binomial(n, k);
+    if planted.len() + noise_edges > capacity {
+        return Err(Error::BadParameters(format!(
+            "requested {} distinct edges but only {capacity} {k}-subsets of {n} vertices exist",
+            planted.len() + noise_edges
+        )));
+    }
+    let mut noise: Vec<Vec<u32>> = Vec::with_capacity(noise_edges);
+    while noise.len() < noise_edges {
+        let mut e = sample_k_subset(rng, n, k);
+        e.sort_unstable();
+        if seen.insert(e.clone()) {
+            noise.push(e);
+        }
+    }
+
+    // Interleave: shuffle the combined edge list, remembering where the
+    // planted edges land.
+    let mut tagged: Vec<(bool, Vec<u32>)> = planted
+        .into_iter()
+        .map(|e| (true, e))
+        .chain(noise.into_iter().map(|e| (false, e)))
+        .collect();
+    tagged.shuffle(rng);
+    let matching_indices: Vec<usize> = tagged
+        .iter()
+        .enumerate()
+        .filter(|(_, (p, _))| *p)
+        .map(|(i, _)| i)
+        .collect();
+    let edges: Vec<Vec<u32>> = tagged.into_iter().map(|(_, e)| e).collect();
+    let h = Hypergraph::new(n, edges)?;
+    debug_assert!(h.is_perfect_matching(&matching_indices));
+    Ok((h, matching_indices))
+}
+
+/// Generates a uniformly random simple k-uniform hypergraph with `m_edges`
+/// distinct edges.
+///
+/// # Errors
+/// [`Error::BadParameters`] on impossible parameters.
+pub fn random_uniform(
+    rng: &mut impl Rng,
+    n: usize,
+    k: usize,
+    m_edges: usize,
+) -> Result<Hypergraph> {
+    if k == 0 || k > n {
+        return Err(Error::BadParameters(format!(
+            "need 0 < k <= n, got k = {k}, n = {n}"
+        )));
+    }
+    if m_edges > binomial(n, k) {
+        return Err(Error::BadParameters(format!(
+            "requested {m_edges} distinct edges but only {} exist",
+            binomial(n, k)
+        )));
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = Vec::with_capacity(m_edges);
+    while edges.len() < m_edges {
+        let mut e = sample_k_subset(rng, n, k);
+        e.sort_unstable();
+        if seen.insert(e.clone()) {
+            edges.push(e);
+        }
+    }
+    Hypergraph::new(n, edges)
+}
+
+/// Generates a k-uniform hypergraph certified to have **no** perfect
+/// matching, by rejection sampling sparse random instances against the
+/// exact solver. Sparse instances (here `m = n/k + extra`) are usually
+/// unmatchable, so few rejections occur.
+///
+/// # Errors
+/// [`Error::BadParameters`] on impossible parameters;
+/// [`Error::SolverLimit`] if certification exceeds the solver budget;
+/// `BadParameters` again if `max_attempts` sampled instances all matched.
+pub fn certified_no_matching(
+    rng: &mut impl Rng,
+    n: usize,
+    k: usize,
+    extra_edges: usize,
+    max_attempts: usize,
+) -> Result<Hypergraph> {
+    if k == 0 || n % k != 0 || n == 0 {
+        return Err(Error::BadParameters(format!(
+            "need n a positive multiple of k, got n = {n}, k = {k}"
+        )));
+    }
+    let m = n / k + extra_edges;
+    for _ in 0..max_attempts {
+        let h = random_uniform(rng, n, k, m.min(binomial(n, k)))?;
+        if !has_perfect_matching(&h, &MatchingConfig::default())? {
+            return Ok(h);
+        }
+    }
+    Err(Error::BadParameters(format!(
+        "failed to sample a no-matching instance in {max_attempts} attempts; \
+         lower extra_edges (currently {extra_edges})"
+    )))
+}
+
+/// A uniformly random k-subset of `0..n`, unsorted.
+fn sample_k_subset(rng: &mut impl Rng, n: usize, k: usize) -> Vec<u32> {
+    debug_assert!(k <= n);
+    // Floyd's algorithm: O(k) expected draws.
+    let mut chosen: Vec<u32> = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j as u32);
+        if chosen.contains(&t) {
+            chosen.push(j as u32);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen
+}
+
+/// `C(n, k)` with saturation to `usize::MAX`.
+fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut c: u128 = 1;
+    for t in 0..k {
+        c = c.saturating_mul((n - t) as u128) / (t + 1) as u128;
+        if c > usize::MAX as u128 {
+            return usize::MAX;
+        }
+    }
+    c as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::find_perfect_matching;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planted_matching_is_a_matching() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (n, k, noise) in [(9, 3, 5), (12, 3, 0), (12, 4, 10), (8, 2, 6)] {
+            let (h, m) = planted_matching(&mut rng, n, k, noise).unwrap();
+            assert!(h.is_perfect_matching(&m), "n={n} k={k}");
+            assert_eq!(h.n_edges(), n / k + noise);
+            h.check_uniform(k).unwrap();
+            h.check_simple().unwrap();
+        }
+    }
+
+    #[test]
+    fn planted_matching_found_by_solver() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (h, _) = planted_matching(&mut rng, 15, 3, 20).unwrap();
+        assert!(has_perfect_matching(&h, &MatchingConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(planted_matching(&mut rng, 10, 3, 0).is_err()); // 10 % 3 != 0
+        assert!(planted_matching(&mut rng, 0, 3, 0).is_err());
+        assert!(planted_matching(&mut rng, 6, 0, 0).is_err());
+        assert!(planted_matching(&mut rng, 6, 3, 100).is_err()); // > C(6,3)
+        assert!(random_uniform(&mut rng, 4, 5, 1).is_err());
+        assert!(random_uniform(&mut rng, 4, 2, 100).is_err());
+    }
+
+    #[test]
+    fn random_uniform_is_simple_and_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = random_uniform(&mut rng, 10, 3, 30).unwrap();
+        assert_eq!(h.n_edges(), 30);
+        h.check_uniform(3).unwrap();
+        h.check_simple().unwrap();
+    }
+
+    #[test]
+    fn certified_no_matching_is_certified() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let h = certified_no_matching(&mut rng, 9, 3, 1, 200).unwrap();
+        assert!(!has_perfect_matching(&h, &MatchingConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let gen = || {
+            let mut rng = StdRng::seed_from_u64(42);
+            planted_matching(&mut rng, 12, 3, 8).unwrap()
+        };
+        let (h1, m1) = gen();
+        let (h2, m2) = gen();
+        assert_eq!(h1, h2);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(6, 3), 20);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(4, 5), 0);
+        assert_eq!(binomial(100, 3), 161_700);
+    }
+
+    #[test]
+    fn sample_k_subset_is_a_subset() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let mut s = sample_k_subset(&mut rng, 10, 4);
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 4);
+            assert!(s.iter().all(|&v| v < 10));
+        }
+    }
+
+    #[test]
+    fn planted_solver_roundtrip_many_seeds() {
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (h, _) = planted_matching(&mut rng, 12, 3, 10).unwrap();
+            let m = find_perfect_matching(&h, &MatchingConfig::default())
+                .unwrap()
+                .expect("planted instance must match");
+            assert!(h.is_perfect_matching(&m));
+        }
+    }
+}

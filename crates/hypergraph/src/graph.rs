@@ -1,0 +1,243 @@
+//! Validated k-uniform hypergraphs.
+
+use crate::error::{Error, Result};
+
+/// A hypergraph on vertices `0..n_vertices` with explicit edge lists.
+///
+/// Edges are stored sorted ascending, which makes simplicity checking and
+/// set operations cheap. Construction validates vertex ranges and rejects
+/// repeated vertices within an edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hypergraph {
+    n_vertices: usize,
+    edges: Vec<Vec<u32>>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph, sorting each edge and validating it.
+    ///
+    /// # Errors
+    /// [`Error::VertexOutOfRange`] or [`Error::DuplicateVertexInEdge`].
+    pub fn new(n_vertices: usize, edges: Vec<Vec<u32>>) -> Result<Self> {
+        let mut sorted_edges = edges;
+        for (idx, e) in sorted_edges.iter_mut().enumerate() {
+            e.sort_unstable();
+            if let Some(w) = e.windows(2).find(|w| w[0] == w[1]) {
+                let _ = w;
+                return Err(Error::DuplicateVertexInEdge { edge: idx });
+            }
+            if let Some(&v) = e.iter().find(|&&v| v as usize >= n_vertices) {
+                return Err(Error::VertexOutOfRange {
+                    edge: idx,
+                    vertex: v,
+                    n: n_vertices,
+                });
+            }
+        }
+        Ok(Hypergraph {
+            n_vertices,
+            edges: sorted_edges,
+        })
+    }
+
+    /// Number of vertices (`n = |U|`).
+    #[must_use]
+    pub fn n_vertices(&self) -> usize {
+        self.n_vertices
+    }
+
+    /// Number of edges (`m = |E|`).
+    #[must_use]
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Borrow edge `e` (sorted vertex list).
+    ///
+    /// # Panics
+    /// Panics if `e` is out of bounds.
+    #[must_use]
+    pub fn edge(&self, e: usize) -> &[u32] {
+        &self.edges[e]
+    }
+
+    /// Iterate over the edges.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = &[u32]> {
+        self.edges.iter().map(Vec::as_slice)
+    }
+
+    /// Whether vertex `v` lies on edge `e`.
+    #[must_use]
+    pub fn incident(&self, v: u32, e: usize) -> bool {
+        self.edges[e].binary_search(&v).is_ok()
+    }
+
+    /// Validates that every edge has exactly `k` vertices.
+    ///
+    /// # Errors
+    /// [`Error::NotUniform`] naming the first offending edge.
+    pub fn check_uniform(&self, k: usize) -> Result<()> {
+        for (idx, e) in self.edges.iter().enumerate() {
+            if e.len() != k {
+                return Err(Error::NotUniform {
+                    edge: idx,
+                    found: e.len(),
+                    expected: k,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates that no two edges are identical (both reductions assume a
+    /// *simple* hypergraph).
+    ///
+    /// # Errors
+    /// [`Error::NotSimple`] naming an offending pair.
+    pub fn check_simple(&self) -> Result<()> {
+        let mut indexed: Vec<(usize, &Vec<u32>)> = self.edges.iter().enumerate().collect();
+        indexed.sort_by(|a, b| a.1.cmp(b.1));
+        for w in indexed.windows(2) {
+            if w[0].1 == w[1].1 {
+                let (mut a, mut b) = (w[0].0, w[1].0);
+                if a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                return Err(Error::NotSimple {
+                    first: a,
+                    second: b,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-vertex incidence lists: `result[v]` = edges containing `v`.
+    #[must_use]
+    pub fn incidence_lists(&self) -> Vec<Vec<usize>> {
+        let mut lists = vec![Vec::new(); self.n_vertices];
+        for (idx, e) in self.edges.iter().enumerate() {
+            for &v in e {
+                lists[v as usize].push(idx);
+            }
+        }
+        lists
+    }
+
+    /// Degree (number of incident edges) of vertex `v`.
+    #[must_use]
+    pub fn degree(&self, v: u32) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| e.binary_search(&v).is_ok())
+            .count()
+    }
+
+    /// Whether the edge set `selection` (by index) is a perfect matching:
+    /// pairwise disjoint and covering every vertex.
+    #[must_use]
+    pub fn is_perfect_matching(&self, selection: &[usize]) -> bool {
+        let mut covered = vec![false; self.n_vertices];
+        for &e in selection {
+            let Some(edge) = self.edges.get(e) else {
+                return false;
+            };
+            for &v in edge {
+                if covered[v as usize] {
+                    return false;
+                }
+                covered[v as usize] = true;
+            }
+        }
+        covered.into_iter().all(|c| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_cover() -> Hypergraph {
+        // 6 vertices, edges {0,1,2}, {3,4,5}, {2,3,4}.
+        Hypergraph::new(6, vec![vec![0, 1, 2], vec![3, 4, 5], vec![2, 3, 4]]).unwrap()
+    }
+
+    #[test]
+    fn construction_sorts_edges() {
+        let h = Hypergraph::new(4, vec![vec![3, 1, 0]]).unwrap();
+        assert_eq!(h.edge(0), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = Hypergraph::new(3, vec![vec![0, 5]]).unwrap_err();
+        assert!(matches!(err, Error::VertexOutOfRange { vertex: 5, .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_vertex() {
+        let err = Hypergraph::new(3, vec![vec![1, 1, 2]]).unwrap_err();
+        assert!(matches!(err, Error::DuplicateVertexInEdge { edge: 0 }));
+    }
+
+    #[test]
+    fn uniformity_check() {
+        let h = triangle_cover();
+        assert!(h.check_uniform(3).is_ok());
+        assert!(matches!(
+            h.check_uniform(2),
+            Err(Error::NotUniform { expected: 2, .. })
+        ));
+        let mixed = Hypergraph::new(4, vec![vec![0, 1], vec![1, 2, 3]]).unwrap();
+        assert!(matches!(
+            mixed.check_uniform(2),
+            Err(Error::NotUniform { edge: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn simplicity_check() {
+        let h = triangle_cover();
+        assert!(h.check_simple().is_ok());
+        let dup = Hypergraph::new(4, vec![vec![0, 1], vec![2, 3], vec![1, 0]]).unwrap();
+        assert!(matches!(
+            dup.check_simple(),
+            Err(Error::NotSimple {
+                first: 0,
+                second: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn incidence_and_degree() {
+        let h = triangle_cover();
+        assert!(h.incident(2, 0));
+        assert!(h.incident(2, 2));
+        assert!(!h.incident(2, 1));
+        assert_eq!(h.degree(2), 2);
+        assert_eq!(h.degree(0), 1);
+        let lists = h.incidence_lists();
+        assert_eq!(lists[2], vec![0, 2]);
+        assert_eq!(lists[5], vec![1]);
+    }
+
+    #[test]
+    fn perfect_matching_validation() {
+        let h = triangle_cover();
+        assert!(h.is_perfect_matching(&[0, 1]));
+        assert!(!h.is_perfect_matching(&[0, 2])); // overlap at vertex 2
+        assert!(!h.is_perfect_matching(&[0])); // vertices 3-5 uncovered
+        assert!(!h.is_perfect_matching(&[0, 9])); // bogus index
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::new(0, vec![]).unwrap();
+        assert_eq!(h.n_vertices(), 0);
+        assert_eq!(h.n_edges(), 0);
+        assert!(h.is_perfect_matching(&[]));
+        assert!(h.check_simple().is_ok());
+        assert!(h.check_uniform(3).is_ok());
+    }
+}

@@ -1,0 +1,30 @@
+//! # kanon-hypergraph
+//!
+//! k-uniform hypergraphs with an exact perfect-matching solver — the
+//! combinatorial substrate for the NP-hardness reductions of Meyerson &
+//! Williams (PODS 2004, Theorems 3.1 and 3.2), both of which reduce from
+//! **k-DIMENSIONAL PERFECT MATCHING**: given a k-uniform hypergraph
+//! `H = (U, E)`, decide whether some `|U|/k` pairwise-disjoint hyperedges
+//! cover every vertex exactly once.
+//!
+//! The crate provides:
+//!
+//! * [`Hypergraph`] — validated edge lists with uniformity/simplicity checks;
+//! * [`matching`] — an exact matching search with memoization on covered
+//!   vertex sets (exact for up to 64 vertices, with a node budget), plus a
+//!   greedy heuristic;
+//! * [`generate`] — seeded instance generators: planted perfect matchings
+//!   with noise edges, uniformly random hypergraphs, and certified
+//!   no-matching instances (used by experiments E5/E6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod generate;
+pub mod graph;
+pub mod matching;
+
+pub use error::{Error, Result};
+pub use graph::Hypergraph;
+pub use matching::{find_perfect_matching, has_perfect_matching, maximum_matching, MatchingConfig};

@@ -1,0 +1,210 @@
+//! Theorem 3.2: perfect matching ≤ₚ k-ANONYMITY-ON-ATTRIBUTES, binary Σ.
+//!
+//! Given a simple k-uniform hypergraph `H` with `n` vertices and `m` edges,
+//! build the *incidence* table: `v_i[j] = 1` iff `u_i ∈ e_j`, else 0.
+//! Suppressing attribute `j` corresponds to deleting hyperedge `e_j`.
+//!
+//! Key facts from the proof (k > 2):
+//!
+//! * each column `j` contains exactly `k` ones, so if `j` is kept, the rows
+//!   with `v[j] = 1` must form exactly one k-group — meaning no kept column
+//!   may share a vertex with another kept column;
+//! * hence kept columns are pairwise disjoint edges, so at most `n/k` can
+//!   be kept, i.e. at least `m − n/k` attributes are suppressed in **any**
+//!   k-anonymization;
+//! * exactly `m − n/k` are suppressed iff the kept columns are `n/k`
+//!   disjoint edges covering every vertex — a perfect matching.
+
+use kanon_core::bitset::BitSet;
+use kanon_core::error::{Error as CoreError, Result as CoreResult};
+use kanon_core::Dataset;
+use kanon_hypergraph::Hypergraph;
+
+/// The Theorem 3.2 instance produced from a hypergraph.
+#[derive(Clone, Debug)]
+pub struct AttributeReduction {
+    dataset: Dataset,
+    k: usize,
+    n: usize,
+    m: usize,
+}
+
+impl AttributeReduction {
+    /// Builds the reduction from a simple `k`-uniform hypergraph.
+    ///
+    /// # Errors
+    /// Rejects `k <= 2` (the theorem needs `k > 2`), non-uniform or
+    /// non-simple hypergraphs, and empty inputs.
+    pub fn new(h: &Hypergraph, k: usize) -> CoreResult<Self> {
+        if k <= 2 {
+            return Err(CoreError::InvalidPartition(format!(
+                "Theorem 3.2 requires k > 2, got {k}"
+            )));
+        }
+        h.check_uniform(k)
+            .and_then(|()| h.check_simple())
+            .map_err(|e| CoreError::InvalidPartition(e.to_string()))?;
+        let n = h.n_vertices();
+        let m = h.n_edges();
+        if n == 0 || m == 0 {
+            return Err(CoreError::EmptyDataset);
+        }
+        let dataset = Dataset::from_fn(n, m, |i, j| u32::from(h.incident(i as u32, j)));
+        Ok(AttributeReduction { dataset, k, n, m })
+    }
+
+    /// The produced (binary) attribute-suppression instance.
+    #[must_use]
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The privacy parameter.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The decision threshold: `H` has a perfect matching iff the minimum
+    /// number of suppressed attributes equals `m − n/k`. Returns `None`
+    /// when `m < n/k` or `k ∤ n` (then no perfect matching can exist and no
+    /// kept-set of that size either).
+    #[must_use]
+    pub fn threshold(&self) -> Option<usize> {
+        if self.n % self.k != 0 {
+            return None;
+        }
+        let need = self.n / self.k;
+        self.m.checked_sub(need)
+    }
+
+    /// Forward direction: a perfect matching yields a kept-set of exactly
+    /// `n/k` attributes (the matching's edges) that is k-anonymous.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidPartition`] if `matching` is not a perfect
+    /// matching of the source hypergraph.
+    pub fn kept_from_matching(&self, h: &Hypergraph, matching: &[usize]) -> CoreResult<BitSet> {
+        if !h.is_perfect_matching(matching) {
+            return Err(CoreError::InvalidPartition(
+                "provided edge set is not a perfect matching".into(),
+            ));
+        }
+        let mut kept = BitSet::new(self.m);
+        for &e in matching {
+            kept.insert(e);
+        }
+        Ok(kept)
+    }
+
+    /// Converse direction: a kept-set of size `n/k` that k-anonymizes the
+    /// table must be a perfect matching; extract it.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidPartition`] if the kept-set does not have the
+    /// threshold size.
+    pub fn extract_matching(&self, kept: &BitSet) -> CoreResult<Vec<usize>> {
+        let expected = self
+            .threshold()
+            .map(|t| self.m - t)
+            .ok_or_else(|| CoreError::InvalidPartition("instance has no threshold".into()))?;
+        if kept.count() != expected {
+            return Err(CoreError::InvalidPartition(format!(
+                "kept-set has {} attributes; a threshold solution keeps {expected}",
+                kept.count()
+            )));
+        }
+        Ok(kept.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kanon_core::attr::{is_k_anonymous_with_kept, min_suppressed_attributes};
+    use kanon_hypergraph::generate::{certified_no_matching, planted_matching};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_triangles() -> Hypergraph {
+        Hypergraph::new(6, vec![vec![0, 1, 2], vec![3, 4, 5], vec![1, 2, 3]]).unwrap()
+    }
+
+    #[test]
+    fn construction_is_incidence_matrix() {
+        let h = two_triangles();
+        let red = AttributeReduction::new(&h, 3).unwrap();
+        let ds = red.dataset();
+        assert_eq!(ds.row(0), &[1, 0, 0]);
+        assert_eq!(ds.row(3), &[0, 1, 1]);
+        assert_eq!(red.threshold(), Some(1)); // m=3, n/k=2
+    }
+
+    #[test]
+    fn rejects_small_k() {
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![2, 3]]).unwrap();
+        assert!(AttributeReduction::new(&h, 2).is_err());
+    }
+
+    #[test]
+    fn forward_direction_is_k_anonymous() {
+        let h = two_triangles();
+        let red = AttributeReduction::new(&h, 3).unwrap();
+        let kept = red.kept_from_matching(&h, &[0, 1]).unwrap();
+        assert_eq!(kept.count(), 2);
+        assert!(is_k_anonymous_with_kept(red.dataset(), &kept, 3));
+    }
+
+    #[test]
+    fn forward_rejects_non_matching() {
+        let h = two_triangles();
+        let red = AttributeReduction::new(&h, 3).unwrap();
+        assert!(red.kept_from_matching(&h, &[0, 2]).is_err());
+    }
+
+    #[test]
+    fn decision_equivalence_yes_instances() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (h, _) = planted_matching(&mut rng, 9, 3, 4).unwrap();
+            let red = AttributeReduction::new(&h, 3).unwrap();
+            let (min_suppressed, kept) = min_suppressed_attributes(red.dataset(), 3, 22).unwrap();
+            assert_eq!(
+                Some(min_suppressed),
+                red.threshold(),
+                "seed {seed}: matching exists, so exactly m - n/k suppressions"
+            );
+            let matching = red.extract_matching(&kept).unwrap();
+            assert!(h.is_perfect_matching(&matching), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn decision_equivalence_no_instances() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(300 + seed);
+            let h = certified_no_matching(&mut rng, 9, 3, 2, 500).unwrap();
+            let red = AttributeReduction::new(&h, 3).unwrap();
+            let (min_suppressed, _) = min_suppressed_attributes(red.dataset(), 3, 22).unwrap();
+            let threshold = red.threshold().unwrap();
+            assert!(
+                min_suppressed > threshold,
+                "seed {seed}: no matching, but only {min_suppressed} suppressions (threshold {threshold})"
+            );
+        }
+    }
+
+    #[test]
+    fn extract_rejects_oversized_kept_set() {
+        let h = two_triangles();
+        let red = AttributeReduction::new(&h, 3).unwrap();
+        assert!(red.extract_matching(&BitSet::full(3)).is_err());
+    }
+
+    #[test]
+    fn threshold_none_when_indivisible() {
+        let h = Hypergraph::new(7, vec![vec![0, 1, 2], vec![3, 4, 5]]).unwrap();
+        let red = AttributeReduction::new(&h, 3).unwrap();
+        assert_eq!(red.threshold(), None);
+    }
+}

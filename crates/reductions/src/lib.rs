@@ -1,0 +1,25 @@
+//! # kanon-reductions
+//!
+//! Executable versions of the paper's two NP-hardness reductions, plus the
+//! inverse extractions used in the proofs' converse directions. These make
+//! the hardness theorems *testable*: experiments E5/E6 generate hypergraphs
+//! with and without perfect matchings, push them through the reductions,
+//! solve the resulting k-anonymity instances exactly, and check that the
+//! decision answers agree in both directions.
+//!
+//! * [`entry`] — **Theorem 3.1**: k-DIMENSIONAL PERFECT MATCHING ≤ₚ
+//!   k-ANONYMITY (entry suppression, alphabet of size `n + 1`), for `k ≥ 3`.
+//!   A perfect matching exists iff the optimal suppression cost is at most
+//!   `n·(m − 1)`.
+//! * [`attribute`] — **Theorem 3.2**: k-DIMENSIONAL PERFECT MATCHING ≤ₚ
+//!   k-ANONYMITY-ON-ATTRIBUTES (binary alphabet), for `k > 2`. A perfect
+//!   matching exists iff exactly `m − n/k` attributes suffice.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attribute;
+pub mod entry;
+
+pub use attribute::AttributeReduction;
+pub use entry::EntryReduction;

@@ -1,0 +1,249 @@
+//! Minimal CSV reader/writer (RFC 4180 subset).
+//!
+//! Supports quoted fields with embedded commas, quotes (doubled), and
+//! newlines; rejects ragged rows against the header. Deliberately small —
+//! this is a data-ingestion convenience for the examples and CLI, not a
+//! general CSV library.
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// Parses CSV text whose first record is the header into a [`Table`].
+///
+/// ```
+/// let t = kanon_relation::csv::parse("name,age\n\"Stone, H.\",34\n").unwrap();
+/// assert_eq!(t.row(0), &["Stone, H.".to_string(), "34".to_string()]);
+/// assert_eq!(kanon_relation::csv::to_string(&t), "name,age\n\"Stone, H.\",34\n");
+/// ```
+///
+/// # Errors
+/// [`Error::Csv`] on syntax problems or ragged rows; schema errors for a
+/// bad header.
+pub fn parse(text: &str) -> Result<Table> {
+    let records = parse_records(text)?;
+    let mut it = records.into_iter();
+    let (header_line, header) = it.next().ok_or(Error::Csv {
+        line: 1,
+        message: "missing header record".into(),
+    })?;
+    let _ = header_line;
+    let schema = Schema::new(header)?;
+    let mut table = Table::new(schema);
+    for (line, record) in it {
+        table.push_row(record).map_err(|e| match e {
+            Error::ArityMismatch { expected, found } => Error::Csv {
+                line,
+                message: format!("expected {expected} fields, found {found}"),
+            },
+            other => other,
+        })?;
+    }
+    Ok(table)
+}
+
+/// Serializes a table to CSV with a header record. Fields containing
+/// commas, quotes, or newlines are quoted.
+#[must_use]
+pub fn to_string(table: &Table) -> String {
+    let mut out = String::new();
+    write_record(&mut out, table.schema().names().iter().map(String::as_str));
+    for row in table.rows() {
+        write_record(&mut out, row.iter().map(String::as_str));
+    }
+    out
+}
+
+fn write_record<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
+    let mut first = true;
+    for field in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if field.contains([',', '"', '\n', '\r']) {
+            out.push('"');
+            for ch in field.chars() {
+                if ch == '"' {
+                    out.push('"');
+                }
+                out.push(ch);
+            }
+            out.push('"');
+        } else {
+            out.push_str(field);
+        }
+    }
+    out.push('\n');
+}
+
+/// Splits text into records of fields, tracking 1-based starting lines.
+fn parse_records(text: &str) -> Result<Vec<(usize, Vec<String>)>> {
+    let mut records = Vec::new();
+    let mut field = String::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut line = 1usize;
+    let mut record_line = 1usize;
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut saw_any = false;
+
+    while let Some(ch) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(ch);
+                }
+                _ => field.push(ch),
+            }
+            continue;
+        }
+        match ch {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(Error::Csv {
+                        line,
+                        message: "quote inside unquoted field".into(),
+                    });
+                }
+                in_quotes = true;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+            }
+            '\r' => {
+                // Swallow; `\r\n` handled by the `\n` branch.
+            }
+            '\n' => {
+                record.push(std::mem::take(&mut field));
+                records.push((record_line, std::mem::take(&mut record)));
+                line += 1;
+                record_line = line;
+            }
+            _ => field.push(ch),
+        }
+    }
+    if in_quotes {
+        return Err(Error::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if saw_any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push((record_line, record));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let t = parse("a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.row(0), &["1".to_string(), "2".to_string()]);
+        assert_eq!(t.schema().names(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn parse_without_trailing_newline() {
+        let t = parse("a,b\n1,2").unwrap();
+        assert_eq!(t.n_rows(), 1);
+    }
+
+    #[test]
+    fn parse_quoted_fields() {
+        let t = parse("name,notes\n\"Stone, Harry\",\"said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(t.row(0)[0], "Stone, Harry");
+        assert_eq!(t.row(0)[1], "said \"hi\"");
+    }
+
+    #[test]
+    fn parse_quoted_newline() {
+        let t = parse("a,b\n\"x\ny\",2\n").unwrap();
+        assert_eq!(t.row(0)[0], "x\ny");
+    }
+
+    #[test]
+    fn parse_crlf() {
+        let t = parse("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(t.row(0), &["1".to_string(), "2".to_string()]);
+    }
+
+    #[test]
+    fn ragged_row_reports_line() {
+        let err = parse("a,b\n1,2\n3\n").unwrap_err();
+        assert!(matches!(err, Error::Csv { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(matches!(parse("a\n\"oops\n"), Err(Error::Csv { .. })));
+    }
+
+    #[test]
+    fn stray_quote_is_error() {
+        assert!(matches!(parse("a\nx\"y\n"), Err(Error::Csv { .. })));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(matches!(parse(""), Err(Error::Csv { line: 1, .. })));
+    }
+
+    #[test]
+    fn roundtrip_with_escaping() {
+        let mut t = Table::new(Schema::new(vec!["x", "y"]).unwrap());
+        t.push_str_row(&["plain", "with,comma"]).unwrap();
+        t.push_str_row(&["with\"quote", "with\nnewline"]).unwrap();
+        let text = to_string(&t);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn proptest_roundtrip_arbitrary_fields() {
+        use proptest::prelude::*;
+        let field = proptest::string::string_regex("[ -~\n]{0,12}").expect("valid regex");
+        let mut runner = proptest::test_runner::TestRunner::default();
+        runner
+            .run(
+                &proptest::collection::vec(proptest::collection::vec(field, 3), 1..6),
+                |rows| {
+                    let schema = Schema::new(vec!["c0", "c1", "c2"]).expect("distinct names");
+                    let mut t = Table::new(schema);
+                    for row in rows {
+                        t.push_row(row).expect("arity 3");
+                    }
+                    let text = to_string(&t);
+                    let back = parse(&text)
+                        .map_err(|e| proptest::test_runner::TestCaseError::fail(format!("{e}")))?;
+                    prop_assert_eq!(back, t);
+                    Ok(())
+                },
+            )
+            .expect("CSV writer/parser roundtrip must hold for printable fields");
+    }
+
+    #[test]
+    fn empty_fields_roundtrip() {
+        let t = parse("a,b\n,\nx,\n").unwrap();
+        assert_eq!(t.row(0), &[String::new(), String::new()]);
+        assert_eq!(t.row(1), &["x".to_string(), String::new()]);
+        let text = to_string(&t);
+        assert_eq!(parse(&text).unwrap(), t);
+    }
+}

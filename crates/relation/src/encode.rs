@@ -1,0 +1,155 @@
+//! Dictionary coding between string tables and the `Σ^m` vector model.
+//!
+//! Each column gets its own dictionary mapping distinct strings to dense
+//! `u32` codes in first-appearance order. The [`Codec`] remembers the
+//! mapping so a released (suppressed) table can be rendered back with the
+//! original strings and `*` for stars.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::table::Table;
+use kanon_core::suppression::{AnonymizedTable, Cell};
+use kanon_core::Dataset;
+
+/// Per-column dictionaries captured during encoding.
+#[derive(Clone, Debug)]
+pub struct Codec {
+    /// `columns[j][code]` = original string for that code.
+    columns: Vec<Vec<String>>,
+    header: Vec<String>,
+}
+
+impl Codec {
+    /// Encodes a table, producing the dataset and the codec.
+    #[must_use]
+    pub fn encode(table: &Table) -> (Dataset, Codec) {
+        let m = table.arity();
+        let mut dicts: Vec<HashMap<&str, u32>> = vec![HashMap::new(); m];
+        let mut columns: Vec<Vec<String>> = vec![Vec::new(); m];
+        let mut flat: Vec<u32> = Vec::with_capacity(table.n_rows() * m);
+        for row in table.rows() {
+            for (j, value) in row.iter().enumerate() {
+                let next = dicts[j].len() as u32;
+                let code = *dicts[j].entry(value.as_str()).or_insert_with(|| {
+                    columns[j].push(value.clone());
+                    next
+                });
+                flat.push(code);
+            }
+        }
+        let ds = Dataset::from_flat(table.n_rows(), m, flat)
+            .expect("encode builds a rectangular buffer");
+        (
+            ds,
+            Codec {
+                columns,
+                header: table.schema().names().to_vec(),
+            },
+        )
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Distinct-value count of column `j` (its alphabet size).
+    ///
+    /// # Panics
+    /// Panics if `j` is out of bounds.
+    #[must_use]
+    pub fn alphabet_size(&self, j: usize) -> usize {
+        self.columns[j].len()
+    }
+
+    /// The original string for `code` in column `j`.
+    ///
+    /// # Errors
+    /// [`Error::UnknownCode`].
+    pub fn value(&self, j: usize, code: u32) -> Result<&str> {
+        self.columns
+            .get(j)
+            .and_then(|c| c.get(code as usize))
+            .map(String::as_str)
+            .ok_or(Error::UnknownCode { column: j, code })
+    }
+
+    /// Renders a released table as CSV-style text: header row, then one
+    /// line per record, stars as `*`.
+    ///
+    /// # Errors
+    /// [`Error::UnknownCode`] if the table does not belong to this codec.
+    pub fn decode(&self, table: &AnonymizedTable) -> Result<String> {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in table.rows() {
+            let mut first = true;
+            for (j, cell) in row.iter().enumerate() {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                match cell {
+                    Cell::Star => out.push('*'),
+                    Cell::Value(code) => out.push_str(self.value(j, *code)?),
+                }
+            }
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use kanon_core::Suppressor;
+
+    fn sample() -> Table {
+        let mut t = Table::new(Schema::new(vec!["city", "age"]).unwrap());
+        t.push_str_row(&["paris", "30"]).unwrap();
+        t.push_str_row(&["rome", "30"]).unwrap();
+        t.push_str_row(&["paris", "41"]).unwrap();
+        t
+    }
+
+    #[test]
+    fn codes_are_dense_first_appearance() {
+        let (ds, codec) = sample().encode();
+        assert_eq!(ds.row(0), &[0, 0]);
+        assert_eq!(ds.row(1), &[1, 0]);
+        assert_eq!(ds.row(2), &[0, 1]);
+        assert_eq!(codec.alphabet_size(0), 2);
+        assert_eq!(codec.alphabet_size(1), 2);
+        assert_eq!(codec.value(0, 1).unwrap(), "rome");
+        assert!(codec.value(0, 7).is_err());
+        assert!(codec.value(5, 0).is_err());
+    }
+
+    #[test]
+    fn decode_renders_stars() {
+        let table = sample();
+        let (ds, codec) = table.encode();
+        let mut s = Suppressor::identity(3, 2);
+        s.suppress(1, 0);
+        let released = s.apply(&ds).unwrap();
+        let text = codec.decode(&released).unwrap();
+        assert_eq!(text, "city,age\nparis,30\n*,30\nparis,41\n");
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let table = sample();
+        let (ds, codec) = table.encode();
+        let released = Suppressor::identity(3, 2).apply(&ds).unwrap();
+        let text = codec.decode(&released).unwrap();
+        for (i, row) in table.rows().enumerate() {
+            let line: Vec<&str> = text.lines().nth(i + 1).unwrap().split(',').collect();
+            assert_eq!(line, row.iter().map(String::as_str).collect::<Vec<_>>());
+        }
+    }
+}

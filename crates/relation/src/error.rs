@@ -1,0 +1,121 @@
+//! Error type for the relational layer.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from table construction, codecs, CSV parsing, and hierarchies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A row's arity does not match the schema.
+    ArityMismatch {
+        /// Expected number of attributes.
+        expected: usize,
+        /// Found number of attributes.
+        found: usize,
+    },
+    /// Duplicate attribute name in a schema.
+    DuplicateAttribute(String),
+    /// A schema with no attributes.
+    EmptySchema,
+    /// Unknown attribute name.
+    UnknownAttribute(String),
+    /// CSV syntax problem.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// A decoded table referenced a dictionary code that does not exist.
+    UnknownCode {
+        /// Column index.
+        column: usize,
+        /// The unmapped code.
+        code: u32,
+    },
+    /// Hierarchy level out of range or inconsistent hierarchy definition.
+    Hierarchy(String),
+    /// Wrapped core error.
+    Core(kanon_core::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ArityMismatch { expected, found } => {
+                write!(
+                    f,
+                    "row has {found} values but the schema has {expected} attributes"
+                )
+            }
+            Error::DuplicateAttribute(name) => write!(f, "duplicate attribute name `{name}`"),
+            Error::EmptySchema => write!(f, "schema must have at least one attribute"),
+            Error::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            Error::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            Error::UnknownCode { column, code } => {
+                write!(f, "column {column} has no dictionary entry for code {code}")
+            }
+            Error::Hierarchy(msg) => write!(f, "hierarchy error: {msg}"),
+            Error::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kanon_core::Error> for Error {
+    fn from(e: kanon_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<(Error, &str)> = vec![
+            (
+                Error::ArityMismatch {
+                    expected: 3,
+                    found: 2,
+                },
+                "2 values",
+            ),
+            (Error::DuplicateAttribute("age".into()), "age"),
+            (Error::EmptySchema, "at least one"),
+            (Error::UnknownAttribute("zip".into()), "zip"),
+            (
+                Error::Csv {
+                    line: 4,
+                    message: "unterminated quote".into(),
+                },
+                "line 4",
+            ),
+            (Error::UnknownCode { column: 1, code: 9 }, "code 9"),
+            (Error::Hierarchy("bad level".into()), "bad level"),
+            (Error::Core(kanon_core::Error::KZero), "core error"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn core_error_converts() {
+        let e: Error = kanon_core::Error::KZero.into();
+        assert!(matches!(e, Error::Core(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,263 @@
+//! Generalization hierarchies (the paper's §1 "admissible generalizations").
+//!
+//! The paper's example turns `age 34` into `20-40` and `Reyser` into `R*`;
+//! it notes such hierarchies "must be given prior to the input". This module
+//! supplies the standard forms:
+//!
+//! * [`Hierarchy::SuppressOnly`] — one level: the star (this recovers the
+//!   paper's suppression-only model as a special case);
+//! * [`Hierarchy::PrefixMask`] — mask trailing characters (`02139 → 0213*`),
+//!   the classic zip-code hierarchy;
+//! * [`Hierarchy::Intervals`] — numeric banding with nested widths
+//!   (`34 → 30-39 → 20-39`);
+//! * [`Hierarchy::Explicit`] — arbitrary taxonomy chains
+//!   (`Cauc → European → Any`).
+//!
+//! Every hierarchy is a *coarsening chain*: the level-`ℓ+1` value is a
+//! function of the level-`ℓ` value, which is what makes full-domain
+//! generalization monotone on the lattice (see [`crate::lattice`]).
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+
+/// A per-attribute generalization chain. Level 0 is the original value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Hierarchy {
+    /// One level: generalizing at all replaces the value with `*`.
+    SuppressOnly,
+    /// Level `ℓ` masks the last `ℓ` characters with `*` (values shorter
+    /// than `ℓ` become all-stars of their own length).
+    PrefixMask {
+        /// Maximum number of maskable characters.
+        height: usize,
+    },
+    /// Level `ℓ` rounds integers into bands of `widths[ℓ−1]`, rendered as
+    /// `lo-hi`. Each width must divide the next so bands nest.
+    Intervals {
+        /// Band widths, strictly increasing, each dividing the next.
+        widths: Vec<i64>,
+    },
+    /// Level `ℓ` applies `levels[0..ℓ]` in order; `levels[i]` maps a
+    /// level-`i` value to its level-`i+1` ancestor.
+    Explicit {
+        /// Parent maps, one per level step.
+        levels: Vec<HashMap<String, String>>,
+    },
+}
+
+impl Hierarchy {
+    /// Number of generalization levels above the original value.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        match self {
+            Hierarchy::SuppressOnly => 1,
+            Hierarchy::PrefixMask { height } => *height,
+            Hierarchy::Intervals { widths } => widths.len(),
+            Hierarchy::Explicit { levels } => levels.len(),
+        }
+    }
+
+    /// Validates internal consistency (interval nesting, positive heights).
+    ///
+    /// # Errors
+    /// [`Error::Hierarchy`] describing the problem.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            Hierarchy::SuppressOnly => Ok(()),
+            Hierarchy::PrefixMask { height } => {
+                if *height == 0 {
+                    return Err(Error::Hierarchy(
+                        "PrefixMask height must be positive".into(),
+                    ));
+                }
+                Ok(())
+            }
+            Hierarchy::Intervals { widths } => {
+                if widths.is_empty() {
+                    return Err(Error::Hierarchy(
+                        "Intervals needs at least one width".into(),
+                    ));
+                }
+                for w in widths {
+                    if *w <= 0 {
+                        return Err(Error::Hierarchy(format!("width {w} must be positive")));
+                    }
+                }
+                for pair in widths.windows(2) {
+                    if pair[1] <= pair[0] || pair[1] % pair[0] != 0 {
+                        return Err(Error::Hierarchy(format!(
+                            "widths must nest: {} does not divide into {}",
+                            pair[0], pair[1]
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            Hierarchy::Explicit { levels } => {
+                if levels.is_empty() {
+                    return Err(Error::Hierarchy("Explicit needs at least one level".into()));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Generalizes `value` to `level` (0 = unchanged).
+    ///
+    /// ```
+    /// use kanon_relation::Hierarchy;
+    /// let age = Hierarchy::Intervals { widths: vec![10, 20] };
+    /// assert_eq!(age.generalize("34", 1).unwrap(), "30-39");
+    /// assert_eq!(age.generalize("34", 2).unwrap(), "20-39"); // the paper's 20-40 band
+    /// let zip = Hierarchy::PrefixMask { height: 5 };
+    /// assert_eq!(zip.generalize("02139", 2).unwrap(), "021**");
+    /// ```
+    ///
+    /// # Errors
+    /// [`Error::Hierarchy`] when `level > height()`, a non-integer feeds an
+    /// interval hierarchy, or an explicit map lacks the value.
+    pub fn generalize(&self, value: &str, level: usize) -> Result<String> {
+        if level == 0 {
+            return Ok(value.to_string());
+        }
+        if level > self.height() {
+            return Err(Error::Hierarchy(format!(
+                "level {level} exceeds height {}",
+                self.height()
+            )));
+        }
+        match self {
+            Hierarchy::SuppressOnly => Ok("*".to_string()),
+            Hierarchy::PrefixMask { .. } => {
+                let chars: Vec<char> = value.chars().collect();
+                let keep = chars.len().saturating_sub(level);
+                if keep == 0 {
+                    // Fully masked values collapse to a single star so that
+                    // values of different lengths can merge at the top.
+                    return Ok("*".to_string());
+                }
+                let mut s: String = chars[..keep].iter().collect();
+                for _ in keep..chars.len() {
+                    s.push('*');
+                }
+                Ok(s)
+            }
+            Hierarchy::Intervals { widths } => {
+                let v: i64 = value.parse().map_err(|_| {
+                    Error::Hierarchy(format!("`{value}` is not an integer for Intervals"))
+                })?;
+                let w = widths[level - 1];
+                let lo = v.div_euclid(w) * w;
+                Ok(format!("{lo}-{}", lo + w - 1))
+            }
+            Hierarchy::Explicit { levels } => {
+                let mut current = value.to_string();
+                for (i, map) in levels.iter().take(level).enumerate() {
+                    current = map
+                        .get(&current)
+                        .ok_or_else(|| {
+                            Error::Hierarchy(format!(
+                                "value `{current}` has no parent at level {}",
+                                i + 1
+                            ))
+                        })?
+                        .clone();
+                }
+                Ok(current)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppress_only() {
+        let h = Hierarchy::SuppressOnly;
+        assert_eq!(h.height(), 1);
+        assert_eq!(h.generalize("anything", 0).unwrap(), "anything");
+        assert_eq!(h.generalize("anything", 1).unwrap(), "*");
+        assert!(h.generalize("x", 2).is_err());
+    }
+
+    #[test]
+    fn prefix_mask_zip() {
+        let h = Hierarchy::PrefixMask { height: 5 };
+        assert_eq!(h.generalize("02139", 1).unwrap(), "0213*");
+        assert_eq!(h.generalize("02139", 3).unwrap(), "02***");
+        assert_eq!(h.generalize("02139", 4).unwrap(), "0****");
+        // Fully masked values collapse to a single star regardless of length.
+        assert_eq!(h.generalize("02139", 5).unwrap(), "*");
+        assert_eq!(h.generalize("ab", 4).unwrap(), "*");
+    }
+
+    #[test]
+    fn prefix_mask_is_coarsening() {
+        // Masking l+1 chars is a function of the l-masked string.
+        let h = Hierarchy::PrefixMask { height: 4 };
+        let a = h.generalize("1234", 2).unwrap();
+        let b = h.generalize("1239", 2).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            h.generalize("1234", 3).unwrap(),
+            h.generalize("1239", 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn intervals_paper_age_example() {
+        let h = Hierarchy::Intervals {
+            widths: vec![10, 20],
+        };
+        h.validate().unwrap();
+        assert_eq!(h.generalize("34", 1).unwrap(), "30-39");
+        assert_eq!(h.generalize("34", 2).unwrap(), "20-39");
+        assert_eq!(h.generalize("36", 2).unwrap(), "20-39");
+        assert_eq!(h.generalize("47", 2).unwrap(), "40-59");
+        assert_eq!(h.generalize("-5", 1).unwrap(), "-10--1");
+    }
+
+    #[test]
+    fn intervals_validation() {
+        assert!(Hierarchy::Intervals { widths: vec![] }.validate().is_err());
+        assert!(Hierarchy::Intervals { widths: vec![0] }.validate().is_err());
+        assert!(Hierarchy::Intervals {
+            widths: vec![10, 15]
+        }
+        .validate()
+        .is_err());
+        assert!(Hierarchy::Intervals {
+            widths: vec![10, 20, 40]
+        }
+        .validate()
+        .is_ok());
+        let h = Hierarchy::Intervals { widths: vec![10] };
+        assert!(h.generalize("abc", 1).is_err());
+    }
+
+    #[test]
+    fn explicit_taxonomy() {
+        let mut l1 = HashMap::new();
+        l1.insert("Cauc".to_string(), "European".to_string());
+        l1.insert("Hisp".to_string(), "American".to_string());
+        let mut l2 = HashMap::new();
+        l2.insert("European".to_string(), "Any".to_string());
+        l2.insert("American".to_string(), "Any".to_string());
+        let h = Hierarchy::Explicit {
+            levels: vec![l1, l2],
+        };
+        h.validate().unwrap();
+        assert_eq!(h.generalize("Cauc", 1).unwrap(), "European");
+        assert_eq!(h.generalize("Cauc", 2).unwrap(), "Any");
+        assert!(h.generalize("Martian", 1).is_err());
+    }
+
+    #[test]
+    fn zero_height_structures_invalid() {
+        assert!(Hierarchy::PrefixMask { height: 0 }.validate().is_err());
+        assert!(Hierarchy::Explicit { levels: vec![] }.validate().is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! Linkage attacks: measuring the re-identification risk k-anonymity
+//! prevents.
+//!
+//! The paper's motivating scenario (§1) is an attacker who joins a released
+//! table against public information ("Who had an X-ray yesterday?" plus a
+//! voter roll) on quasi-identifier attributes. This module implements that
+//! attacker: for each external record it finds the released records
+//! *consistent* with it — a star matches anything — and reports how many
+//! external individuals map to exactly one released record. By definition,
+//! a k-anonymous release can never produce a candidate set smaller than `k`
+//! for an attacker joining on the released attributes (each released record
+//! has `k−1` twins), which experiment E17 verifies empirically.
+
+use std::collections::HashMap;
+
+use crate::error::Result;
+use crate::table::Table;
+
+/// Outcome of a linkage attack.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkageReport {
+    /// Number of external records attacked.
+    pub attacked: usize,
+    /// External records whose candidate set has exactly one member —
+    /// re-identified outright.
+    pub unique_matches: usize,
+    /// External records with no consistent released record (the external
+    /// data was stale or out of scope).
+    pub no_match: usize,
+    /// Mean candidate-set size over external records with ≥ 1 candidate.
+    pub mean_candidates: f64,
+    /// Smallest non-zero candidate set seen.
+    pub min_candidates: usize,
+}
+
+impl LinkageReport {
+    /// Fraction of attacked records re-identified, in `[0, 1]`.
+    #[must_use]
+    pub fn reidentification_rate(&self) -> f64 {
+        if self.attacked == 0 {
+            0.0
+        } else {
+            self.unique_matches as f64 / self.attacked as f64
+        }
+    }
+}
+
+/// Whether released value `r` is consistent with external value `e`:
+/// equal, or suppressed (`*`), or an interval band containing `e`.
+fn consistent(released: &str, external: &str) -> bool {
+    if released == "*" || released == external {
+        return true;
+    }
+    // Interval bands "lo-hi" from the generalization hierarchies.
+    if let Some((lo, hi)) = released.split_once('-') {
+        if let (Ok(lo), Ok(hi), Ok(v)) = (
+            lo.parse::<i64>(),
+            hi.parse::<i64>(),
+            external.parse::<i64>(),
+        ) {
+            return lo <= v && v <= hi;
+        }
+    }
+    // Prefix masks "021**".
+    if released.contains('*') {
+        let prefix: String = released.chars().take_while(|&c| c != '*').collect();
+        let stars = released.chars().filter(|&c| c == '*').count();
+        return external.starts_with(&prefix)
+            && external.chars().count() == prefix.chars().count() + stars;
+    }
+    false
+}
+
+/// Runs the linkage attack.
+///
+/// `pairs` maps attack columns: `(external column name, released column
+/// name)`. Every external record is matched against every released record
+/// on those columns (stars and generalized values in the release match
+/// permissively).
+///
+/// # Errors
+/// [`crate::Error::UnknownAttribute`] if a named column is missing.
+pub fn linkage_attack(
+    released: &Table,
+    external: &Table,
+    pairs: &[(&str, &str)],
+) -> Result<LinkageReport> {
+    let ext_cols: Vec<usize> = pairs
+        .iter()
+        .map(|(e, _)| external.schema().index_of(e))
+        .collect::<Result<_>>()?;
+    let rel_cols: Vec<usize> = pairs
+        .iter()
+        .map(|(_, r)| released.schema().index_of(r))
+        .collect::<Result<_>>()?;
+
+    // Exact-release fast path: group fully-specified released keys.
+    let mut exact_groups: HashMap<Vec<&str>, usize> = HashMap::new();
+    let mut fuzzy_rows: Vec<usize> = Vec::new();
+    for i in 0..released.n_rows() {
+        let row = released.row(i);
+        let key: Vec<&str> = rel_cols.iter().map(|&j| row[j].as_str()).collect();
+        if key.iter().any(|v| v.contains('*') || v.contains('-')) {
+            fuzzy_rows.push(i);
+        } else {
+            *exact_groups.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    let mut unique = 0usize;
+    let mut none = 0usize;
+    let mut total_candidates = 0usize;
+    let mut matched_records = 0usize;
+    let mut min_candidates = usize::MAX;
+    for e in 0..external.n_rows() {
+        let ext_row = external.row(e);
+        let ext_key: Vec<&str> = ext_cols.iter().map(|&j| ext_row[j].as_str()).collect();
+        let mut candidates = exact_groups.get(&ext_key).copied().unwrap_or(0);
+        for &i in &fuzzy_rows {
+            let rel_row = released.row(i);
+            let all_ok = rel_cols
+                .iter()
+                .zip(&ext_key)
+                .all(|(&j, ev)| consistent(&rel_row[j], ev));
+            if all_ok {
+                candidates += 1;
+            }
+        }
+        match candidates {
+            0 => none += 1,
+            1 => {
+                unique += 1;
+                matched_records += 1;
+                total_candidates += 1;
+                min_candidates = min_candidates.min(1);
+            }
+            c => {
+                matched_records += 1;
+                total_candidates += c;
+                min_candidates = min_candidates.min(c);
+            }
+        }
+    }
+
+    Ok(LinkageReport {
+        attacked: external.n_rows(),
+        unique_matches: unique,
+        no_match: none,
+        mean_candidates: if matched_records == 0 {
+            0.0
+        } else {
+            total_candidates as f64 / matched_records as f64
+        },
+        min_candidates: if min_candidates == usize::MAX {
+            0
+        } else {
+            min_candidates
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn table(names: &[&str], rows: &[&[&str]]) -> Table {
+        let mut t = Table::new(Schema::new(names.to_vec()).unwrap());
+        for r in rows {
+            t.push_str_row(r).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn consistency_rules() {
+        assert!(consistent("*", "anything"));
+        assert!(consistent("34", "34"));
+        assert!(!consistent("34", "35"));
+        assert!(consistent("30-39", "34"));
+        assert!(!consistent("30-39", "47"));
+        assert!(consistent("021**", "02139"));
+        assert!(!consistent("021**", "03139"));
+        assert!(!consistent("021**", "0213")); // wrong length
+        assert!(consistent("R*****", "Reyser"));
+    }
+
+    #[test]
+    fn raw_release_is_fully_linkable() {
+        let released = table(
+            &["age", "zip"],
+            &[&["34", "02139"], &["47", "02144"], &["22", "90210"]],
+        );
+        let external = table(
+            &["name", "age", "zip"],
+            &[&["Harry", "34", "02139"], &["Bea", "47", "02144"]],
+        );
+        let report =
+            linkage_attack(&released, &external, &[("age", "age"), ("zip", "zip")]).unwrap();
+        assert_eq!(report.unique_matches, 2);
+        assert_eq!(report.reidentification_rate(), 1.0);
+        assert_eq!(report.min_candidates, 1);
+    }
+
+    #[test]
+    fn anonymized_release_blocks_unique_linkage() {
+        // Both rows released identically: candidate sets of size 2.
+        let released = table(&["age", "zip"], &[&["30-39", "021**"], &["30-39", "021**"]]);
+        let external = table(
+            &["name", "age", "zip"],
+            &[&["Harry", "34", "02139"], &["John", "36", "02144"]],
+        );
+        let report =
+            linkage_attack(&released, &external, &[("age", "age"), ("zip", "zip")]).unwrap();
+        assert_eq!(report.unique_matches, 0);
+        assert_eq!(report.min_candidates, 2);
+        assert_eq!(report.mean_candidates, 2.0);
+    }
+
+    #[test]
+    fn stale_external_records_count_as_no_match() {
+        let released = table(&["age"], &[&["34"]]);
+        let external = table(&["name", "age"], &[&["Gone", "99"]]);
+        let report = linkage_attack(&released, &external, &[("age", "age")]).unwrap();
+        assert_eq!(report.no_match, 1);
+        assert_eq!(report.unique_matches, 0);
+        assert_eq!(report.reidentification_rate(), 0.0);
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let released = table(&["age"], &[&["34"]]);
+        let external = table(&["name", "age"], &[&["X", "34"]]);
+        assert!(linkage_attack(&released, &external, &[("bogus", "age")]).is_err());
+        assert!(linkage_attack(&released, &external, &[("age", "bogus")]).is_err());
+    }
+
+    #[test]
+    fn empty_external_table() {
+        let released = table(&["age"], &[&["34"]]);
+        let external = table(&["age"], &[]);
+        let report = linkage_attack(&released, &external, &[("age", "age")]).unwrap();
+        assert_eq!(report.attacked, 0);
+        assert_eq!(report.reidentification_rate(), 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Attribute schemas for relational tables.
+
+use crate::error::{Error, Result};
+
+/// An ordered list of uniquely named attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    names: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema from attribute names.
+    ///
+    /// # Errors
+    /// [`Error::EmptySchema`] for zero attributes;
+    /// [`Error::DuplicateAttribute`] for repeated names.
+    pub fn new<S: Into<String>>(names: Vec<S>) -> Result<Self> {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        if names.is_empty() {
+            return Err(Error::EmptySchema);
+        }
+        let mut sorted = names.clone();
+        sorted.sort();
+        if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+            return Err(Error::DuplicateAttribute(w[0].clone()));
+        }
+        Ok(Schema { names })
+    }
+
+    /// Number of attributes (`m`).
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Attribute names in order.
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Index of attribute `name`.
+    ///
+    /// # Errors
+    /// [`Error::UnknownAttribute`].
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| Error::UnknownAttribute(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_schema() {
+        let s = Schema::new(vec!["a", "b", "c"]).unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(matches!(s.index_of("z"), Err(Error::UnknownAttribute(_))));
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicates() {
+        assert!(matches!(
+            Schema::new(Vec::<String>::new()),
+            Err(Error::EmptySchema)
+        ));
+        assert!(matches!(
+            Schema::new(vec!["x", "y", "x"]),
+            Err(Error::DuplicateAttribute(_))
+        ));
+    }
+}

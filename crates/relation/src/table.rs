@@ -1,0 +1,153 @@
+//! Typed relational tables: rows of strings under a schema.
+//!
+//! Values are kept as strings (the universal surface form — CSV in, CSV
+//! out); the numeric interpretation needed by generalization hierarchies is
+//! parsed on demand. [`Table::encode`] dictionary-codes the table into the
+//! `kanon_core::Dataset` vector model.
+
+use crate::encode::Codec;
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use kanon_core::Dataset;
+
+/// A table of string values under a [`Schema`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    #[must_use]
+    pub fn new(schema: Schema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Appends a row of owned values.
+    ///
+    /// # Errors
+    /// [`Error::ArityMismatch`] if the row length differs from the schema.
+    pub fn push_row(&mut self, row: Vec<String>) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(Error::ArityMismatch {
+                expected: self.schema.arity(),
+                found: row.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Appends a row of string slices.
+    ///
+    /// # Errors
+    /// [`Error::ArityMismatch`] if the row length differs from the schema.
+    pub fn push_str_row(&mut self, row: &[&str]) -> Result<()> {
+        self.push_row(row.iter().map(ToString::to_string).collect())
+    }
+
+    /// Borrow row `i`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[String] {
+        &self.rows[i]
+    }
+
+    /// Iterate rows.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[String]> {
+        self.rows.iter().map(Vec::as_slice)
+    }
+
+    /// All values of the named column.
+    ///
+    /// # Errors
+    /// [`Error::UnknownAttribute`].
+    pub fn column(&self, name: &str) -> Result<Vec<&str>> {
+        let j = self.schema.index_of(name)?;
+        Ok(self.rows.iter().map(|r| r[j].as_str()).collect())
+    }
+
+    /// Dictionary-encodes into the vector model: returns the `Dataset` and
+    /// the [`Codec`] needed to decode released tables back to strings.
+    #[must_use]
+    pub fn encode(&self) -> (Dataset, Codec) {
+        Codec::encode(self)
+    }
+
+    /// Builds a table from a generalized view (same schema, new values).
+    ///
+    /// # Errors
+    /// [`Error::ArityMismatch`] if any row has the wrong arity.
+    pub fn with_rows(schema: Schema, rows: Vec<Vec<String>>) -> Result<Self> {
+        let mut t = Table::new(schema);
+        for row in rows {
+            t.push_row(row)?;
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec!["name", "age"]).unwrap()
+    }
+
+    #[test]
+    fn push_and_access() {
+        let mut t = Table::new(schema());
+        t.push_str_row(&["ann", "30"]).unwrap();
+        t.push_row(vec!["bob".into(), "40".into()]).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.row(1), &["bob".to_string(), "40".to_string()]);
+        assert_eq!(t.column("age").unwrap(), vec!["30", "40"]);
+        assert!(t.column("zip").is_err());
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut t = Table::new(schema());
+        assert!(matches!(
+            t.push_str_row(&["only-one"]),
+            Err(Error::ArityMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn with_rows_validates() {
+        let ok = Table::with_rows(schema(), vec![vec!["a".into(), "1".into()]]);
+        assert!(ok.is_ok());
+        let bad = Table::with_rows(schema(), vec![vec!["a".into()]]);
+        assert!(bad.is_err());
+    }
+}

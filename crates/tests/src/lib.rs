@@ -1,0 +1,13 @@
+//! # kanon-tests
+//!
+//! This crate exists only to host the cross-crate integration tests in its
+//! `tests/` directory; it exports nothing. See:
+//!
+//! * `tests/pipeline.rs` — table → encode → anonymize → verify → decode
+//!   flows across every solver and workload generator;
+//! * `tests/hardness.rs` — full hardness-reduction roundtrips (Theorems
+//!   3.1/3.2) for several uniformities;
+//! * `tests/properties.rs` — cross-crate property tests (solver agreement,
+//!   bound sandwiches, baseline domination).
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,37 @@
+//! # kanon-workloads
+//!
+//! Seeded synthetic workload generators for the k-anonymity experiments.
+//! The paper ships no datasets, so the evaluation substitutes generated
+//! tables whose structure controls where optimal anonymizations lie:
+//!
+//! * [`uniform`] — i.i.d. uniform categorical tables: the hard, high-entropy
+//!   regime where anonymization is expensive;
+//! * [`clustered`] — planted k-groups with bounded within-group scatter:
+//!   the ground-truth partition is known by construction, giving a
+//!   certified *upper bound* on OPT at scales no exact solver reaches
+//!   (and a lower bound via [`knn_lower_bound`]);
+//! * [`zipf`] — skewed categorical marginals (realistic value frequencies);
+//! * [`census`] — an Adult-dataset-shaped microdata generator with
+//!   correlated demographic attributes, producing a typed
+//!   [`kanon_relation::Table`].
+//!
+//! Everything takes a caller-supplied RNG, so every experiment in
+//! EXPERIMENTS.md is reproducible from its printed seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// A module and its primary function intentionally share a name (`uniform`,
+// `mondrian`, ...): the module is the namespace, the function the API.
+#![allow(rustdoc::broken_intra_doc_links)]
+
+pub mod census;
+pub mod clustered;
+pub mod correlated;
+pub mod uniform;
+pub mod zipf;
+
+pub use census::{census_table, CensusParams};
+pub use clustered::{clustered, knn_lower_bound, ClusteredParams, PlantedInstance};
+pub use correlated::{correlated, CorrelatedParams};
+pub use uniform::uniform;
+pub use zipf::{zipf, ZipfParams};

@@ -1,0 +1,57 @@
+//! Uniform random categorical tables.
+
+use kanon_core::Dataset;
+use rand::Rng;
+
+/// An `n × m` table with each cell drawn uniformly from `0..alphabet`.
+///
+/// # Panics
+/// Panics if `alphabet == 0` and `n·m > 0`.
+pub fn uniform(rng: &mut impl Rng, n: usize, m: usize, alphabet: u32) -> Dataset {
+    Dataset::from_fn(n, m, |_, _| rng.gen_range(0..alphabet))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_and_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = uniform(&mut rng, 20, 5, 7);
+        assert_eq!(ds.n_rows(), 20);
+        assert_eq!(ds.n_cols(), 5);
+        assert!(ds.rows().all(|r| r.iter().all(|&v| v < 7)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = uniform(&mut StdRng::seed_from_u64(9), 10, 3, 4);
+        let b = uniform(&mut StdRng::seed_from_u64(9), 10, 3, 4);
+        assert_eq!(a, b);
+        let c = uniform(&mut StdRng::seed_from_u64(10), 10, 3, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn alphabet_one_is_constant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = uniform(&mut rng, 5, 4, 1);
+        assert!(ds.rows().all(|r| r.iter().all(|&v| v == 0)));
+    }
+
+    #[test]
+    fn uses_most_of_the_alphabet() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = uniform(&mut rng, 200, 2, 4);
+        let mut seen = [false; 4];
+        for r in ds.rows() {
+            for &v in r {
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
