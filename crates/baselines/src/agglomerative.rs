@@ -3,11 +3,12 @@
 //! Start with singletons; while any block is smaller than `k`, merge the
 //! pair `(A, B)` — with at least one of them undersized — minimizing
 //! `ANON(A ∪ B) − ANON(A) − ANON(B)`. `O(n³·m)` worst case with the naive
-//! rescan used here; fine at baseline-comparison sizes.
+//! rescan used here; fine at baseline-comparison sizes. Merge-candidate
+//! costs come from a shared [`PairwiseDistances`] cache, whose pair and
+//! zero-diameter fast paths cover the bulk of early-round evaluations.
 
-use kanon_core::diameter::anon_cost;
-use kanon_core::error::Result;
-use kanon_core::{Dataset, Partition};
+use kanon_core::error::{Error, Result};
+use kanon_core::{Dataset, PairwiseDistances, Partition};
 
 /// Builds a partition by agglomerative merging.
 ///
@@ -15,7 +16,28 @@ use kanon_core::{Dataset, Partition};
 /// Standard `k` validation errors.
 pub fn agglomerative(ds: &Dataset, k: usize) -> Result<Partition> {
     ds.check_k(k)?;
+    let cache = PairwiseDistances::build(ds);
+    agglomerative_with_cache(ds, k, &cache)
+}
+
+/// [`agglomerative`] over a caller-supplied distance cache.
+///
+/// # Errors
+/// As [`agglomerative`]; additionally [`Error::InvalidPartition`] if the
+/// cache was built for a different row count.
+pub fn agglomerative_with_cache(
+    ds: &Dataset,
+    k: usize,
+    cache: &PairwiseDistances,
+) -> Result<Partition> {
+    ds.check_k(k)?;
     let n = ds.n_rows();
+    if cache.n() != n {
+        return Err(Error::InvalidPartition(format!(
+            "distance cache covers {} rows but the dataset has {n}",
+            cache.n()
+        )));
+    }
     let mut blocks: Vec<Vec<u32>> = (0..n as u32).map(|r| vec![r]).collect();
     let mut costs: Vec<usize> = vec![0; n];
 
@@ -35,7 +57,7 @@ pub fn agglomerative(ds: &Dataset, k: usize) -> Result<Partition> {
                     .map(|&r| r as usize)
                     .collect();
                 union.sort_unstable();
-                let merged = anon_cost(ds, &union);
+                let merged = cache.anon_cost(ds, &union);
                 let delta = merged.saturating_sub(costs[i] + costs[j]);
                 let better = match best {
                     None => true,
@@ -95,6 +117,23 @@ mod tests {
         .unwrap();
         let p = agglomerative(&ds, 2).unwrap();
         assert_eq!(p.anonymization_cost(&ds), 4); // two within-cluster pairs
+    }
+
+    #[test]
+    fn shared_cache_matches_internal_build() {
+        let ds = Dataset::from_fn(9, 3, |i, j| ((i * 5 + j) % 4) as u32);
+        let cache = PairwiseDistances::build(&ds);
+        let a = agglomerative(&ds, 3).unwrap();
+        let b = agglomerative_with_cache(&ds, 3, &cache).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mismatched_cache_rejected() {
+        let ds = Dataset::from_fn(6, 2, |i, _| i as u32);
+        let other = Dataset::from_fn(5, 2, |i, _| i as u32);
+        let cache = PairwiseDistances::build(&other);
+        assert!(agglomerative_with_cache(&ds, 2, &cache).is_err());
     }
 
     #[test]

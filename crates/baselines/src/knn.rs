@@ -4,11 +4,11 @@
 //! unassigned row as a seed and group it with its `k − 1` nearest
 //! unassigned rows (Hamming distance). The final `k..2k−1` rows form the
 //! last block. This is the workhorse heuristic most practical
-//! k-anonymizers refine; `O(n²·m)`.
+//! k-anonymizers refine; `O(n²·m)` (dominated by the distance-cache build —
+//! the grouping rounds themselves are `O(n² log n)` cache lookups).
 
-use kanon_core::error::Result;
-use kanon_core::metric::hamming;
-use kanon_core::{Dataset, Partition};
+use kanon_core::error::{Error, Result};
+use kanon_core::{Dataset, PairwiseDistances, Partition};
 
 /// Builds a partition by greedy nearest-neighbour grouping.
 ///
@@ -16,17 +16,37 @@ use kanon_core::{Dataset, Partition};
 /// Standard `k` validation errors.
 pub fn knn_greedy(ds: &Dataset, k: usize) -> Result<Partition> {
     ds.check_k(k)?;
+    let cache = PairwiseDistances::build(ds);
+    knn_greedy_with_cache(ds, k, &cache)
+}
+
+/// [`knn_greedy`] over a caller-supplied distance cache.
+///
+/// # Errors
+/// As [`knn_greedy`]; additionally [`Error::InvalidPartition`] if the cache
+/// was built for a different row count.
+pub fn knn_greedy_with_cache(
+    ds: &Dataset,
+    k: usize,
+    cache: &PairwiseDistances,
+) -> Result<Partition> {
+    ds.check_k(k)?;
     let n = ds.n_rows();
+    if cache.n() != n {
+        return Err(Error::InvalidPartition(format!(
+            "distance cache covers {} rows but the dataset has {n}",
+            cache.n()
+        )));
+    }
     let mut unassigned: Vec<u32> = (0..n as u32).collect();
     let mut blocks: Vec<Vec<u32>> = Vec::new();
 
     while unassigned.len() >= 2 * k {
         let seed = unassigned[0];
-        let seed_row = ds.row(seed as usize);
         // Distances from the seed to every other unassigned row.
-        let mut rest: Vec<(usize, u32)> = unassigned[1..]
+        let mut rest: Vec<(u32, u32)> = unassigned[1..]
             .iter()
-            .map(|&r| (hamming(seed_row, ds.row(r as usize)), r))
+            .map(|&r| (cache.get(seed as usize, r as usize), r))
             .collect();
         rest.sort_unstable();
         let mut block = vec![seed];
@@ -67,6 +87,23 @@ mod tests {
         let ds = Dataset::from_fn(4, 2, |i, _| i as u32);
         let p = knn_greedy(&ds, 4).unwrap();
         assert_eq!(p.n_blocks(), 1);
+    }
+
+    #[test]
+    fn shared_cache_matches_internal_build() {
+        let ds = Dataset::from_fn(11, 3, |i, j| ((i * 7 + j) % 5) as u32);
+        let cache = PairwiseDistances::build(&ds);
+        let a = knn_greedy(&ds, 3).unwrap();
+        let b = knn_greedy_with_cache(&ds, 3, &cache).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mismatched_cache_rejected() {
+        let ds = Dataset::from_fn(6, 2, |i, _| i as u32);
+        let other = Dataset::from_fn(5, 2, |i, _| i as u32);
+        let cache = PairwiseDistances::build(&other);
+        assert!(knn_greedy_with_cache(&ds, 2, &cache).is_err());
     }
 
     #[test]

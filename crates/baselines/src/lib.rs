@@ -30,9 +30,9 @@ pub mod knn;
 pub mod mondrian;
 pub mod random;
 
-pub use agglomerative::agglomerative;
+pub use agglomerative::{agglomerative, agglomerative_with_cache};
 pub use forest::forest;
-pub use knn::knn_greedy;
+pub use knn::{knn_greedy, knn_greedy_with_cache};
 pub use mondrian::mondrian;
 pub use random::random_partition;
 

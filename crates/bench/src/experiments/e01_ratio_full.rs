@@ -55,7 +55,11 @@ pub fn run(ctx: &Ctx) -> String {
     let ms: &[usize] = &[4, 8];
 
     let mut out = String::new();
-    out.push_str("E1  Theorem 4.1: exhaustive greedy vs exact optimum\n\n");
+    out.push_str("E1  Theorem 4.1: exhaustive greedy vs exact optimum\n");
+    out.push_str(&format!(
+        "    (candidate enumeration: {} worker thread(s), shared distance cache)\n\n",
+        kanon_core::greedy::FullCoverConfig::default().effective_threads()
+    ));
     let mut table = Table::new(&[
         "workload",
         "n",

@@ -70,6 +70,35 @@ pub fn run(ctx: &Ctx) -> String {
         ]);
     }
 
+    // Threads sweep: the distance-cache build and per-round center scan
+    // both band across OS threads; report the wall-clock effect (expect
+    // ~linear gains up to the core count, and an unchanged cost — the
+    // deterministic tie-break makes thread count invisible in results).
+    let n_threads_sweep = if ctx.quick { 200 } else { 800 };
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x0E37);
+    let ds = uniform(&mut rng, n_threads_sweep, m_fixed, 4);
+    let mut thread_cost = None;
+    for threads in [1usize, 2, 4] {
+        let config = kanon_core::greedy::CenterConfig {
+            threads,
+            ..Default::default()
+        };
+        let (res, elapsed) =
+            report::time(|| algo::center_greedy(&ds, k, &config).expect("within guards"));
+        assert_eq!(
+            *thread_cost.get_or_insert(res.cost),
+            res.cost,
+            "thread count changed the result"
+        );
+        table.row(vec![
+            format!("threads={threads}"),
+            n_threads_sweep.to_string(),
+            m_fixed.to_string(),
+            report::dur(elapsed),
+            res.cost.to_string(),
+        ]);
+    }
+
     out.push_str(&table.render());
     out.push_str(&format!(
         "\nlog-log slope in n: {} (theory: between 2 and 3)\n",
@@ -94,5 +123,6 @@ mod tests {
         });
         assert!(report.contains("log-log slope in n"));
         assert!(report.contains("log-log slope in m"));
+        assert!(report.contains("threads=4"));
     }
 }

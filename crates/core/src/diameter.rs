@@ -31,7 +31,11 @@ use crate::metric::hamming;
 
 /// Maximum pairwise Hamming distance among `rows` — the paper's `d(S)`.
 ///
-/// `O(|S|² · m)`. An empty or singleton set has diameter 0.
+/// `O(|S|² · m)`. An empty or singleton set has diameter 0. Callers that
+/// query many subsets of the same dataset should precompute a
+/// [`crate::distcache::PairwiseDistances`] and use its `O(|S|²)` cached
+/// [`diameter`](crate::distcache::PairwiseDistances::diameter) instead;
+/// property tests pin the two implementations to each other.
 #[must_use]
 pub fn diameter(ds: &Dataset, rows: &[usize]) -> usize {
     let mut best = 0;

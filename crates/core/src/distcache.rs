@@ -1,0 +1,335 @@
+//! Shared pairwise-distance cache for the §4.2 cover algorithms.
+//!
+//! Every solver in this workspace ultimately asks the same question over and
+//! over: *how far apart are rows `i` and `j`?* The exhaustive greedy
+//! (Theorem 4.1) asks it `O(k²)` times per candidate subset across
+//! `Σ C(n, k..2k−1)` subsets; the center greedy (Theorem 4.2), the exact
+//! branch-and-bound's k-NN bound, local search, and the baseline
+//! partitioners each re-derive it from raw rows at `O(m)` per query.
+//! [`PairwiseDistances`] computes the full matrix once — `O(m·n²/2)` work,
+//! parallelized across OS threads — and serves every later query in `O(1)`.
+//!
+//! ## Layout
+//!
+//! Distances are symmetric with a zero diagonal, so only the strict upper
+//! triangle is stored: entry `(i, j)` with `i < j` lives at
+//! `i·(2n−i−1)/2 + (j−i−1)` in one contiguous `u32` buffer — `4·n(n−1)/2`
+//! bytes, half the footprint of the square [`crate::metric::DistanceMatrix`]
+//! and friendlier to cache lines when scanning a row's suffix.
+//!
+//! ## Parallel build
+//!
+//! The triangle is row-contiguous: row `i`'s entries `(i, i+1..n)` form one
+//! slice. The parallel build splits rows into bands balanced by *entry
+//! count* (row `i` holds `n−1−i` entries, so early rows are longer) and
+//! fills disjoint sub-slices via `std::thread::scope` — no locks, no
+//! cloning, byte-identical output to the sequential build.
+//!
+//! Thread counts resolve through [`resolve_threads`]: an explicit request
+//! wins, then the `RAYON_NUM_THREADS` environment variable (the de-facto
+//! convention for capping data-parallel width, honored so CI can pin
+//! schedules), then the machine's available parallelism.
+
+use crate::dataset::Dataset;
+use crate::metric::hamming;
+
+/// Precomputed pairwise Hamming distances, triangular `u32` storage.
+///
+/// ```
+/// use kanon_core::{Dataset, distcache::PairwiseDistances};
+/// let ds = Dataset::from_rows(vec![
+///     vec![1, 0, 1, 0],
+///     vec![1, 1, 1, 0],
+///     vec![0, 1, 1, 0],
+/// ]).unwrap();
+/// let cache = PairwiseDistances::build(&ds);
+/// assert_eq!(cache.get(0, 2), 2); // the paper's §4 example pair
+/// assert_eq!(cache.get(2, 0), 2); // symmetric
+/// assert_eq!(cache.get(1, 1), 0); // zero diagonal
+/// assert_eq!(cache.diameter(&[0, 1, 2]), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PairwiseDistances {
+    n: usize,
+    /// Strict upper triangle, row-major: `(0,1), (0,2), …, (n−2,n−1)`.
+    tri: Box<[u32]>,
+}
+
+impl PairwiseDistances {
+    /// Index of `(i, j)` with `i < j` in the triangular buffer.
+    #[inline]
+    fn tri_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        i * (2 * self.n - i - 1) / 2 + (j - i - 1)
+    }
+
+    /// Sequential `O(m·n²/2)` build.
+    #[must_use]
+    pub fn build(ds: &Dataset) -> Self {
+        Self::build_with_threads(ds, 1)
+    }
+
+    /// Parallel build across [`resolve_threads`]`(threads)` OS threads.
+    /// Produces output identical to [`PairwiseDistances::build`].
+    #[must_use]
+    pub fn build_parallel(ds: &Dataset, threads: Option<usize>) -> Self {
+        Self::build_with_threads(ds, resolve_threads(threads))
+    }
+
+    fn build_with_threads(ds: &Dataset, threads: usize) -> Self {
+        let n = ds.n_rows();
+        let total = n * (n - 1) / 2;
+        let mut tri = vec![0u32; total];
+
+        // Small instances: band setup costs more than it saves.
+        if threads <= 1 || n < 128 {
+            let mut idx = 0;
+            for i in 0..n {
+                let ri = ds.row(i);
+                for j in (i + 1)..n {
+                    tri[idx] = hamming(ri, ds.row(j)) as u32;
+                    idx += 1;
+                }
+            }
+            return PairwiseDistances {
+                n,
+                tri: tri.into_boxed_slice(),
+            };
+        }
+
+        // Band rows so each thread owns roughly `total / threads` entries;
+        // row i contributes n−1−i entries, so bands are uneven in rows.
+        let per_band = total.div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            let mut rest: &mut [u32] = &mut tri;
+            let mut row = 0usize;
+            while row < n && !rest.is_empty() {
+                let mut band_entries = 0usize;
+                let first = row;
+                while row < n && band_entries < per_band {
+                    band_entries += n - 1 - row;
+                    row += 1;
+                }
+                let band_entries = band_entries.min(rest.len());
+                let (chunk, tail) = rest.split_at_mut(band_entries);
+                rest = tail;
+                let last = row;
+                scope.spawn(move || {
+                    let mut idx = 0;
+                    for i in first..last {
+                        let ri = ds.row(i);
+                        for j in (i + 1)..n {
+                            chunk[idx] = hamming(ri, ds.row(j)) as u32;
+                            idx += 1;
+                        }
+                    }
+                });
+            }
+        });
+        PairwiseDistances {
+            n,
+            tri: tri.into_boxed_slice(),
+        }
+    }
+
+    /// Number of rows the cache covers.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between rows `i` and `j` (symmetric, zero diagonal).
+    ///
+    /// # Panics
+    /// Panics if either index is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> u32 {
+        use std::cmp::Ordering;
+        match i.cmp(&j) {
+            Ordering::Equal => {
+                assert!(i < self.n, "row {i} out of bounds for n = {}", self.n);
+                0
+            }
+            Ordering::Less => self.tri[self.tri_index(i, j)],
+            Ordering::Greater => self.tri[self.tri_index(j, i)],
+        }
+    }
+
+    /// Cached diameter: max pairwise distance among `rows` — the paper's
+    /// `d(S)`, agreeing with [`crate::diameter::diameter`] but in
+    /// `O(|S|²)` instead of `O(|S|²·m)`.
+    #[must_use]
+    pub fn diameter(&self, rows: &[usize]) -> usize {
+        let mut best = 0u32;
+        for (a, &i) in rows.iter().enumerate() {
+            for &j in &rows[a + 1..] {
+                best = best.max(self.get(i, j));
+            }
+        }
+        best as usize
+    }
+
+    /// [`PairwiseDistances::diameter`] over `u32` row ids (the greedy's
+    /// native candidate representation).
+    #[must_use]
+    pub fn diameter_ids(&self, rows: &[u32]) -> usize {
+        let mut best = 0u32;
+        for (a, &i) in rows.iter().enumerate() {
+            for &j in &rows[a + 1..] {
+                best = best.max(self.get(i as usize, j as usize));
+            }
+        }
+        best as usize
+    }
+
+    /// Cached `ANON(S)`: agrees with [`crate::diameter::anon_cost`].
+    ///
+    /// The cache powers two fast paths — pairs (`ANON = 2·d`) and
+    /// zero-diameter sets (all-identical rows cost nothing) — and the
+    /// general case falls back to the `O(|S|·m)` column scan, which no
+    /// pairwise quantity can replace (non-constant columns are a property
+    /// of the whole set, not of any pair).
+    #[must_use]
+    pub fn anon_cost(&self, ds: &Dataset, rows: &[usize]) -> usize {
+        match rows.len() {
+            0 | 1 => 0,
+            2 => 2 * self.get(rows[0], rows[1]) as usize,
+            _ => {
+                if self.diameter(rows) == 0 {
+                    0
+                } else {
+                    crate::diameter::anon_cost(ds, rows)
+                }
+            }
+        }
+    }
+
+    /// Distance from row `i` to its `t`-th nearest *other* row (`t = 1` is
+    /// the nearest neighbour); `None` if `t >= n`. Mirrors
+    /// [`crate::metric::DistanceMatrix::kth_neighbor_distance`], which the
+    /// branch-and-bound's admissible k-NN bound relies on.
+    #[must_use]
+    pub fn kth_neighbor_distance(&self, i: usize, t: usize) -> Option<u32> {
+        if t == 0 {
+            return Some(0);
+        }
+        if t >= self.n {
+            return None;
+        }
+        let mut ds: Vec<u32> = (0..self.n)
+            .filter(|&j| j != i)
+            .map(|j| self.get(i, j))
+            .collect();
+        ds.sort_unstable();
+        Some(ds[t - 1])
+    }
+}
+
+/// Resolves a thread-count request: `Some(t)` wins, then the
+/// `RAYON_NUM_THREADS` environment variable, then the machine's available
+/// parallelism. Always at least 1.
+#[must_use]
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    if let Some(t) = requested {
+        return t.max(1);
+    }
+    if let Ok(env) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(t) = env.trim().parse::<usize>() {
+            if t >= 1 {
+                return t;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diameter::{anon_cost, diameter};
+    use crate::metric::row_distance;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_direct_hamming_and_symmetry() {
+        let ds = Dataset::from_fn(17, 5, |i, j| ((i * 7 + j * 3) % 4) as u32);
+        let cache = PairwiseDistances::build(&ds);
+        for i in 0..17 {
+            for j in 0..17 {
+                assert_eq!(cache.get(i, j) as usize, row_distance(&ds, i, j));
+                assert_eq!(cache.get(i, j), cache.get(j, i));
+            }
+            assert_eq!(cache.get(i, i), 0);
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical() {
+        let ds = Dataset::from_fn(200, 6, |i, j| ((i * 31 + j * 17) % 5) as u32);
+        let seq = PairwiseDistances::build(&ds);
+        for threads in [1, 2, 3, 4, 7, 16] {
+            let par = PairwiseDistances::build_parallel(&ds, Some(threads));
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn single_row_and_pair() {
+        let one = Dataset::from_rows(vec![vec![1, 2]]).unwrap();
+        let cache = PairwiseDistances::build(&one);
+        assert_eq!(cache.get(0, 0), 0);
+        assert_eq!(cache.diameter(&[0]), 0);
+
+        let two = Dataset::from_rows(vec![vec![1, 2], vec![3, 2]]).unwrap();
+        let cache = PairwiseDistances::build(&two);
+        assert_eq!(cache.get(0, 1), 1);
+        assert_eq!(cache.anon_cost(&two, &[0, 1]), 2);
+    }
+
+    #[test]
+    fn kth_neighbor_matches_distance_matrix() {
+        let ds = Dataset::from_fn(12, 4, |i, j| ((i + j) % 3) as u32);
+        let dm = crate::metric::DistanceMatrix::build(&ds);
+        let cache = PairwiseDistances::build(&ds);
+        for i in 0..12 {
+            for t in 0..14 {
+                assert_eq!(
+                    cache.kth_neighbor_distance(i, t),
+                    dm.kth_neighbor_distance(i, t),
+                    "row {i}, t = {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_threads_priorities() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1);
+        assert!(resolve_threads(None) >= 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Cached get/diameter/anon_cost agree with the row-scanning
+        /// reference implementations on random datasets and subsets.
+        #[test]
+        fn cache_agrees_with_row_scans(
+            flat in proptest::collection::vec(0u32..4, 9 * 4),
+            subset in proptest::collection::btree_set(0usize..9, 2..7),
+        ) {
+            let ds = Dataset::from_flat(9, 4, flat).unwrap();
+            let cache = PairwiseDistances::build(&ds);
+            let rows: Vec<usize> = subset.into_iter().collect();
+            prop_assert_eq!(cache.diameter(&rows), diameter(&ds, &rows));
+            prop_assert_eq!(cache.anon_cost(&ds, &rows), anon_cost(&ds, &rows));
+            for &i in &rows {
+                for &j in &rows {
+                    prop_assert_eq!(cache.get(i, j) as usize, row_distance(&ds, i, j));
+                }
+            }
+        }
+    }
+}

@@ -18,9 +18,9 @@
 
 use crate::dataset::Dataset;
 use crate::diameter::GroupCost;
+use crate::distcache::PairwiseDistances;
 use crate::error::{Error, Result};
-use crate::greedy::{center_greedy_cover, reduce, CenterConfig};
-use crate::metric::DistanceMatrix;
+use crate::greedy::{center_greedy_cover_with_cache, reduce, CenterConfig};
 use crate::partition::Partition;
 
 /// Tuning knobs for the branch and bound.
@@ -167,7 +167,9 @@ pub fn branch_and_bound(
         });
     }
 
-    let dm = DistanceMatrix::build(ds);
+    // One shared distance cache serves both the k-NN bound and the greedy
+    // incumbent below.
+    let dm = PairwiseDistances::build(ds);
     let lb: Vec<u64> = (0..n)
         .map(|r| u64::from(dm.kth_neighbor_distance(r, k - 1).unwrap_or(0)))
         .collect();
@@ -177,7 +179,7 @@ pub fn branch_and_bound(
     }
 
     // Greedy incumbent.
-    let greedy = center_greedy_cover(ds, k, &CenterConfig::default())
+    let greedy = center_greedy_cover_with_cache(ds, k, &CenterConfig::default(), &dm)
         .and_then(|c| reduce(&c, k))
         .map(|p| {
             let p = p.split_large(k);

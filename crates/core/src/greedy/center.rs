@@ -21,15 +21,16 @@
 use super::Ratio;
 use crate::cover::Cover;
 use crate::dataset::Dataset;
+use crate::distcache::PairwiseDistances;
 use crate::error::{Error, Result};
-use crate::metric::DistanceMatrix;
 
 /// Tuning knobs for the center-based greedy cover.
 #[derive(Clone, Debug)]
 pub struct CenterConfig {
-    /// Row-count guard: the algorithm stores an `n × n` distance matrix and
-    /// per-center sorted orders (`≈ 8n²` bytes); instances above the guard
-    /// are rejected rather than silently exhausting memory.
+    /// Row-count guard: the algorithm stores a triangular pairwise-distance
+    /// cache and per-center sorted orders (`≈ 6n²` bytes combined);
+    /// instances above the guard are rejected rather than silently
+    /// exhausting memory.
     pub max_rows: usize,
     /// Whether a ball of radius 0 (exact duplicates of the center) may be
     /// selected when it already has ≥ k members. Radius-0 balls have weight
@@ -72,6 +73,23 @@ impl Default for CenterConfig {
 /// * [`Error::InstanceTooLarge`] when `n` exceeds `config.max_rows`.
 pub fn center_greedy_cover(ds: &Dataset, k: usize, config: &CenterConfig) -> Result<Cover> {
     ds.check_k(k)?;
+    // O(m·n²) preprocessing, shared with any later cache consumer.
+    let dm = PairwiseDistances::build_parallel(ds, Some(config.threads.max(1)));
+    center_greedy_cover_with_cache(ds, k, config, &dm)
+}
+
+/// [`center_greedy_cover`] over a caller-supplied distance cache.
+///
+/// # Errors
+/// As [`center_greedy_cover`]; additionally [`Error::InvalidPartition`] if
+/// the cache was built for a different row count.
+pub fn center_greedy_cover_with_cache(
+    ds: &Dataset,
+    k: usize,
+    config: &CenterConfig,
+    dm: &PairwiseDistances,
+) -> Result<Cover> {
+    ds.check_k(k)?;
     let n = ds.n_rows();
     if n > config.max_rows {
         return Err(Error::InstanceTooLarge {
@@ -79,9 +97,13 @@ pub fn center_greedy_cover(ds: &Dataset, k: usize, config: &CenterConfig) -> Res
             limit: format!("n = {n} exceeds max_rows = {}", config.max_rows),
         });
     }
+    if dm.n() != n {
+        return Err(Error::InvalidPartition(format!(
+            "distance cache covers {} rows but the dataset has {n}",
+            dm.n()
+        )));
+    }
 
-    // O(m·n²) preprocessing.
-    let dm = DistanceMatrix::build_parallel(ds, config.threads);
     // order[c] = all rows sorted by distance from c (c itself first).
     let orders: Vec<Vec<u32>> = (0..n)
         .map(|c| {
@@ -98,7 +120,7 @@ pub fn center_greedy_cover(ds: &Dataset, k: usize, config: &CenterConfig) -> Res
     while remaining > 0 {
         // Best candidate this round, minimizing the deterministic key
         // (ratio, center, prefix length).
-        let best = scan_centers(&orders, &dm, &covered, k, config);
+        let best = scan_centers(&orders, dm, &covered, k, config);
 
         let Some((_, c, p)) = best else {
             // Every remaining candidate is a zero-radius ball that was
@@ -128,7 +150,7 @@ pub fn center_greedy_cover(ds: &Dataset, k: usize, config: &CenterConfig) -> Res
 /// `config.threads` when asked to.
 fn scan_centers(
     orders: &[Vec<u32>],
-    dm: &DistanceMatrix,
+    dm: &PairwiseDistances,
     covered: &[bool],
     k: usize,
     config: &CenterConfig,
@@ -158,7 +180,7 @@ fn scan_centers(
 /// Sequential scan of centers `start..end`.
 fn scan_center_range(
     orders: &[Vec<u32>],
-    dm: &DistanceMatrix,
+    dm: &PairwiseDistances,
     covered: &[bool],
     k: usize,
     config: &CenterConfig,

@@ -14,6 +14,30 @@
 //! The implementation uses the *lazy greedy* heap: a candidate's uncovered
 //! count only shrinks over time, so its ratio only grows, and a popped entry
 //! whose cached count is still current is globally optimal.
+//!
+//! ## Parallel enumeration
+//!
+//! Candidate materialization — enumerate `Σ C(n, s)` subsets and compute
+//! each diameter — dominates the runtime and is embarrassingly parallel.
+//! With [`FullCoverConfig::parallel`] on, each size class `s` is partitioned
+//! by the combination's **first element**: the block of combinations
+//! starting with `f` has exactly `C(n−1−f, s−1)` members and is contiguous
+//! in lexicographic order, so first-elements are grouped into contiguous
+//! chunks of roughly equal total count, one worker enumerates each chunk
+//! into a local buffer (diameters served by the shared
+//! [`PairwiseDistances`] cache), and the buffers are concatenated in chunk
+//! order. The resulting candidate array — and therefore every candidate's
+//! heap index — is **byte-identical** to the sequential enumeration.
+//!
+//! ## Deterministic tie-break contract
+//!
+//! The lazy-greedy heap orders entries by `(ratio, candidate index)` where
+//! the ratio is an exact rational (no floating point) and the index is the
+//! candidate's position in the lexicographic enumeration: sizes ascending,
+//! then lexicographic subset order within a size. Ties in ratio therefore
+//! always resolve to the lexicographically smallest subset, independent of
+//! thread count or scheduling — parallel and sequential runs return
+//! identical covers, not merely equal-cost ones.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -21,7 +45,7 @@ use std::collections::BinaryHeap;
 use super::Ratio;
 use crate::cover::Cover;
 use crate::dataset::Dataset;
-use crate::diameter::diameter;
+use crate::distcache::{resolve_threads, PairwiseDistances};
 use crate::error::{Error, Result};
 
 /// Tuning knobs for the exhaustive greedy cover.
@@ -30,28 +54,58 @@ pub struct FullCoverConfig {
     /// Upper bound on `|C|`; instances that would enumerate more candidate
     /// subsets are rejected with [`Error::InstanceTooLarge`].
     pub max_candidates: usize,
+    /// Enumerate candidates (and build the distance cache) across OS
+    /// threads. The cover produced is byte-identical either way; see the
+    /// module docs for the determinism argument.
+    pub parallel: bool,
+    /// Worker count when `parallel` is on. `None` defers to
+    /// [`resolve_threads`] (the `RAYON_NUM_THREADS` environment variable,
+    /// then available parallelism).
+    pub num_threads: Option<usize>,
 }
 
 impl Default for FullCoverConfig {
     fn default() -> Self {
         FullCoverConfig {
             max_candidates: 2_000_000,
+            parallel: true,
+            num_threads: None,
         }
     }
+}
+
+impl FullCoverConfig {
+    /// The effective worker count: 1 when `parallel` is off.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.parallel {
+            resolve_threads(self.num_threads)
+        } else {
+            1
+        }
+    }
+}
+
+/// `C(n, r)` with saturation at `usize::MAX`.
+fn binomial(n: usize, r: usize) -> usize {
+    if r > n {
+        return 0;
+    }
+    let mut c = 1u128;
+    for t in 0..r {
+        c = c.saturating_mul((n - t) as u128) / (t + 1) as u128;
+        if c > usize::MAX as u128 {
+            return usize::MAX;
+        }
+    }
+    c as usize
 }
 
 /// Counts `Σ_{s=k}^{min(2k−1, n)} C(n, s)` with saturation.
 fn candidate_count(n: usize, k: usize) -> usize {
     let mut total = 0usize;
     for s in k..=(2 * k - 1).min(n) {
-        let mut c = 1u128;
-        for t in 0..s {
-            c = c.saturating_mul((n - t) as u128) / (t + 1) as u128;
-            if c > usize::MAX as u128 {
-                return usize::MAX;
-            }
-        }
-        total = total.saturating_add(c as usize);
+        total = total.saturating_add(binomial(n, s));
     }
     total
 }
@@ -82,7 +136,97 @@ fn for_each_combination(n: usize, s: usize, f: &mut impl FnMut(&[u32])) {
     }
 }
 
+/// Enumerates, in lexicographic order, the size-`s` combinations of `0..n`
+/// whose first element is exactly `first`.
+fn for_each_combination_with_first(n: usize, s: usize, first: usize, f: &mut impl FnMut(&[u32])) {
+    debug_assert!(s >= 1 && first < n);
+    let mut combo = vec![first as u32; s];
+    let tail = n - first - 1; // elements available after `first`
+    for_each_combination(tail, s - 1, &mut |sub| {
+        for (slot, &v) in combo[1..].iter_mut().zip(sub) {
+            *slot = first as u32 + 1 + v;
+        }
+        f(&combo);
+    });
+    if s == 1 {
+        f(&combo);
+    }
+}
+
+/// Materializes the candidate collection — every subset of size `k..=2k−1`
+/// paired with its cached diameter — in lexicographic enumeration order,
+/// fanning each size class out over `threads` workers.
+fn materialize_candidates(
+    cache: &PairwiseDistances,
+    k: usize,
+    count: usize,
+    threads: usize,
+) -> Vec<(Vec<u32>, u64)> {
+    let n = cache.n();
+    let mut candidates: Vec<(Vec<u32>, u64)> = Vec::with_capacity(count);
+
+    // Below this, thread spawn/merge overhead beats the parallel win.
+    const PARALLEL_FLOOR: usize = 4_096;
+    if threads <= 1 || count < PARALLEL_FLOOR {
+        for s in k..=(2 * k - 1).min(n) {
+            for_each_combination(n, s, &mut |combo| {
+                let d = cache.diameter_ids(combo) as u64;
+                candidates.push((combo.to_vec(), d));
+            });
+        }
+        return candidates;
+    }
+
+    for s in k..=(2 * k - 1).min(n) {
+        // Combinations starting with f form a contiguous lexicographic block
+        // of C(n−1−f, s−1) members; chunk first-elements so each worker gets
+        // a roughly equal share of the (heavily front-loaded) total.
+        let size_total = binomial(n, s);
+        let per_chunk = size_total.div_ceil(threads).max(1);
+        let mut chunks: Vec<(usize, usize)> = Vec::new(); // first-element ranges
+        let mut f = 0usize;
+        while f + s <= n {
+            let start = f;
+            let mut acc = 0usize;
+            while f + s <= n && acc < per_chunk {
+                acc += binomial(n - 1 - f, s - 1);
+                f += 1;
+            }
+            chunks.push((start, f));
+        }
+
+        let locals: Vec<Vec<(Vec<u32>, u64)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&(start, end)| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        for first in start..end {
+                            for_each_combination_with_first(n, s, first, &mut |combo| {
+                                let d = cache.diameter_ids(combo) as u64;
+                                local.push((combo.to_vec(), d));
+                            });
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("enumeration worker never panics"))
+                .collect()
+        });
+        for local in locals {
+            candidates.extend(local);
+        }
+    }
+    candidates
+}
+
 /// Runs Phase 1 of Theorem 4.1, returning a `(k, 2k−1)`-cover.
+///
+/// Builds a [`PairwiseDistances`] cache internally; callers that already
+/// hold one should use [`full_greedy_cover_with_cache`].
 ///
 /// # Errors
 /// * [`Error::KZero`] / [`Error::KExceedsRows`] on a bad `k`;
@@ -90,7 +234,31 @@ fn for_each_combination(n: usize, s: usize, f: &mut impl FnMut(&[u32])) {
 ///   `config.max_candidates`.
 pub fn full_greedy_cover(ds: &Dataset, k: usize, config: &FullCoverConfig) -> Result<Cover> {
     ds.check_k(k)?;
+    let threads = config.effective_threads();
+    let cache = PairwiseDistances::build_parallel(ds, Some(threads));
+    full_greedy_cover_with_cache(ds, k, config, &cache)
+}
+
+/// [`full_greedy_cover`] over a caller-supplied distance cache (shared with
+/// other solvers, e.g. an incumbent search inside branch-and-bound).
+///
+/// # Errors
+/// As [`full_greedy_cover`]; additionally [`Error::InvalidPartition`] if the
+/// cache was built for a different row count.
+pub fn full_greedy_cover_with_cache(
+    ds: &Dataset,
+    k: usize,
+    config: &FullCoverConfig,
+    cache: &PairwiseDistances,
+) -> Result<Cover> {
+    ds.check_k(k)?;
     let n = ds.n_rows();
+    if cache.n() != n {
+        return Err(Error::InvalidPartition(format!(
+            "distance cache covers {} rows but the dataset has {n}",
+            cache.n()
+        )));
+    }
     let count = candidate_count(n, k);
     if count > config.max_candidates {
         return Err(Error::InstanceTooLarge {
@@ -102,22 +270,15 @@ pub fn full_greedy_cover(ds: &Dataset, k: usize, config: &FullCoverConfig) -> Re
         });
     }
 
-    // Materialize candidates with their diameters.
-    let mut candidates: Vec<(Vec<u32>, u64)> = Vec::with_capacity(count);
-    for s in k..=(2 * k - 1).min(n) {
-        for_each_combination(n, s, &mut |combo| {
-            let rows: Vec<usize> = combo.iter().map(|&r| r as usize).collect();
-            let d = diameter(ds, &rows) as u64;
-            candidates.push((combo.to_vec(), d));
-        });
-    }
+    let candidates = materialize_candidates(cache, k, count, config.effective_threads());
 
     let uncovered_in = |set: &[u32], covered: &[bool]| -> u64 {
         set.iter().filter(|&&r| !covered[r as usize]).count() as u64
     };
 
     // Lazy-greedy heap keyed by cached ratio. BinaryHeap is a max-heap, so
-    // wrap in Reverse.
+    // wrap in Reverse. The tuple's second field — the candidate's index in
+    // lexicographic enumeration order — is the deterministic tie-break.
     let mut covered = vec![false; n];
     let mut remaining = n;
     let mut heap: BinaryHeap<Reverse<(Ratio, usize)>> = candidates
@@ -157,6 +318,15 @@ pub fn full_greedy_cover(ds: &Dataset, k: usize, config: &FullCoverConfig) -> Re
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diameter::diameter;
+
+    /// Sequential config: the baseline the parallel path must match.
+    fn sequential() -> FullCoverConfig {
+        FullCoverConfig {
+            parallel: false,
+            ..Default::default()
+        }
+    }
 
     #[test]
     fn combination_enumeration_is_complete() {
@@ -185,6 +355,19 @@ mod tests {
     }
 
     #[test]
+    fn first_element_blocks_reassemble_the_full_enumeration() {
+        for (n, s) in [(7, 3), (6, 1), (5, 5), (9, 4)] {
+            let mut whole = Vec::new();
+            for_each_combination(n, s, &mut |c| whole.push(c.to_vec()));
+            let mut stitched = Vec::new();
+            for first in 0..=(n - s) {
+                for_each_combination_with_first(n, s, first, &mut |c| stitched.push(c.to_vec()));
+            }
+            assert_eq!(whole, stitched, "n={n} s={s}");
+        }
+    }
+
+    #[test]
     fn candidate_count_matches_binomials() {
         // k = 2 over n = 5: C(5,2) + C(5,3) = 10 + 10.
         assert_eq!(candidate_count(5, 2), 20);
@@ -192,6 +375,42 @@ mod tests {
         assert_eq!(candidate_count(6, 3), 41);
         // Truncated at n.
         assert_eq!(candidate_count(3, 2), 3 + 1);
+    }
+
+    #[test]
+    fn parallel_materialization_is_byte_identical() {
+        let ds = Dataset::from_fn(18, 4, |i, j| ((i * 11 + j * 5) % 4) as u32);
+        let cache = PairwiseDistances::build(&ds);
+        let count = candidate_count(18, 3);
+        assert!(count >= 4_096, "instance must clear the parallel floor");
+        let seq = materialize_candidates(&cache, 3, count, 1);
+        assert_eq!(seq.len(), count);
+        for threads in [2, 3, 4, 7] {
+            let par = materialize_candidates(&cache, 3, count, threads);
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+        // Spot-check diameters against the row-scanning reference.
+        for (set, d) in seq.iter().step_by(997) {
+            let rows: Vec<usize> = set.iter().map(|&r| r as usize).collect();
+            assert_eq!(*d as usize, diameter(&ds, &rows));
+        }
+    }
+
+    #[test]
+    fn parallel_cover_matches_sequential_cover() {
+        let ds = Dataset::from_fn(16, 5, |i, j| ((i * 7 + j * 13) % 3) as u32);
+        for k in [2, 3] {
+            let base = full_greedy_cover(&ds, k, &sequential()).unwrap();
+            for threads in [1, 2, 4, 8] {
+                let config = FullCoverConfig {
+                    parallel: true,
+                    num_threads: Some(threads),
+                    ..Default::default()
+                };
+                let par = full_greedy_cover(&ds, k, &config).unwrap();
+                assert_eq!(base, par, "k={k} threads={threads}");
+            }
+        }
     }
 
     #[test]
@@ -226,9 +445,18 @@ mod tests {
         let ds = Dataset::from_fn(40, 2, |i, _| i as u32);
         let config = FullCoverConfig {
             max_candidates: 100,
+            ..Default::default()
         };
         let err = full_greedy_cover(&ds, 3, &config).unwrap_err();
         assert!(matches!(err, Error::InstanceTooLarge { .. }));
+    }
+
+    #[test]
+    fn mismatched_cache_rejected() {
+        let ds = Dataset::from_fn(6, 2, |i, _| i as u32);
+        let other = Dataset::from_fn(5, 2, |i, _| i as u32);
+        let cache = PairwiseDistances::build(&other);
+        assert!(full_greedy_cover_with_cache(&ds, 2, &FullCoverConfig::default(), &cache).is_err());
     }
 
     #[test]
@@ -302,7 +530,7 @@ mod tests {
             let n = rng.gen_range(4..9);
             let m = rng.gen_range(2..5);
             let ds = Dataset::from_fn(n, m, |_, _| rng.gen_range(0..3u32));
-            let k = rng.gen_range(1..4).min(n);
+            let k = rng.gen_range(1usize..4).min(n);
             let heap_cover = full_greedy_cover(&ds, k, &FullCoverConfig::default()).unwrap();
             let naive = naive_greedy_cover(&ds, k);
             let naive_sum: u64 = naive.iter().map(|&(_, d)| d).sum();

@@ -57,6 +57,7 @@ pub mod bitset;
 pub mod cover;
 pub mod dataset;
 pub mod diameter;
+pub mod distcache;
 pub mod diversity;
 pub mod error;
 pub mod exact;
@@ -73,6 +74,7 @@ pub use algo::{Algorithm, Anonymization};
 pub use bitset::BitSet;
 pub use cover::Cover;
 pub use dataset::{Dataset, Value};
+pub use distcache::PairwiseDistances;
 pub use error::{Error, Result};
 pub use partition::Partition;
 pub use suppression::{AnonymizedTable, Suppressor};

@@ -15,6 +15,7 @@
 
 use crate::dataset::Dataset;
 use crate::diameter::anon_cost;
+use crate::distcache::PairwiseDistances;
 use crate::error::Result;
 use crate::partition::Partition;
 
@@ -76,6 +77,44 @@ pub fn improve(
     let initial_cost = partition.anonymization_cost(ds);
     let (result, moves, passes) = improve_by_cost(ds, partition, k, config, |ds, rows| {
         block_cost(ds, rows) as f64
+    })?;
+    let final_cost = result.anonymization_cost(ds);
+    debug_assert!(final_cost <= initial_cost);
+    Ok(LocalSearchResult {
+        partition: result,
+        initial_cost,
+        final_cost,
+        moves,
+        passes,
+    })
+}
+
+/// [`improve`] with block costs served by a shared [`PairwiseDistances`]
+/// cache: the pair and zero-diameter fast paths skip the `O(|S|·m)` column
+/// scan that dominates the move evaluation loop. Produces exactly the same
+/// partition as [`improve`] (the cost function is identical, only cheaper).
+///
+/// # Errors
+/// As [`improve`]; additionally [`crate::Error::InvalidPartition`] if the
+/// cache was built for a different row count.
+pub fn improve_cached(
+    ds: &Dataset,
+    cache: &PairwiseDistances,
+    partition: &Partition,
+    k: usize,
+    config: &LocalSearchConfig,
+) -> Result<LocalSearchResult> {
+    if cache.n() != ds.n_rows() {
+        return Err(crate::error::Error::InvalidPartition(format!(
+            "distance cache covers {} rows but the dataset has {}",
+            cache.n(),
+            ds.n_rows()
+        )));
+    }
+    let initial_cost = partition.anonymization_cost(ds);
+    let (result, moves, passes) = improve_by_cost(ds, partition, k, config, |ds, rows| {
+        let idx: Vec<usize> = rows.iter().map(|&r| r as usize).collect();
+        cache.anon_cost(ds, &idx) as f64
     })?;
     let final_cost = result.anonymization_cost(ds);
     debug_assert!(final_cost <= initial_cost);
@@ -272,6 +311,36 @@ mod tests {
         let p = Partition::new(vec![vec![0, 1], vec![2, 3]], 4, 2).unwrap();
         let res = improve(&ds, &p, 2, &LocalSearchConfig::default()).unwrap();
         assert!(res.partition.min_block_size().unwrap() >= 2);
+    }
+
+    #[test]
+    fn cached_variant_matches_uncached() {
+        let ds = Dataset::from_fn(12, 4, |i, j| ((i * 5 + j * 3) % 4) as u32);
+        let cache = PairwiseDistances::build(&ds);
+        let p = Partition::new(
+            vec![
+                (0..4u32).collect(),
+                (4..8u32).collect(),
+                (8..12u32).collect(),
+            ],
+            12,
+            3,
+        )
+        .unwrap();
+        let plain = improve(&ds, &p, 3, &LocalSearchConfig::default()).unwrap();
+        let cached = improve_cached(&ds, &cache, &p, 3, &LocalSearchConfig::default()).unwrap();
+        assert_eq!(plain.partition, cached.partition);
+        assert_eq!(plain.final_cost, cached.final_cost);
+        assert_eq!(plain.moves, cached.moves);
+    }
+
+    #[test]
+    fn cached_variant_rejects_mismatched_cache() {
+        let ds = Dataset::from_fn(6, 2, |i, _| i as u32);
+        let other = Dataset::from_fn(4, 2, |i, _| i as u32);
+        let cache = PairwiseDistances::build(&other);
+        let p = Partition::new(vec![(0..6u32).collect()], 6, 2).unwrap();
+        assert!(improve_cached(&ds, &cache, &p, 2, &LocalSearchConfig::default()).is_err());
     }
 
     #[test]

@@ -143,8 +143,10 @@ fn generalization_and_suppression_agree_on_anonymity() {
     let lattice = GeneralizationLattice::new(
         &t,
         vec![
+            // Ages run 18..=90, so the top band must span past 90 for the
+            // lattice's top node to merge every row into one class.
             Hierarchy::Intervals {
-                widths: vec![10, 20, 40, 80],
+                widths: vec![10, 20, 40, 160],
             },
             Hierarchy::PrefixMask { height: 5 },
         ],

@@ -119,7 +119,7 @@ pub fn census_table(rng: &mut impl Rng, params: &CensusParams) -> Table {
         let occupation = occ_pool[rng.gen_range(0..occ_pool.len())];
         // Hours: managers/professionals work longer, banded to 5s.
         let base_hours: i64 = if edu_idx >= 3 { 45 } else { 38 };
-        let hours = ((base_hours + rng.gen_range(-10..=10)) / 5) * 5;
+        let hours = ((base_hours + rng.gen_range(-10i64..=10)) / 5) * 5;
         // Zip: region prefix + two local digits, locality skewed.
         let prefix = prefixes[rng.gen_range(0..prefixes.len())];
         let local: u32 = rng.gen_range(0..100u32).min(rng.gen_range(0..100u32));

@@ -1,0 +1,683 @@
+//! Offline vendored shim for the subset of the `proptest` 1.x API used by
+//! this workspace: the [`proptest!`] macro, `prop_assert*` / [`prop_assume!`]
+//! macros, integer/float range strategies, [`collection::vec`] /
+//! [`collection::btree_set`], [`bool::ANY`], [`string::string_regex`] (char
+//! class + counted repetition only), and a minimal
+//! [`test_runner::TestRunner`].
+//!
+//! The build environment cannot reach crates.io, so the real `proptest`
+//! cannot be fetched. This shim keeps the same *testing semantics* —
+//! deterministic seeded generation, a configurable case count, assumption
+//! rejection — but does **not** shrink failing inputs; failures report the
+//! generated inputs verbatim instead. Strategy value distributions differ
+//! from upstream, which no test in this workspace pins.
+
+#![forbid(unsafe_code)]
+
+/// Core strategy abstraction: a recipe for generating values of a type.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: std::fmt::Debug;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn new_value(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    /// Strategy producing a fixed value (`Just` in the real crate).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Size specification for collection strategies: an exact count or a
+    /// half-open range of counts.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let span = (self.hi - self.lo + 1) as u64;
+            self.lo + (rng.next_u64() % span) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a size drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::btree_set(element, size)`.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            // The element domain may be smaller than `target`; cap the
+            // attempts so a too-ambitious size cannot loop forever.
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < 1000 + 100 * target {
+                set.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            assert!(
+                set.len() >= target.min(1) || target == 0,
+                "btree_set strategy could not reach size {target}"
+            );
+            set
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// The uniform boolean strategy type.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// `proptest::bool::ANY` — uniform over `{true, false}`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// String strategies.
+pub mod string {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Error from an unsupported or malformed pattern.
+    #[derive(Clone, Debug)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "string_regex: {}", self.0)
+        }
+    }
+
+    /// Strategy for strings matching a (restricted) regex.
+    #[derive(Clone, Debug)]
+    pub struct RegexGeneratorStrategy {
+        alphabet: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Supports exactly the shape `[<class>]{min,max}` where `<class>` is a
+    /// sequence of literal chars, `a-z` ranges, and `\n`/`\t`/`\\` escapes —
+    /// the only regex shape this workspace generates strings from.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let unsupported = || Error(format!("unsupported pattern: {pattern:?}"));
+        let rest = pattern.strip_prefix('[').ok_or_else(unsupported)?;
+        let close = rest.find(']').ok_or_else(unsupported)?;
+        let (class, tail) = rest.split_at(close);
+        let tail = tail.strip_prefix(']').ok_or_else(unsupported)?;
+        let counts = tail
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .ok_or_else(unsupported)?;
+        let (min_s, max_s) = counts.split_once(',').ok_or_else(unsupported)?;
+        let min: usize = min_s.trim().parse().map_err(|_| unsupported())?;
+        let max: usize = max_s.trim().parse().map_err(|_| unsupported())?;
+        if min > max {
+            return Err(unsupported());
+        }
+
+        let mut alphabet = Vec::new();
+        let mut chars = class.chars().peekable();
+        while let Some(c) = chars.next() {
+            let lo = if c == '\\' {
+                match chars.next() {
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some(esc) => esc,
+                    None => return Err(unsupported()),
+                }
+            } else {
+                c
+            };
+            if chars.peek() == Some(&'-') {
+                chars.next();
+                let hi = chars.next().ok_or_else(unsupported)?;
+                for code in lo as u32..=hi as u32 {
+                    if let Some(ch) = char::from_u32(code) {
+                        alphabet.push(ch);
+                    }
+                }
+            } else {
+                alphabet.push(lo);
+            }
+        }
+        if alphabet.is_empty() {
+            return Err(unsupported());
+        }
+        Ok(RegexGeneratorStrategy { alphabet, min, max })
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            let span = (self.max - self.min + 1) as u64;
+            let len = self.min + (rng.next_u64() % span) as usize;
+            (0..len)
+                .map(|_| self.alphabet[(rng.next_u64() % self.alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+}
+
+/// Runner configuration, errors, and the explicit-runner entry point.
+pub mod test_runner {
+    use super::strategy::Strategy;
+
+    /// How many cases to run, etc.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Maximum rejected (assumption-failed) cases before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// A config with the given case count and defaults elsewhere.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case's assumptions were not met; it is skipped, not failed.
+        Reject(String),
+        /// The property was violated.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a failure.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// Creates a rejection.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+                TestCaseError::Fail(r) => write!(f, "failed: {r}"),
+            }
+        }
+    }
+
+    /// Result of one test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic RNG handed to strategies (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator.
+        #[must_use]
+        pub fn seed_from_u64(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Explicit property runner, for tests that want control over the loop.
+    #[derive(Clone, Debug, Default)]
+    pub struct TestRunner {
+        config: Config,
+    }
+
+    impl TestRunner {
+        /// Runner with a custom config.
+        #[must_use]
+        pub fn new(config: Config) -> Self {
+            TestRunner { config }
+        }
+
+        /// Runs `test` against `config.cases` generated values.
+        ///
+        /// # Errors
+        /// The first [`TestCaseError::Fail`] encountered, annotated with the
+        /// offending input's debug representation.
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            test: impl Fn(S::Value) -> TestCaseResult,
+        ) -> Result<(), TestCaseError> {
+            let mut rng = TestRng::seed_from_u64(0x7e57_0000);
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            while passed < self.config.cases {
+                let value = strategy.new_value(&mut rng);
+                let rendered = format!("{value:?}");
+                match test(value) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > self.config.max_global_rejects {
+                            return Err(TestCaseError::fail(
+                                "too many rejected cases; weaken the assumptions",
+                            ));
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        return Err(TestCaseError::Fail(format!("{msg}; input: {rendered}")));
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Everything the `use proptest::prelude::*` idiom expects.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[doc(hidden)]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Defines property tests: each `fn name(x in strategy, ...) { body }` item
+/// becomes a `#[test]` running `body` against `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { @config ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @config ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        @config ($config:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                // Deterministic per-test seed: derived from the test path so
+                // different tests explore different streams, identical runs
+                // repeat exactly.
+                let seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)).as_bytes());
+                let mut rng = $crate::test_runner::TestRng::seed_from_u64(seed);
+                $(let $arg = &$strategy;)+
+                let mut passed = 0u32;
+                let mut rejected = 0u32;
+                while passed < config.cases {
+                    $(let $arg = $crate::strategy::Strategy::new_value($arg, &mut rng);)+
+                    let rendered = format!(
+                        concat!($(stringify!($arg), " = {:?} ",)+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            assert!(
+                                rejected <= config.max_global_rejects,
+                                "proptest {}: too many rejected cases", stringify!($name)
+                            );
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed after {} passing case(s): {}\n  inputs: {}",
+                                stringify!($name), passed, msg, rendered
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, fmt, args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with an optional format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    concat!("assertion failed: ", stringify!($a), " == ", stringify!($b),
+                            " ({:?} vs {:?})"),
+                    a, b
+                ),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with an optional format message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    concat!("assertion failed: ", stringify!($a), " != ", stringify!($b),
+                            " (both {:?})"),
+                    a
+                ),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// `prop_assume!(cond)`: skip (don't fail) the case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn range_strategies_respect_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let v = (0u32..4).new_value(&mut rng);
+            assert!(v < 4);
+            let w = (2usize..6).new_value(&mut rng);
+            assert!((2..6).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let exact = crate::collection::vec(0u32..4, 7);
+        assert_eq!(exact.new_value(&mut rng).len(), 7);
+        let ranged = crate::collection::vec(0u32..4, 1..6);
+        for _ in 0..100 {
+            let n = ranged.new_value(&mut rng).len();
+            assert!((1..6).contains(&n));
+        }
+    }
+
+    #[test]
+    fn btree_set_reaches_exact_size() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let s = crate::collection::btree_set(0u32..8, 2usize);
+        for _ in 0..100 {
+            assert_eq!(s.new_value(&mut rng).len(), 2);
+        }
+    }
+
+    #[test]
+    fn string_regex_subset() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let s = crate::string::string_regex("[ -~\n]{0,12}").unwrap();
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!(v.chars().count() <= 12);
+            assert!(v.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+        assert!(crate::string::string_regex("a+b").is_err());
+    }
+
+    #[test]
+    fn runner_reports_failure_with_input() {
+        let mut runner = crate::test_runner::TestRunner::default();
+        let err = runner
+            .run(&(0u32..10), |v| {
+                prop_assert!(v < 5, "saw {v}");
+                Ok(())
+            })
+            .unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("input:"), "{msg}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_generates_and_checks(
+            v in crate::collection::vec(0u32..10, 3),
+            k in 1usize..4,
+        ) {
+            prop_assert_eq!(v.len(), 3);
+            prop_assert!((1..4).contains(&k));
+        }
+
+        #[test]
+        fn macro_assume_skips(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+}
