@@ -8,6 +8,7 @@
 //! zero-diameter fast paths cover the bulk of early-round evaluations.
 
 use kanon_core::error::{Error, Result};
+use kanon_core::govern::Budget;
 use kanon_core::{Dataset, PairwiseDistances, Partition};
 
 /// Builds a partition by agglomerative merging.
@@ -15,9 +16,20 @@ use kanon_core::{Dataset, PairwiseDistances, Partition};
 /// # Errors
 /// Standard `k` validation errors.
 pub fn agglomerative(ds: &Dataset, k: usize) -> Result<Partition> {
+    try_agglomerative_governed(ds, k, &Budget::unlimited())
+}
+
+/// [`agglomerative`] under a [`Budget`]: the distance-cache build and the
+/// merge scan poll the budget at bounded intervals.
+///
+/// # Errors
+/// As [`agglomerative`]; additionally
+/// [`kanon_core::Error::BudgetExceeded`] when the budget trips.
+pub fn try_agglomerative_governed(ds: &Dataset, k: usize, budget: &Budget) -> Result<Partition> {
     ds.check_k(k)?;
-    let cache = PairwiseDistances::build(ds);
-    agglomerative_with_cache(ds, k, &cache)
+    budget.check()?;
+    let cache = PairwiseDistances::try_build_governed(ds, Some(1), budget)?;
+    try_agglomerative_governed_with_cache(ds, k, &cache, budget)
 }
 
 /// [`agglomerative`] over a caller-supplied distance cache.
@@ -30,7 +42,23 @@ pub fn agglomerative_with_cache(
     k: usize,
     cache: &PairwiseDistances,
 ) -> Result<Partition> {
+    try_agglomerative_governed_with_cache(ds, k, cache, &Budget::unlimited())
+}
+
+/// [`agglomerative_with_cache`] under a [`Budget`], polled once per
+/// merge-candidate evaluation.
+///
+/// # Errors
+/// As [`agglomerative_with_cache`]; additionally
+/// [`kanon_core::Error::BudgetExceeded`] when the budget trips.
+pub fn try_agglomerative_governed_with_cache(
+    ds: &Dataset,
+    k: usize,
+    cache: &PairwiseDistances,
+    budget: &Budget,
+) -> Result<Partition> {
     ds.check_k(k)?;
+    budget.check()?;
     let n = ds.n_rows();
     if cache.n() != n {
         return Err(Error::InvalidPartition(format!(
@@ -40,6 +68,7 @@ pub fn agglomerative_with_cache(
     }
     let mut blocks: Vec<Vec<u32>> = (0..n as u32).map(|r| vec![r]).collect();
     let mut costs: Vec<usize> = vec![0; n];
+    let mut ticker = budget.ticker();
 
     loop {
         if !blocks.iter().any(|b| b.len() < k) {
@@ -48,6 +77,7 @@ pub fn agglomerative_with_cache(
         let mut best: Option<(usize, usize, usize, usize)> = None; // (delta, merged_cost, i, j)
         for i in 0..blocks.len() {
             for j in (i + 1)..blocks.len() {
+                ticker.tick()?;
                 if blocks[i].len() >= k && blocks[j].len() >= k {
                     continue;
                 }
@@ -141,5 +171,22 @@ mod tests {
         let ds = Dataset::from_fn(3, 2, |i, _| i as u32);
         assert!(agglomerative(&ds, 0).is_err());
         assert!(agglomerative(&ds, 9).is_err());
+    }
+
+    #[test]
+    fn governed_unlimited_matches_ungoverned() {
+        let ds = Dataset::from_fn(17, 3, |i, j| ((i * 11 + j * 3) % 6) as u32);
+        let a = agglomerative(&ds, 3).unwrap();
+        let b = try_agglomerative_governed(&ds, 3, &Budget::unlimited()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn governed_cancellation_trips() {
+        let ds = Dataset::from_fn(17, 3, |i, j| ((i * 11 + j * 3) % 6) as u32);
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let err = try_agglomerative_governed(&ds, 3, &budget).unwrap_err();
+        assert!(matches!(err, Error::BudgetExceeded { .. }), "{err}");
     }
 }

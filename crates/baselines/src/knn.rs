@@ -8,6 +8,7 @@
 //! the grouping rounds themselves are `O(n² log n)` cache lookups).
 
 use kanon_core::error::{Error, Result};
+use kanon_core::govern::Budget;
 use kanon_core::{Dataset, PairwiseDistances, Partition};
 
 /// Builds a partition by greedy nearest-neighbour grouping.
@@ -15,9 +16,20 @@ use kanon_core::{Dataset, PairwiseDistances, Partition};
 /// # Errors
 /// Standard `k` validation errors.
 pub fn knn_greedy(ds: &Dataset, k: usize) -> Result<Partition> {
+    try_knn_greedy_governed(ds, k, &Budget::unlimited())
+}
+
+/// [`knn_greedy`] under a [`Budget`]: the distance-cache build and the
+/// grouping rounds poll the budget at bounded intervals.
+///
+/// # Errors
+/// As [`knn_greedy`]; additionally [`kanon_core::Error::BudgetExceeded`]
+/// when the budget trips.
+pub fn try_knn_greedy_governed(ds: &Dataset, k: usize, budget: &Budget) -> Result<Partition> {
     ds.check_k(k)?;
-    let cache = PairwiseDistances::build(ds);
-    knn_greedy_with_cache(ds, k, &cache)
+    budget.check()?;
+    let cache = PairwiseDistances::try_build_governed(ds, Some(1), budget)?;
+    try_knn_greedy_governed_with_cache(ds, k, &cache, budget)
 }
 
 /// [`knn_greedy`] over a caller-supplied distance cache.
@@ -30,7 +42,23 @@ pub fn knn_greedy_with_cache(
     k: usize,
     cache: &PairwiseDistances,
 ) -> Result<Partition> {
+    try_knn_greedy_governed_with_cache(ds, k, cache, &Budget::unlimited())
+}
+
+/// [`knn_greedy_with_cache`] under a [`Budget`], polled once per distance
+/// lookup in each grouping round.
+///
+/// # Errors
+/// As [`knn_greedy_with_cache`]; additionally
+/// [`kanon_core::Error::BudgetExceeded`] when the budget trips.
+pub fn try_knn_greedy_governed_with_cache(
+    ds: &Dataset,
+    k: usize,
+    cache: &PairwiseDistances,
+    budget: &Budget,
+) -> Result<Partition> {
     ds.check_k(k)?;
+    budget.check()?;
     let n = ds.n_rows();
     if cache.n() != n {
         return Err(Error::InvalidPartition(format!(
@@ -40,14 +68,16 @@ pub fn knn_greedy_with_cache(
     }
     let mut unassigned: Vec<u32> = (0..n as u32).collect();
     let mut blocks: Vec<Vec<u32>> = Vec::new();
+    let mut ticker = budget.ticker();
 
     while unassigned.len() >= 2 * k {
         let seed = unassigned[0];
         // Distances from the seed to every other unassigned row.
-        let mut rest: Vec<(u32, u32)> = unassigned[1..]
-            .iter()
-            .map(|&r| (cache.get(seed as usize, r as usize), r))
-            .collect();
+        let mut rest = Vec::with_capacity(unassigned.len() - 1);
+        for &r in &unassigned[1..] {
+            ticker.tick()?;
+            rest.push((cache.get(seed as usize, r as usize), r));
+        }
         rest.sort_unstable();
         let mut block = vec![seed];
         block.extend(rest.iter().take(k - 1).map(|&(_, r)| r));
@@ -111,6 +141,23 @@ mod tests {
         let ds = Dataset::from_fn(3, 2, |i, _| i as u32);
         assert!(knn_greedy(&ds, 0).is_err());
         assert!(knn_greedy(&ds, 4).is_err());
+    }
+
+    #[test]
+    fn governed_unlimited_matches_ungoverned() {
+        let ds = Dataset::from_fn(19, 3, |i, j| ((i * 7 + j * 5) % 6) as u32);
+        let a = knn_greedy(&ds, 3).unwrap();
+        let b = try_knn_greedy_governed(&ds, 3, &Budget::unlimited()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn governed_cancellation_trips() {
+        let ds = Dataset::from_fn(19, 3, |i, j| ((i * 7 + j * 5) % 6) as u32);
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let err = try_knn_greedy_governed(&ds, 3, &budget).unwrap_err();
+        assert!(matches!(err, Error::BudgetExceeded { .. }), "{err}");
     }
 
     #[test]

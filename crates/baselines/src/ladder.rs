@@ -1,0 +1,311 @@
+//! Graceful-degradation ladder: spend the budget on the best algorithm that
+//! can afford to finish.
+//!
+//! The paper's approximation algorithms trade quality for cost: the §4.2.1
+//! exhaustive greedy (`3k(1+ln k)` guarantee) enumerates `O(n^{2k})`
+//! candidates, the §4.2.2 center greedy (`6k(1+ln m)`) is strongly
+//! polynomial, and the agglomerative baseline is a fast heuristic with no
+//! worst-case guarantee at all. A serving system with a deadline wants the
+//! *best guarantee it can afford*, not an error — so [`run_ladder`] tries
+//! the rungs in guarantee order, hands each rung a [`Budget::child`] slice
+//! of the remaining allowance, and falls one rung down whenever a rung's
+//! budget trips (or its static size guard rejects the instance).
+//!
+//! Budget slicing: every rung except the last receives **half the remaining
+//! deadline** (so an expensive rung that times out leaves the cheaper rungs
+//! room to finish), and the final rung receives everything that is left.
+//! Memory and candidate caps are inherited per rung with a fresh memory
+//! counter — an abandoned rung's (freed) allocations do not starve its
+//! successor. Cancellation is shared: cancelling the parent budget aborts
+//! whichever rung is running *and* every rung after it.
+
+use std::time::{Duration, Instant};
+
+use kanon_core::algo::{
+    anonymization_from_partition, try_center_greedy_governed, try_exhaustive_greedy_governed,
+};
+use kanon_core::error::{Error, Result};
+use kanon_core::govern::Budget;
+use kanon_core::greedy::{CenterConfig, FullCoverConfig};
+use kanon_core::{Algorithm, Anonymization, Dataset};
+
+use crate::agglomerative::try_agglomerative_governed;
+
+/// One rung of the degradation ladder, in descending guarantee order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rung {
+    /// Theorem 4.1 exhaustive greedy cover: `3k(1+ln k)`-approximate,
+    /// exponential in `k`.
+    FullGreedyCover,
+    /// Theorem 4.2 center greedy cover: `6k(1+ln m)`-approximate, strongly
+    /// polynomial.
+    CenterGreedy,
+    /// Agglomerative merging: fast heuristic, no worst-case guarantee.
+    Agglomerative,
+}
+
+impl Rung {
+    /// The three rungs, best guarantee first.
+    pub const ALL: [Rung; 3] = [
+        Rung::FullGreedyCover,
+        Rung::CenterGreedy,
+        Rung::Agglomerative,
+    ];
+
+    /// Short stable name (used in CLI notes and bench CSVs).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::FullGreedyCover => "full-greedy-cover",
+            Rung::CenterGreedy => "center-greedy",
+            Rung::Agglomerative => "agglomerative",
+        }
+    }
+
+    /// The approximation guarantee that survives when this rung answers.
+    #[must_use]
+    pub fn guarantee(self) -> &'static str {
+        match self {
+            Rung::FullGreedyCover => "3k(1+ln k)",
+            Rung::CenterGreedy => "6k(1+ln m)",
+            Rung::Agglomerative => "heuristic (no worst-case guarantee)",
+        }
+    }
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happened when a rung was attempted.
+#[derive(Clone, Debug)]
+pub enum RungOutcome {
+    /// The rung finished inside its budget slice with this suppression cost.
+    Succeeded {
+        /// Suppressed-cell count of the rung's anonymization.
+        cost: usize,
+    },
+    /// The rung could not answer (budget trip, size guard, overflow guard);
+    /// the ladder fell to the next rung.
+    Failed {
+        /// Rendered error explaining why the rung was abandoned.
+        reason: String,
+    },
+}
+
+/// Per-rung account of one ladder run.
+#[derive(Clone, Debug)]
+pub struct RungReport {
+    /// Which rung was attempted.
+    pub rung: Rung,
+    /// Wall-clock time the attempt consumed.
+    pub elapsed: Duration,
+    /// How the attempt ended.
+    pub outcome: RungOutcome,
+}
+
+/// Summary of a completed [`run_ladder`] call.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The rung that produced the returned anonymization.
+    pub rung: Rung,
+    /// The approximation guarantee that survives (the winning rung's).
+    pub guarantee: &'static str,
+    /// Every attempt in order, including the failed ones.
+    pub attempts: Vec<RungReport>,
+}
+
+impl RunReport {
+    /// True when the top rung answered — no degradation occurred.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.rung != Rung::FullGreedyCover
+    }
+}
+
+/// Configuration for [`run_ladder`].
+#[derive(Clone, Debug, Default)]
+pub struct LadderConfig {
+    /// The overall budget the ladder divides among its rungs. Unlimited by
+    /// default — the ladder then simply runs the top rung to completion.
+    pub budget: Budget,
+    /// Configuration for the [`Rung::FullGreedyCover`] attempt.
+    pub full: FullCoverConfig,
+    /// Configuration for the [`Rung::CenterGreedy`] attempt.
+    pub center: CenterConfig,
+}
+
+/// Whether a rung failure is *recoverable* — i.e. the ladder should fall to
+/// the next rung instead of aborting the whole run. Budget trips, static
+/// size guards, and overflow guards are exactly the "this algorithm cannot
+/// afford this instance" signals the ladder exists to absorb; anything else
+/// (bad `k`, internal invariants) would fail on every rung and propagates.
+fn recoverable(err: &Error) -> bool {
+    matches!(
+        err,
+        Error::BudgetExceeded { .. } | Error::InstanceTooLarge { .. } | Error::Overflow { .. }
+    )
+}
+
+fn attempt(
+    ds: &Dataset,
+    k: usize,
+    config: &LadderConfig,
+    rung: Rung,
+    budget: &Budget,
+) -> Result<Anonymization> {
+    match rung {
+        Rung::FullGreedyCover => try_exhaustive_greedy_governed(ds, k, &config.full, budget),
+        Rung::CenterGreedy => try_center_greedy_governed(ds, k, &config.center, budget),
+        Rung::Agglomerative => {
+            let partition = try_agglomerative_governed(ds, k, budget)?;
+            anonymization_from_partition(ds, partition, k, Algorithm::External("agglomerative"))
+        }
+    }
+}
+
+/// Runs the degradation ladder: best-guarantee algorithm first, falling one
+/// rung per recoverable failure, inside `config.budget`.
+///
+/// Returns the first rung's anonymization that finishes, together with a
+/// [`RunReport`] naming the winning rung, its surviving guarantee, and
+/// every attempt's cost/time.
+///
+/// # Errors
+/// Standard `k` validation errors up front. [`Error::BudgetExceeded`] when
+/// no rung could finish (the last rung's error is returned); cancellation
+/// surfaces the same way. Non-recoverable rung errors propagate
+/// immediately.
+pub fn run_ladder(
+    ds: &Dataset,
+    k: usize,
+    config: &LadderConfig,
+) -> Result<(Anonymization, RunReport)> {
+    ds.check_k(k)?;
+    let mut attempts = Vec::with_capacity(Rung::ALL.len());
+    let mut last_err: Option<Error> = None;
+
+    for (idx, &rung) in Rung::ALL.iter().enumerate() {
+        let is_last = idx + 1 == Rung::ALL.len();
+        // Non-final rungs get half the remaining deadline; the final rung
+        // gets everything left. `child` clamps to the parent's remaining
+        // time and shares the cancellation flag.
+        let slice = if is_last {
+            config.budget.child(None)
+        } else {
+            config
+                .budget
+                .child(config.budget.remaining().map(|r| r / 2))
+        };
+        let started = Instant::now();
+        match attempt(ds, k, config, rung, &slice) {
+            Ok(anon) => {
+                attempts.push(RungReport {
+                    rung,
+                    elapsed: started.elapsed(),
+                    outcome: RungOutcome::Succeeded { cost: anon.cost },
+                });
+                let report = RunReport {
+                    rung,
+                    guarantee: rung.guarantee(),
+                    attempts,
+                };
+                return Ok((anon, report));
+            }
+            Err(err) if recoverable(&err) => {
+                attempts.push(RungReport {
+                    rung,
+                    elapsed: started.elapsed(),
+                    outcome: RungOutcome::Failed {
+                        reason: err.to_string(),
+                    },
+                });
+                last_err = Some(err);
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    Err(last_err.expect("ladder has at least one rung"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kanon_core::algo::exhaustive_greedy;
+
+    fn dataset() -> Dataset {
+        Dataset::from_fn(18, 3, |i, j| ((i * 7 + j * 3) % 5) as u32)
+    }
+
+    #[test]
+    fn unlimited_budget_uses_top_rung_and_matches_pipeline() {
+        let ds = dataset();
+        let (anon, report) = run_ladder(&ds, 3, &LadderConfig::default()).unwrap();
+        assert_eq!(report.rung, Rung::FullGreedyCover);
+        assert!(!report.degraded());
+        assert_eq!(report.guarantee, "3k(1+ln k)");
+        assert_eq!(report.attempts.len(), 1);
+        // Byte-identical to the ungoverned Theorem 4.1 pipeline.
+        let direct = exhaustive_greedy(&ds, 3, &FullCoverConfig::default()).unwrap();
+        assert_eq!(anon.partition, direct.partition);
+        assert_eq!(anon.cost, direct.cost);
+        assert!(anon.table.is_k_anonymous(3));
+    }
+
+    #[test]
+    fn candidate_cap_degrades_to_center_greedy() {
+        let ds = dataset();
+        let config = LadderConfig {
+            // Far below the Σ C(18, 3..=5) candidate family.
+            budget: Budget::builder().max_candidates(10).build(),
+            ..Default::default()
+        };
+        let (anon, report) = run_ladder(&ds, 3, &config).unwrap();
+        assert_eq!(report.rung, Rung::CenterGreedy);
+        assert!(report.degraded());
+        assert_eq!(report.guarantee, "6k(1+ln m)");
+        assert_eq!(report.attempts.len(), 2);
+        assert!(matches!(
+            report.attempts[0].outcome,
+            RungOutcome::Failed { .. }
+        ));
+        assert!(anon.table.is_k_anonymous(3));
+    }
+
+    #[test]
+    fn tiny_memory_cap_fails_every_rung() {
+        let ds = dataset();
+        let config = LadderConfig {
+            // Too small even for the distance cache every rung needs.
+            budget: Budget::builder().max_memory_bytes(8).build(),
+            ..Default::default()
+        };
+        let err = run_ladder(&ds, 3, &config).unwrap_err();
+        assert!(matches!(err, Error::BudgetExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn cancellation_aborts_the_whole_ladder() {
+        let ds = dataset();
+        let config = LadderConfig::default();
+        config.budget.cancel();
+        let err = run_ladder(&ds, 3, &config).unwrap_err();
+        assert!(matches!(err, Error::BudgetExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_k_is_not_absorbed() {
+        let ds = dataset();
+        assert!(run_ladder(&ds, 0, &LadderConfig::default()).is_err());
+        assert!(run_ladder(&ds, 19, &LadderConfig::default()).is_err());
+    }
+
+    #[test]
+    fn rung_metadata() {
+        assert_eq!(Rung::FullGreedyCover.to_string(), "full-greedy-cover");
+        assert_eq!(Rung::CenterGreedy.name(), "center-greedy");
+        assert!(Rung::Agglomerative.guarantee().contains("heuristic"));
+    }
+}

@@ -17,6 +17,12 @@
 //! * [`forest`] — the k-forest construction from the follow-up
 //!   approximation literature, i.e. the direction in which the paper's §5
 //!   open question was resolved.
+//!
+//! The crate also hosts the [`ladder`] module: a resource-governed
+//! degradation ladder that tries the paper's algorithms best-guarantee
+//! first (exhaustive greedy → center greedy → agglomerative) and falls one
+//! rung whenever a [`kanon_core::govern::Budget`] slice trips, so a
+//! deadline produces the best answer affordable instead of an error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,13 +33,20 @@
 pub mod agglomerative;
 pub mod forest;
 pub mod knn;
+pub mod ladder;
 pub mod mondrian;
 pub mod random;
 
-pub use agglomerative::{agglomerative, agglomerative_with_cache};
+pub use agglomerative::{
+    agglomerative, agglomerative_with_cache, try_agglomerative_governed,
+    try_agglomerative_governed_with_cache,
+};
 pub use forest::forest;
-pub use knn::{knn_greedy, knn_greedy_with_cache};
-pub use mondrian::mondrian;
+pub use knn::{
+    knn_greedy, knn_greedy_with_cache, try_knn_greedy_governed, try_knn_greedy_governed_with_cache,
+};
+pub use ladder::{run_ladder, LadderConfig, RunReport, Rung, RungOutcome, RungReport};
+pub use mondrian::{mondrian, try_mondrian_governed};
 pub use random::random_partition;
 
 #[cfg(test)]

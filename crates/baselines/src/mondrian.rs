@@ -9,6 +9,7 @@
 //! adaptation).
 
 use kanon_core::error::Result;
+use kanon_core::govern::{Budget, PollTicker};
 use kanon_core::{Dataset, Partition};
 
 /// Builds a partition by recursive median splits.
@@ -25,30 +26,51 @@ use kanon_core::{Dataset, Partition};
 /// # Errors
 /// Standard `k` validation errors.
 pub fn mondrian(ds: &Dataset, k: usize) -> Result<Partition> {
+    try_mondrian_governed(ds, k, &Budget::unlimited())
+}
+
+/// [`mondrian`] under a [`Budget`]: the recursive splitter polls the budget
+/// once per row scanned while choosing and applying each cut.
+///
+/// # Errors
+/// As [`mondrian`]; additionally [`kanon_core::Error::BudgetExceeded`] when
+/// the budget trips.
+pub fn try_mondrian_governed(ds: &Dataset, k: usize, budget: &Budget) -> Result<Partition> {
     ds.check_k(k)?;
+    budget.check()?;
     let n = ds.n_rows();
     let all: Vec<u32> = (0..n as u32).collect();
     let mut blocks = Vec::new();
-    split(ds, k, all, &mut blocks);
+    let mut ticker = budget.ticker();
+    split(ds, k, all, &mut blocks, &mut ticker)?;
     Partition::new(blocks, n, k)
 }
 
-fn split(ds: &Dataset, k: usize, rows: Vec<u32>, out: &mut Vec<Vec<u32>>) {
+fn split(
+    ds: &Dataset,
+    k: usize,
+    rows: Vec<u32>,
+    out: &mut Vec<Vec<u32>>,
+    ticker: &mut PollTicker<'_>,
+) -> Result<()> {
     if rows.len() < 2 * k {
         out.push(rows);
-        return;
+        return Ok(());
     }
     // Rank columns by number of distinct values within this block, widest
     // first (Mondrian's "choose dimension" heuristic for categorical data).
     let m = ds.n_cols();
-    let mut col_spread: Vec<(usize, usize)> = (0..m)
-        .map(|j| {
-            let mut vals: Vec<u32> = rows.iter().map(|&r| ds.get(r as usize, j)).collect();
-            vals.sort_unstable();
-            vals.dedup();
-            (vals.len(), j)
-        })
-        .collect();
+    let mut col_spread: Vec<(usize, usize)> = Vec::with_capacity(m);
+    for j in 0..m {
+        let mut vals = Vec::with_capacity(rows.len());
+        for &r in &rows {
+            ticker.tick()?;
+            vals.push(ds.get(r as usize, j));
+        }
+        vals.sort_unstable();
+        vals.dedup();
+        col_spread.push((vals.len(), j));
+    }
     col_spread.sort_unstable_by(|a, b| b.cmp(a));
 
     for &(spread, j) in &col_spread {
@@ -56,7 +78,11 @@ fn split(ds: &Dataset, k: usize, rows: Vec<u32>, out: &mut Vec<Vec<u32>>) {
             break; // No column can split this block.
         }
         // Median split on column j's values.
-        let mut vals: Vec<u32> = rows.iter().map(|&r| ds.get(r as usize, j)).collect();
+        let mut vals = Vec::with_capacity(rows.len());
+        for &r in &rows {
+            ticker.tick()?;
+            vals.push(ds.get(r as usize, j));
+        }
         vals.sort_unstable();
         let median = vals[vals.len() / 2];
         // "Strict" Mondrian: left gets < median... but with heavy ties that
@@ -87,13 +113,14 @@ fn split(ds: &Dataset, k: usize, rows: Vec<u32>, out: &mut Vec<Vec<u32>>) {
                 .collect();
         }
         if left.len() >= k && right.len() >= k {
-            split(ds, k, left, out);
-            split(ds, k, right, out);
-            return;
+            split(ds, k, left, out, ticker)?;
+            split(ds, k, right, out, ticker)?;
+            return Ok(());
         }
     }
     // No feasible cut: emit as one block.
     out.push(rows);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -142,5 +169,21 @@ mod tests {
         let ds = Dataset::from_fn(3, 1, |i, _| i as u32);
         assert!(mondrian(&ds, 0).is_err());
         assert!(mondrian(&ds, 4).is_err());
+    }
+
+    #[test]
+    fn governed_unlimited_matches_ungoverned() {
+        let ds = Dataset::from_fn(31, 4, |i, j| ((i * 13 + j * 5) % 7) as u32);
+        let a = mondrian(&ds, 3).unwrap();
+        let b = try_mondrian_governed(&ds, 3, &Budget::unlimited()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn governed_cancellation_trips() {
+        let ds = Dataset::from_fn(31, 4, |i, j| ((i * 13 + j * 5) % 7) as u32);
+        let budget = Budget::unlimited();
+        budget.cancel();
+        assert!(try_mondrian_governed(&ds, 3, &budget).is_err());
     }
 }

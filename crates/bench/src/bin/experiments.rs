@@ -1,20 +1,28 @@
 //! The experiment runner: regenerates every table in EXPERIMENTS.md.
 //!
 //! ```text
-//! experiments all [--quick] [--seed N]
+//! experiments all [--quick] [--seed N] [--deadline-ms MS] [--max-memory-mb MB]
 //! experiments e1 e5 e8 [--quick]
 //! experiments list
 //! ```
+//!
+//! `--deadline-ms` / `--max-memory-mb` bound the whole run: the budget is
+//! checked between experiments, and once it trips the remaining experiments
+//! are skipped with a note — exit code stays 0, because a partial sweep
+//! under an explicit budget is a success, not a failure.
 
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use kanon_bench::experiments;
 use kanon_bench::Ctx;
+use kanon_core::govern::Budget;
 
 fn usage() -> String {
     let mut s = String::from(
-        "usage: experiments <all | list | ids...> [--quick] [--seed N]\n\navailable experiments:\n",
+        "usage: experiments <all | list | ids...> [--quick] [--seed N]\n\
+         \u{20}                  [--deadline-ms MS] [--max-memory-mb MB]\n\navailable experiments:\n",
     );
     for e in experiments::all() {
         s.push_str(&format!("  {:4} {}\n", e.id, e.claim));
@@ -27,6 +35,8 @@ fn main() -> ExitCode {
     let mut ctx = Ctx::default();
     let mut ids: Vec<String> = Vec::new();
     let mut run_all = false;
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_memory_mb: Option<u64> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -35,6 +45,28 @@ fn main() -> ExitCode {
                 Some(seed) => ctx.seed = seed,
                 None => {
                     eprintln!("--seed needs an integer argument\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--deadline-ms" => match iter
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&x: &u64| x >= 1)
+            {
+                Some(ms) => deadline_ms = Some(ms),
+                None => {
+                    eprintln!("--deadline-ms needs a positive integer\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-memory-mb" => match iter
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&x: &u64| x >= 1)
+            {
+                Some(mb) => max_memory_mb = Some(mb),
+                None => {
+                    eprintln!("--max-memory-mb needs a positive integer\n\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -75,6 +107,17 @@ fn main() -> ExitCode {
         sel
     };
 
+    let budget = {
+        let mut b = Budget::builder();
+        if let Some(ms) = deadline_ms {
+            b = b.deadline(Duration::from_millis(ms));
+        }
+        if let Some(mb) = max_memory_mb {
+            b = b.max_memory_bytes(mb.saturating_mul(1024 * 1024));
+        }
+        b.build()
+    };
+
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
     writeln!(
@@ -84,12 +127,28 @@ fn main() -> ExitCode {
         if ctx.quick { "quick" } else { "full" }
     )
     .expect("stdout");
+    let mut skipped: Vec<&str> = Vec::new();
     for e in selected {
+        // The budget is polled between experiments: a tripped budget skips
+        // the rest of the sweep gracefully instead of aborting mid-table.
+        if budget.check().is_err() {
+            skipped.push(e.id);
+            continue;
+        }
         let started = std::time::Instant::now();
         let report = (e.run)(&ctx);
         writeln!(lock, "\n{}", "=".repeat(78)).expect("stdout");
         write!(lock, "{report}").expect("stdout");
         writeln!(lock, "[{} finished in {:.2?}]", e.id, started.elapsed()).expect("stdout");
+    }
+    if !skipped.is_empty() {
+        writeln!(
+            lock,
+            "\nbudget exhausted ({}); skipped: {}",
+            budget.check().expect_err("a skip implies a tripped budget"),
+            skipped.join(", ")
+        )
+        .expect("stdout");
     }
     ExitCode::SUCCESS
 }

@@ -22,6 +22,7 @@ pub mod e18_correlation;
 pub mod e19_attribute_gap;
 pub mod e20_weighted;
 pub mod e21_diversity;
+pub mod e22_ladder;
 
 use crate::Ctx;
 
@@ -144,6 +145,11 @@ pub fn all() -> Vec<Experiment> {
             claim: "extension: the price of l-diversity atop k-anonymity",
             run: e21_diversity::run,
         },
+        Experiment {
+            id: "e22",
+            claim: "robustness: degradation ladder answers with the best affordable guarantee",
+            run: e22_ladder::run,
+        },
     ]
 }
 
@@ -158,11 +164,11 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = super::all();
-        assert_eq!(all.len(), 21);
+        assert_eq!(all.len(), 22);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 21);
+        assert_eq!(ids.len(), 22);
         assert!(super::by_id("e5").is_some());
         assert!(super::by_id("e99").is_none());
     }

@@ -14,6 +14,10 @@ pub enum Algorithm {
     Forest,
     /// Exact optimum (tiny instances only).
     Exact,
+    /// Degradation ladder: exhaustive → center → agglomerative, best
+    /// guarantee the budget affords (auto-selected when a budget flag is
+    /// given without an explicit `--algorithm`).
+    Ladder,
 }
 
 /// A parsed CLI invocation.
@@ -35,6 +39,10 @@ pub enum Command {
         threads: usize,
         /// Optional path for the 0/1 suppression-mask audit artifact.
         emit_mask: Option<String>,
+        /// Wall-clock budget in milliseconds (`None` = unlimited).
+        deadline_ms: Option<u64>,
+        /// Planned-allocation memory budget in MiB (`None` = unlimited).
+        max_memory_mb: Option<u64>,
     },
     /// `kanon verify`.
     Verify {
@@ -74,9 +82,10 @@ pub fn usage() -> String {
 
 USAGE:
     kanon anonymize -k <K> --input <FILE|-> [--output <FILE>]
-                    [--algorithm center|exhaustive|forest|exact]
+                    [--algorithm center|exhaustive|forest|exact|ladder]
                     [--quasi col1,col2,...] [--threads N]
                     [--emit-mask <FILE>]
+                    [--deadline-ms MS] [--max-memory-mb MB]
     kanon verify    -k <K> --input <FILE|-> [--quasi col1,col2,...]
     kanon attack    --released <FILE> --external <FILE> --join col1,col2,...
     kanon generate  [--rows N] [--seed S] [--regions R]
@@ -90,6 +99,15 @@ COMMANDS:
     attack      Play the adversary: join a released CSV against external
                 data and report how many records are uniquely linkable.
     generate    Emit a synthetic census-like CSV for experimentation.
+
+BUDGETS:
+    --deadline-ms and --max-memory-mb bound the solver's wall-clock time and
+    planned allocations. Given without --algorithm they select the `ladder`
+    runner, which tries exhaustive greedy, then center greedy, then the
+    agglomerative heuristic — answering with the best approximation
+    guarantee the budget affords. With `center` or `exhaustive` the chosen
+    solver runs governed and fails cleanly when the budget trips; `forest`
+    and `exact` do not support budgets.
 "
     .to_string()
 }
@@ -150,23 +168,55 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 "--quasi",
                 "--threads",
                 "--emit-mask",
+                "--deadline-ms",
+                "--max-memory-mb",
             ])?;
             let k = parse_k(flag("-k"))?;
             let input = flag("--input")
                 .cloned()
                 .ok_or_else(|| CliError::Usage(format!("--input is required\n\n{}", usage())))?;
+            let budget_flag = |name: &str| -> Result<Option<u64>, CliError> {
+                match flag(name) {
+                    None => Ok(None),
+                    Some(v) => v
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&x| x >= 1)
+                        .map(Some)
+                        .ok_or_else(|| {
+                            CliError::Usage(format!(
+                                "{name} needs a positive integer\n\n{}",
+                                usage()
+                            ))
+                        }),
+                }
+            };
+            let deadline_ms = budget_flag("--deadline-ms")?;
+            let max_memory_mb = budget_flag("--max-memory-mb")?;
+            let budgeted = deadline_ms.is_some() || max_memory_mb.is_some();
             let algorithm = match flag("--algorithm").map(String::as_str) {
+                // A budget without an explicit algorithm selects the
+                // degradation ladder: best guarantee the budget affords.
+                None if budgeted => Algorithm::Ladder,
                 None | Some("center") => Algorithm::Center,
                 Some("exhaustive") => Algorithm::Exhaustive,
                 Some("forest") => Algorithm::Forest,
                 Some("exact") => Algorithm::Exact,
+                Some("ladder") => Algorithm::Ladder,
                 Some(other) => {
                     return Err(CliError::Usage(format!(
-                        "unknown algorithm `{other}` (center | exhaustive | forest | exact)\n\n{}",
+                        "unknown algorithm `{other}` (center | exhaustive | forest | exact | ladder)\n\n{}",
                         usage()
                     )))
                 }
             };
+            if budgeted && matches!(algorithm, Algorithm::Forest | Algorithm::Exact) {
+                return Err(CliError::Usage(format!(
+                    "--deadline-ms/--max-memory-mb are not supported with `forest` or `exact`; \
+                     use center, exhaustive, or ladder\n\n{}",
+                    usage()
+                )));
+            }
             let threads = match flag("--threads") {
                 None => 1,
                 Some(v) => v.parse::<usize>().ok().filter(|&t| t >= 1).ok_or_else(|| {
@@ -181,6 +231,8 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 quasi: quasi(flag("--quasi")),
                 threads,
                 emit_mask: flag("--emit-mask").cloned(),
+                deadline_ms,
+                max_memory_mb,
             })
         }
         "verify" => {
@@ -259,6 +311,8 @@ mod tests {
                 quasi: Some(vec!["age".into(), "zip".into()]),
                 threads: 1,
                 emit_mask: None,
+                deadline_ms: None,
+                max_memory_mb: None,
             }
         );
     }
@@ -276,6 +330,8 @@ mod tests {
                 quasi: None,
                 threads: 1,
                 emit_mask: None,
+                deadline_ms: None,
+                max_memory_mb: None,
             }
         );
         assert_eq!(
@@ -316,6 +372,67 @@ mod tests {
             parse(&argv("generate --rows abc")),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn budget_flags_select_the_ladder() {
+        // A budget flag with no --algorithm promotes the run to the ladder.
+        let cmd = parse(&argv("anonymize -k 3 --input - --deadline-ms 500")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Anonymize {
+                algorithm: Algorithm::Ladder,
+                deadline_ms: Some(500),
+                max_memory_mb: None,
+                ..
+            }
+        ));
+        // An explicit governed algorithm keeps its choice.
+        let cmd = parse(&argv(
+            "anonymize -k 3 --input - --algorithm center --max-memory-mb 64",
+        ))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Anonymize {
+                algorithm: Algorithm::Center,
+                max_memory_mb: Some(64),
+                ..
+            }
+        ));
+        // `ladder` is spellable without budget flags (unlimited ladder).
+        let cmd = parse(&argv("anonymize -k 3 --input - --algorithm ladder")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Anonymize {
+                algorithm: Algorithm::Ladder,
+                deadline_ms: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn budget_flag_errors() {
+        // Ungoverned solvers reject budget flags.
+        for algo in ["forest", "exact"] {
+            let err = parse(&argv(&format!(
+                "anonymize -k 2 --input - --algorithm {algo} --deadline-ms 100"
+            )))
+            .unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{algo}");
+        }
+        // Budget values must be positive integers.
+        for bad in [
+            "anonymize -k 2 --input - --deadline-ms 0",
+            "anonymize -k 2 --input - --deadline-ms soon",
+            "anonymize -k 2 --input - --max-memory-mb -5",
+        ] {
+            assert!(
+                matches!(parse(&argv(bad)), Err(CliError::Usage(_))),
+                "{bad}"
+            );
+        }
     }
 
     #[test]

@@ -49,9 +49,19 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
             quasi,
             threads,
             emit_mask,
+            deadline_ms,
+            max_memory_mb,
         } => {
             let text = read_input(input)?;
-            let (mut outcome, mask) = anonymize(&text, *k, *algorithm, quasi.as_deref(), *threads)?;
+            let (mut outcome, mask) = anonymize(
+                &text,
+                *k,
+                *algorithm,
+                quasi.as_deref(),
+                *threads,
+                *deadline_ms,
+                *max_memory_mb,
+            )?;
             if let Some(path) = emit_mask {
                 std::fs::write(path, mask)
                     .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
@@ -68,6 +78,15 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
             Ok(outcome)
         }
     }
+}
+
+/// Parses CSV input, rejecting tables with no data rows up front
+/// ([`CliError::EmptyInput`]) so solvers never see a degenerate instance.
+fn parse_table(text: &str) -> Result<Table, CliError> {
+    csv::parse_non_empty(text).map_err(|e| match e {
+        kanon_relation::Error::EmptyTable => CliError::EmptyInput,
+        other => CliError::Failed(other.to_string()),
+    })
 }
 
 fn read_input(path: &str) -> Result<String, CliError> {
@@ -116,8 +135,8 @@ fn quasi_indices(schema: &Schema, quasi: Option<&[String]>) -> Result<Vec<usize>
 }
 
 fn attack(released_text: &str, external_text: &str, join: &[String]) -> Result<Outcome, CliError> {
-    let released = csv::parse(released_text).map_err(|e| CliError::Failed(e.to_string()))?;
-    let external = csv::parse(external_text).map_err(|e| CliError::Failed(e.to_string()))?;
+    let released = parse_table(released_text)?;
+    let external = parse_table(external_text)?;
     let pairs: Vec<(&str, &str)> = join.iter().map(|c| (c.as_str(), c.as_str())).collect();
     let report = kanon_relation::linkage_attack(&released, &external, &pairs)
         .map_err(|e| CliError::Failed(e.to_string()))?;
@@ -141,7 +160,13 @@ fn attack(released_text: &str, external_text: &str, join: &[String]) -> Result<O
 }
 
 fn verify(text: &str, k: usize, quasi: Option<&[String]>) -> Result<Outcome, CliError> {
-    let table = csv::parse(text).map_err(|e| CliError::Failed(e.to_string()))?;
+    let table = parse_table(text)?;
+    if k == 0 {
+        return Err(CliError::BadK {
+            k,
+            n: table.n_rows(),
+        });
+    }
     let cols = quasi_indices(table.schema(), quasi)?;
     let mut counts: std::collections::HashMap<Vec<&str>, usize> = std::collections::HashMap::new();
     for row in table.rows() {
@@ -186,20 +211,23 @@ fn verify(text: &str, k: usize, quasi: Option<&[String]>) -> Result<Outcome, Cli
     })
 }
 
+#[allow(clippy::too_many_lines)]
 fn anonymize(
     text: &str,
     k: usize,
     algorithm: Algorithm,
     quasi: Option<&[String]>,
     threads: usize,
+    deadline_ms: Option<u64>,
+    max_memory_mb: Option<u64>,
 ) -> Result<(Outcome, String), CliError> {
-    let table = csv::parse(text).map_err(|e| CliError::Failed(e.to_string()))?;
+    let table = parse_table(text)?;
     let cols = quasi_indices(table.schema(), quasi)?;
-    if table.n_rows() < k {
-        return Err(CliError::Failed(format!(
-            "{} rows cannot be {k}-anonymized",
-            table.n_rows()
-        )));
+    if k == 0 || k > table.n_rows() {
+        return Err(CliError::BadK {
+            k,
+            n: table.n_rows(),
+        });
     }
 
     // Project onto the quasi-identifier columns and encode.
@@ -221,9 +249,47 @@ fn anonymize(
         threads,
         ..Default::default()
     };
+    // Budget flags translate to a governed run; without them the budget is
+    // unlimited and the governed paths behave byte-identically to the
+    // ungoverned ones.
+    let budget = {
+        let mut b = kanon_core::govern::Budget::builder();
+        if let Some(ms) = deadline_ms {
+            b = b.deadline(std::time::Duration::from_millis(ms));
+        }
+        if let Some(mb) = max_memory_mb {
+            b = b.max_memory_bytes(mb.saturating_mul(1024 * 1024));
+        }
+        b.build()
+    };
+    let mut ladder_notes: Vec<String> = Vec::new();
     let result = match algorithm {
-        Algorithm::Center => algo::center_greedy(&ds, k, &center_config),
-        Algorithm::Exhaustive => algo::exhaustive_greedy(&ds, k, &Default::default()),
+        Algorithm::Center => algo::try_center_greedy_governed(&ds, k, &center_config, &budget),
+        Algorithm::Exhaustive => {
+            algo::try_exhaustive_greedy_governed(&ds, k, &Default::default(), &budget)
+        }
+        Algorithm::Ladder => {
+            let config = kanon_baselines::LadderConfig {
+                budget: budget.clone(),
+                center: center_config.clone(),
+                ..Default::default()
+            };
+            kanon_baselines::run_ladder(&ds, k, &config).map(|(anon, report)| {
+                for attempt in &report.attempts {
+                    if let kanon_baselines::RungOutcome::Failed { reason } = &attempt.outcome {
+                        ladder_notes.push(format!(
+                            "rung {} abandoned after {:.2?}: {reason}",
+                            attempt.rung, attempt.elapsed
+                        ));
+                    }
+                }
+                ladder_notes.push(format!(
+                    "ladder answered on rung {} (guarantee: {})",
+                    report.rung, report.guarantee
+                ));
+                anon
+            })
+        }
         Algorithm::Forest => {
             kanon_baselines::forest::forest(&ds, k, &Default::default()).and_then(|partition| {
                 let suppressor = kanon_core::rounding::suppressor_for_partition(&ds, &partition)?;
@@ -242,7 +308,8 @@ fn anonymize(
     }
     .map_err(|e| {
         CliError::Failed(format!(
-            "anonymization failed: {e}\nhint: `center` handles the largest instances"
+            "anonymization failed: {e}\nhint: `center` handles the largest instances; \
+             --deadline-ms runs the degradation ladder"
         ))
     })?;
     let elapsed = started.elapsed();
@@ -265,8 +332,9 @@ fn anonymize(
         Algorithm::Exhaustive => "exhaustive greedy (Thm 4.1)",
         Algorithm::Forest => "k-forest (follow-up literature)",
         Algorithm::Exact => "exact optimum",
+        Algorithm::Ladder => "degradation ladder",
     };
-    let notes = vec![
+    let mut notes = vec![
         format!("algorithm: {algo_name}"),
         format!(
             "suppressed {} of {} quasi-identifier cells ({:.1}%)",
@@ -277,6 +345,7 @@ fn anonymize(
         format!("groups: {}", result.partition.n_blocks()),
         format!("time: {elapsed:.2?}"),
     ];
+    notes.extend(ladder_notes);
     Ok((
         Outcome {
             stdout: csv::to_string(&out),
@@ -298,7 +367,7 @@ mod tests {
 
     #[test]
     fn anonymize_then_verify_roundtrip() {
-        let (out, mask) = anonymize(SAMPLE, 2, Algorithm::Exact, None, 1).unwrap();
+        let (out, mask) = anonymize(SAMPLE, 2, Algorithm::Exact, None, 1, None, None).unwrap();
         assert!(mask.lines().count() == 4);
         assert!(out.stdout.contains('*'));
         let verified = verify(&out.stdout, 2, None).unwrap();
@@ -308,7 +377,8 @@ mod tests {
     #[test]
     fn quasi_columns_keep_sensitive_data() {
         let quasi: Vec<String> = vec!["first".into(), "last".into(), "age".into()];
-        let (out, _) = anonymize(SAMPLE, 2, Algorithm::Center, Some(&quasi), 1).unwrap();
+        let (out, _) =
+            anonymize(SAMPLE, 2, Algorithm::Center, Some(&quasi), 1, None, None).unwrap();
         // Race column survives untouched.
         for race in ["Afr-Am", "Cauc", "Hisp"] {
             assert!(out.stdout.contains(race), "{}", out.stdout);
@@ -345,6 +415,8 @@ mod tests {
             quasi: None,
             threads: 1,
             emit_mask: Some(mask_path.to_string_lossy().into_owned()),
+            deadline_ms: None,
+            max_memory_mb: None,
         })
         .unwrap();
         assert!(outcome.notes.iter().any(|n| n.contains("suppression mask")));
@@ -370,14 +442,63 @@ mod tests {
     #[test]
     fn unknown_quasi_column_is_usage_error() {
         let quasi: Vec<String> = vec!["bogus".into()];
-        let err = anonymize(SAMPLE, 2, Algorithm::Center, Some(&quasi), 1).unwrap_err();
+        let err = anonymize(SAMPLE, 2, Algorithm::Center, Some(&quasi), 1, None, None).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
     }
 
     #[test]
-    fn too_few_rows() {
-        let err = anonymize("a\nx\n", 3, Algorithm::Center, None, 1).unwrap_err();
-        assert!(err.to_string().contains("cannot be 3-anonymized"));
+    fn too_few_rows_is_bad_k() {
+        let err = anonymize("a\nx\n", 3, Algorithm::Center, None, 1, None, None).unwrap_err();
+        assert_eq!(err, CliError::BadK { k: 3, n: 1 });
+        assert!(err.to_string().contains("k = 3 is infeasible"));
+    }
+
+    #[test]
+    fn empty_table_is_rejected_everywhere() {
+        let header_only = "a,b\n";
+        let err = anonymize(header_only, 2, Algorithm::Center, None, 1, None, None).unwrap_err();
+        assert_eq!(err, CliError::EmptyInput);
+        assert_eq!(
+            verify(header_only, 2, None).unwrap_err(),
+            CliError::EmptyInput
+        );
+        assert_eq!(
+            attack(header_only, "a,b\n1,2\n", &["a".into()]).unwrap_err(),
+            CliError::EmptyInput
+        );
+    }
+
+    #[test]
+    fn ladder_with_unlimited_budget_matches_exhaustive() {
+        let (ladder_out, _) = anonymize(SAMPLE, 2, Algorithm::Ladder, None, 1, None, None).unwrap();
+        let (direct_out, _) =
+            anonymize(SAMPLE, 2, Algorithm::Exhaustive, None, 1, None, None).unwrap();
+        assert_eq!(ladder_out.stdout, direct_out.stdout);
+        assert!(ladder_out
+            .notes
+            .iter()
+            .any(|n| n.contains("rung full-greedy-cover")));
+    }
+
+    #[test]
+    fn governed_center_with_roomy_deadline_succeeds() {
+        let (out, _) =
+            anonymize(SAMPLE, 2, Algorithm::Center, None, 1, Some(60_000), None).unwrap();
+        assert!(verify(&out.stdout, 2, None).is_ok());
+    }
+
+    #[test]
+    fn tiny_memory_budget_fails_deterministically() {
+        // 600 rows: the center greedy's planned allocations (distance cache
+        // ~0.7 MiB plus n²-sized order tables ~1.4 MiB) cannot fit in the
+        // smallest spellable cap of 1 MiB, so the governed run must fail
+        // with a structured budget error — no timing involved.
+        let data = generate(600, 11, 5).unwrap().stdout;
+        let err = anonymize(&data, 3, Algorithm::Center, None, 1, None, Some(1)).unwrap_err();
+        assert!(
+            err.to_string().contains("budget exceeded") && err.to_string().contains("memory"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -393,7 +514,7 @@ mod tests {
     fn generated_data_anonymizes_end_to_end() {
         let data = generate(40, 3, 3).unwrap().stdout;
         let quasi: Vec<String> = vec!["age".into(), "sex".into(), "race".into(), "zip".into()];
-        let (out, _) = anonymize(&data, 3, Algorithm::Center, Some(&quasi), 2).unwrap();
+        let (out, _) = anonymize(&data, 3, Algorithm::Center, Some(&quasi), 2, None, None).unwrap();
         assert!(verify(&out.stdout, 3, Some(&quasi)).is_ok());
     }
 

@@ -48,12 +48,31 @@ pub enum CliError {
     Usage(String),
     /// Runtime failure (exit 1).
     Failed(String),
+    /// The input table parsed but has no data rows (exit 1).
+    EmptyInput,
+    /// The privacy parameter is infeasible for the input size (exit 1).
+    BadK {
+        /// The requested privacy parameter.
+        k: usize,
+        /// The input's data-row count.
+        n: usize,
+    },
 }
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CliError::Usage(m) | CliError::Failed(m) => write!(f, "{m}"),
+            CliError::EmptyInput => {
+                write!(
+                    f,
+                    "input table has a header but no data rows; nothing to process"
+                )
+            }
+            CliError::BadK { k, n } => write!(
+                f,
+                "k = {k} is infeasible for an input with {n} data row(s); need 1 <= k <= {n}"
+            ),
         }
     }
 }

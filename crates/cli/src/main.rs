@@ -16,8 +16,9 @@ fn main() -> ExitCode {
             eprintln!("{msg}");
             ExitCode::from(2)
         }
-        Err(kanon_cli::CliError::Failed(msg)) => {
-            eprintln!("{msg}");
+        Err(err) => {
+            // Failed / EmptyInput / BadK: runtime failures, exit 1.
+            eprintln!("{err}");
             ExitCode::FAILURE
         }
     }

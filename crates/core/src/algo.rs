@@ -9,8 +9,10 @@
 use crate::dataset::Dataset;
 use crate::error::Result;
 use crate::exact;
+use crate::govern::Budget;
 use crate::greedy::{
-    center_greedy_cover, full_greedy_cover, reduce, CenterConfig, FullCoverConfig,
+    reduce, try_center_greedy_cover_governed, try_full_greedy_cover_governed, CenterConfig,
+    FullCoverConfig,
 };
 use crate::partition::Partition;
 use crate::rounding::suppressor_for_partition;
@@ -77,6 +79,24 @@ fn finish(
     })
 }
 
+/// Rounds an externally produced partition with Corollary 4.1 and verifies
+/// k-anonymity, tagging the result with `algorithm`. This is the finishing
+/// step every pipeline here shares, exposed so out-of-crate runners (the
+/// baselines crate's degradation ladder, the CLI's forest branch) can turn
+/// their partitions into a complete [`Anonymization`].
+///
+/// # Errors
+/// [`crate::Error::InvalidPartition`] when `partition` does not cover `ds`
+/// with blocks of at least `k` rows.
+pub fn anonymization_from_partition(
+    ds: &Dataset,
+    partition: Partition,
+    k: usize,
+    algorithm: Algorithm,
+) -> Result<Anonymization> {
+    finish(ds, partition, k, algorithm)
+}
+
 /// The Theorem 4.1 pipeline: exhaustive greedy cover → Reduce → round.
 ///
 /// Only feasible for small `n` and `k` (the candidate family has
@@ -89,7 +109,22 @@ pub fn exhaustive_greedy(
     k: usize,
     config: &FullCoverConfig,
 ) -> Result<Anonymization> {
-    let cover = full_greedy_cover(ds, k, config)?;
+    try_exhaustive_greedy_governed(ds, k, config, &Budget::unlimited())
+}
+
+/// [`exhaustive_greedy`] under a [`Budget`]: the candidate enumeration and
+/// the greedy cover poll the budget at bounded intervals.
+///
+/// # Errors
+/// As [`exhaustive_greedy`]; additionally [`crate::Error::BudgetExceeded`]
+/// when the budget trips.
+pub fn try_exhaustive_greedy_governed(
+    ds: &Dataset,
+    k: usize,
+    config: &FullCoverConfig,
+    budget: &Budget,
+) -> Result<Anonymization> {
+    let cover = try_full_greedy_cover_governed(ds, k, config, budget)?;
     let partition = reduce(&cover, k)?.split_large(k);
     finish(ds, partition, k, Algorithm::ExhaustiveGreedy)
 }
@@ -100,7 +135,22 @@ pub fn exhaustive_greedy(
 /// # Errors
 /// Bad `k` or an instance above [`CenterConfig::max_rows`].
 pub fn center_greedy(ds: &Dataset, k: usize, config: &CenterConfig) -> Result<Anonymization> {
-    let cover = center_greedy_cover(ds, k, config)?;
+    try_center_greedy_governed(ds, k, config, &Budget::unlimited())
+}
+
+/// [`center_greedy`] under a [`Budget`]: the distance-cache build and the
+/// center scans poll the budget at bounded intervals.
+///
+/// # Errors
+/// As [`center_greedy`]; additionally [`crate::Error::BudgetExceeded`] when
+/// the budget trips.
+pub fn try_center_greedy_governed(
+    ds: &Dataset,
+    k: usize,
+    config: &CenterConfig,
+    budget: &Budget,
+) -> Result<Anonymization> {
+    let cover = try_center_greedy_cover_governed(ds, k, config, budget)?;
     let partition = reduce(&cover, k)?.split_large(k);
     finish(ds, partition, k, Algorithm::CenterGreedy)
 }

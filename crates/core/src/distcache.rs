@@ -31,7 +31,27 @@
 //! schedules), then the machine's available parallelism.
 
 use crate::dataset::Dataset;
+use crate::error::{Error, Result};
+use crate::govern::Budget;
 use crate::metric::hamming;
+
+/// Checked strict-upper-triangle length `n(n−1)/2`, also validating that
+/// every intermediate of the hot [`PairwiseDistances::tri_index`] formula
+/// (`i·(2n−i−1)`, bounded by `2n²`) fits a `usize`, so the per-query index
+/// arithmetic can stay unchecked.
+fn triangle_len(n: usize) -> Result<usize> {
+    let overflow = Error::Overflow {
+        what: "triangular distance-cache size n(n-1)/2",
+    };
+    if n < 2 {
+        return Ok(0);
+    }
+    // 2n² fits ⇒ n(n−1) and every i·(2n−i−1) < 2n² fit.
+    n.checked_mul(2)
+        .and_then(|d| d.checked_mul(n))
+        .ok_or(overflow.clone())?;
+    n.checked_mul(n - 1).map(|t| t / 2).ok_or(overflow)
+}
 
 /// Precomputed pairwise Hamming distances, triangular `u32` storage.
 ///
@@ -57,6 +77,10 @@ pub struct PairwiseDistances {
 
 impl PairwiseDistances {
     /// Index of `(i, j)` with `i < j` in the triangular buffer.
+    ///
+    /// Deliberately unchecked on the `O(1)` query path: [`triangle_len`]
+    /// proved at construction time that `2n²` — an upper bound on every
+    /// intermediate here — fits a `usize`.
     #[inline]
     fn tri_index(&self, i: usize, j: usize) -> usize {
         debug_assert!(i < j && j < self.n);
@@ -77,30 +101,60 @@ impl PairwiseDistances {
     }
 
     fn build_with_threads(ds: &Dataset, threads: usize) -> Self {
+        // A fresh unlimited budget can neither expire nor be cancelled.
+        Self::try_build_with_threads(ds, threads, &Budget::unlimited())
+            .expect("unlimited budget cannot be exceeded")
+    }
+
+    /// Budget-governed build: polls `budget` every [`crate::govern::POLL_INTERVAL`]
+    /// entries (per worker), charges the `4·n(n−1)/2`-byte triangle against
+    /// the memory cap before allocating, and validates the triangular index
+    /// arithmetic with checked multiplication.
+    ///
+    /// Produces output byte-identical to [`PairwiseDistances::build_parallel`]
+    /// whenever the budget suffices.
+    ///
+    /// # Errors
+    /// [`Error::BudgetExceeded`] when a limit trips mid-build;
+    /// [`Error::Overflow`] when `n(n−1)/2` does not fit a `usize`.
+    pub fn try_build_governed(
+        ds: &Dataset,
+        threads: Option<usize>,
+        budget: &Budget,
+    ) -> Result<Self> {
+        Self::try_build_with_threads(ds, resolve_threads(threads), budget)
+    }
+
+    fn try_build_with_threads(ds: &Dataset, threads: usize, budget: &Budget) -> Result<Self> {
         let n = ds.n_rows();
-        let total = n * (n - 1) / 2;
+        let total = triangle_len(n)?;
+        budget.check()?;
+        budget.try_charge_memory((total as u64).saturating_mul(4))?;
         let mut tri = vec![0u32; total];
 
         // Small instances: band setup costs more than it saves.
         if threads <= 1 || n < 128 {
+            let mut ticker = budget.ticker();
             let mut idx = 0;
             for i in 0..n {
                 let ri = ds.row(i);
                 for j in (i + 1)..n {
+                    ticker.tick()?;
                     tri[idx] = hamming(ri, ds.row(j)) as u32;
                     idx += 1;
                 }
             }
-            return PairwiseDistances {
+            return Ok(PairwiseDistances {
                 n,
                 tri: tri.into_boxed_slice(),
-            };
+            });
         }
 
         // Band rows so each thread owns roughly `total / threads` entries;
         // row i contributes n−1−i entries, so bands are uneven in rows.
         let per_band = total.div_ceil(threads).max(1);
-        std::thread::scope(|scope| {
+        let outcomes: Vec<Result<()>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
             let mut rest: &mut [u32] = &mut tri;
             let mut row = 0usize;
             while row < n && !rest.is_empty() {
@@ -114,22 +168,32 @@ impl PairwiseDistances {
                 let (chunk, tail) = rest.split_at_mut(band_entries);
                 rest = tail;
                 let last = row;
-                scope.spawn(move || {
+                handles.push(scope.spawn(move || -> Result<()> {
+                    let mut ticker = budget.ticker();
                     let mut idx = 0;
                     for i in first..last {
                         let ri = ds.row(i);
                         for j in (i + 1)..n {
+                            ticker.tick()?;
                             chunk[idx] = hamming(ri, ds.row(j)) as u32;
                             idx += 1;
                         }
                     }
-                });
+                    Ok(())
+                }));
             }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("distance band worker never panics"))
+                .collect()
         });
-        PairwiseDistances {
+        for outcome in outcomes {
+            outcome?;
+        }
+        Ok(PairwiseDistances {
             n,
             tri: tri.into_boxed_slice(),
-        }
+        })
     }
 
     /// Number of rows the cache covers.
@@ -301,6 +365,45 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn governed_build_matches_ungoverned_and_respects_budget() {
+        let ds = Dataset::from_fn(150, 4, |i, j| ((i * 13 + j * 7) % 6) as u32);
+        let plain = PairwiseDistances::build_parallel(&ds, Some(4));
+        let governed =
+            PairwiseDistances::try_build_governed(&ds, Some(4), &Budget::unlimited()).unwrap();
+        assert_eq!(plain, governed);
+
+        // The triangle needs 150·149/2·4 = 44 700 bytes; a 1 KiB cap fails
+        // before any distance is computed.
+        let tight = Budget::builder().max_memory_bytes(1024).build();
+        let err = PairwiseDistances::try_build_governed(&ds, Some(4), &tight).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::BudgetExceeded {
+                resource: crate::govern::Resource::Memory,
+                ..
+            }
+        ));
+
+        // A pre-cancelled budget is rejected up front, sequential or banded.
+        let cancelled = Budget::unlimited();
+        cancelled.cancel();
+        for threads in [1, 4] {
+            assert!(PairwiseDistances::try_build_governed(&ds, Some(threads), &cancelled).is_err());
+        }
+    }
+
+    #[test]
+    fn triangle_len_checked() {
+        assert_eq!(triangle_len(0).unwrap(), 0);
+        assert_eq!(triangle_len(1).unwrap(), 0);
+        assert_eq!(triangle_len(5).unwrap(), 10);
+        assert!(matches!(
+            triangle_len(usize::MAX),
+            Err(Error::Overflow { .. })
+        ));
     }
 
     #[test]

@@ -52,6 +52,22 @@ pub enum Error {
     },
     /// The requested operation needs a non-empty dataset.
     EmptyDataset,
+    /// A [`crate::govern::Budget`] limit was hit; the solver stopped early.
+    BudgetExceeded {
+        /// Which resource dimension ran out.
+        resource: crate::govern::Resource,
+        /// How much of the resource had been consumed when the limit tripped
+        /// (units depend on `resource`; see [`crate::govern::Resource`]).
+        spent: u64,
+        /// The configured limit, in the same units as `spent`.
+        limit: u64,
+    },
+    /// Index or size arithmetic would overflow the machine word on this
+    /// instance (adversarially large `n`/`k`).
+    Overflow {
+        /// Which computation overflowed.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -89,6 +105,17 @@ impl fmt::Display for Error {
                 )
             }
             Error::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            Error::BudgetExceeded {
+                resource,
+                spent,
+                limit,
+            } => write!(
+                f,
+                "budget exceeded: {resource} (spent {spent}, limit {limit})"
+            ),
+            Error::Overflow { what } => {
+                write!(f, "arithmetic overflow computing {what}")
+            }
         }
     }
 }
@@ -126,6 +153,20 @@ mod tests {
                 "column index 7",
             ),
             (Error::EmptyDataset, "non-empty"),
+            (
+                Error::BudgetExceeded {
+                    resource: crate::govern::Resource::WallClock,
+                    spent: 250,
+                    limit: 200,
+                },
+                "budget exceeded",
+            ),
+            (
+                Error::Overflow {
+                    what: "candidate count",
+                },
+                "overflow",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

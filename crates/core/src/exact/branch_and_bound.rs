@@ -20,7 +20,8 @@ use crate::dataset::Dataset;
 use crate::diameter::GroupCost;
 use crate::distcache::PairwiseDistances;
 use crate::error::{Error, Result};
-use crate::greedy::{center_greedy_cover_with_cache, reduce, CenterConfig};
+use crate::govern::{Budget, PollTicker};
+use crate::greedy::{reduce, try_center_greedy_cover_governed_with_cache, CenterConfig};
 use crate::partition::Partition;
 
 /// Tuning knobs for the branch and bound.
@@ -71,14 +72,23 @@ struct Searcher<'a> {
     nodes: u64,
     max_nodes: u64,
     exhausted: bool,
+    /// Budget poll, one tick per expanded node; a trip unwinds the whole
+    /// recursion as `Err`.
+    ticker: PollTicker<'a>,
 }
 
 impl Searcher<'_> {
-    fn run(&mut self, blocks: &mut Vec<(GroupCost, Vec<u32>)>, idx: usize, cost: u64) {
+    fn run(
+        &mut self,
+        blocks: &mut Vec<(GroupCost, Vec<u32>)>,
+        idx: usize,
+        cost: u64,
+    ) -> Result<()> {
+        self.ticker.tick()?;
         self.nodes += 1;
         if self.nodes > self.max_nodes {
             self.exhausted = false;
-            return;
+            return Ok(());
         }
         if idx == self.n {
             if blocks.iter().all(|(g, _)| g.size() >= self.k) && cost < self.best_cost {
@@ -91,7 +101,7 @@ impl Searcher<'_> {
                 }
                 self.best_assignment = Some(assignment);
             }
-            return;
+            return Ok(());
         }
 
         // Feasibility: open deficits must fit in the remaining rows.
@@ -101,7 +111,7 @@ impl Searcher<'_> {
             .map(|(g, _)| (self.k.saturating_sub(g.size())) as u64)
             .sum();
         if deficit > unassigned {
-            return;
+            return Ok(());
         }
 
         // Admissible bound on the additional cost.
@@ -111,7 +121,7 @@ impl Searcher<'_> {
             .sum();
         let knn_bound = self.suffix_lb[idx];
         if cost + deficit_bound.max(knn_bound) >= self.best_cost {
-            return;
+            return Ok(());
         }
 
         // Branch: join each open block (cheapest extension first), then open
@@ -132,19 +142,20 @@ impl Searcher<'_> {
             blocks[b].0.push(self.ds, idx);
             blocks[b].1.push(idx as u32);
             let new_cost = cost - old_block_cost + blocks[b].0.cost() as u64;
-            self.run(blocks, idx + 1, new_cost);
+            self.run(blocks, idx + 1, new_cost)?;
             blocks[b] = saved;
             if self.nodes > self.max_nodes {
-                return;
+                return Ok(());
             }
         }
 
         // Open a new block only if enough rows remain to fill it.
         if unassigned >= self.k as u64 {
             blocks.push((GroupCost::new(self.ds, idx), vec![idx as u32]));
-            self.run(blocks, idx + 1, cost);
+            self.run(blocks, idx + 1, cost)?;
             blocks.pop();
         }
+        Ok(())
     }
 }
 
@@ -158,7 +169,25 @@ pub fn branch_and_bound(
     k: usize,
     config: &BranchBoundConfig,
 ) -> Result<BranchBoundResult> {
+    try_branch_and_bound_governed(ds, k, config, &Budget::unlimited())
+}
+
+/// Budget-governed [`branch_and_bound`]: the distance cache, the greedy
+/// incumbent, and every expanded node poll `budget`; a tripped limit
+/// unwinds the whole search as [`Error::BudgetExceeded`] (the soft
+/// `max_nodes` cap, by contrast, still returns the incumbent unproven).
+///
+/// # Errors
+/// As [`branch_and_bound`], plus [`Error::BudgetExceeded`] /
+/// [`Error::Overflow`].
+pub fn try_branch_and_bound_governed(
+    ds: &Dataset,
+    k: usize,
+    config: &BranchBoundConfig,
+    budget: &Budget,
+) -> Result<BranchBoundResult> {
     ds.check_k(k)?;
+    budget.check()?;
     let n = ds.n_rows();
     if n > config.max_rows {
         return Err(Error::InstanceTooLarge {
@@ -169,7 +198,7 @@ pub fn branch_and_bound(
 
     // One shared distance cache serves both the k-NN bound and the greedy
     // incumbent below.
-    let dm = PairwiseDistances::build(ds);
+    let dm = PairwiseDistances::try_build_governed(ds, Some(1), budget)?;
     let lb: Vec<u64> = (0..n)
         .map(|r| u64::from(dm.kth_neighbor_distance(r, k - 1).unwrap_or(0)))
         .collect();
@@ -178,15 +207,19 @@ pub fn branch_and_bound(
         suffix_lb[r] = suffix_lb[r + 1] + lb[r];
     }
 
-    // Greedy incumbent.
-    let greedy = center_greedy_cover_with_cache(ds, k, &CenterConfig::default(), &dm)
-        .and_then(|c| reduce(&c, k))
-        .map(|p| {
-            let p = p.split_large(k);
-            (p.anonymization_cost(ds) as u64, p)
-        });
+    // Greedy incumbent. Its own failures are tolerated (the search can still
+    // run from scratch), but a tripped budget is not a solver failure and
+    // must propagate.
+    let greedy =
+        try_center_greedy_cover_governed_with_cache(ds, k, &CenterConfig::default(), &dm, budget)
+            .and_then(|c| reduce(&c, k))
+            .map(|p| {
+                let p = p.split_large(k);
+                (p.anonymization_cost(ds) as u64, p)
+            });
     let (mut best_cost, mut best_partition) = match greedy {
         Ok((c, p)) => (c, Some(p)),
+        Err(e @ (Error::BudgetExceeded { .. } | Error::Overflow { .. })) => return Err(e),
         Err(_) => (u64::MAX / 2, None),
     };
     if let Some(ub) = config.initial_upper_bound {
@@ -207,9 +240,10 @@ pub fn branch_and_bound(
         nodes: 0,
         max_nodes: config.max_nodes,
         exhausted: true,
+        ticker: budget.ticker(),
     };
     let mut blocks: Vec<(GroupCost, Vec<u32>)> = Vec::new();
-    searcher.run(&mut blocks, 0, 0);
+    searcher.run(&mut blocks, 0, 0)?;
 
     let (cost, partition) = match searcher.best_assignment {
         Some(a) => {
@@ -294,6 +328,28 @@ mod tests {
         assert!(!res.proven_optimal);
         // The incumbent still rounds to a feasible anonymization.
         assert!(res.partition.min_block_size().unwrap() >= 2);
+    }
+
+    #[test]
+    fn governed_unlimited_matches_and_cancellation_propagates() {
+        let ds = Dataset::from_fn(10, 3, |i, j| ((i * 3 + j) % 4) as u32);
+        let plain = branch_and_bound(&ds, 2, &BranchBoundConfig::default()).unwrap();
+        let governed = try_branch_and_bound_governed(
+            &ds,
+            2,
+            &BranchBoundConfig::default(),
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(plain.cost, governed.cost);
+        assert_eq!(plain.partition, governed.partition);
+
+        let cancelled = Budget::unlimited();
+        cancelled.cancel();
+        assert!(matches!(
+            try_branch_and_bound_governed(&ds, 2, &BranchBoundConfig::default(), &cancelled),
+            Err(Error::BudgetExceeded { .. })
+        ));
     }
 
     #[test]

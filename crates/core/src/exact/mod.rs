@@ -26,9 +26,14 @@ mod branch_and_bound;
 mod pattern_bb;
 mod subset_dp;
 
-pub use branch_and_bound::{branch_and_bound, BranchBoundConfig, BranchBoundResult};
-pub use pattern_bb::{pattern_bb, PatternConfig};
-pub use subset_dp::{min_diameter_sum, subset_dp, SubsetDpConfig};
+pub use branch_and_bound::{
+    branch_and_bound, try_branch_and_bound_governed, BranchBoundConfig, BranchBoundResult,
+};
+pub use pattern_bb::{pattern_bb, try_pattern_bb_governed, PatternConfig};
+pub use subset_dp::{
+    min_diameter_sum, subset_dp, try_min_diameter_sum_governed, try_subset_dp_governed,
+    SubsetDpConfig,
+};
 
 use crate::dataset::Dataset;
 use crate::error::Result;

@@ -21,7 +21,8 @@ use std::collections::HashMap;
 use super::Optimal;
 use crate::dataset::Dataset;
 use crate::error::{Error, Result};
-use crate::greedy::{center_greedy_cover, reduce, CenterConfig};
+use crate::govern::{Budget, PollTicker};
+use crate::greedy::{reduce, try_center_greedy_cover_governed, CenterConfig};
 use crate::partition::Partition;
 
 /// Tuning knobs for the pattern search.
@@ -68,6 +69,8 @@ struct Searcher<'a> {
     nodes: u64,
     max_nodes: u64,
     out_of_budget: bool,
+    /// Budget poll, one tick per expanded node.
+    ticker: PollTicker<'a>,
 }
 
 impl Searcher<'_> {
@@ -77,11 +80,12 @@ impl Searcher<'_> {
         sup.len() - pos
     }
 
-    fn run(&mut self, idx: usize, cost: u64) {
+    fn run(&mut self, idx: usize, cost: u64) -> Result<()> {
+        self.ticker.tick()?;
         self.nodes += 1;
         if self.nodes > self.max_nodes {
             self.out_of_budget = true;
-            return;
+            return Ok(());
         }
         if idx == self.n {
             // Entry-time checks only prove quotas *reachable*; verify they
@@ -94,10 +98,10 @@ impl Searcher<'_> {
                 self.best_cost = cost;
                 self.best_choice = Some(self.choice.clone());
             }
-            return;
+            return Ok(());
         }
         if cost + self.suffix_lb[idx] >= self.best_cost {
-            return;
+            return Ok(());
         }
         // Quota feasibility: every used, under-filled cell must still be
         // able to reach k from rows not yet assigned that support it.
@@ -105,7 +109,7 @@ impl Searcher<'_> {
             let c = self.used_cells[u];
             let cnt = self.assigned_count[c];
             if cnt < self.k && cnt + self.supporters_from(c, idx) < self.k {
-                return;
+                return Ok(());
             }
         }
 
@@ -121,16 +125,17 @@ impl Searcher<'_> {
             }
             self.assigned_count[c] += 1;
             self.choice[idx] = c;
-            self.run(idx + 1, cost + price);
+            self.run(idx + 1, cost + price)?;
             self.assigned_count[c] -= 1;
             if self.assigned_count[c] == 0 {
                 let popped = self.used_cells.pop();
                 debug_assert_eq!(popped, Some(c));
             }
             if self.out_of_budget {
-                return;
+                return Ok(());
             }
         }
+        Ok(())
     }
 }
 
@@ -141,7 +146,22 @@ impl Searcher<'_> {
 /// * [`Error::InstanceTooLarge`] when the guards or the node budget are
 ///   exceeded.
 pub fn pattern_bb(ds: &Dataset, k: usize, config: &PatternConfig) -> Result<Optimal> {
+    try_pattern_bb_governed(ds, k, config, &Budget::unlimited())
+}
+
+/// Budget-governed [`pattern_bb`]: the `2^m`-pattern cell-universe build,
+/// the greedy incumbent, and every expanded node poll `budget`.
+///
+/// # Errors
+/// As [`pattern_bb`], plus [`Error::BudgetExceeded`] / [`Error::Overflow`].
+pub fn try_pattern_bb_governed(
+    ds: &Dataset,
+    k: usize,
+    config: &PatternConfig,
+    budget: &Budget,
+) -> Result<Optimal> {
     ds.check_k(k)?;
+    budget.check()?;
     let n = ds.n_rows();
     let m = ds.n_cols();
     if n > config.max_rows || m > config.max_cols {
@@ -154,12 +174,17 @@ pub fn pattern_bb(ds: &Dataset, k: usize, config: &PatternConfig) -> Result<Opti
         });
     }
 
+    // Cell universe ≤ 2^m · n entries of (price + supporter id) order.
+    budget.try_charge_memory((1u64 << m).saturating_mul(n as u64).saturating_mul(8))?;
+
     // Build the feasible-cell universe, pattern by pattern.
+    let mut universe_ticker = budget.ticker();
     let mut cells: Vec<Cell> = Vec::new();
     let mut row_cells: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut patterns: Vec<u32> = (0..(1u32 << m)).collect();
     patterns.sort_by_key(|p| p.count_ones());
     for pattern in patterns {
+        universe_ticker.tick()?;
         let price = u64::from(pattern.count_ones());
         // Group rows by their projection outside the pattern.
         let mut groups: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
@@ -198,11 +223,16 @@ pub fn pattern_bb(ds: &Dataset, k: usize, config: &PatternConfig) -> Result<Opti
         suffix_lb[r] = suffix_lb[r + 1] + lb[r];
     }
 
-    // Incumbent from the polynomial greedy.
-    let incumbent = center_greedy_cover(ds, k, &CenterConfig::default())
+    // Incumbent from the polynomial greedy; its failures are tolerated
+    // except a tripped budget, which must propagate.
+    let incumbent = match try_center_greedy_cover_governed(ds, k, &CenterConfig::default(), budget)
         .and_then(|c| reduce(&c, k))
         .map(|p| p.anonymization_cost(ds) as u64)
-        .unwrap_or(u64::MAX / 2);
+    {
+        Ok(c) => c,
+        Err(e @ (Error::BudgetExceeded { .. } | Error::Overflow { .. })) => return Err(e),
+        Err(_) => u64::MAX / 2,
+    };
 
     let mut searcher = Searcher {
         cells: &cells,
@@ -218,8 +248,9 @@ pub fn pattern_bb(ds: &Dataset, k: usize, config: &PatternConfig) -> Result<Opti
         nodes: 0,
         max_nodes: config.max_nodes,
         out_of_budget: false,
+        ticker: budget.ticker(),
     };
-    searcher.run(0, 0);
+    searcher.run(0, 0)?;
     if searcher.out_of_budget {
         return Err(Error::InstanceTooLarge {
             solver: "pattern_bb",
@@ -294,6 +325,23 @@ mod tests {
         assert!(matches!(
             pattern_bb(&tall, 2, &PatternConfig::default()),
             Err(Error::InstanceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn governed_unlimited_matches_and_cancellation_propagates() {
+        let ds = Dataset::from_fn(8, 3, |i, j| ((i * 3 + j) % 3) as u32);
+        let plain = pattern_bb(&ds, 2, &PatternConfig::default()).unwrap();
+        let governed =
+            try_pattern_bb_governed(&ds, 2, &PatternConfig::default(), &Budget::unlimited())
+                .unwrap();
+        assert_eq!(plain.cost, governed.cost);
+
+        let cancelled = Budget::unlimited();
+        cancelled.cancel();
+        assert!(matches!(
+            try_pattern_bb_governed(&ds, 2, &PatternConfig::default(), &cancelled),
+            Err(Error::BudgetExceeded { .. })
         ));
     }
 

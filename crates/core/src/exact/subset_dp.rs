@@ -19,6 +19,7 @@ use super::Optimal;
 use crate::dataset::Dataset;
 use crate::diameter::anon_cost;
 use crate::error::{Error, Result};
+use crate::govern::Budget;
 use crate::partition::Partition;
 
 /// Tuning knobs for the subset DP.
@@ -50,7 +51,22 @@ impl Default for SubsetDpConfig {
 /// * [`Error::KZero`] / [`Error::KExceedsRows`] on a bad `k`;
 /// * [`Error::InstanceTooLarge`] when `n > config.max_rows` or `n > 24`.
 pub fn subset_dp(ds: &Dataset, k: usize, config: &SubsetDpConfig) -> Result<Optimal> {
-    dp_over_blocks(ds, k, config, "subset_dp", |rows| {
+    try_subset_dp_governed(ds, k, config, &Budget::unlimited())
+}
+
+/// Budget-governed [`subset_dp`]: the `2^n`-slot tables are charged against
+/// the memory cap before allocation and the mask/subset enumeration loops
+/// poll `budget` at bounded intervals.
+///
+/// # Errors
+/// As [`subset_dp`], plus [`Error::BudgetExceeded`].
+pub fn try_subset_dp_governed(
+    ds: &Dataset,
+    k: usize,
+    config: &SubsetDpConfig,
+    budget: &Budget,
+) -> Result<Optimal> {
+    dp_over_blocks(ds, k, config, "subset_dp", budget, |rows| {
         anon_cost(ds, rows) as u64
     })
 }
@@ -64,7 +80,20 @@ pub fn subset_dp(ds: &Dataset, k: usize, config: &SubsetDpConfig) -> Result<Opti
 /// # Errors
 /// Same as [`subset_dp`].
 pub fn min_diameter_sum(ds: &Dataset, k: usize, config: &SubsetDpConfig) -> Result<Optimal> {
-    dp_over_blocks(ds, k, config, "min_diameter_sum", |rows| {
+    try_min_diameter_sum_governed(ds, k, config, &Budget::unlimited())
+}
+
+/// Budget-governed [`min_diameter_sum`]; see [`try_subset_dp_governed`].
+///
+/// # Errors
+/// As [`min_diameter_sum`], plus [`Error::BudgetExceeded`].
+pub fn try_min_diameter_sum_governed(
+    ds: &Dataset,
+    k: usize,
+    config: &SubsetDpConfig,
+    budget: &Budget,
+) -> Result<Optimal> {
+    dp_over_blocks(ds, k, config, "min_diameter_sum", budget, |rows| {
         crate::diameter::diameter(ds, rows) as u64
     })
 }
@@ -76,9 +105,11 @@ fn dp_over_blocks(
     k: usize,
     config: &SubsetDpConfig,
     solver: &'static str,
+    budget: &Budget,
     block_cost: impl Fn(&[usize]) -> u64,
 ) -> Result<Optimal> {
     ds.check_k(k)?;
+    budget.check()?;
     let n = ds.n_rows();
     let hard_cap = 24;
     if n > config.max_rows || n > hard_cap {
@@ -90,6 +121,8 @@ fn dp_over_blocks(
 
     let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
     const INF: u64 = u64::MAX / 2;
+    // 8-byte dp slot + 4-byte parent pointer per mask.
+    budget.try_charge_memory(((full as u64) + 1).saturating_mul(12))?;
     let mut dp = vec![INF; (full as usize) + 1];
     let mut parent = vec![0u32; (full as usize) + 1];
     dp[0] = 0;
@@ -101,7 +134,9 @@ fn dp_over_blocks(
 
     let max_block = (2 * k - 1).min(n);
 
+    let mut ticker = budget.ticker();
     for mask in 1..=(full as usize) {
+        ticker.tick()?;
         let mask = mask as u32;
         let pc = mask.count_ones() as usize;
         if pc < k {
@@ -135,6 +170,7 @@ fn dp_over_blocks(
         // (next start index, chosen bits among rest, chosen count).
         let mut stack: Vec<(usize, u32, usize)> = vec![(0, 0, 0)];
         while let Some((start, chosen, cnt)) = stack.pop() {
+            ticker.tick()?;
             #[allow(clippy::needless_range_loop)] // j's *index* feeds the continuation push
             for j in start..l {
                 let nc = chosen | (1u32 << rest_bits[j]);
@@ -267,6 +303,24 @@ mod tests {
         assert!(matches!(
             subset_dp(&ds, 2, &SubsetDpConfig::default()),
             Err(Error::InstanceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn governed_unlimited_matches_and_memory_cap_trips() {
+        let ds = Dataset::from_fn(14, 3, |i, j| ((i * 5 + j) % 4) as u32);
+        let plain = subset_dp(&ds, 2, &SubsetDpConfig::default()).unwrap();
+        let governed =
+            try_subset_dp_governed(&ds, 2, &SubsetDpConfig::default(), &Budget::unlimited())
+                .unwrap();
+        assert_eq!(plain.cost, governed.cost);
+        assert_eq!(plain.partition, governed.partition);
+
+        // 2^14 masks need 12 B each ≈ 196 KiB; a 1 KiB cap fails up front.
+        let starved = Budget::builder().max_memory_bytes(1024).build();
+        assert!(matches!(
+            try_subset_dp_governed(&ds, 2, &SubsetDpConfig::default(), &starved),
+            Err(Error::BudgetExceeded { .. })
         ));
     }
 

@@ -1,0 +1,476 @@
+//! Resource-governed execution: deadlines, cancellation, and memory budgets.
+//!
+//! The paper's headline algorithms are deliberately expensive — the §4.2.1
+//! exhaustive greedy enumerates `O(n^{2k})` candidate subsets, and the exact
+//! solvers are worst-case exponential. A static size guard
+//! ([`crate::error::Error::InstanceTooLarge`]) rejects instances that are
+//! *obviously* hopeless, but many instances pass the guard and still run for
+//! minutes, or allocate gigabytes, on inputs a serving system must answer in
+//! milliseconds. This module is the safety valve: a cheap, shareable
+//! [`Budget`] that every long-running loop polls at bounded intervals, so a
+//! solver stops with a structured [`Error::BudgetExceeded`] instead of
+//! hanging or exhausting the machine.
+//!
+//! ## The poll-interval contract
+//!
+//! Every governed hot loop in this workspace ticks a [`PollTicker`] once per
+//! iteration; the ticker performs the real (atomic-load + clock-read) check
+//! every [`POLL_INTERVAL`] ticks. The contract — relied upon by the
+//! cancellation tests and documented in DESIGN.md — is:
+//!
+//! > No governed hot loop runs more than ~1k constant-time steps between
+//! > budget polls.
+//!
+//! Consequently a cancellation or an elapsed deadline is observed within one
+//! poll interval, i.e. within microseconds of real work, and an
+//! already-exceeded budget is reported before any significant work starts
+//! (every governed entry point calls [`Budget::check`] up front).
+//!
+//! ## What the memory budget measures
+//!
+//! [`Budget::try_charge_memory`] is *planned-allocation accounting*, not
+//! RSS: before a solver allocates a large structure (distance cache,
+//! candidate array, DP table) it charges the structure's projected size and
+//! fails fast if the budget cannot afford it. Charges accumulate for the
+//! lifetime of the budget — sibling solvers sharing one budget compete for
+//! the same allowance, which is exactly the semantics a per-request serving
+//! budget wants. The [`DegradationLadder`](https://docs.rs/kanon-baselines)
+//! gives each rung a fresh counter via [`Budget::child`] so an abandoned
+//! rung's (freed) allocations do not starve its successor.
+//!
+//! ## Determinism
+//!
+//! Governance never changes *what* a solver computes, only *whether it is
+//! allowed to finish*: a governed run with an unlimited budget is
+//! byte-identical to the ungoverned path (the ungoverned entry points
+//! delegate to the governed ones with [`Budget::unlimited`]). The
+//! differential suite in `crates/tests/tests/governance.rs` pins this.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{Error, Result};
+
+/// Number of [`PollTicker::tick`]s between real budget checks. Hot loops
+/// tick once per constant-time step, so this bounds the number of steps a
+/// governed loop can run past an exhausted budget.
+pub const POLL_INTERVAL: u32 = 1024;
+
+/// The resource dimension a [`Budget`] ran out of.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Resource {
+    /// Wall-clock deadline; `spent`/`limit` are milliseconds.
+    WallClock,
+    /// Planned-allocation memory accounting; `spent`/`limit` are bytes.
+    Memory,
+    /// Candidate-collection cap; `spent`/`limit` count candidate subsets.
+    Candidates,
+    /// Explicit cancellation (e.g. a client disconnected); `spent` and
+    /// `limit` are both 0.
+    Cancelled,
+}
+
+impl std::fmt::Display for Resource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Resource::WallClock => write!(f, "wall-clock ms"),
+            Resource::Memory => write!(f, "memory bytes"),
+            Resource::Candidates => write!(f, "candidates"),
+            Resource::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// A shareable execution budget: wall-clock deadline, memory and candidate
+/// caps, and an atomic cancellation token.
+///
+/// Cloning is cheap (two `Arc` bumps); clones share the cancellation flag
+/// and the memory counter, so a budget handed to parallel workers governs
+/// them collectively. Use [`Budget::child`] for a *derived* budget (tighter
+/// deadline, fresh memory counter) that still honors the parent's
+/// cancellation — the degradation ladder's per-rung slices are children.
+///
+/// ```
+/// use std::time::Duration;
+/// use kanon_core::govern::Budget;
+///
+/// let b = Budget::builder().deadline(Duration::from_millis(50)).build();
+/// assert!(b.check().is_ok());
+/// b.cancel();
+/// assert!(b.check().is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Budget {
+    started: Instant,
+    allowance: Option<Duration>,
+    max_memory: Option<u64>,
+    max_candidates: Option<u64>,
+    memory: Arc<AtomicU64>,
+    cancel: Arc<AtomicBool>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget with no limits. Polling it is a single relaxed atomic load
+    /// (the cancellation flag), so ungoverned entry points route through the
+    /// governed implementations with this at negligible cost.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        BudgetBuilder::default().build()
+    }
+
+    /// Starts building a limited budget.
+    #[must_use]
+    pub fn builder() -> BudgetBuilder {
+        BudgetBuilder::default()
+    }
+
+    /// True when no deadline, memory, or candidate limit is set
+    /// (cancellation is always possible).
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.allowance.is_none() && self.max_memory.is_none() && self.max_candidates.is_none()
+    }
+
+    /// Flags the budget as cancelled; every holder of this budget (or of a
+    /// [`Budget::child`]) observes it within one poll interval.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`Budget::cancel`] has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock time remaining, `None` when no deadline is set. Zero once
+    /// the deadline has passed.
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.allowance
+            .map(|a| a.saturating_sub(self.started.elapsed()))
+    }
+
+    /// Milliseconds elapsed since the budget started.
+    fn elapsed_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// The cheap poll: cancellation flag, then (only when a deadline is set)
+    /// the clock.
+    ///
+    /// # Errors
+    /// [`Error::BudgetExceeded`] with [`Resource::Cancelled`] or
+    /// [`Resource::WallClock`].
+    pub fn check(&self) -> Result<()> {
+        if self.is_cancelled() {
+            return Err(Error::BudgetExceeded {
+                resource: Resource::Cancelled,
+                spent: 0,
+                limit: 0,
+            });
+        }
+        if let Some(allowance) = self.allowance {
+            if self.started.elapsed() > allowance {
+                return Err(Error::BudgetExceeded {
+                    resource: Resource::WallClock,
+                    spent: self.elapsed_ms(),
+                    limit: u64::try_from(allowance.as_millis()).unwrap_or(u64::MAX),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a planned allocation of `bytes` against the memory cap.
+    ///
+    /// # Errors
+    /// [`Error::BudgetExceeded`] with [`Resource::Memory`] when the running
+    /// total would exceed the cap (the charge is not applied in that case).
+    pub fn try_charge_memory(&self, bytes: u64) -> Result<()> {
+        let Some(limit) = self.max_memory else {
+            return Ok(());
+        };
+        let prior = self.memory.fetch_add(bytes, Ordering::Relaxed);
+        let total = prior.saturating_add(bytes);
+        if total > limit {
+            // Roll back so a later, smaller request can still succeed.
+            self.memory.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(Error::BudgetExceeded {
+                resource: Resource::Memory,
+                spent: total,
+                limit,
+            });
+        }
+        Ok(())
+    }
+
+    /// Total bytes charged so far (0 when no cap is set — uncapped budgets
+    /// skip the accounting entirely).
+    #[must_use]
+    pub fn memory_charged(&self) -> u64 {
+        self.memory.load(Ordering::Relaxed)
+    }
+
+    /// Checks a candidate-collection size against the candidate cap.
+    ///
+    /// # Errors
+    /// [`Error::BudgetExceeded`] with [`Resource::Candidates`].
+    pub fn check_candidates(&self, count: u64) -> Result<()> {
+        match self.max_candidates {
+            Some(limit) if count > limit => Err(Error::BudgetExceeded {
+                resource: Resource::Candidates,
+                spent: count,
+                limit,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// A derived budget: same memory/candidate caps, a **fresh** memory
+    /// counter, the given deadline (measured from now), and the *shared*
+    /// cancellation flag — cancelling the parent cancels every child.
+    ///
+    /// The child's deadline is clamped to the parent's remaining time, so a
+    /// child can never outlive its parent.
+    #[must_use]
+    pub fn child(&self, allowance: Option<Duration>) -> Budget {
+        let clamped = match (allowance, self.remaining()) {
+            (Some(a), Some(r)) => Some(a.min(r)),
+            (Some(a), None) => Some(a),
+            (None, r) => r,
+        };
+        Budget {
+            started: Instant::now(),
+            allowance: clamped,
+            max_memory: self.max_memory,
+            max_candidates: self.max_candidates,
+            memory: Arc::new(AtomicU64::new(0)),
+            cancel: Arc::clone(&self.cancel),
+        }
+    }
+
+    /// A ticker that amortizes [`Budget::check`] to every
+    /// [`POLL_INTERVAL`]-th tick. Each worker thread should carry its own.
+    #[must_use]
+    pub fn ticker(&self) -> PollTicker<'_> {
+        PollTicker {
+            budget: self,
+            countdown: POLL_INTERVAL,
+        }
+    }
+}
+
+/// Builder for [`Budget`]; every limit is optional.
+#[derive(Clone, Debug, Default)]
+pub struct BudgetBuilder {
+    allowance: Option<Duration>,
+    max_memory: Option<u64>,
+    max_candidates: Option<u64>,
+}
+
+impl BudgetBuilder {
+    /// Wall-clock allowance, measured from [`BudgetBuilder::build`].
+    #[must_use]
+    pub fn deadline(mut self, allowance: Duration) -> Self {
+        self.allowance = Some(allowance);
+        self
+    }
+
+    /// Planned-allocation memory cap in bytes.
+    #[must_use]
+    pub fn max_memory_bytes(mut self, bytes: u64) -> Self {
+        self.max_memory = Some(bytes);
+        self
+    }
+
+    /// Cap on candidate-collection sizes (the exhaustive greedy's
+    /// `Σ C(n, s)`); a finer-grained sibling of
+    /// [`crate::greedy::FullCoverConfig::max_candidates`].
+    #[must_use]
+    pub fn max_candidates(mut self, count: u64) -> Self {
+        self.max_candidates = Some(count);
+        self
+    }
+
+    /// Finalizes the budget; the deadline clock starts now.
+    #[must_use]
+    pub fn build(self) -> Budget {
+        Budget {
+            started: Instant::now(),
+            allowance: self.allowance,
+            max_memory: self.max_memory,
+            max_candidates: self.max_candidates,
+            memory: Arc::new(AtomicU64::new(0)),
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
+/// Amortized budget poller: `tick()` is a decrement-and-branch on the fast
+/// path and a real [`Budget::check`] every [`POLL_INTERVAL`] ticks.
+#[derive(Debug)]
+pub struct PollTicker<'a> {
+    budget: &'a Budget,
+    countdown: u32,
+}
+
+impl PollTicker<'_> {
+    /// One hot-loop step. Cheap: a counter decrement except on every
+    /// [`POLL_INTERVAL`]-th call.
+    ///
+    /// # Errors
+    /// Propagates [`Budget::check`] failures.
+    #[inline]
+    pub fn tick(&mut self) -> Result<()> {
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = POLL_INTERVAL;
+            return self.budget.check();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_always_passes() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(b.check().is_ok());
+        assert!(b.try_charge_memory(u64::MAX).is_ok());
+        assert!(b.check_candidates(u64::MAX).is_ok());
+        assert_eq!(b.remaining(), None);
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones_and_children() {
+        let b = Budget::builder()
+            .deadline(Duration::from_secs(3600))
+            .build();
+        let clone = b.clone();
+        let child = b.child(Some(Duration::from_secs(1)));
+        b.cancel();
+        for budget in [&b, &clone, &child] {
+            let err = budget.check().unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    Error::BudgetExceeded {
+                        resource: Resource::Cancelled,
+                        ..
+                    }
+                ),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let b = Budget::builder().deadline(Duration::ZERO).build();
+        std::thread::sleep(Duration::from_millis(2));
+        let err = b.check().unwrap_err();
+        assert!(matches!(
+            err,
+            Error::BudgetExceeded {
+                resource: Resource::WallClock,
+                ..
+            }
+        ));
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn memory_accounting_enforces_cap_and_rolls_back() {
+        let b = Budget::builder().max_memory_bytes(100).build();
+        assert!(b.try_charge_memory(60).is_ok());
+        let err = b.try_charge_memory(50).unwrap_err();
+        match err {
+            Error::BudgetExceeded {
+                resource: Resource::Memory,
+                spent,
+                limit,
+            } => {
+                assert_eq!(spent, 110);
+                assert_eq!(limit, 100);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // The failed charge rolled back, so a smaller one still fits.
+        assert_eq!(b.memory_charged(), 60);
+        assert!(b.try_charge_memory(40).is_ok());
+    }
+
+    #[test]
+    fn children_get_fresh_memory_counters_and_clamped_deadlines() {
+        let b = Budget::builder()
+            .deadline(Duration::from_millis(10))
+            .max_memory_bytes(100)
+            .build();
+        b.try_charge_memory(90).unwrap();
+        let child = b.child(Some(Duration::from_secs(60)));
+        // Fresh counter: the parent's 90 bytes do not count here.
+        assert!(child.try_charge_memory(90).is_ok());
+        // Clamped: the child cannot outlive the parent's 10 ms.
+        assert!(child.remaining().unwrap() <= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn candidate_cap() {
+        let b = Budget::builder().max_candidates(1000).build();
+        assert!(b.check_candidates(1000).is_ok());
+        assert!(matches!(
+            b.check_candidates(1001),
+            Err(Error::BudgetExceeded {
+                resource: Resource::Candidates,
+                spent: 1001,
+                limit: 1000,
+            })
+        ));
+    }
+
+    #[test]
+    fn ticker_polls_every_interval() {
+        let b = Budget::builder()
+            .deadline(Duration::from_secs(3600))
+            .build();
+        let mut ticker = b.ticker();
+        for _ in 0..(POLL_INTERVAL * 3) {
+            ticker.tick().unwrap();
+        }
+        b.cancel();
+        // Within one poll interval the cancellation must surface.
+        let mut seen = Err(());
+        for _ in 0..POLL_INTERVAL {
+            if ticker.tick().is_err() {
+                seen = Ok(());
+                break;
+            }
+        }
+        seen.expect("cancellation observed within POLL_INTERVAL ticks");
+    }
+
+    #[test]
+    fn resource_display() {
+        for (r, needle) in [
+            (Resource::WallClock, "wall-clock"),
+            (Resource::Memory, "memory"),
+            (Resource::Candidates, "candidates"),
+            (Resource::Cancelled, "cancelled"),
+        ] {
+            assert!(r.to_string().contains(needle));
+        }
+    }
+}

@@ -23,6 +23,7 @@ use crate::cover::Cover;
 use crate::dataset::Dataset;
 use crate::distcache::PairwiseDistances;
 use crate::error::{Error, Result};
+use crate::govern::Budget;
 
 /// Tuning knobs for the center-based greedy cover.
 #[derive(Clone, Debug)]
@@ -72,10 +73,28 @@ impl Default for CenterConfig {
 /// * [`Error::KZero`] / [`Error::KExceedsRows`] on a bad `k`;
 /// * [`Error::InstanceTooLarge`] when `n` exceeds `config.max_rows`.
 pub fn center_greedy_cover(ds: &Dataset, k: usize, config: &CenterConfig) -> Result<Cover> {
+    try_center_greedy_cover_governed(ds, k, config, &Budget::unlimited())
+}
+
+/// Budget-governed [`center_greedy_cover`]: identical output when the
+/// budget suffices; the distance-cache build, the per-center order
+/// construction, and every round's center scan poll `budget` at bounded
+/// intervals.
+///
+/// # Errors
+/// As [`center_greedy_cover`], plus [`Error::BudgetExceeded`] /
+/// [`Error::Overflow`].
+pub fn try_center_greedy_cover_governed(
+    ds: &Dataset,
+    k: usize,
+    config: &CenterConfig,
+    budget: &Budget,
+) -> Result<Cover> {
     ds.check_k(k)?;
+    budget.check()?;
     // O(m·n²) preprocessing, shared with any later cache consumer.
-    let dm = PairwiseDistances::build_parallel(ds, Some(config.threads.max(1)));
-    center_greedy_cover_with_cache(ds, k, config, &dm)
+    let dm = PairwiseDistances::try_build_governed(ds, Some(config.threads.max(1)), budget)?;
+    try_center_greedy_cover_governed_with_cache(ds, k, config, &dm, budget)
 }
 
 /// [`center_greedy_cover`] over a caller-supplied distance cache.
@@ -89,7 +108,23 @@ pub fn center_greedy_cover_with_cache(
     config: &CenterConfig,
     dm: &PairwiseDistances,
 ) -> Result<Cover> {
+    try_center_greedy_cover_governed_with_cache(ds, k, config, dm, &Budget::unlimited())
+}
+
+/// Budget-governed [`center_greedy_cover_with_cache`]; see
+/// [`try_center_greedy_cover_governed`].
+///
+/// # Errors
+/// As [`center_greedy_cover_with_cache`], plus [`Error::BudgetExceeded`].
+pub fn try_center_greedy_cover_governed_with_cache(
+    ds: &Dataset,
+    k: usize,
+    config: &CenterConfig,
+    dm: &PairwiseDistances,
+    budget: &Budget,
+) -> Result<Cover> {
     ds.check_k(k)?;
+    budget.check()?;
     let n = ds.n_rows();
     if n > config.max_rows {
         return Err(Error::InstanceTooLarge {
@@ -104,14 +139,24 @@ pub fn center_greedy_cover_with_cache(
         )));
     }
 
+    // The per-center sorted orders are the dominant allocation: n² ids of
+    // 4 bytes plus n Vec headers.
+    budget.try_charge_memory(
+        (n as u64)
+            .saturating_mul(n as u64)
+            .saturating_mul(4)
+            .saturating_add((n as u64).saturating_mul(24)),
+    )?;
+
     // order[c] = all rows sorted by distance from c (c itself first).
-    let orders: Vec<Vec<u32>> = (0..n)
-        .map(|c| {
-            let mut idx: Vec<u32> = (0..n as u32).collect();
-            idx.sort_by_key(|&r| dm.get(c, r as usize));
-            idx
-        })
-        .collect();
+    let mut order_ticker = budget.ticker();
+    let mut orders: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for c in 0..n {
+        order_ticker.tick()?;
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        idx.sort_by_key(|&r| dm.get(c, r as usize));
+        orders.push(idx);
+    }
 
     let mut covered = vec![false; n];
     let mut remaining = n;
@@ -120,7 +165,7 @@ pub fn center_greedy_cover_with_cache(
     while remaining > 0 {
         // Best candidate this round, minimizing the deterministic key
         // (ratio, center, prefix length).
-        let best = scan_centers(&orders, dm, &covered, k, config);
+        let best = scan_centers(&orders, dm, &covered, k, config, budget)?;
 
         let Some((_, c, p)) = best else {
             // Every remaining candidate is a zero-radius ball that was
@@ -147,50 +192,64 @@ pub fn center_greedy_cover_with_cache(
 
 /// One greedy round: the best ball over all centers, by the key
 /// `(ratio, center, prefix)`. Splits the center range across
-/// `config.threads` when asked to.
+/// `config.threads` when asked to; every worker polls the budget.
 fn scan_centers(
     orders: &[Vec<u32>],
     dm: &PairwiseDistances,
     covered: &[bool],
     k: usize,
     config: &CenterConfig,
-) -> Option<(Ratio, usize, usize)> {
+    budget: &Budget,
+) -> Result<Option<(Ratio, usize, usize)>> {
     let n = orders.len();
     if config.threads <= 1 || n < 64 {
-        return scan_center_range(orders, dm, covered, k, config, 0, n);
+        return scan_center_range(orders, dm, covered, k, config, budget, 0, n);
     }
     let band = n.div_ceil(config.threads);
-    std::thread::scope(|scope| {
+    let outcomes: Vec<Result<Option<(Ratio, usize, usize)>>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         let mut start = 0usize;
         while start < n {
             let end = (start + band).min(n);
-            handles.push(
-                scope.spawn(move || scan_center_range(orders, dm, covered, k, config, start, end)),
-            );
+            handles.push(scope.spawn(move || {
+                scan_center_range(orders, dm, covered, k, config, budget, start, end)
+            }));
             start = end;
         }
         handles
             .into_iter()
-            .filter_map(|h| h.join().expect("scan thread never panics"))
-            .min()
-    })
+            .map(|h| h.join().expect("scan thread never panics"))
+            .collect()
+    });
+    let mut best = None;
+    for outcome in outcomes {
+        if let Some(found) = outcome? {
+            if best.is_none_or(|b| found < b) {
+                best = Some(found);
+            }
+        }
+    }
+    Ok(best)
 }
 
-/// Sequential scan of centers `start..end`.
+/// Sequential scan of centers `start..end`, one budget poll per prefix step.
+#[allow(clippy::too_many_arguments)]
 fn scan_center_range(
     orders: &[Vec<u32>],
     dm: &PairwiseDistances,
     covered: &[bool],
     k: usize,
     config: &CenterConfig,
+    budget: &Budget,
     start: usize,
     end: usize,
-) -> Option<(Ratio, usize, usize)> {
+) -> Result<Option<(Ratio, usize, usize)>> {
+    let mut ticker = budget.ticker();
     let mut best: Option<(Ratio, usize, usize)> = None;
     for (c, order) in orders.iter().enumerate().take(end).skip(start) {
         let mut fresh = 0u64;
         for (p, &r) in order.iter().enumerate() {
+            ticker.tick()?;
             if !covered[r as usize] {
                 fresh += 1;
             }
@@ -216,7 +275,7 @@ fn scan_center_range(
             }
         }
     }
-    best
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -328,6 +387,38 @@ mod tests {
             let par = center_greedy_cover(&ds, 4, &config).unwrap();
             assert_eq!(seq, par, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn governed_unlimited_matches_ungoverned() {
+        let ds = Dataset::from_fn(70, 4, |i, j| ((i * 17 + j * 5) % 7) as u32);
+        for threads in [1, 4] {
+            let config = CenterConfig {
+                threads,
+                ..Default::default()
+            };
+            let plain = center_greedy_cover(&ds, 3, &config).unwrap();
+            let governed =
+                try_center_greedy_cover_governed(&ds, 3, &config, &Budget::unlimited()).unwrap();
+            assert_eq!(plain, governed, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn governed_budget_limits_trip() {
+        let ds = Dataset::from_fn(70, 4, |i, j| ((i * 17 + j * 5) % 7) as u32);
+        let config = CenterConfig::default();
+        let starved = Budget::builder().max_memory_bytes(64).build();
+        assert!(matches!(
+            try_center_greedy_cover_governed(&ds, 3, &config, &starved),
+            Err(Error::BudgetExceeded {
+                resource: crate::govern::Resource::Memory,
+                ..
+            })
+        ));
+        let cancelled = Budget::unlimited();
+        cancelled.cancel();
+        assert!(try_center_greedy_cover_governed(&ds, 3, &config, &cancelled).is_err());
     }
 
     #[test]

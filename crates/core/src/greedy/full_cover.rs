@@ -47,6 +47,10 @@ use crate::cover::Cover;
 use crate::dataset::Dataset;
 use crate::distcache::{resolve_threads, PairwiseDistances};
 use crate::error::{Error, Result};
+use crate::govern::Budget;
+
+/// Candidate subsets (sorted row ids) each paired with its cached diameter.
+type WeightedCombos = Vec<(Vec<u32>, u64)>;
 
 /// Tuning knobs for the exhaustive greedy cover.
 #[derive(Clone, Debug)]
@@ -86,43 +90,64 @@ impl FullCoverConfig {
     }
 }
 
-/// `C(n, r)` with saturation at `usize::MAX`.
-fn binomial(n: usize, r: usize) -> usize {
+/// `C(n, r)` via checked arithmetic; `None` when the exact count does not
+/// fit a `usize`. Intermediates run in `u128` because the running product
+/// `C(n, t)` can exceed the final `C(n, r)` when `r > n/2`.
+fn binomial_checked(n: usize, r: usize) -> Option<usize> {
     if r > n {
-        return 0;
+        return Some(0);
     }
     let mut c = 1u128;
     for t in 0..r {
-        c = c.saturating_mul((n - t) as u128) / (t + 1) as u128;
-        if c > usize::MAX as u128 {
-            return usize::MAX;
-        }
+        c = c.checked_mul((n - t) as u128)? / (t + 1) as u128;
     }
-    c as usize
+    usize::try_from(c).ok()
 }
 
-/// Counts `Σ_{s=k}^{min(2k−1, n)} C(n, s)` with saturation.
-fn candidate_count(n: usize, k: usize) -> usize {
+/// `C(n, r)` with saturation at `usize::MAX` — only for work-splitting
+/// arithmetic whose exactness [`candidate_count`] has already validated.
+fn binomial(n: usize, r: usize) -> usize {
+    binomial_checked(n, r).unwrap_or(usize::MAX)
+}
+
+/// Counts `Σ_{s=k}^{min(2k−1, n)} C(n, s)` exactly.
+///
+/// # Errors
+/// [`Error::Overflow`] when the count exceeds `usize::MAX` on adversarial
+/// `n`/`k` — previously this saturated silently and downstream capacity
+/// arithmetic could wrap in release builds.
+fn candidate_count(n: usize, k: usize) -> Result<usize> {
     let mut total = 0usize;
     for s in k..=(2 * k - 1).min(n) {
-        total = total.saturating_add(binomial(n, s));
+        let b = binomial_checked(n, s).ok_or(Error::Overflow {
+            what: "binomial C(n, s) in the candidate count",
+        })?;
+        total = total.checked_add(b).ok_or(Error::Overflow {
+            what: "candidate count sum over sizes k..=2k-1",
+        })?;
     }
-    total
+    Ok(total)
 }
 
-/// Enumerates all size-`s` combinations of `0..n`, invoking `f` on each.
-fn for_each_combination(n: usize, s: usize, f: &mut impl FnMut(&[u32])) {
+/// Enumerates all size-`s` combinations of `0..n` in lexicographic order,
+/// invoking `f` on each; stops early when `f` errors (budget polls ride on
+/// this).
+fn for_each_combination_until(
+    n: usize,
+    s: usize,
+    f: &mut impl FnMut(&[u32]) -> Result<()>,
+) -> Result<()> {
     let mut combo: Vec<u32> = (0..s as u32).collect();
     if s == 0 || s > n {
-        return;
+        return Ok(());
     }
     loop {
-        f(&combo);
+        f(&combo)?;
         // Advance to the next combination in lexicographic order.
         let mut i = s;
         loop {
             if i == 0 {
-                return;
+                return Ok(());
             }
             i -= 1;
             if combo[i] < (n - s + i) as u32 {
@@ -136,45 +161,92 @@ fn for_each_combination(n: usize, s: usize, f: &mut impl FnMut(&[u32])) {
     }
 }
 
+/// Infallible wrapper over [`for_each_combination_until`].
+#[cfg(test)]
+fn for_each_combination(n: usize, s: usize, f: &mut impl FnMut(&[u32])) {
+    let infallible = for_each_combination_until(n, s, &mut |c| {
+        f(c);
+        Ok(())
+    });
+    debug_assert!(infallible.is_ok());
+}
+
 /// Enumerates, in lexicographic order, the size-`s` combinations of `0..n`
-/// whose first element is exactly `first`.
-fn for_each_combination_with_first(n: usize, s: usize, first: usize, f: &mut impl FnMut(&[u32])) {
+/// whose first element is exactly `first`; stops early when `f` errors.
+fn for_each_combination_with_first_until(
+    n: usize,
+    s: usize,
+    first: usize,
+    f: &mut impl FnMut(&[u32]) -> Result<()>,
+) -> Result<()> {
     debug_assert!(s >= 1 && first < n);
     let mut combo = vec![first as u32; s];
     let tail = n - first - 1; // elements available after `first`
-    for_each_combination(tail, s - 1, &mut |sub| {
+    for_each_combination_until(tail, s - 1, &mut |sub| {
         for (slot, &v) in combo[1..].iter_mut().zip(sub) {
             *slot = first as u32 + 1 + v;
         }
-        f(&combo);
-    });
+        f(&combo)
+    })?;
     if s == 1 {
-        f(&combo);
+        f(&combo)?;
     }
+    Ok(())
+}
+
+/// Infallible wrapper over [`for_each_combination_with_first_until`].
+#[cfg(test)]
+fn for_each_combination_with_first(n: usize, s: usize, first: usize, f: &mut impl FnMut(&[u32])) {
+    let infallible = for_each_combination_with_first_until(n, s, first, &mut |c| {
+        f(c);
+        Ok(())
+    });
+    debug_assert!(infallible.is_ok());
 }
 
 /// Materializes the candidate collection — every subset of size `k..=2k−1`
 /// paired with its cached diameter — in lexicographic enumeration order,
 /// fanning each size class out over `threads` workers.
+///
+/// Governed: the projected storage is charged against the budget's memory
+/// cap up front, and every enumeration loop (sequential, and each parallel
+/// worker with its own ticker) polls the budget per
+/// [`crate::govern::POLL_INTERVAL`] combinations.
 fn materialize_candidates(
     cache: &PairwiseDistances,
     k: usize,
     count: usize,
     threads: usize,
-) -> Vec<(Vec<u32>, u64)> {
+    budget: &Budget,
+) -> Result<WeightedCombos> {
     let n = cache.n();
-    let mut candidates: Vec<(Vec<u32>, u64)> = Vec::with_capacity(count);
+
+    // Planned-allocation accounting: each candidate owns a `Vec<u32>` of its
+    // subset (4 bytes/row + ~24-byte header) plus a diameter and the outer
+    // slot — call it `4s + 64` bytes. Saturating is fine here: the exact
+    // count was already validated by `candidate_count`.
+    let mut planned = 0u64;
+    for s in k..=(2 * k - 1).min(n) {
+        let per = (s as u64).saturating_mul(4).saturating_add(64);
+        planned = planned.saturating_add((binomial(n, s) as u64).saturating_mul(per));
+    }
+    budget.try_charge_memory(planned)?;
+
+    let mut candidates: WeightedCombos = Vec::with_capacity(count);
 
     // Below this, thread spawn/merge overhead beats the parallel win.
     const PARALLEL_FLOOR: usize = 4_096;
     if threads <= 1 || count < PARALLEL_FLOOR {
+        let mut ticker = budget.ticker();
         for s in k..=(2 * k - 1).min(n) {
-            for_each_combination(n, s, &mut |combo| {
+            for_each_combination_until(n, s, &mut |combo| {
+                ticker.tick()?;
                 let d = cache.diameter_ids(combo) as u64;
                 candidates.push((combo.to_vec(), d));
-            });
+                Ok(())
+            })?;
         }
-        return candidates;
+        return Ok(candidates);
     }
 
     for s in k..=(2 * k - 1).min(n) {
@@ -189,25 +261,28 @@ fn materialize_candidates(
             let start = f;
             let mut acc = 0usize;
             while f + s <= n && acc < per_chunk {
-                acc += binomial(n - 1 - f, s - 1);
+                acc = acc.saturating_add(binomial(n - 1 - f, s - 1));
                 f += 1;
             }
             chunks.push((start, f));
         }
 
-        let locals: Vec<Vec<(Vec<u32>, u64)>> = std::thread::scope(|scope| {
+        let locals: Vec<Result<WeightedCombos>> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
                 .map(|&(start, end)| {
-                    scope.spawn(move || {
+                    scope.spawn(move || -> Result<WeightedCombos> {
+                        let mut ticker = budget.ticker();
                         let mut local = Vec::new();
                         for first in start..end {
-                            for_each_combination_with_first(n, s, first, &mut |combo| {
+                            for_each_combination_with_first_until(n, s, first, &mut |combo| {
+                                ticker.tick()?;
                                 let d = cache.diameter_ids(combo) as u64;
                                 local.push((combo.to_vec(), d));
-                            });
+                                Ok(())
+                            })?;
                         }
-                        local
+                        Ok(local)
                     })
                 })
                 .collect();
@@ -217,10 +292,10 @@ fn materialize_candidates(
                 .collect()
         });
         for local in locals {
-            candidates.extend(local);
+            candidates.extend(local?);
         }
     }
-    candidates
+    Ok(candidates)
 }
 
 /// Runs Phase 1 of Theorem 4.1, returning a `(k, 2k−1)`-cover.
@@ -233,10 +308,29 @@ fn materialize_candidates(
 /// * [`Error::InstanceTooLarge`] when `Σ C(n, s)` exceeds
 ///   `config.max_candidates`.
 pub fn full_greedy_cover(ds: &Dataset, k: usize, config: &FullCoverConfig) -> Result<Cover> {
+    try_full_greedy_cover_governed(ds, k, config, &Budget::unlimited())
+}
+
+/// Budget-governed [`full_greedy_cover`]: same algorithm, same output when
+/// the budget suffices, but the distance-cache build, candidate
+/// enumeration (every parallel worker), and the lazy-greedy heap loop all
+/// poll `budget` at bounded intervals and stop with
+/// [`Error::BudgetExceeded`] when a limit trips.
+///
+/// # Errors
+/// As [`full_greedy_cover`], plus [`Error::BudgetExceeded`] /
+/// [`Error::Overflow`].
+pub fn try_full_greedy_cover_governed(
+    ds: &Dataset,
+    k: usize,
+    config: &FullCoverConfig,
+    budget: &Budget,
+) -> Result<Cover> {
     ds.check_k(k)?;
+    budget.check()?;
     let threads = config.effective_threads();
-    let cache = PairwiseDistances::build_parallel(ds, Some(threads));
-    full_greedy_cover_with_cache(ds, k, config, &cache)
+    let cache = PairwiseDistances::try_build_governed(ds, Some(threads), budget)?;
+    try_full_greedy_cover_governed_with_cache(ds, k, config, &cache, budget)
 }
 
 /// [`full_greedy_cover`] over a caller-supplied distance cache (shared with
@@ -251,7 +345,24 @@ pub fn full_greedy_cover_with_cache(
     config: &FullCoverConfig,
     cache: &PairwiseDistances,
 ) -> Result<Cover> {
+    try_full_greedy_cover_governed_with_cache(ds, k, config, cache, &Budget::unlimited())
+}
+
+/// Budget-governed [`full_greedy_cover_with_cache`]; see
+/// [`try_full_greedy_cover_governed`].
+///
+/// # Errors
+/// As [`full_greedy_cover_with_cache`], plus [`Error::BudgetExceeded`] /
+/// [`Error::Overflow`].
+pub fn try_full_greedy_cover_governed_with_cache(
+    ds: &Dataset,
+    k: usize,
+    config: &FullCoverConfig,
+    cache: &PairwiseDistances,
+    budget: &Budget,
+) -> Result<Cover> {
     ds.check_k(k)?;
+    budget.check()?;
     let n = ds.n_rows();
     if cache.n() != n {
         return Err(Error::InvalidPartition(format!(
@@ -259,7 +370,7 @@ pub fn full_greedy_cover_with_cache(
             cache.n()
         )));
     }
-    let count = candidate_count(n, k);
+    let count = candidate_count(n, k)?;
     if count > config.max_candidates {
         return Err(Error::InstanceTooLarge {
             solver: "full_greedy_cover",
@@ -269,12 +380,17 @@ pub fn full_greedy_cover_with_cache(
             ),
         });
     }
+    budget.check_candidates(count as u64)?;
 
-    let candidates = materialize_candidates(cache, k, count, config.effective_threads());
+    let candidates = materialize_candidates(cache, k, count, config.effective_threads(), budget)?;
 
     let uncovered_in = |set: &[u32], covered: &[bool]| -> u64 {
         set.iter().filter(|&&r| !covered[r as usize]).count() as u64
     };
+
+    // The heap holds one `Reverse<(Ratio, usize)>` (24 bytes) per candidate;
+    // stale re-pushes never exceed the original population in steady state.
+    budget.try_charge_memory((count as u64).saturating_mul(24))?;
 
     // Lazy-greedy heap keyed by cached ratio. BinaryHeap is a max-heap, so
     // wrap in Reverse. The tuple's second field — the candidate's index in
@@ -287,8 +403,10 @@ pub fn full_greedy_cover_with_cache(
         .map(|(idx, (set, d))| Reverse((Ratio::new(*d, set.len() as u64), idx)))
         .collect();
 
+    let mut ticker = budget.ticker();
     let mut chosen: Vec<Vec<u32>> = Vec::new();
     while remaining > 0 {
+        ticker.tick()?;
         let Reverse((key, idx)) = heap.pop().ok_or_else(|| {
             Error::InvalidPartition("greedy ran out of candidates before covering V".into())
         })?;
@@ -370,23 +488,36 @@ mod tests {
     #[test]
     fn candidate_count_matches_binomials() {
         // k = 2 over n = 5: C(5,2) + C(5,3) = 10 + 10.
-        assert_eq!(candidate_count(5, 2), 20);
+        assert_eq!(candidate_count(5, 2).unwrap(), 20);
         // k = 3 over n = 6: C(6,3) + C(6,4) + C(6,5) = 20 + 15 + 6.
-        assert_eq!(candidate_count(6, 3), 41);
+        assert_eq!(candidate_count(6, 3).unwrap(), 41);
         // Truncated at n.
-        assert_eq!(candidate_count(3, 2), 3 + 1);
+        assert_eq!(candidate_count(3, 2).unwrap(), 3 + 1);
+    }
+
+    #[test]
+    fn candidate_count_overflows_cleanly_on_adversarial_n() {
+        // C(10_000, 40) vastly exceeds usize::MAX; the old saturating path
+        // reported usize::MAX, the checked path names the overflow.
+        assert!(matches!(
+            candidate_count(10_000, 40),
+            Err(Error::Overflow { .. })
+        ));
+        // The saturating helper used for work-splitting still saturates.
+        assert_eq!(binomial(10_000, 40), usize::MAX);
     }
 
     #[test]
     fn parallel_materialization_is_byte_identical() {
         let ds = Dataset::from_fn(18, 4, |i, j| ((i * 11 + j * 5) % 4) as u32);
         let cache = PairwiseDistances::build(&ds);
-        let count = candidate_count(18, 3);
+        let count = candidate_count(18, 3).unwrap();
         assert!(count >= 4_096, "instance must clear the parallel floor");
-        let seq = materialize_candidates(&cache, 3, count, 1);
+        let unlimited = Budget::unlimited();
+        let seq = materialize_candidates(&cache, 3, count, 1, &unlimited).unwrap();
         assert_eq!(seq.len(), count);
         for threads in [2, 3, 4, 7] {
-            let par = materialize_candidates(&cache, 3, count, threads);
+            let par = materialize_candidates(&cache, 3, count, threads, &unlimited).unwrap();
             assert_eq!(seq, par, "threads = {threads}");
         }
         // Spot-check diameters against the row-scanning reference.
@@ -449,6 +580,53 @@ mod tests {
         };
         let err = full_greedy_cover(&ds, 3, &config).unwrap_err();
         assert!(matches!(err, Error::InstanceTooLarge { .. }));
+    }
+
+    #[test]
+    fn governed_unlimited_matches_ungoverned() {
+        let ds = Dataset::from_fn(14, 4, |i, j| ((i * 5 + j * 3) % 3) as u32);
+        for k in [2, 3] {
+            let plain = full_greedy_cover(&ds, k, &FullCoverConfig::default()).unwrap();
+            let governed = try_full_greedy_cover_governed(
+                &ds,
+                k,
+                &FullCoverConfig::default(),
+                &Budget::unlimited(),
+            )
+            .unwrap();
+            assert_eq!(plain, governed, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn governed_budget_limits_trip() {
+        let ds = Dataset::from_fn(16, 4, |i, j| ((i * 7 + j) % 4) as u32);
+        let config = FullCoverConfig::default();
+
+        // Candidate cap below Σ C(16, 2..=3) = 680.
+        let capped = Budget::builder().max_candidates(100).build();
+        assert!(matches!(
+            try_full_greedy_cover_governed(&ds, 2, &config, &capped),
+            Err(Error::BudgetExceeded {
+                resource: crate::govern::Resource::Candidates,
+                ..
+            })
+        ));
+
+        // Memory cap that the distance cache alone exceeds.
+        let starved = Budget::builder().max_memory_bytes(16).build();
+        assert!(matches!(
+            try_full_greedy_cover_governed(&ds, 2, &config, &starved),
+            Err(Error::BudgetExceeded {
+                resource: crate::govern::Resource::Memory,
+                ..
+            })
+        ));
+
+        // Cancellation is observed before any work.
+        let cancelled = Budget::unlimited();
+        cancelled.cancel();
+        assert!(try_full_greedy_cover_governed(&ds, 2, &config, &cancelled).is_err());
     }
 
     #[test]

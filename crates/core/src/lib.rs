@@ -61,6 +61,7 @@ pub mod distcache;
 pub mod diversity;
 pub mod error;
 pub mod exact;
+pub mod govern;
 pub mod greedy;
 pub mod local_search;
 pub mod metric;
@@ -76,5 +77,6 @@ pub use cover::Cover;
 pub use dataset::{Dataset, Value};
 pub use distcache::PairwiseDistances;
 pub use error::{Error, Result};
+pub use govern::{Budget, Resource};
 pub use partition::Partition;
 pub use suppression::{AnonymizedTable, Suppressor};

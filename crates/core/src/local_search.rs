@@ -17,6 +17,7 @@ use crate::dataset::Dataset;
 use crate::diameter::anon_cost;
 use crate::distcache::PairwiseDistances;
 use crate::error::Result;
+use crate::govern::Budget;
 use crate::partition::Partition;
 
 /// Tuning knobs for [`improve`].
@@ -74,8 +75,25 @@ pub fn improve(
     k: usize,
     config: &LocalSearchConfig,
 ) -> Result<LocalSearchResult> {
+    try_improve_governed(ds, partition, k, config, &Budget::unlimited())
+}
+
+/// Budget-governed [`improve`]: the relocate and swap move-evaluation loops
+/// poll `budget` at bounded intervals. Because hill climbing is monotone,
+/// interrupting it loses only further improvement — callers that prefer the
+/// partial result over the error can keep their own pre-move snapshot.
+///
+/// # Errors
+/// As [`improve`], plus [`crate::Error::BudgetExceeded`].
+pub fn try_improve_governed(
+    ds: &Dataset,
+    partition: &Partition,
+    k: usize,
+    config: &LocalSearchConfig,
+    budget: &Budget,
+) -> Result<LocalSearchResult> {
     let initial_cost = partition.anonymization_cost(ds);
-    let (result, moves, passes) = improve_by_cost(ds, partition, k, config, |ds, rows| {
+    let (result, moves, passes) = improve_by_cost(ds, partition, k, config, budget, |ds, rows| {
         block_cost(ds, rows) as f64
     })?;
     let final_cost = result.anonymization_cost(ds);
@@ -104,6 +122,21 @@ pub fn improve_cached(
     k: usize,
     config: &LocalSearchConfig,
 ) -> Result<LocalSearchResult> {
+    try_improve_cached_governed(ds, cache, partition, k, config, &Budget::unlimited())
+}
+
+/// Budget-governed [`improve_cached`]; see [`try_improve_governed`].
+///
+/// # Errors
+/// As [`improve_cached`], plus [`crate::Error::BudgetExceeded`].
+pub fn try_improve_cached_governed(
+    ds: &Dataset,
+    cache: &PairwiseDistances,
+    partition: &Partition,
+    k: usize,
+    config: &LocalSearchConfig,
+    budget: &Budget,
+) -> Result<LocalSearchResult> {
     if cache.n() != ds.n_rows() {
         return Err(crate::error::Error::InvalidPartition(format!(
             "distance cache covers {} rows but the dataset has {}",
@@ -112,7 +145,7 @@ pub fn improve_cached(
         )));
     }
     let initial_cost = partition.anonymization_cost(ds);
-    let (result, moves, passes) = improve_by_cost(ds, partition, k, config, |ds, rows| {
+    let (result, moves, passes) = improve_by_cost(ds, partition, k, config, budget, |ds, rows| {
         let idx: Vec<usize> = rows.iter().map(|&r| r as usize).collect();
         cache.anon_cost(ds, &idx) as f64
     })?;
@@ -148,10 +181,17 @@ pub fn improve_weighted(
         )));
     }
     let initial = crate::weighted::weighted_partition_cost(ds, weights, partition);
-    let (result, _, _) = improve_by_cost(ds, partition, k, config, |ds, rows| {
-        let idx: Vec<usize> = rows.iter().map(|&r| r as usize).collect();
-        crate::weighted::weighted_anon_cost(ds, weights, &idx)
-    })?;
+    let (result, _, _) = improve_by_cost(
+        ds,
+        partition,
+        k,
+        config,
+        &Budget::unlimited(),
+        |ds, rows| {
+            let idx: Vec<usize> = rows.iter().map(|&r| r as usize).collect();
+            crate::weighted::weighted_anon_cost(ds, weights, &idx)
+        },
+    )?;
     let final_cost = crate::weighted::weighted_partition_cost(ds, weights, &result);
     debug_assert!(final_cost <= initial + 1e-9);
     Ok((result, initial, final_cost))
@@ -165,9 +205,12 @@ fn improve_by_cost(
     partition: &Partition,
     k: usize,
     config: &LocalSearchConfig,
+    budget: &Budget,
     cost_of: impl Fn(&Dataset, &[u32]) -> f64,
 ) -> Result<(Partition, usize, usize)> {
     const EPS: f64 = 1e-9;
+    budget.check()?;
+    let mut ticker = budget.ticker();
     let mut blocks: Vec<Vec<u32>> = partition.blocks().to_vec();
     let mut costs: Vec<f64> = blocks.iter().map(|b| cost_of(ds, b)).collect();
     let max_size = if config.cap_block_size {
@@ -197,6 +240,7 @@ fn improve_by_cost(
                 let removed: Vec<u32> = blocks[a].iter().copied().filter(|&r| r != row).collect();
                 let cost_a_removed = cost_of(ds, &removed);
                 for b in 0..blocks.len() {
+                    ticker.tick()?;
                     if b == a || blocks[b].len() >= max_size {
                         continue;
                     }
@@ -235,6 +279,7 @@ fn improve_by_cost(
                         break;
                     }
                     for j in 0..blocks[b].len() {
+                        ticker.tick()?;
                         let (ra, rb) = (blocks[a][i], blocks[b][j]);
                         let mut new_a = blocks[a].clone();
                         let mut new_b = blocks[b].clone();
@@ -341,6 +386,38 @@ mod tests {
         let cache = PairwiseDistances::build(&other);
         let p = Partition::new(vec![(0..6u32).collect()], 6, 2).unwrap();
         assert!(improve_cached(&ds, &cache, &p, 2, &LocalSearchConfig::default()).is_err());
+    }
+
+    #[test]
+    fn governed_unlimited_matches_and_cancellation_propagates() {
+        let ds = Dataset::from_fn(12, 4, |i, j| ((i * 5 + j * 3) % 4) as u32);
+        let p = Partition::new(
+            vec![
+                (0..4u32).collect(),
+                (4..8u32).collect(),
+                (8..12u32).collect(),
+            ],
+            12,
+            3,
+        )
+        .unwrap();
+        let plain = improve(&ds, &p, 3, &LocalSearchConfig::default()).unwrap();
+        let governed = try_improve_governed(
+            &ds,
+            &p,
+            3,
+            &LocalSearchConfig::default(),
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(plain.partition, governed.partition);
+        assert_eq!(plain.moves, governed.moves);
+
+        let cancelled = Budget::unlimited();
+        cancelled.cancel();
+        assert!(
+            try_improve_governed(&ds, &p, 3, &LocalSearchConfig::default(), &cancelled).is_err()
+        );
     }
 
     #[test]

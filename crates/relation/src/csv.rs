@@ -42,6 +42,20 @@ pub fn parse(text: &str) -> Result<Table> {
     Ok(table)
 }
 
+/// As [`parse`], but additionally rejects a table that has a header and no
+/// data rows — the shape every `kanon` ingestion path requires, since there
+/// is nothing to anonymize, verify, or attack in an empty table.
+///
+/// # Errors
+/// As [`parse`]; additionally [`Error::EmptyTable`] on zero data rows.
+pub fn parse_non_empty(text: &str) -> Result<Table> {
+    let table = parse(text)?;
+    if table.n_rows() == 0 {
+        return Err(Error::EmptyTable);
+    }
+    Ok(table)
+}
+
 /// Serializes a table to CSV with a header record. Fields containing
 /// commas, quotes, or newlines are quoted.
 #[must_use]
@@ -202,6 +216,18 @@ mod tests {
     #[test]
     fn empty_input_is_error() {
         assert!(matches!(parse(""), Err(Error::Csv { line: 1, .. })));
+    }
+
+    #[test]
+    fn parse_non_empty_rejects_header_only() {
+        // A bare header parses fine but carries no data rows.
+        assert_eq!(parse("a,b\n").unwrap().n_rows(), 0);
+        assert!(matches!(parse_non_empty("a,b\n"), Err(Error::EmptyTable)));
+        assert!(matches!(parse_non_empty("a,b"), Err(Error::EmptyTable)));
+        // With data it behaves exactly like `parse`.
+        assert_eq!(parse_non_empty("a,b\n1,2\n").unwrap().n_rows(), 1);
+        // Syntax errors still surface as such, not as emptiness.
+        assert!(matches!(parse_non_empty(""), Err(Error::Csv { .. })));
     }
 
     #[test]

@@ -29,6 +29,8 @@ pub enum Error {
         /// Description.
         message: String,
     },
+    /// A table with a header but no data rows, where rows are required.
+    EmptyTable,
     /// A decoded table referenced a dictionary code that does not exist.
     UnknownCode {
         /// Column index.
@@ -55,6 +57,7 @@ impl fmt::Display for Error {
             Error::EmptySchema => write!(f, "schema must have at least one attribute"),
             Error::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
             Error::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            Error::EmptyTable => write!(f, "table has a header but no data rows"),
             Error::UnknownCode { column, code } => {
                 write!(f, "column {column} has no dictionary entry for code {code}")
             }
@@ -103,6 +106,7 @@ mod tests {
                 },
                 "line 4",
             ),
+            (Error::EmptyTable, "no data rows"),
             (Error::UnknownCode { column: 1, code: 9 }, "code 9"),
             (Error::Hierarchy("bad level".into()), "bad level"),
             (Error::Core(kanon_core::Error::KZero), "core error"),

@@ -91,6 +91,8 @@ fn cli_anonymize_verify_roundtrip_through_files() {
         quasi: Some(quasi.clone()),
         threads: 2,
         emit_mask: None,
+        deadline_ms: None,
+        max_memory_mb: None,
     })
     .unwrap();
     assert!(outcome.notes.iter().any(|n| n.contains("suppressed")));
