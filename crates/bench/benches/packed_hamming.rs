@@ -1,0 +1,67 @@
+//! Criterion micro-bench for the packed SWAR Hamming kernel vs the scalar
+//! `hamming` loop, across alphabet widths (ISSUE 3 satellite).
+//!
+//! Three regimes, matching the lane selection in `kanon_core::metric`:
+//!
+//! * alphabet ≤ 256 distinct values → `u8` codes, 8 attributes per `u64`;
+//! * alphabet ≤ 65_536 → `u16` codes, 4 attributes per word;
+//! * wider alphabets → no packing, the scalar loop is the only path.
+//!
+//! Exact agreement between the two kernels is pinned by
+//! `packed_distance_agrees_with_scalar_on_1k_random_pairs` (a `#[test]` in
+//! `crates/core/src/metric.rs`), so this file measures throughput only.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kanon_core::metric::{hamming, PackedRows};
+use kanon_workloads::uniform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// All-pairs distance sweep with the scalar row-slice kernel.
+fn sweep_scalar(ds: &kanon_core::Dataset) -> usize {
+    let n = ds.n_rows();
+    let mut acc = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            acc += hamming(ds.row(i), ds.row(j));
+        }
+    }
+    acc
+}
+
+/// All-pairs sweep with the packed kernel (panics if packing is refused —
+/// callers pick alphabets the codec supports).
+fn sweep_packed(packed: &PackedRows, n: usize) -> usize {
+    let mut acc = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            acc += packed.distance(i, j) as usize;
+        }
+    }
+    acc
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = 512;
+    let m = 24;
+    let mut group = c.benchmark_group("packed_hamming/all_pairs_n512_m24");
+    group.sample_size(10);
+    // (label, alphabet size): u8-lane, u8-lane boundary, u16-lane.
+    for (label, alphabet) in [("binary", 2u32), ("a256", 256), ("a4096", 4_096)] {
+        let mut rng = StdRng::seed_from_u64(0x5EED ^ u64::from(alphabet));
+        let ds = uniform(&mut rng, n, m, alphabet);
+        let packed = PackedRows::try_build(&ds).expect("alphabet fits a packed lane");
+        let scalar_sum = sweep_scalar(&ds);
+        assert_eq!(scalar_sum, sweep_packed(&packed, n), "kernels disagree");
+        group.bench_with_input(BenchmarkId::new("scalar", label), &ds, |b, ds| {
+            b.iter(|| black_box(sweep_scalar(ds)));
+        });
+        group.bench_with_input(BenchmarkId::new("packed", label), &packed, |b, packed| {
+            b.iter(|| black_box(sweep_packed(packed, n)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

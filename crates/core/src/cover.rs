@@ -58,6 +58,20 @@ impl Cover {
         Ok(Cover { sets, n })
     }
 
+    /// Builds and validates a cover from borrowed row-id slices (e.g. the
+    /// candidate-arena slices chosen by the greedy), copying each into an
+    /// owned set. Same validation as [`Cover::new`].
+    ///
+    /// # Errors
+    /// [`Error::InvalidPartition`] describing the first violation found.
+    pub fn from_slices<'a>(
+        sets: impl IntoIterator<Item = &'a [u32]>,
+        n: usize,
+        k: usize,
+    ) -> Result<Self> {
+        Cover::new(sets.into_iter().map(<[u32]>::to_vec).collect(), n, k)
+    }
+
     /// Number of rows covered.
     #[must_use]
     pub fn n_rows(&self) -> usize {

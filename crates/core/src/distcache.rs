@@ -25,6 +25,14 @@
 //! fills disjoint sub-slices via `std::thread::scope` — no locks, no
 //! cloning, byte-identical output to the sequential build.
 //!
+//! Each band computes distances with the packed SWAR kernel
+//! ([`crate::metric::PackedRows`], ~8 attributes per word op) whenever the
+//! dataset's dictionary codes fit the packed lanes and the budget affords
+//! the packed copy; otherwise it falls back to the scalar [`hamming`] scan.
+//! Both paths produce identical `u32` distances — pinned by the
+//! `parallel_differential` suite and the packed-agreement tests in
+//! [`crate::metric`].
+//!
 //! Thread counts resolve through [`resolve_threads`]: an explicit request
 //! wins, then the `RAYON_NUM_THREADS` environment variable (the de-facto
 //! convention for capping data-parallel width, honored so CI can pin
@@ -32,8 +40,8 @@
 
 use crate::dataset::Dataset;
 use crate::error::{Error, Result};
-use crate::govern::Budget;
-use crate::metric::hamming;
+use crate::govern::{Budget, PollTicker};
+use crate::metric::{hamming, PackedRows};
 
 /// Checked strict-upper-triangle length `n(n−1)/2`, also validating that
 /// every intermediate of the hot [`PairwiseDistances::tri_index`] formula
@@ -132,18 +140,25 @@ impl PairwiseDistances {
         budget.try_charge_memory((total as u64).saturating_mul(4))?;
         let mut tri = vec![0u32; total];
 
+        // Packed SWAR kernel: ~8 attribute comparisons per word op. Charged
+        // against the budget like every other planned allocation, but a
+        // refused charge degrades to the scalar row scan instead of failing
+        // the build — packing is an optimization, never a requirement.
+        // `PackedRows::try_build` itself returns `None` for wide alphabets.
+        let packed = if budget
+            .try_charge_memory(PackedRows::storage_bytes(n, ds.n_cols()))
+            .is_ok()
+        {
+            PackedRows::try_build(ds)
+        } else {
+            None
+        };
+        let packed = packed.as_ref();
+
         // Small instances: band setup costs more than it saves.
         if threads <= 1 || n < 128 {
             let mut ticker = budget.ticker();
-            let mut idx = 0;
-            for i in 0..n {
-                let ri = ds.row(i);
-                for j in (i + 1)..n {
-                    ticker.tick()?;
-                    tri[idx] = hamming(ri, ds.row(j)) as u32;
-                    idx += 1;
-                }
-            }
+            fill_band(ds, packed, 0, n, n, &mut tri, &mut ticker)?;
             return Ok(PairwiseDistances {
                 n,
                 tri: tri.into_boxed_slice(),
@@ -170,16 +185,7 @@ impl PairwiseDistances {
                 let last = row;
                 handles.push(scope.spawn(move || -> Result<()> {
                     let mut ticker = budget.ticker();
-                    let mut idx = 0;
-                    for i in first..last {
-                        let ri = ds.row(i);
-                        for j in (i + 1)..n {
-                            ticker.tick()?;
-                            chunk[idx] = hamming(ri, ds.row(j)) as u32;
-                            idx += 1;
-                        }
-                    }
-                    Ok(())
+                    fill_band(ds, packed, first, last, n, chunk, &mut ticker)
                 }));
             }
             handles
@@ -200,6 +206,15 @@ impl PairwiseDistances {
     #[must_use]
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// [`PairwiseDistances::get`] specialized to `i < j`: skips the
+    /// ordering branch on the hottest probe path (the candidate walker's
+    /// prefix extensions always probe ascending row ids).
+    #[inline]
+    pub(crate) fn get_lt(&self, i: usize, j: usize) -> u32 {
+        debug_assert!(i < j && j < self.n);
+        self.tri[self.tri_index(i, j)]
     }
 
     /// Distance between rows `i` and `j` (symmetric, zero diagonal).
@@ -288,6 +303,41 @@ impl PairwiseDistances {
         ds.sort_unstable();
         Some(ds[t - 1])
     }
+}
+
+/// Fills the triangular entries of rows `first..last` (a contiguous band)
+/// into `chunk`, preferring the packed SWAR kernel when one was built.
+/// The `packed`/scalar branch is hoisted out of the pair loop so the hot
+/// path stays branch-free; both paths produce identical `u32` distances.
+fn fill_band(
+    ds: &Dataset,
+    packed: Option<&PackedRows>,
+    first: usize,
+    last: usize,
+    n: usize,
+    chunk: &mut [u32],
+    ticker: &mut PollTicker<'_>,
+) -> Result<()> {
+    let mut idx = 0;
+    if let Some(p) = packed {
+        for i in first..last {
+            for j in (i + 1)..n {
+                ticker.tick()?;
+                chunk[idx] = p.distance(i, j);
+                idx += 1;
+            }
+        }
+    } else {
+        for i in first..last {
+            let ri = ds.row(i);
+            for j in (i + 1)..n {
+                ticker.tick()?;
+                chunk[idx] = hamming(ri, ds.row(j)) as u32;
+                idx += 1;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Resolves a thread-count request: `Some(t)` wins, then the

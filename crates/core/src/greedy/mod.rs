@@ -12,10 +12,12 @@
 //!
 //! The partition is then rounded to a suppressor by [`crate::rounding`].
 
+pub mod arena;
 pub mod center;
 pub mod full_cover;
 pub mod reduce;
 
+pub use arena::CandidateArena;
 pub use center::{
     center_greedy_cover, center_greedy_cover_with_cache, try_center_greedy_cover_governed,
     try_center_greedy_cover_governed_with_cache, CenterConfig,

@@ -4,6 +4,20 @@
 //! records differ, i.e. the minimum number of suppressions needed *in each of
 //! the two records* to make them identical. The paper notes this function is
 //! a metric; `proptest` checks in this module verify the axioms.
+//!
+//! ## Packed rows
+//!
+//! The `O(m·n²)` distance-cache build beneath every solver compares
+//! attributes one [`Value`] at a time. Dictionary codes are almost always
+//! tiny (census-style alphabets have a handful of values per column), so
+//! [`PackedRows`] re-encodes each row with one **byte** per attribute
+//! (8 attributes per `u64` word) when every code fits a byte, or one
+//! 16-bit lane (4 attributes per word) when every code fits `u16`. The
+//! Hamming distance of two packed rows is then `XOR` + a SWAR
+//! nonzero-lane test + `popcount` per word — ~8 attribute comparisons per
+//! word op — with the scalar [`hamming`] kept as the exact-agreement
+//! fallback for wide alphabets. See DESIGN.md §4.2a for the encoding and
+//! the lane-width selection rules.
 
 use crate::dataset::{Dataset, Value};
 
@@ -48,6 +62,150 @@ pub fn hamming_within(u: &[Value], v: &[Value], limit: usize) -> Option<usize> {
 #[must_use]
 pub fn row_distance(ds: &Dataset, i: usize, j: usize) -> usize {
     hamming(ds.row(i), ds.row(j))
+}
+
+/// Lane width of a [`PackedRows`] encoding: how many bits each attribute
+/// occupies inside a `u64` word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Lane {
+    /// One byte per attribute, 8 attributes per word; usable when every
+    /// dictionary code in the dataset is `<= u8::MAX`.
+    B8,
+    /// One 16-bit lane per attribute, 4 attributes per word; usable when
+    /// every code is `<= u16::MAX`.
+    B16,
+}
+
+/// Per-byte SWAR nonzero test: one bit set in the `0x80` position of every
+/// nonzero byte lane of `x`, so `count_ones` of the mask counts differing
+/// attributes. The inner `(x | HI) - LO` never borrows across lanes because
+/// every byte of `x | HI` is at least `0x80`.
+#[inline]
+fn nonzero_u8_lanes(x: u64) -> u32 {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    ((x | ((x | HI) - LO)) & HI).count_ones()
+}
+
+/// 16-bit-lane sibling of [`nonzero_u8_lanes`].
+#[inline]
+fn nonzero_u16_lanes(x: u64) -> u32 {
+    const LO: u64 = 0x0001_0001_0001_0001;
+    const HI: u64 = 0x8000_8000_8000_8000;
+    ((x | ((x | HI) - LO)) & HI).count_ones()
+}
+
+/// Bit-packed row codec: each row's `m` attribute codes packed
+/// little-endian into `u64` lanes, with unused tail lanes zeroed (equal in
+/// both operands, so they never contribute to a distance).
+///
+/// [`PackedRows::distance`] agrees **exactly** with the scalar [`hamming`]
+/// on the rows it encodes — pinned by a 1 000-random-pair agreement test in
+/// this module and a proptest across alphabet widths.
+///
+/// ```
+/// use kanon_core::{Dataset, metric::{hamming, PackedRows}};
+/// let ds = Dataset::from_rows(vec![
+///     vec![1, 0, 1, 0, 3, 250, 9, 0, 1],  // 9 attrs: 2 words of 8 lanes
+///     vec![0, 1, 1, 0, 3, 251, 9, 0, 2],
+/// ]).unwrap();
+/// let packed = PackedRows::try_build(&ds).unwrap();
+/// assert_eq!(packed.distance(0, 1) as usize, hamming(ds.row(0), ds.row(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PackedRows {
+    n: usize,
+    words_per_row: usize,
+    lane: Lane,
+    words: Box<[u64]>,
+}
+
+impl PackedRows {
+    /// Packs every row of `ds`, choosing the narrowest lane that holds the
+    /// dataset's largest dictionary code. Returns `None` when some code
+    /// exceeds `u16::MAX` — callers fall back to the scalar [`hamming`]
+    /// (wide-alphabet datasets are rare and the fallback is exact, just
+    /// slower).
+    #[must_use]
+    pub fn try_build(ds: &Dataset) -> Option<Self> {
+        let lane = match ds.max_value() {
+            None => Lane::B8, // empty dataset: nothing to pack, nothing to compare
+            Some(v) if v <= Value::from(u8::MAX) => Lane::B8,
+            Some(v) if v <= Value::from(u16::MAX) => Lane::B16,
+            Some(_) => return None,
+        };
+        let (n, m) = (ds.n_rows(), ds.n_cols());
+        let per_word = lane_count(lane);
+        let words_per_row = m.div_ceil(per_word);
+        let mut words = vec![0u64; n * words_per_row];
+        for (i, row) in ds.rows().enumerate() {
+            let out = &mut words[i * words_per_row..(i + 1) * words_per_row];
+            for (j, &v) in row.iter().enumerate() {
+                let shift = match lane {
+                    Lane::B8 => (j % 8) * 8,
+                    Lane::B16 => (j % 4) * 16,
+                };
+                out[j / per_word] |= u64::from(v) << shift;
+            }
+        }
+        Some(PackedRows {
+            n,
+            words_per_row,
+            lane,
+            words: words.into_boxed_slice(),
+        })
+    }
+
+    /// Number of rows encoded.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes of packed storage (for planned-allocation accounting).
+    #[must_use]
+    pub fn storage_bytes(n: usize, m: usize) -> u64 {
+        // Conservative: assume the widest supported lane (4 attrs/word).
+        let words_per_row = m.div_ceil(4) as u64;
+        (n as u64)
+            .saturating_mul(words_per_row)
+            .saturating_mul(std::mem::size_of::<u64>() as u64)
+    }
+
+    /// Hamming distance between packed rows `i` and `j`: per word,
+    /// XOR + SWAR nonzero-lane mask + popcount.
+    ///
+    /// # Panics
+    /// Panics if either index is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn distance(&self, i: usize, j: usize) -> u32 {
+        let w = self.words_per_row;
+        let a = &self.words[i * w..(i + 1) * w];
+        let b = &self.words[j * w..(j + 1) * w];
+        let mut d = 0u32;
+        match self.lane {
+            Lane::B8 => {
+                for (&x, &y) in a.iter().zip(b) {
+                    d += nonzero_u8_lanes(x ^ y);
+                }
+            }
+            Lane::B16 => {
+                for (&x, &y) in a.iter().zip(b) {
+                    d += nonzero_u16_lanes(x ^ y);
+                }
+            }
+        }
+        d
+    }
+}
+
+/// Attributes per `u64` word for a lane width.
+fn lane_count(lane: Lane) -> usize {
+    match lane {
+        Lane::B8 => 8,
+        Lane::B16 => 4,
+    }
 }
 
 /// The full `n × n` pairwise distance matrix, stored row-major as `u32`.
@@ -243,7 +401,98 @@ mod tests {
         assert_eq!(par.row(3), seq.row(3));
     }
 
+    /// 1 000 random row pairs per alphabet width: the packed SWAR kernel
+    /// must agree exactly with the scalar `hamming`. Referenced by the
+    /// `packed_hamming` criterion bench, which compares the same kernels
+    /// for speed rather than agreement.
+    #[test]
+    fn packed_distance_agrees_with_scalar_on_1k_random_pairs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        // Alphabet widths straddling both lane selections: tiny binary,
+        // byte-boundary (≤ 255 → 8-lane), and u16-boundary (≤ 65535 →
+        // 4-lane) codes, across row widths that exercise partial words.
+        for (alphabet, m) in [(2u32, 3usize), (6, 8), (250, 9), (256, 16), (60_000, 5)] {
+            let mut rng = StdRng::seed_from_u64(u64::from(alphabet) ^ m as u64);
+            let n = 2_000; // 1k pairs of adjacent rows
+            let ds = Dataset::from_fn(n, m, |_, _| rng.gen_range(0..alphabet));
+            let packed = PackedRows::try_build(&ds).expect("codes fit u16 lanes");
+            assert_eq!(packed.n(), n);
+            for p in 0..1_000 {
+                let (i, j) = (2 * p, 2 * p + 1);
+                assert_eq!(
+                    packed.distance(i, j) as usize,
+                    hamming(ds.row(i), ds.row(j)),
+                    "alphabet={alphabet} m={m} pair=({i},{j})"
+                );
+                assert_eq!(packed.distance(i, i), 0);
+                assert_eq!(packed.distance(i, j), packed.distance(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_wide_alphabet_falls_back() {
+        let ds = Dataset::from_rows(vec![vec![70_000, 1], vec![2, 3]]).unwrap();
+        assert!(PackedRows::try_build(&ds).is_none());
+    }
+
+    #[test]
+    fn packed_edge_cases() {
+        // Empty dataset and zero-column rows pack to nothing and compare 0.
+        let empty = Dataset::from_rows(vec![]).unwrap();
+        assert!(PackedRows::try_build(&empty).is_some());
+        let zero_cols = Dataset::from_rows(vec![vec![], vec![]]).unwrap();
+        let p = PackedRows::try_build(&zero_cols).unwrap();
+        assert_eq!(p.distance(0, 1), 0);
+        // Exactly one full word of byte lanes, and one lane over.
+        for m in [8usize, 9] {
+            let ds = Dataset::from_fn(4, m, |i, j| ((i * 31 + j * 7) % 255) as u32);
+            let p = PackedRows::try_build(&ds).unwrap();
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert_eq!(p.distance(i, j) as usize, row_distance(&ds, i, j), "m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swar_lane_tests_cover_boundary_bytes() {
+        // Every lane position, with values whose high/low bits stress the
+        // borrow-free subtraction argument.
+        for lane in 0..8 {
+            for v in [1u64, 0x7F, 0x80, 0xFF] {
+                assert_eq!(nonzero_u8_lanes(v << (8 * lane)), 1, "v={v:#x} lane={lane}");
+            }
+        }
+        assert_eq!(nonzero_u8_lanes(0), 0);
+        assert_eq!(nonzero_u8_lanes(u64::MAX), 8);
+        for lane in 0..4 {
+            for v in [1u64, 0x7FFF, 0x8000, 0xFFFF] {
+                assert_eq!(
+                    nonzero_u16_lanes(v << (16 * lane)),
+                    1,
+                    "v={v:#x} lane={lane}"
+                );
+            }
+        }
+        assert_eq!(nonzero_u16_lanes(0), 0);
+        assert_eq!(nonzero_u16_lanes(u64::MAX), 4);
+    }
+
     proptest! {
+        #[test]
+        fn packed_agrees_with_hamming_proptest(
+            u in proptest::collection::vec(0u32..300, 11),
+            v in proptest::collection::vec(0u32..300, 11),
+        ) {
+            // Alphabet 300 forces the 16-bit lane path; 11 columns leave a
+            // partial final word.
+            let ds = Dataset::from_rows(vec![u.clone(), v.clone()]).unwrap();
+            let p = PackedRows::try_build(&ds).unwrap();
+            prop_assert_eq!(p.distance(0, 1) as usize, hamming(&u, &v));
+        }
+
         #[test]
         fn metric_axioms(
             rows in proptest::collection::vec(
