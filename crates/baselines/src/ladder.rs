@@ -32,10 +32,11 @@ use kanon_core::{Algorithm, Anonymization, Dataset};
 use crate::agglomerative::try_agglomerative_governed;
 
 /// One rung of the degradation ladder, in descending guarantee order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Rung {
     /// Theorem 4.1 exhaustive greedy cover: `3k(1+ln k)`-approximate,
     /// exponential in `k`.
+    #[default]
     FullGreedyCover,
     /// Theorem 4.2 center greedy cover: `6k(1+ln m)`-approximate, strongly
     /// polynomial.
@@ -118,10 +119,11 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    /// True when the top rung answered — no degradation occurred.
+    /// True when the ladder fell below its first attempted rung (which is
+    /// [`LadderConfig::start`], the top rung by default).
     #[must_use]
     pub fn degraded(&self) -> bool {
-        self.rung != Rung::FullGreedyCover
+        self.attempts.first().is_some_and(|a| a.rung != self.rung)
     }
 }
 
@@ -131,6 +133,14 @@ pub struct LadderConfig {
     /// The overall budget the ladder divides among its rungs. Unlimited by
     /// default — the ladder then simply runs the top rung to completion.
     pub budget: Budget,
+    /// The first rung to attempt (default: the top,
+    /// [`Rung::FullGreedyCover`]); rungs above it are skipped entirely.
+    ///
+    /// Callers that already know the top rungs cannot answer — e.g. the
+    /// sharded pipeline, whose shards sit far past the exhaustive greedy's
+    /// candidate guard — start lower and save the (cheap but per-shard
+    /// repeated) guard checks and attempt bookkeeping.
+    pub start: Rung,
     /// Configuration for the [`Rung::FullGreedyCover`] attempt.
     pub full: FullCoverConfig,
     /// Configuration for the [`Rung::CenterGreedy`] attempt.
@@ -184,11 +194,16 @@ pub fn run_ladder(
     config: &LadderConfig,
 ) -> Result<(Anonymization, RunReport)> {
     ds.check_k(k)?;
-    let mut attempts = Vec::with_capacity(Rung::ALL.len());
+    let start = Rung::ALL
+        .iter()
+        .position(|&r| r == config.start)
+        .expect("Rung::ALL contains every rung");
+    let rungs = &Rung::ALL[start..];
+    let mut attempts = Vec::with_capacity(rungs.len());
     let mut last_err: Option<Error> = None;
 
-    for (idx, &rung) in Rung::ALL.iter().enumerate() {
-        let is_last = idx + 1 == Rung::ALL.len();
+    for (idx, &rung) in rungs.iter().enumerate() {
+        let is_last = idx + 1 == rungs.len();
         // Non-final rungs get half the remaining deadline; the final rung
         // gets everything left. `child` clamps to the parent's remaining
         // time and shares the cancellation flag.
@@ -271,6 +286,40 @@ mod tests {
             report.attempts[0].outcome,
             RungOutcome::Failed { .. }
         ));
+        assert!(anon.table.is_k_anonymous(3));
+    }
+
+    #[test]
+    fn start_rung_skips_the_rungs_above_it() {
+        let ds = dataset();
+        let config = LadderConfig {
+            start: Rung::CenterGreedy,
+            ..Default::default()
+        };
+        let (anon, report) = run_ladder(&ds, 3, &config).unwrap();
+        assert_eq!(report.rung, Rung::CenterGreedy);
+        // The skipped top rung is not an attempt, so nothing "degraded".
+        assert_eq!(report.attempts.len(), 1);
+        assert!(!report.degraded());
+        assert!(anon.table.is_k_anonymous(3));
+        // Byte-identical to a ladder that fell to the same rung.
+        let fell = run_ladder(
+            &ds,
+            3,
+            &LadderConfig {
+                budget: Budget::builder().max_candidates(10).build(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(anon.partition, fell.0.partition);
+        // Starting on the last rung leaves exactly one attempt possible.
+        let last = LadderConfig {
+            start: Rung::Agglomerative,
+            ..Default::default()
+        };
+        let (anon, report) = run_ladder(&ds, 3, &last).unwrap();
+        assert_eq!(report.rung, Rung::Agglomerative);
         assert!(anon.table.is_k_anonymous(3));
     }
 

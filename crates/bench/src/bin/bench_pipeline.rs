@@ -1,0 +1,150 @@
+//! Throughput benchmark for the sharded out-of-core pipeline: generates a
+//! zipf-skewed CSV, streams it through `kanon-pipeline` at several shard
+//! sizes, verifies every merged release is k-anonymous, and writes
+//! `BENCH_pipeline.json` with rows/sec per configuration.
+//!
+//! The CSV round-trip is deliberately part of the measured path — ingest +
+//! shard + solve + merge is what `kanon pipeline` does, and the shard-size
+//! sweep is the experiment: tiny shards pay per-shard overhead, huge shards
+//! pay the solver's superlinear cost, and the default (512) should sit near
+//! the plateau between them.
+//!
+//! ```text
+//! cargo run --release -p kanon-bench --bin bench_pipeline -- [--quick] \
+//!     [--rows N] [--workers N] [--out PATH]
+//! ```
+
+use std::time::Instant;
+
+use kanon_pipeline::{run_pipeline, PipelineConfig};
+use kanon_workloads::{write_zipf_csv, ZipfParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Run {
+    shard_size: usize,
+    n_shards: usize,
+    degraded: usize,
+    total_cost: usize,
+    elapsed_ms: f64,
+    rows_per_sec: f64,
+}
+
+fn main() {
+    let mut quick = false;
+    let mut rows: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut out = String::from("BENCH_pipeline.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--rows" => {
+                rows = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--rows needs a positive integer"),
+                );
+            }
+            "--workers" => {
+                workers = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--workers needs a positive integer"),
+                );
+            }
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_pipeline [--quick] [--rows N] [--workers N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let rows = rows.unwrap_or(if quick { 20_000 } else { 200_000 });
+    let k = 5usize;
+    let params = ZipfParams {
+        n: rows,
+        m: 8,
+        alphabet: 32,
+        exponent: 1.0,
+    };
+
+    eprintln!("generating zipf CSV ({rows} rows, {} cols)...", params.m);
+    let mut csv = Vec::new();
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    write_zipf_csv(&mut rng, &params, &mut csv).expect("in-memory write");
+
+    // Ingest once; the sweep then isolates shard-size effects on the
+    // solve+merge path. (Ingest itself is timed separately below.)
+    let t = Instant::now();
+    let (ds, _codec) = kanon_pipeline::ingest_csv(csv.as_slice()).expect("generated CSV parses");
+    let ingest_ms = t.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "  ingest: {ingest_ms:.1} ms ({:.0} rows/s)",
+        rows as f64 / (ingest_ms / 1e3)
+    );
+
+    let shard_sizes: &[usize] = &[128, 512, 2048];
+    let mut runs: Vec<Run> = Vec::new();
+    for &shard_size in shard_sizes {
+        let config = PipelineConfig {
+            shard_size,
+            workers,
+            ..Default::default()
+        };
+        let (anon, report) = run_pipeline(&ds, k, &config).expect("pipeline completes");
+        assert!(
+            anon.table.is_k_anonymous(k),
+            "shard_size {shard_size}: merged release is not {k}-anonymous"
+        );
+        assert_eq!(anon.cost, report.total_cost, "report/cost mismatch");
+        let elapsed_ms = report.elapsed.as_secs_f64() * 1e3;
+        eprintln!(
+            "  shard_size {shard_size:>5}: {:>4} shards, {:>8.0} rows/s, cost {}, degraded {}",
+            report.n_shards(),
+            report.rows_per_sec(),
+            report.total_cost,
+            report.degraded_shards(),
+        );
+        runs.push(Run {
+            shard_size,
+            n_shards: report.n_shards(),
+            degraded: report.degraded_shards(),
+            total_cost: report.total_cost,
+            elapsed_ms,
+            rows_per_sec: report.rows_per_sec(),
+        });
+    }
+
+    // Hand-rolled JSON: the workspace deliberately vendors no serde.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"harness\": \"bench_pipeline\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    json.push_str(&format!(
+        "  \"rows\": {rows}, \"cols\": {}, \"alphabet\": {}, \"exponent\": {}, \"k\": {k},\n",
+        params.m, params.alphabet, params.exponent
+    ));
+    json.push_str(&format!("  \"ingest_ms\": {ingest_ms:.1},\n"));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shard_size\": {}, \"n_shards\": {}, \"degraded\": {}, \"total_cost\": {}, \"elapsed_ms\": {:.1}, \"rows_per_sec\": {:.1}}}{}\n",
+            r.shard_size,
+            r.n_shards,
+            r.degraded,
+            r.total_cost,
+            r.elapsed_ms,
+            r.rows_per_sec,
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out, &json).expect("write benchmark JSON");
+    eprintln!("wrote {out}");
+}

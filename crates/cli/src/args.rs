@@ -43,6 +43,31 @@ pub enum Command {
         deadline_ms: Option<u64>,
         /// Planned-allocation memory budget in MiB (`None` = unlimited).
         max_memory_mb: Option<u64>,
+        /// Emit a machine-readable JSON report instead of notes + CSV.
+        json: bool,
+    },
+    /// `kanon pipeline`: the sharded out-of-core engine for large tables.
+    Pipeline {
+        /// Privacy parameter.
+        k: usize,
+        /// Input CSV path (`-` reads stdin).
+        input: String,
+        /// Output CSV path (`None` = stdout).
+        output: Option<String>,
+        /// Target rows per shard.
+        shard_size: usize,
+        /// Row-to-shard assignment strategy.
+        strategy: kanon_pipeline::ShardStrategy,
+        /// Worker threads (`None` = auto).
+        workers: Option<usize>,
+        /// Quasi-identifier column names (`None` = all columns).
+        quasi: Option<Vec<String>>,
+        /// Wall-clock budget in milliseconds (`None` = unlimited).
+        deadline_ms: Option<u64>,
+        /// Planned-allocation memory budget in MiB (`None` = unlimited).
+        max_memory_mb: Option<u64>,
+        /// Emit a machine-readable JSON report instead of notes + CSV.
+        json: bool,
     },
     /// `kanon verify`.
     Verify {
@@ -62,14 +87,26 @@ pub enum Command {
         /// Join columns, same names on both sides.
         join: Vec<String>,
     },
-    /// `kanon generate` (census-like sample data).
+    /// `kanon generate` (synthetic sample data).
     Generate {
         /// Number of records.
         rows: usize,
         /// RNG seed.
         seed: u64,
-        /// Zip-code regions.
+        /// Zip-code regions (census workload only).
         regions: usize,
+        /// Workload family: `census` (typed microdata) or `zipf` (skewed
+        /// categorical, streamed — suited to very large `--rows`).
+        workload: String,
+        /// Columns (zipf workload only).
+        cols: usize,
+        /// Distinct values per column (zipf workload only).
+        alphabet: u32,
+        /// Skew exponent, parsed as f64 at execution (zipf workload only).
+        exponent: String,
+        /// Output CSV path (`None` = stdout). The zipf workload streams
+        /// row-by-row when writing to a file.
+        output: Option<String>,
     },
     /// `kanon help`.
     Help,
@@ -84,21 +121,32 @@ USAGE:
     kanon anonymize -k <K> --input <FILE|-> [--output <FILE>]
                     [--algorithm center|exhaustive|forest|exact|ladder]
                     [--quasi col1,col2,...] [--threads N]
-                    [--emit-mask <FILE>]
+                    [--emit-mask <FILE>] [--json]
+                    [--deadline-ms MS] [--max-memory-mb MB]
+    kanon pipeline  -k <K> --input <FILE|-> [--output <FILE>]
+                    [--shard-size N] [--strategy hash|sorted] [--workers N]
+                    [--quasi col1,col2,...] [--json]
                     [--deadline-ms MS] [--max-memory-mb MB]
     kanon verify    -k <K> --input <FILE|-> [--quasi col1,col2,...]
     kanon attack    --released <FILE> --external <FILE> --join col1,col2,...
-    kanon generate  [--rows N] [--seed S] [--regions R]
+    kanon generate  [--rows N] [--seed S] [--output <FILE>]
+                    [--workload census|zipf] [--regions R]
+                    [--cols M] [--alphabet A] [--exponent E]
     kanon help
 
 COMMANDS:
     anonymize   Suppress a minimum of entries so every record matches
                 k-1 others on the quasi-identifier columns.
+    pipeline    Shard the table, solve each shard under a slice of the
+                budget, and merge — scales to millions of rows (solver
+                memory is bounded by --shard-size, not the table).
     verify      Check that a released CSV (with * for suppressed cells)
                 is k-anonymous; reports the actual anonymity level.
     attack      Play the adversary: join a released CSV against external
                 data and report how many records are uniquely linkable.
-    generate    Emit a synthetic census-like CSV for experimentation.
+    generate    Emit a synthetic CSV for experimentation: census-like
+                typed microdata, or zipf-skewed categorical data that
+                streams to --output for very large --rows.
 
 BUDGETS:
     --deadline-ms and --max-memory-mb bound the solver's wall-clock time and
@@ -134,11 +182,13 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             .position(|a| *a == name)
             .and_then(|i| rest.get(i + 1).copied())
     };
-    let unexpected = |allowed: &[&str]| -> Result<(), CliError> {
+    let unexpected = |allowed: &[&str], switches: &[&str]| -> Result<(), CliError> {
         let mut i = 0;
         while i < rest.len() {
             let a = rest[i].as_str();
-            if allowed.contains(&a) {
+            if switches.contains(&a) {
+                i += 1; // valueless flag
+            } else if allowed.contains(&a) {
                 i += 2; // flag + value
             } else {
                 return Err(CliError::Usage(format!(
@@ -149,6 +199,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         }
         Ok(())
     };
+    let has_switch = |name: &str| rest.iter().any(|a| *a == name);
     let quasi = |raw: Option<&String>| -> Option<Vec<String>> {
         raw.map(|s| {
             s.split(',')
@@ -160,17 +211,20 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
 
     match cmd.as_str() {
         "anonymize" => {
-            unexpected(&[
-                "-k",
-                "--input",
-                "--output",
-                "--algorithm",
-                "--quasi",
-                "--threads",
-                "--emit-mask",
-                "--deadline-ms",
-                "--max-memory-mb",
-            ])?;
+            unexpected(
+                &[
+                    "-k",
+                    "--input",
+                    "--output",
+                    "--algorithm",
+                    "--quasi",
+                    "--threads",
+                    "--emit-mask",
+                    "--deadline-ms",
+                    "--max-memory-mb",
+                ],
+                &["--json"],
+            )?;
             let k = parse_k(flag("-k"))?;
             let input = flag("--input")
                 .cloned()
@@ -233,10 +287,67 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 emit_mask: flag("--emit-mask").cloned(),
                 deadline_ms,
                 max_memory_mb,
+                json: has_switch("--json"),
+            })
+        }
+        "pipeline" => {
+            unexpected(
+                &[
+                    "-k",
+                    "--input",
+                    "--output",
+                    "--shard-size",
+                    "--strategy",
+                    "--workers",
+                    "--quasi",
+                    "--deadline-ms",
+                    "--max-memory-mb",
+                ],
+                &["--json"],
+            )?;
+            let k = parse_k(flag("-k"))?;
+            let input = flag("--input")
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("--input is required\n\n{}", usage())))?;
+            let positive = |name: &str| -> Result<Option<usize>, CliError> {
+                match flag(name) {
+                    None => Ok(None),
+                    Some(v) => v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&x| x >= 1)
+                        .map(Some)
+                        .ok_or_else(|| {
+                            CliError::Usage(format!(
+                                "{name} needs a positive integer\n\n{}",
+                                usage()
+                            ))
+                        }),
+                }
+            };
+            let budget_flag = |name: &str| -> Result<Option<u64>, CliError> {
+                Ok(positive(name)?.map(|x| x as u64))
+            };
+            let strategy = match flag("--strategy") {
+                None => kanon_pipeline::ShardStrategy::default(),
+                Some(name) => kanon_pipeline::ShardStrategy::from_name(name)
+                    .map_err(|e| CliError::Usage(format!("{e}\n\n{}", usage())))?,
+            };
+            Ok(Command::Pipeline {
+                k,
+                input,
+                output: flag("--output").cloned(),
+                shard_size: positive("--shard-size")?.unwrap_or(512),
+                strategy,
+                workers: positive("--workers")?,
+                quasi: quasi(flag("--quasi")),
+                deadline_ms: budget_flag("--deadline-ms")?,
+                max_memory_mb: budget_flag("--max-memory-mb")?,
+                json: has_switch("--json"),
             })
         }
         "verify" => {
-            unexpected(&["-k", "--input", "--quasi"])?;
+            unexpected(&["-k", "--input", "--quasi"], &[])?;
             let k = parse_k(flag("-k"))?;
             let input = flag("--input")
                 .cloned()
@@ -248,7 +359,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             })
         }
         "attack" => {
-            unexpected(&["--released", "--external", "--join"])?;
+            unexpected(&["--released", "--external", "--join"], &[])?;
             let released = flag("--released")
                 .cloned()
                 .ok_or_else(|| CliError::Usage(format!("--released is required\n\n{}", usage())))?;
@@ -264,7 +375,19 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             })
         }
         "generate" => {
-            unexpected(&["--rows", "--seed", "--regions"])?;
+            unexpected(
+                &[
+                    "--rows",
+                    "--seed",
+                    "--regions",
+                    "--workload",
+                    "--cols",
+                    "--alphabet",
+                    "--exponent",
+                    "--output",
+                ],
+                &[],
+            )?;
             let parse_or = |name: &str, default: u64| -> Result<u64, CliError> {
                 match flag(name) {
                     None => Ok(default),
@@ -273,10 +396,24 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     }),
                 }
             };
+            let workload = flag("--workload")
+                .cloned()
+                .unwrap_or_else(|| "census".into());
+            if !matches!(workload.as_str(), "census" | "zipf") {
+                return Err(CliError::Usage(format!(
+                    "unknown workload `{workload}` (census | zipf)\n\n{}",
+                    usage()
+                )));
+            }
             Ok(Command::Generate {
                 rows: parse_or("--rows", 100)? as usize,
                 seed: parse_or("--seed", 0)?,
                 regions: parse_or("--regions", 8)? as usize,
+                workload,
+                cols: parse_or("--cols", 8)? as usize,
+                alphabet: parse_or("--alphabet", 50)? as u32,
+                exponent: flag("--exponent").cloned().unwrap_or_else(|| "1.0".into()),
+                output: flag("--output").cloned(),
             })
         }
         "help" | "-h" | "--help" => Ok(Command::Help),
@@ -313,6 +450,7 @@ mod tests {
                 emit_mask: None,
                 deadline_ms: None,
                 max_memory_mb: None,
+                json: false,
             }
         );
     }
@@ -332,6 +470,7 @@ mod tests {
                 emit_mask: None,
                 deadline_ms: None,
                 max_memory_mb: None,
+                json: false,
             }
         );
         assert_eq!(
@@ -339,9 +478,95 @@ mod tests {
             Command::Generate {
                 rows: 100,
                 seed: 0,
-                regions: 8
+                regions: 8,
+                workload: "census".into(),
+                cols: 8,
+                alphabet: 50,
+                exponent: "1.0".into(),
+                output: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_pipeline() {
+        let cmd = parse(&argv(
+            "pipeline -k 5 --input big.csv --output out.csv --shard-size 1024 \
+             --strategy sorted --workers 4 --quasi age,zip --deadline-ms 30000 --json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Pipeline {
+                k: 5,
+                input: "big.csv".into(),
+                output: Some("out.csv".into()),
+                shard_size: 1024,
+                strategy: kanon_pipeline::ShardStrategy::Sorted,
+                workers: Some(4),
+                quasi: Some(vec!["age".into(), "zip".into()]),
+                deadline_ms: Some(30_000),
+                max_memory_mb: None,
+                json: true,
+            }
+        );
+        // Defaults.
+        let cmd = parse(&argv("pipeline -k 3 --input -")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Pipeline {
+                k: 3,
+                input: "-".into(),
+                output: None,
+                shard_size: 512,
+                strategy: kanon_pipeline::ShardStrategy::HashQuasi,
+                workers: None,
+                quasi: None,
+                deadline_ms: None,
+                max_memory_mb: None,
+                json: false,
+            }
+        );
+        // Errors.
+        for bad in [
+            "pipeline --input -",
+            "pipeline -k 3",
+            "pipeline -k 3 --input - --strategy range",
+            "pipeline -k 3 --input - --shard-size 0",
+            "pipeline -k 3 --input - --workers 0",
+            "pipeline -k 3 --input - --bogus x",
+        ] {
+            assert!(
+                matches!(parse(&argv(bad)), Err(CliError::Usage(_))),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_generate_zipf() {
+        let cmd = parse(&argv(
+            "generate --workload zipf --rows 1000 --cols 6 --alphabet 30 \
+             --exponent 1.2 --seed 9 --output data.csv",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                rows: 1000,
+                seed: 9,
+                regions: 8,
+                workload: "zipf".into(),
+                cols: 6,
+                alphabet: 30,
+                exponent: "1.2".into(),
+                output: Some("data.csv".into()),
+            }
+        );
+        assert!(matches!(
+            parse(&argv("generate --workload weibull")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -27,7 +27,30 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
             rows,
             seed,
             regions,
-        } => generate(*rows, *seed, *regions),
+            workload,
+            cols,
+            alphabet,
+            exponent,
+            output,
+        } => {
+            let mut outcome = match workload.as_str() {
+                "zipf" => {
+                    generate_zipf(*rows, *seed, *cols, *alphabet, exponent, output.as_deref())?
+                }
+                _ => generate(*rows, *seed, *regions)?,
+            };
+            // The zipf generator streams to the file itself; census output
+            // (small by design) is written here.
+            if let Some(path) = output {
+                if workload != "zipf" {
+                    std::fs::write(path, &outcome.stdout)
+                        .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
+                    outcome.stdout = String::new();
+                }
+                outcome.notes.push(format!("wrote {path}"));
+            }
+            Ok(outcome)
+        }
         Command::Attack {
             released,
             external,
@@ -51,9 +74,10 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
             emit_mask,
             deadline_ms,
             max_memory_mb,
+            json,
         } => {
             let text = read_input(input)?;
-            let (mut outcome, mask) = anonymize(
+            let (mut outcome, mask, csv_for_file) = anonymize(
                 &text,
                 *k,
                 *algorithm,
@@ -61,6 +85,8 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
                 *threads,
                 *deadline_ms,
                 *max_memory_mb,
+                *json,
+                output.is_some(),
             )?;
             if let Some(path) = emit_mask {
                 std::fs::write(path, mask)
@@ -70,13 +96,42 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
                     .push(format!("wrote suppression mask to {path}"));
             }
             if let Some(path) = output {
-                std::fs::write(path, &outcome.stdout)
+                // In JSON mode stdout carries the report, so the released
+                // CSV travels in the side channel; otherwise stdout *is*
+                // the CSV and moves to the file wholesale.
+                let payload = csv_for_file.as_deref().unwrap_or(outcome.stdout.as_str());
+                std::fs::write(path, payload)
                     .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
                 outcome.notes.push(format!("wrote {path}"));
-                outcome.stdout = String::new();
+                if csv_for_file.is_none() {
+                    outcome.stdout = String::new();
+                }
             }
             Ok(outcome)
         }
+        Command::Pipeline {
+            k,
+            input,
+            output,
+            shard_size,
+            strategy,
+            workers,
+            quasi,
+            deadline_ms,
+            max_memory_mb,
+            json,
+        } => pipeline(
+            *k,
+            input,
+            output.as_deref(),
+            *shard_size,
+            *strategy,
+            *workers,
+            quasi.as_deref(),
+            *deadline_ms,
+            *max_memory_mb,
+            *json,
+        ),
     }
 }
 
@@ -211,7 +266,24 @@ fn verify(text: &str, k: usize, quasi: Option<&[String]>) -> Result<Outcome, Cli
     })
 }
 
-#[allow(clippy::too_many_lines)]
+/// Translates `--deadline-ms`/`--max-memory-mb` into a [`Budget`]. Without
+/// them the budget is unlimited and governed paths behave byte-identically
+/// to the ungoverned ones.
+fn build_budget(
+    deadline_ms: Option<u64>,
+    max_memory_mb: Option<u64>,
+) -> kanon_core::govern::Budget {
+    let mut b = kanon_core::govern::Budget::builder();
+    if let Some(ms) = deadline_ms {
+        b = b.deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(mb) = max_memory_mb {
+        b = b.max_memory_bytes(mb.saturating_mul(1024 * 1024));
+    }
+    b.build()
+}
+
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn anonymize(
     text: &str,
     k: usize,
@@ -220,7 +292,9 @@ fn anonymize(
     threads: usize,
     deadline_ms: Option<u64>,
     max_memory_mb: Option<u64>,
-) -> Result<(Outcome, String), CliError> {
+    json: bool,
+    to_file: bool,
+) -> Result<(Outcome, String, Option<String>), CliError> {
     let table = parse_table(text)?;
     let cols = quasi_indices(table.schema(), quasi)?;
     if k == 0 || k > table.n_rows() {
@@ -249,20 +323,9 @@ fn anonymize(
         threads,
         ..Default::default()
     };
-    // Budget flags translate to a governed run; without them the budget is
-    // unlimited and the governed paths behave byte-identically to the
-    // ungoverned ones.
-    let budget = {
-        let mut b = kanon_core::govern::Budget::builder();
-        if let Some(ms) = deadline_ms {
-            b = b.deadline(std::time::Duration::from_millis(ms));
-        }
-        if let Some(mb) = max_memory_mb {
-            b = b.max_memory_bytes(mb.saturating_mul(1024 * 1024));
-        }
-        b.build()
-    };
+    let budget = build_budget(deadline_ms, max_memory_mb);
     let mut ladder_notes: Vec<String> = Vec::new();
+    let mut ladder_report: Option<kanon_baselines::RunReport> = None;
     let result = match algorithm {
         Algorithm::Center => algo::try_center_greedy_governed(&ds, k, &center_config, &budget),
         Algorithm::Exhaustive => {
@@ -287,6 +350,7 @@ fn anonymize(
                     "ladder answered on rung {} (guarantee: {})",
                     report.rung, report.guarantee
                 ));
+                ladder_report = Some(report);
                 anon
             })
         }
@@ -346,18 +410,303 @@ fn anonymize(
         format!("time: {elapsed:.2?}"),
     ];
     notes.extend(ladder_notes);
+    let released = csv::to_string(&out);
+    let (stdout, csv_for_file) = if json {
+        let short_name = match algorithm {
+            Algorithm::Center => "center",
+            Algorithm::Exhaustive => "exhaustive",
+            Algorithm::Forest => "forest",
+            Algorithm::Exact => "exact",
+            Algorithm::Ladder => "ladder",
+        };
+        let mut obj = crate::json::JsonObject::new();
+        obj.string("command", "anonymize")
+            .number("k", k as u128)
+            .string("algorithm", short_name)
+            .number("n_rows", ds.n_rows() as u128)
+            .number("quasi_cols", ds.n_cols() as u128)
+            .number("groups", result.partition.n_blocks() as u128)
+            .number("cost", result.cost as u128)
+            .number("cells", ds.n_cells() as u128)
+            .raw(
+                "suppression_rate",
+                &format!("{:.4}", result.suppression_rate()),
+            )
+            .number("elapsed_ms", elapsed.as_millis());
+        if let Some(report) = &ladder_report {
+            let mut attempts = String::from("[");
+            for (i, a) in report.attempts.iter().enumerate() {
+                if i > 0 {
+                    attempts.push(',');
+                }
+                let mut att = crate::json::JsonObject::new();
+                att.string("rung", a.rung.name())
+                    .number("elapsed_ms", a.elapsed.as_millis());
+                match &a.outcome {
+                    kanon_baselines::RungOutcome::Succeeded { cost } => {
+                        att.string("outcome", "succeeded")
+                            .number("cost", *cost as u128);
+                    }
+                    kanon_baselines::RungOutcome::Failed { reason } => {
+                        att.string("outcome", "failed").string("reason", reason);
+                    }
+                }
+                attempts.push_str(&att.finish());
+            }
+            attempts.push(']');
+            let mut ladder = crate::json::JsonObject::new();
+            ladder
+                .string("rung", report.rung.name())
+                .string("guarantee", report.guarantee)
+                .boolean("degraded", report.degraded())
+                .raw("attempts", &attempts);
+            obj.raw("ladder", &ladder.finish());
+        }
+        if to_file {
+            (obj.finish(), Some(released))
+        } else {
+            obj.string("csv", &released);
+            (obj.finish(), None)
+        }
+    } else {
+        (released, None)
+    };
     Ok((
-        Outcome {
-            stdout: csv::to_string(&out),
-            notes,
-        },
+        Outcome { stdout, notes },
         result.suppressor.to_mask_string(),
+        csv_for_file,
     ))
+}
+
+/// Runs the sharded out-of-core engine: streams the input CSV (never
+/// holding the raw text in memory when reading a file), solves shards
+/// under the budget, and writes the released CSV to `output` (streamed) or
+/// stdout.
+#[allow(clippy::too_many_arguments)]
+fn pipeline(
+    k: usize,
+    input: &str,
+    output: Option<&str>,
+    shard_size: usize,
+    strategy: kanon_pipeline::ShardStrategy,
+    workers: Option<usize>,
+    quasi: Option<&[String]>,
+    deadline_ms: Option<u64>,
+    max_memory_mb: Option<u64>,
+    json: bool,
+) -> Result<Outcome, CliError> {
+    let config = kanon_pipeline::PipelineConfig {
+        shard_size,
+        strategy,
+        workers,
+        budget: build_budget(deadline_ms, max_memory_mb),
+        ..Default::default()
+    };
+    let run = if input == "-" {
+        kanon_pipeline::run_csv(std::io::stdin().lock(), k, quasi, &config)
+    } else {
+        let file = std::fs::File::open(input)
+            .map_err(|e| CliError::Failed(format!("cannot read `{input}`: {e}")))?;
+        kanon_pipeline::run_csv(std::io::BufReader::new(file), k, quasi, &config)
+    }
+    .map_err(|e| match e {
+        kanon_pipeline::Error::Relation(kanon_relation::Error::EmptyTable) => CliError::EmptyInput,
+        kanon_pipeline::Error::Relation(kanon_relation::Error::UnknownAttribute(name)) => {
+            CliError::Usage(format!("unknown quasi-identifier column `{name}`"))
+        }
+        kanon_pipeline::Error::Core(kanon_core::Error::KZero) => CliError::BadK { k, n: 0 },
+        kanon_pipeline::Error::Core(kanon_core::Error::KExceedsRows { k, n }) => {
+            CliError::BadK { k, n }
+        }
+        kanon_pipeline::Error::Config(msg) => CliError::Usage(msg),
+        other => CliError::Failed(format!("pipeline failed: {other}")),
+    })?;
+
+    let mut notes = vec![
+        format!(
+            "pipeline: {} rows in {} shard(s) (+{} residue rows), strategy {}, {} worker(s)",
+            run.report.n_rows,
+            run.report.n_shards(),
+            run.report.residue_rows,
+            run.report.strategy,
+            run.report.workers,
+        ),
+        format!(
+            "suppressed {} of {} quasi-identifier cells ({:.1}%)",
+            run.report.total_cost,
+            run.anonymization.table.n_rows() * run.anonymization.table.n_cols(),
+            100.0 * run.anonymization.suppression_rate(),
+        ),
+        format!(
+            "degraded shards: {} of {}",
+            run.report.degraded_shards(),
+            run.report.shards.len(),
+        ),
+        format!(
+            "throughput: {:.0} rows/s in {:.2?}",
+            run.report.rows_per_sec(),
+            run.report.elapsed,
+        ),
+    ];
+
+    let stdout = if let Some(path) = output {
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
+        write_release(&run, std::io::BufWriter::new(file))
+            .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
+        notes.push(format!("wrote {path}"));
+        if json {
+            pipeline_json(&run, None)
+        } else {
+            String::new()
+        }
+    } else {
+        let mut buf = Vec::new();
+        write_release(&run, &mut buf)
+            .map_err(|e| CliError::Failed(format!("cannot render release: {e}")))?;
+        let released = String::from_utf8(buf)
+            .map_err(|e| CliError::Failed(format!("cannot render release: {e}")))?;
+        if json {
+            pipeline_json(&run, Some(&released))
+        } else {
+            released
+        }
+    };
+    Ok(Outcome { stdout, notes })
+}
+
+/// The `pipeline --json` stdout object: the engine's report plus (when no
+/// `--output` captures it) the released CSV.
+fn pipeline_json(run: &kanon_pipeline::CsvRun, csv: Option<&str>) -> String {
+    let mut obj = crate::json::JsonObject::new();
+    obj.string("command", "pipeline")
+        .raw("report", &run.report.to_json());
+    if let Some(csv) = csv {
+        obj.string("csv", csv);
+    }
+    obj.finish()
+}
+
+/// Streams the released table: original values everywhere, `*` on
+/// suppressed quasi-identifier cells.
+fn write_release(run: &kanon_pipeline::CsvRun, mut w: impl std::io::Write) -> std::io::Result<()> {
+    let arity = run.codec.arity();
+    // Column j's position inside the quasi-identifier projection, if any.
+    let mut qi_pos: Vec<Option<usize>> = vec![None; arity];
+    for (pos, &j) in run.quasi.iter().enumerate() {
+        qi_pos[j] = Some(pos);
+    }
+    let mut line = String::new();
+    csv::write_record(&mut line, run.codec.header().iter().map(String::as_str));
+    w.write_all(line.as_bytes())?;
+    let mut fields: Vec<&str> = Vec::with_capacity(arity);
+    for i in 0..run.dataset.n_rows() {
+        fields.clear();
+        for (j, pos) in qi_pos.iter().enumerate() {
+            let suppressed =
+                pos.is_some_and(|pos| run.anonymization.suppressor.is_suppressed(i, pos));
+            if suppressed {
+                fields.push("*");
+            } else {
+                let code = run.dataset.get(i, j);
+                fields.push(
+                    run.codec
+                        .value(j, code)
+                        .expect("codes come from this codec"),
+                );
+            }
+        }
+        line.clear();
+        csv::write_record(&mut line, fields.iter().copied());
+        w.write_all(line.as_bytes())?;
+    }
+    w.flush()
+}
+
+/// Streams a zipf-skewed categorical CSV; with `--output` the rows go
+/// straight to the file (O(1) memory however large `--rows` is).
+fn generate_zipf(
+    rows: usize,
+    seed: u64,
+    cols: usize,
+    alphabet: u32,
+    exponent: &str,
+    output: Option<&str>,
+) -> Result<Outcome, CliError> {
+    let exponent: f64 = exponent
+        .parse()
+        .map_err(|_| CliError::Usage(format!("--exponent needs a number\n\n{}", usage())))?;
+    if exponent < 0.0 || cols == 0 || alphabet == 0 {
+        return Err(CliError::Usage(format!(
+            "--exponent must be >= 0, --cols and --alphabet >= 1\n\n{}",
+            usage()
+        )));
+    }
+    let params = kanon_workloads::ZipfParams {
+        n: rows,
+        m: cols,
+        alphabet,
+        exponent,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let note = format!(
+        "generated {rows} zipf rows ({cols} cols, alphabet {alphabet}, exponent {exponent}, seed {seed})"
+    );
+    match output {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
+            let mut w = std::io::BufWriter::new(file);
+            kanon_workloads::write_zipf_csv(&mut rng, &params, &mut w)
+                .and_then(|()| std::io::Write::flush(&mut w))
+                .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
+            Ok(Outcome {
+                stdout: String::new(),
+                notes: vec![note],
+            })
+        }
+        None => {
+            let mut buf = Vec::new();
+            kanon_workloads::write_zipf_csv(&mut rng, &params, &mut buf)
+                .map_err(|e| CliError::Failed(format!("cannot render workload: {e}")))?;
+            let stdout = String::from_utf8(buf)
+                .map_err(|e| CliError::Failed(format!("cannot render workload: {e}")))?;
+            Ok(Outcome {
+                stdout,
+                notes: vec![note],
+            })
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The pre-`--json` calling convention most tests want: CSV stdout, no
+    /// side-channel file payload.
+    fn anonymize_plain(
+        text: &str,
+        k: usize,
+        algorithm: Algorithm,
+        quasi: Option<&[String]>,
+        threads: usize,
+        deadline_ms: Option<u64>,
+        max_memory_mb: Option<u64>,
+    ) -> Result<(Outcome, String), CliError> {
+        anonymize(
+            text,
+            k,
+            algorithm,
+            quasi,
+            threads,
+            deadline_ms,
+            max_memory_mb,
+            false,
+            false,
+        )
+        .map(|(o, m, _)| (o, m))
+    }
 
     const SAMPLE: &str = "first,last,age,race\n\
         Harry,Stone,34,Afr-Am\n\
@@ -367,7 +716,8 @@ mod tests {
 
     #[test]
     fn anonymize_then_verify_roundtrip() {
-        let (out, mask) = anonymize(SAMPLE, 2, Algorithm::Exact, None, 1, None, None).unwrap();
+        let (out, mask) =
+            anonymize_plain(SAMPLE, 2, Algorithm::Exact, None, 1, None, None).unwrap();
         assert!(mask.lines().count() == 4);
         assert!(out.stdout.contains('*'));
         let verified = verify(&out.stdout, 2, None).unwrap();
@@ -378,7 +728,7 @@ mod tests {
     fn quasi_columns_keep_sensitive_data() {
         let quasi: Vec<String> = vec!["first".into(), "last".into(), "age".into()];
         let (out, _) =
-            anonymize(SAMPLE, 2, Algorithm::Center, Some(&quasi), 1, None, None).unwrap();
+            anonymize_plain(SAMPLE, 2, Algorithm::Center, Some(&quasi), 1, None, None).unwrap();
         // Race column survives untouched.
         for race in ["Afr-Am", "Cauc", "Hisp"] {
             assert!(out.stdout.contains(race), "{}", out.stdout);
@@ -417,6 +767,7 @@ mod tests {
             emit_mask: Some(mask_path.to_string_lossy().into_owned()),
             deadline_ms: None,
             max_memory_mb: None,
+            json: false,
         })
         .unwrap();
         assert!(outcome.notes.iter().any(|n| n.contains("suppression mask")));
@@ -442,13 +793,14 @@ mod tests {
     #[test]
     fn unknown_quasi_column_is_usage_error() {
         let quasi: Vec<String> = vec!["bogus".into()];
-        let err = anonymize(SAMPLE, 2, Algorithm::Center, Some(&quasi), 1, None, None).unwrap_err();
+        let err =
+            anonymize_plain(SAMPLE, 2, Algorithm::Center, Some(&quasi), 1, None, None).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
     }
 
     #[test]
     fn too_few_rows_is_bad_k() {
-        let err = anonymize("a\nx\n", 3, Algorithm::Center, None, 1, None, None).unwrap_err();
+        let err = anonymize_plain("a\nx\n", 3, Algorithm::Center, None, 1, None, None).unwrap_err();
         assert_eq!(err, CliError::BadK { k: 3, n: 1 });
         assert!(err.to_string().contains("k = 3 is infeasible"));
     }
@@ -456,7 +808,8 @@ mod tests {
     #[test]
     fn empty_table_is_rejected_everywhere() {
         let header_only = "a,b\n";
-        let err = anonymize(header_only, 2, Algorithm::Center, None, 1, None, None).unwrap_err();
+        let err =
+            anonymize_plain(header_only, 2, Algorithm::Center, None, 1, None, None).unwrap_err();
         assert_eq!(err, CliError::EmptyInput);
         assert_eq!(
             verify(header_only, 2, None).unwrap_err(),
@@ -470,9 +823,10 @@ mod tests {
 
     #[test]
     fn ladder_with_unlimited_budget_matches_exhaustive() {
-        let (ladder_out, _) = anonymize(SAMPLE, 2, Algorithm::Ladder, None, 1, None, None).unwrap();
+        let (ladder_out, _) =
+            anonymize_plain(SAMPLE, 2, Algorithm::Ladder, None, 1, None, None).unwrap();
         let (direct_out, _) =
-            anonymize(SAMPLE, 2, Algorithm::Exhaustive, None, 1, None, None).unwrap();
+            anonymize_plain(SAMPLE, 2, Algorithm::Exhaustive, None, 1, None, None).unwrap();
         assert_eq!(ladder_out.stdout, direct_out.stdout);
         assert!(ladder_out
             .notes
@@ -483,7 +837,7 @@ mod tests {
     #[test]
     fn governed_center_with_roomy_deadline_succeeds() {
         let (out, _) =
-            anonymize(SAMPLE, 2, Algorithm::Center, None, 1, Some(60_000), None).unwrap();
+            anonymize_plain(SAMPLE, 2, Algorithm::Center, None, 1, Some(60_000), None).unwrap();
         assert!(verify(&out.stdout, 2, None).is_ok());
     }
 
@@ -494,7 +848,7 @@ mod tests {
         // smallest spellable cap of 1 MiB, so the governed run must fail
         // with a structured budget error — no timing involved.
         let data = generate(600, 11, 5).unwrap().stdout;
-        let err = anonymize(&data, 3, Algorithm::Center, None, 1, None, Some(1)).unwrap_err();
+        let err = anonymize_plain(&data, 3, Algorithm::Center, None, 1, None, Some(1)).unwrap_err();
         assert!(
             err.to_string().contains("budget exceeded") && err.to_string().contains("memory"),
             "{err}"
@@ -514,7 +868,8 @@ mod tests {
     fn generated_data_anonymizes_end_to_end() {
         let data = generate(40, 3, 3).unwrap().stdout;
         let quasi: Vec<String> = vec!["age".into(), "sex".into(), "race".into(), "zip".into()];
-        let (out, _) = anonymize(&data, 3, Algorithm::Center, Some(&quasi), 2, None, None).unwrap();
+        let (out, _) =
+            anonymize_plain(&data, 3, Algorithm::Center, Some(&quasi), 2, None, None).unwrap();
         assert!(verify(&out.stdout, 3, Some(&quasi)).is_ok());
     }
 
@@ -526,6 +881,11 @@ mod tests {
             rows: 5,
             seed: 1,
             regions: 2,
+            workload: "census".into(),
+            cols: 8,
+            alphabet: 50,
+            exponent: "1.0".into(),
+            output: None,
         })
         .unwrap();
         assert!(gen.stdout.starts_with("age,sex"));

@@ -6,9 +6,11 @@
 //!
 //! ```text
 //! kanon anonymize -k 3 --input people.csv [--algorithm center|exhaustive|exact]
-//!                 [--quasi age,zip,sex] [--output out.csv]
+//!                 [--quasi age,zip,sex] [--output out.csv] [--json]
+//! kanon pipeline  -k 3 --input big.csv [--shard-size 512] [--workers 4]
+//!                 [--output out.csv] [--json]
 //! kanon verify    -k 3 --input released.csv [--quasi age,zip,sex]
-//! kanon generate  --rows 200 [--seed 7] [--regions 8]
+//! kanon generate  --rows 200 [--seed 7] [--regions 8] [--workload census|zipf]
 //! ```
 
 #![forbid(unsafe_code)]
@@ -16,6 +18,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod json;
 
 pub use args::{Algorithm, Command};
 

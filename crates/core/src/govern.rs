@@ -220,6 +220,14 @@ impl Budget {
         self.memory.load(Ordering::Relaxed)
     }
 
+    /// The planned-allocation memory cap, `None` when uncapped. Callers that
+    /// divide a budget among concurrent workers (the sharded pipeline) read
+    /// this to compute per-worker [`Budget::child_with_memory`] slices.
+    #[must_use]
+    pub fn memory_limit(&self) -> Option<u64> {
+        self.max_memory
+    }
+
     /// Checks a candidate-collection size against the candidate cap.
     ///
     /// # Errors
@@ -243,15 +251,38 @@ impl Budget {
     /// child can never outlive its parent.
     #[must_use]
     pub fn child(&self, allowance: Option<Duration>) -> Budget {
+        self.child_with_memory(allowance, self.max_memory)
+    }
+
+    /// As [`Budget::child`], but with an explicit memory cap for the child
+    /// instead of inheriting the parent's.
+    ///
+    /// This is the slicing primitive of the sharded pipeline: a worker pool
+    /// running `W` shards concurrently hands each shard a child capped at
+    /// `global_cap / W`, so the pool's aggregate planned allocations stay
+    /// within the global cap even though each child counts from zero. The
+    /// cap is clamped to the parent's (a child may narrow the allowance,
+    /// never widen it), and `None` falls back to the parent's cap.
+    #[must_use]
+    pub fn child_with_memory(
+        &self,
+        allowance: Option<Duration>,
+        max_memory: Option<u64>,
+    ) -> Budget {
         let clamped = match (allowance, self.remaining()) {
             (Some(a), Some(r)) => Some(a.min(r)),
             (Some(a), None) => Some(a),
             (None, r) => r,
         };
+        let memory_cap = match (max_memory, self.max_memory) {
+            (Some(child), Some(parent)) => Some(child.min(parent)),
+            (Some(child), None) => Some(child),
+            (None, parent) => parent,
+        };
         Budget {
             started: Instant::now(),
             allowance: clamped,
-            max_memory: self.max_memory,
+            max_memory: memory_cap,
             max_candidates: self.max_candidates,
             memory: Arc::new(AtomicU64::new(0)),
             cancel: Arc::clone(&self.cancel),
@@ -425,6 +456,34 @@ mod tests {
         assert!(child.try_charge_memory(90).is_ok());
         // Clamped: the child cannot outlive the parent's 10 ms.
         assert!(child.remaining().unwrap() <= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn child_with_memory_slices_and_clamps_the_cap() {
+        let b = Budget::builder().max_memory_bytes(100).build();
+        // A slice of the parent's cap.
+        let slice = b.child_with_memory(None, Some(25));
+        assert!(slice.try_charge_memory(25).is_ok());
+        assert!(matches!(
+            slice.try_charge_memory(1),
+            Err(Error::BudgetExceeded {
+                resource: Resource::Memory,
+                ..
+            })
+        ));
+        // A child cannot widen the parent's cap.
+        let wide = b.child_with_memory(None, Some(1000));
+        assert!(wide.try_charge_memory(101).is_err());
+        // None inherits the parent's cap (same as `child`).
+        let inherit = b.child_with_memory(None, None);
+        assert!(inherit.try_charge_memory(100).is_ok());
+        assert!(inherit.try_charge_memory(1).is_err());
+        // An explicit cap on an uncapped parent takes effect.
+        let capped = Budget::unlimited().child_with_memory(None, Some(10));
+        assert!(capped.try_charge_memory(11).is_err());
+        // Cancellation still reaches memory-sliced children.
+        b.cancel();
+        assert!(slice.check().is_err());
     }
 
     #[test]

@@ -171,6 +171,63 @@ impl Partition {
         }
     }
 
+    /// Disjoint union of partitions: part `i`'s row indices are offset by
+    /// the total row count of parts `0..i`, so a list of per-shard
+    /// partitions (each over its shard's local indices `0..n_i`) becomes
+    /// one partition over the concatenated index space `0..Σn_i`.
+    ///
+    /// This is the merge step of the sharded pipeline, and the reason
+    /// sharding is sound: k-anonymity composes under disjoint union — a
+    /// `(k, 2k−1)`-partition of each shard is a `(k, 2k−1)`-partition of
+    /// the union (Lemma 4.1 / Cor 4.1 bounds hold per block, hence per
+    /// shard, hence overall).
+    ///
+    /// # Errors
+    /// [`Error::Overflow`] when an offset row index would not fit in the
+    /// `u32` row-id space.
+    pub fn concat_disjoint(parts: impl IntoIterator<Item = Partition>) -> Result<Partition> {
+        let mut blocks: Vec<Vec<u32>> = Vec::new();
+        let mut offset: usize = 0;
+        for part in parts {
+            for block in part.blocks {
+                let shifted = block
+                    .into_iter()
+                    .map(|r| {
+                        u32::try_from(offset + r as usize).map_err(|_| Error::Overflow {
+                            what: "row index offset in Partition::concat_disjoint",
+                        })
+                    })
+                    .collect::<Result<Vec<u32>>>()?;
+                blocks.push(shifted);
+            }
+            offset += part.n;
+        }
+        Ok(Partition { blocks, n: offset })
+    }
+
+    /// Validates the `(k, 2k−1)` size band every block of a merged
+    /// partition must satisfy (§4.1: any block of size ≥ 2k can be split
+    /// without increasing cost, so pipeline output is normalized to the
+    /// band before merging).
+    ///
+    /// # Errors
+    /// [`Error::InvalidPartition`] naming the first offending block.
+    pub fn validate_group_sizes(&self, k: usize) -> Result<()> {
+        if k == 0 {
+            return Err(Error::KZero);
+        }
+        for (b, block) in self.blocks.iter().enumerate() {
+            if block.len() < k || block.len() > 2 * k - 1 {
+                return Err(Error::InvalidPartition(format!(
+                    "block {b} has {} rows, outside the (k, 2k-1) band [{k}, {}]",
+                    block.len(),
+                    2 * k - 1
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Per-row block ids: `assignment()[r]` is the index of the block
     /// containing row `r`.
     #[must_use]
@@ -266,6 +323,52 @@ mod tests {
         let p = Partition::new(vec![vec![0, 1, 2], vec![3, 4]], 5, 2).unwrap();
         let s = p.split_large(2);
         assert_eq!(s.blocks(), p.blocks());
+    }
+
+    #[test]
+    fn concat_disjoint_offsets_and_counts() {
+        let a = Partition::new(vec![vec![0, 1], vec![2, 3]], 4, 2).unwrap();
+        let b = Partition::new(vec![vec![1, 2, 0]], 3, 3).unwrap();
+        let merged = Partition::concat_disjoint([a, b]).unwrap();
+        assert_eq!(merged.n_rows(), 7);
+        assert_eq!(merged.blocks(), &[vec![0, 1], vec![2, 3], vec![5, 6, 4]]);
+        // The merged result is a valid partition of 0..7.
+        Partition::new(merged.blocks().to_vec(), 7, 2).unwrap();
+    }
+
+    #[test]
+    fn concat_disjoint_empty_and_single() {
+        let empty = Partition::concat_disjoint([]).unwrap();
+        assert_eq!(empty.n_rows(), 0);
+        assert_eq!(empty.n_blocks(), 0);
+        let single =
+            Partition::concat_disjoint([Partition::new(vec![vec![0, 1]], 2, 2).unwrap()]).unwrap();
+        assert_eq!(single.blocks(), &[vec![0, 1]]);
+    }
+
+    #[test]
+    fn concat_disjoint_overflow_is_checked() {
+        // A fake part claiming u32::MAX rows pushes the next part's
+        // indices past the u32 row-id space.
+        let huge = Partition {
+            blocks: vec![],
+            n: u32::MAX as usize,
+        };
+        let tail = Partition::new(vec![vec![0, 1]], 2, 2).unwrap();
+        let err = Partition::concat_disjoint([huge, tail]).unwrap_err();
+        assert!(matches!(err, Error::Overflow { .. }), "{err}");
+    }
+
+    #[test]
+    fn validate_group_sizes_enforces_the_band() {
+        let p = Partition::new(vec![vec![0, 1, 2], vec![3, 4]], 5, 2).unwrap();
+        assert!(p.validate_group_sizes(2).is_ok());
+        // Block of 2 is below k = 3.
+        let err = p.validate_group_sizes(3).unwrap_err();
+        assert!(err.to_string().contains("outside the (k, 2k-1) band"));
+        // Block of 3 exceeds 2k-1 = 1 for k = 1... k = 1 band is [1, 1].
+        assert!(p.validate_group_sizes(1).is_err());
+        assert!(matches!(p.validate_group_sizes(0), Err(Error::KZero)));
     }
 
     proptest! {

@@ -1,0 +1,468 @@
+//! The pipeline engine: solve every shard under a budget slice, then merge.
+//!
+//! ## Worker pool
+//!
+//! Shards are solved by a pool of `std::thread` workers fed through a
+//! bounded channel. The dispatcher materializes one shard sub-table at a
+//! time and blocks when the channel is full, so at most about `2 × workers`
+//! shard tables exist concurrently — solver memory is bounded by shard
+//! size, not table size. Results flow back through a second bounded
+//! channel drained by the caller's thread.
+//!
+//! ## Budget slicing
+//!
+//! Each shard receives a [`Budget::child_with_memory`] slice at dispatch
+//! time: its deadline share is `remaining × shard_rows × workers /
+//! undispatched_rows` (proportional to its size, scaled up because
+//! `workers` shards run concurrently, capped at the parent's remaining
+//! time), and its memory cap is `global_cap / workers` so the pool's
+//! aggregate planned allocations respect the global cap. The residue group
+//! is solved last, alone, with everything that remains.
+//!
+//! ## Fallback
+//!
+//! When a shard's whole ladder trips its budget, the pipeline falls one
+//! rung further than [`kanon_baselines::ladder::run_ladder`] can: the
+//! O(s·m) suppress-and-split partition (one block covering the shard,
+//! split into the (k, 2k-1) band). It has no approximation guarantee but
+//! always finishes, so a pipeline run completes — possibly degraded, never
+//! wedged — whatever the budget.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use kanon_baselines::ladder::{run_ladder, LadderConfig, Rung};
+use kanon_core::algo::anonymization_from_partition;
+use kanon_core::distcache::resolve_threads;
+use kanon_core::govern::Budget;
+use kanon_core::{Algorithm, Anonymization, Dataset, Partition, Resource};
+
+use crate::config::PipelineConfig;
+use crate::error::{Error, Result};
+use crate::report::{PipelineReport, ShardReport, SolvedBy};
+use crate::shard::{full_cover_candidates, plan_shards};
+
+/// A solved shard: its local partition (indices into the shard's sub-table,
+/// already inside the (k, 2k-1) band) and its report entry.
+struct Solved {
+    partition: Partition,
+    report: ShardReport,
+}
+
+/// One unit of work for the pool.
+struct Task {
+    id: usize,
+    sub: Dataset,
+    budget: Budget,
+}
+
+fn select(ds: &Dataset, rows: &[u32]) -> Dataset {
+    let idx: Vec<usize> = rows.iter().map(|&r| r as usize).collect();
+    ds.select_rows(&idx)
+        .expect("shard plan only holds in-range row indices")
+}
+
+/// The first rung worth attempting for a shard of `s` rows: the exhaustive
+/// greedy only when its candidate family fits the configured cap, otherwise
+/// the center greedy (skipping a guaranteed guard rejection).
+fn choose_start(s: usize, k: usize, config: &PipelineConfig) -> Rung {
+    if let Some(start) = config.start {
+        return start;
+    }
+    match full_cover_candidates(s, k) {
+        Some(c) if c <= config.full.max_candidates as u64 => Rung::FullGreedyCover,
+        _ => Rung::CenterGreedy,
+    }
+}
+
+/// Whether a ladder failure should drop to the suppress-and-split fallback
+/// (same recoverable set as the ladder itself uses between rungs).
+fn recoverable(err: &kanon_core::Error) -> bool {
+    matches!(
+        err,
+        kanon_core::Error::BudgetExceeded { .. }
+            | kanon_core::Error::InstanceTooLarge { .. }
+            | kanon_core::Error::Overflow { .. }
+    )
+}
+
+fn solve_shard(
+    id: usize,
+    sub: &Dataset,
+    k: usize,
+    config: &PipelineConfig,
+    budget: Budget,
+) -> Result<Solved> {
+    let started = Instant::now();
+    let start = choose_start(sub.n_rows(), k, config);
+    let ladder = LadderConfig {
+        budget,
+        start,
+        full: config.full.clone(),
+        center: config.center.clone(),
+    };
+    match run_ladder(sub, k, &ladder) {
+        Ok((anon, run)) => {
+            // Normalize into the (k, 2k-1) band so the merged partition
+            // passes the whole-table validator. `split_large` never
+            // increases per-block suppression, so recompute the cost.
+            let partition = anon.partition.split_large(k);
+            let cost = partition.anonymization_cost(sub);
+            Ok(Solved {
+                partition,
+                report: ShardReport {
+                    id,
+                    rows: sub.n_rows(),
+                    solved_by: SolvedBy::Rung(run.rung),
+                    degraded: run.degraded(),
+                    attempts: run.attempts.len(),
+                    cost,
+                    elapsed: started.elapsed(),
+                    note: None,
+                },
+            })
+        }
+        Err(err) if recoverable(&err) => {
+            let s = sub.n_rows();
+            let partition =
+                Partition::new_unchecked(vec![(0..s as u32).collect()], s).split_large(k);
+            let cost = partition.anonymization_cost(sub);
+            let attempted = Rung::ALL.len()
+                - Rung::ALL
+                    .iter()
+                    .position(|&r| r == start)
+                    .expect("Rung::ALL contains every rung");
+            Ok(Solved {
+                partition,
+                report: ShardReport {
+                    id,
+                    rows: s,
+                    solved_by: SolvedBy::Fallback,
+                    degraded: true,
+                    attempts: attempted,
+                    cost,
+                    elapsed: started.elapsed(),
+                    note: Some(err.to_string()),
+                },
+            })
+        }
+        Err(err) => Err(Error::Core(err)),
+    }
+}
+
+/// A dispatch-time budget slice: deadline proportional to the shard's share
+/// of undispatched rows (scaled by the worker count, since `workers` slices
+/// run concurrently), memory capped at `mem_slice`.
+fn slice_budget(
+    parent: &Budget,
+    shard_rows: usize,
+    rows_left: u64,
+    workers: usize,
+    mem_slice: Option<u64>,
+) -> Budget {
+    let allowance = parent.remaining().map(|rem| {
+        let nanos = rem
+            .as_nanos()
+            .saturating_mul(shard_rows as u128)
+            .saturating_mul(workers as u128)
+            / u128::from(rows_left.max(1));
+        Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX)).min(rem)
+    });
+    parent.child_with_memory(allowance, mem_slice)
+}
+
+/// Runs the sharded pipeline over an already-encoded table: plan shards,
+/// solve each under a budget slice (in parallel when `config.workers`
+/// allows), solve the residue, and merge into a whole-table anonymization.
+///
+/// The returned [`Anonymization`] covers all of `ds` and satisfies
+/// k-anonymity; the [`PipelineReport`] records which solver answered each
+/// shard, per-shard costs and timings, and end-to-end throughput.
+///
+/// # Errors
+/// `k` validation errors, [`Error::Config`] for an invalid shard size or
+/// worker count, and non-recoverable solver errors. Budget exhaustion is
+/// *not* an error: shards whose ladder trips fall back to suppress-and-split
+/// (reported as degraded).
+pub fn run_pipeline(
+    ds: &Dataset,
+    k: usize,
+    config: &PipelineConfig,
+) -> Result<(Anonymization, PipelineReport)> {
+    let started = Instant::now();
+    let plan = plan_shards(ds, k, config)?;
+    // A cancelled budget aborts up front. An already-expired *deadline*
+    // does not: the run proceeds and every shard degrades to the fallback,
+    // because completion-under-any-budget is the pipeline's contract.
+    if config.budget.is_cancelled() {
+        return Err(Error::Core(kanon_core::Error::BudgetExceeded {
+            resource: Resource::Cancelled,
+            spent: 0,
+            limit: 0,
+        }));
+    }
+
+    let workers = resolve_threads(config.workers)
+        .max(1)
+        .min(plan.shards.len().max(1));
+    let mem_slice = config.budget.memory_limit().map(|m| m / workers as u64);
+    let total_rows: u64 =
+        plan.shards.iter().map(|s| s.len() as u64).sum::<u64>() + plan.residue.len() as u64;
+
+    let mut solved: Vec<Option<Solved>> = (0..plan.shards.len()).map(|_| None).collect();
+
+    if workers <= 1 || plan.shards.len() <= 1 {
+        let mut rows_left = total_rows;
+        for (id, rows) in plan.shards.iter().enumerate() {
+            let sub = select(ds, rows);
+            let budget = slice_budget(&config.budget, rows.len(), rows_left, 1, mem_slice);
+            rows_left -= rows.len() as u64;
+            solved[id] = Some(solve_shard(id, &sub, k, config, budget)?);
+        }
+    } else {
+        let shards = &plan.shards;
+        let solved_ref = &mut solved;
+        std::thread::scope(|scope| -> Result<()> {
+            let (task_tx, task_rx) = mpsc::sync_channel::<Task>(2 * workers);
+            let task_rx = Arc::new(Mutex::new(task_rx));
+            let (done_tx, done_rx) = mpsc::sync_channel::<(usize, Result<Solved>)>(2 * workers);
+
+            for _ in 0..workers {
+                let task_rx = Arc::clone(&task_rx);
+                let done_tx = done_tx.clone();
+                scope.spawn(move || loop {
+                    // Hold the lock across `recv` — `Receiver` is not
+                    // `Sync`, so the mutex is the hand-off point.
+                    let task = {
+                        let rx = task_rx.lock().expect("task receiver lock");
+                        rx.recv()
+                    };
+                    let Ok(task) = task else { break };
+                    let out = solve_shard(task.id, &task.sub, k, config, task.budget);
+                    if done_tx.send((task.id, out)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(done_tx);
+
+            // Dispatcher on its own thread: the bounded `send` is the
+            // backpressure that keeps materialized sub-tables to O(workers).
+            let budget = &config.budget;
+            scope.spawn(move || {
+                let mut rows_left = total_rows;
+                for (id, rows) in shards.iter().enumerate() {
+                    let slice = slice_budget(budget, rows.len(), rows_left, workers, mem_slice);
+                    rows_left -= rows.len() as u64;
+                    let task = Task {
+                        id,
+                        sub: select(ds, rows),
+                        budget: slice,
+                    };
+                    if task_tx.send(task).is_err() {
+                        break; // drain loop gave up after an error
+                    }
+                }
+                // Dropping `task_tx` closes the channel; idle workers exit.
+            });
+
+            let mut first_err: Option<Error> = None;
+            for (id, out) in done_rx {
+                match out {
+                    Ok(s) => solved_ref[id] = Some(s),
+                    Err(e) if first_err.is_none() => {
+                        // Abort in-flight solvers; keep draining so every
+                        // worker can exit and the scope can join.
+                        config.budget.cancel();
+                        first_err = Some(e);
+                    }
+                    Err(_) => {}
+                }
+            }
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        })?;
+    }
+
+    // The residue is solved alone, after the shards, with everything that
+    // remains of the budget (full memory cap — no concurrent peers).
+    let residue_solved = if plan.residue.is_empty() {
+        None
+    } else {
+        let sub = select(ds, &plan.residue);
+        Some(solve_shard(
+            plan.shards.len(),
+            &sub,
+            k,
+            config,
+            config.budget.child(None),
+        )?)
+    };
+
+    // Merge: concatenate local partitions in shard order, then remap the
+    // concatenated row indices through the permutation (shard rows in
+    // order, residue last) back to original table rows.
+    let mut perm: Vec<u32> = Vec::with_capacity(ds.n_rows());
+    let mut parts = Vec::with_capacity(solved.len() + 1);
+    let mut shard_reports = Vec::with_capacity(solved.len() + 1);
+    for (rows, s) in plan.shards.iter().zip(solved) {
+        let s = s.expect("every shard was solved or the error propagated");
+        perm.extend_from_slice(rows);
+        parts.push(s.partition);
+        shard_reports.push(s.report);
+    }
+    if let Some(s) = residue_solved {
+        perm.extend_from_slice(&plan.residue);
+        parts.push(s.partition);
+        shard_reports.push(s.report);
+    }
+    let concat = Partition::concat_disjoint(parts).map_err(Error::Core)?;
+    let blocks: Vec<Vec<u32>> = concat
+        .blocks()
+        .iter()
+        .map(|b| b.iter().map(|&i| perm[i as usize]).collect())
+        .collect();
+    let partition = Partition::new(blocks, ds.n_rows(), k).map_err(Error::Core)?;
+    partition.validate_group_sizes(k).map_err(Error::Core)?;
+
+    let anon = anonymization_from_partition(ds, partition, k, Algorithm::External("pipeline"))
+        .map_err(Error::Core)?;
+    // Per-block suppression is position-independent, so the merged cost is
+    // exactly the sum of the per-shard costs.
+    debug_assert_eq!(
+        anon.cost,
+        shard_reports.iter().map(|r| r.cost).sum::<usize>()
+    );
+
+    let report = PipelineReport {
+        n_rows: ds.n_rows(),
+        n_cols: ds.n_cols(),
+        k,
+        shard_size: config.shard_size,
+        strategy: config.strategy.name(),
+        workers,
+        shards: shard_reports,
+        residue_rows: plan.residue.len(),
+        total_cost: anon.cost,
+        elapsed: started.elapsed(),
+    };
+    Ok((anon, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ShardStrategy;
+
+    fn dataset(n: usize) -> Dataset {
+        Dataset::from_fn(n, 4, |i, j| ((i * 13 + j * 7) % 6) as u32)
+    }
+
+    #[test]
+    fn pipeline_output_is_k_anonymous_and_costs_add_up() {
+        let ds = dataset(120);
+        let config = PipelineConfig {
+            shard_size: 24,
+            ..PipelineConfig::default()
+        };
+        let (anon, report) = run_pipeline(&ds, 3, &config).unwrap();
+        assert!(anon.table.is_k_anonymous(3));
+        assert_eq!(anon.partition.n_rows(), 120);
+        anon.partition.validate_group_sizes(3).unwrap();
+        assert_eq!(report.n_rows, 120);
+        assert_eq!(
+            report.total_cost,
+            report.shards.iter().map(|s| s.cost).sum::<usize>()
+        );
+        assert_eq!(report.shards.iter().map(|s| s.rows).sum::<usize>(), 120);
+        assert_eq!(anon.cost, report.total_cost);
+    }
+
+    #[test]
+    fn sorted_strategy_also_merges_validly() {
+        let ds = dataset(90);
+        let config = PipelineConfig {
+            shard_size: 16,
+            strategy: ShardStrategy::Sorted,
+            ..PipelineConfig::default()
+        };
+        let (anon, report) = run_pipeline(&ds, 4, &config).unwrap();
+        assert!(anon.table.is_k_anonymous(4));
+        anon.partition.validate_group_sizes(4).unwrap();
+        assert_eq!(report.residue_rows, 0);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_answer() {
+        let ds = dataset(100);
+        let mut outputs = Vec::new();
+        for workers in [1, 2, 4] {
+            let config = PipelineConfig {
+                shard_size: 16,
+                workers: Some(workers),
+                ..PipelineConfig::default()
+            };
+            let (anon, report) = run_pipeline(&ds, 3, &config).unwrap();
+            assert!(report.workers <= workers.max(1));
+            outputs.push((anon.partition, anon.cost));
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_but_completes() {
+        let ds = dataset(150);
+        let config = PipelineConfig {
+            shard_size: 16,
+            budget: Budget::builder().deadline(Duration::from_millis(0)).build(),
+            ..PipelineConfig::default()
+        };
+        let (anon, report) = run_pipeline(&ds, 3, &config).unwrap();
+        assert!(anon.table.is_k_anonymous(3));
+        assert!(report.degraded_shards() > 0);
+        assert!(report
+            .shards
+            .iter()
+            .any(|s| s.solved_by == SolvedBy::Fallback));
+    }
+
+    #[test]
+    fn tiny_table_is_one_shard_or_residue() {
+        let ds = dataset(7);
+        let (anon, report) = run_pipeline(&ds, 3, &PipelineConfig::default()).unwrap();
+        assert!(anon.table.is_k_anonymous(3));
+        assert_eq!(report.shards.len(), 1);
+    }
+
+    #[test]
+    fn cancelled_budget_still_yields_a_valid_table() {
+        let ds = dataset(40);
+        let config = PipelineConfig {
+            shard_size: 8,
+            ..PipelineConfig::default()
+        };
+        config.budget.cancel();
+        // Cancellation before the run starts is reported as an error (the
+        // up-front check), not a degraded run.
+        assert!(run_pipeline(&ds, 3, &config).is_err());
+    }
+
+    #[test]
+    fn start_rung_override_is_respected() {
+        let ds = dataset(60);
+        let config = PipelineConfig {
+            shard_size: 12,
+            start: Some(Rung::Agglomerative),
+            ..PipelineConfig::default()
+        };
+        let (anon, report) = run_pipeline(&ds, 3, &config).unwrap();
+        assert!(anon.table.is_k_anonymous(3));
+        for shard in &report.shards {
+            assert_eq!(shard.solved_by, SolvedBy::Rung(Rung::Agglomerative));
+        }
+    }
+}

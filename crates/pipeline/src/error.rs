@@ -1,0 +1,70 @@
+//! Error type for the pipeline layer.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from pipeline configuration, ingestion, sharding, and merging.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Wrapped solver/core error (budget trips, invalid `k`, overflow).
+    Core(kanon_core::Error),
+    /// Wrapped relational error (CSV syntax, schema, I/O).
+    Relation(kanon_relation::Error),
+    /// A pipeline configuration that cannot produce a valid sharding.
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "core error: {e}"),
+            Error::Relation(e) => write!(f, "relation error: {e}"),
+            Error::Config(msg) => write!(f, "pipeline config error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::Relation(e) => Some(e),
+            Error::Config(_) => None,
+        }
+    }
+}
+
+impl From<kanon_core::Error> for Error {
+    fn from(e: kanon_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<kanon_relation::Error> for Error {
+    fn from(e: kanon_relation::Error) -> Self {
+        Error::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let core: Error = kanon_core::Error::KZero.into();
+        assert!(core.to_string().contains("core error"));
+        assert!(std::error::Error::source(&core).is_some());
+
+        let rel: Error = kanon_relation::Error::EmptyTable.into();
+        assert!(rel.to_string().contains("relation error"));
+        assert!(std::error::Error::source(&rel).is_some());
+
+        let cfg = Error::Config("bad shard size".into());
+        assert_eq!(cfg.to_string(), "pipeline config error: bad shard size");
+        assert!(std::error::Error::source(&cfg).is_none());
+    }
+}

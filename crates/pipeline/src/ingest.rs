@@ -1,0 +1,180 @@
+//! Streaming CSV ingestion: any `io::Read` source to an encoded
+//! [`Dataset`] without materializing the file contents.
+//!
+//! The reader ([`kanon_relation::csv::Reader`]) holds one 64 KiB buffer
+//! plus the record in flight; the encoder
+//! ([`kanon_relation::encode::StreamingEncoder`]) holds the dictionary and
+//! the encoded (u32) table. Peak memory is therefore the *encoded* table
+//! plus dictionaries — not the raw CSV text, which for wide string values
+//! is several times larger.
+
+use std::io;
+
+use kanon_core::Dataset;
+use kanon_relation::csv::Reader;
+use kanon_relation::encode::StreamingEncoder;
+use kanon_relation::Codec;
+
+use crate::config::PipelineConfig;
+use crate::engine::run_pipeline;
+use crate::error::{Error, Result};
+use crate::report::PipelineReport;
+
+/// Reads CSV from `reader` in chunks and dictionary-encodes the records as
+/// they stream by. The first record is the header.
+///
+/// # Errors
+/// [`kanon_relation::Error::EmptyTable`] for a missing header or zero data
+/// rows, CSV syntax/arity errors with their 1-based line number, and I/O
+/// failures from the underlying reader.
+pub fn ingest_csv<R: io::Read>(reader: R) -> Result<(Dataset, Codec)> {
+    let mut records = Reader::new(reader);
+    let header = match records.read_record()? {
+        Some(h) => h,
+        None => return Err(kanon_relation::Error::EmptyTable.into()),
+    };
+    let mut encoder = StreamingEncoder::new(header.fields)?;
+    while let Some(record) = records.read_record()? {
+        encoder.push_record(&record.fields).map_err(|e| match e {
+            kanon_relation::Error::ArityMismatch { expected, found } => {
+                kanon_relation::Error::Csv {
+                    line: record.line,
+                    message: format!("expected {expected} fields, found {found}"),
+                }
+            }
+            other => other,
+        })?;
+    }
+    if encoder.n_rows() == 0 {
+        return Err(kanon_relation::Error::EmptyTable.into());
+    }
+    Ok(encoder.finish())
+}
+
+/// Everything a caller needs to render the anonymized table: the full
+/// encoded input, its codec, the quasi-identifier columns the solver saw,
+/// and the anonymization of their projection.
+pub struct CsvRun {
+    /// The full encoded input table (all columns).
+    pub dataset: Dataset,
+    /// Dictionary codec for decoding values back to strings.
+    pub codec: Codec,
+    /// Column indices (into `dataset`) treated as the quasi-identifier.
+    pub quasi: Vec<usize>,
+    /// Anonymization of the quasi-identifier projection.
+    pub anonymization: kanon_core::Anonymization,
+    /// The pipeline's run report.
+    pub report: PipelineReport,
+}
+
+/// End-to-end convenience: ingest CSV, project the quasi-identifier, run
+/// the sharded pipeline.
+///
+/// `quasi` selects quasi-identifier columns by header name; `None` treats
+/// every column as quasi-identifying.
+///
+/// # Errors
+/// Ingestion errors from [`ingest_csv`],
+/// [`kanon_relation::Error::UnknownAttribute`] for an unrecognized column
+/// name, and every [`run_pipeline`] error.
+pub fn run_csv<R: io::Read>(
+    reader: R,
+    k: usize,
+    quasi: Option<&[String]>,
+    config: &PipelineConfig,
+) -> Result<CsvRun> {
+    let (dataset, codec) = ingest_csv(reader)?;
+    let quasi_cols: Vec<usize> = match quasi {
+        None => (0..codec.arity()).collect(),
+        Some(names) => names
+            .iter()
+            .map(|name| {
+                codec
+                    .header()
+                    .iter()
+                    .position(|h| h == name)
+                    .ok_or_else(|| {
+                        Error::Relation(kanon_relation::Error::UnknownAttribute(name.clone()))
+                    })
+            })
+            .collect::<Result<_>>()?,
+    };
+    let qi = dataset
+        .project_columns(&quasi_cols)
+        .map_err(|e| Error::Relation(kanon_relation::Error::Core(e)))?;
+    let (anonymization, report) = run_pipeline(&qi, k, config)?;
+    Ok(CsvRun {
+        dataset,
+        codec,
+        quasi: quasi_cols,
+        anonymization,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "age,zip,job\n34,90210,cook\n34,90210,cook\n35,90210,cook\n\
+                       35,90211,nurse\n34,90211,nurse\n35,90211,nurse\n";
+
+    #[test]
+    fn ingest_matches_batch_parse() {
+        let (ds, codec) = ingest_csv(CSV.as_bytes()).unwrap();
+        let table = kanon_relation::csv::parse(CSV).unwrap();
+        let (batch_ds, batch_codec) = Codec::encode(&table);
+        assert_eq!(ds.n_rows(), batch_ds.n_rows());
+        assert_eq!(ds.n_cols(), batch_ds.n_cols());
+        for i in 0..ds.n_rows() {
+            assert_eq!(ds.row(i), batch_ds.row(i));
+        }
+        assert_eq!(codec.header(), batch_codec.header());
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(matches!(
+            ingest_csv("".as_bytes()),
+            Err(Error::Relation(kanon_relation::Error::EmptyTable))
+        ));
+        assert!(matches!(
+            ingest_csv("a,b\n".as_bytes()),
+            Err(Error::Relation(kanon_relation::Error::EmptyTable))
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_carries_the_line_number() {
+        let bad = "a,b\n1,2\n3\n";
+        match ingest_csv(bad.as_bytes()) {
+            Err(Error::Relation(kanon_relation::Error::Csv { line, message })) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("expected 2 fields"));
+            }
+            other => panic!("expected a CSV arity error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_csv_projects_the_quasi_identifier() {
+        let quasi = vec!["age".to_string(), "zip".to_string()];
+        let run = run_csv(CSV.as_bytes(), 2, Some(&quasi), &PipelineConfig::default()).unwrap();
+        assert_eq!(run.quasi, vec![0, 1]);
+        assert_eq!(run.dataset.n_cols(), 3);
+        assert!(run.anonymization.table.is_k_anonymous(2));
+        assert_eq!(run.report.n_cols, 2);
+        assert_eq!(run.report.n_rows, 6);
+
+        let missing = vec!["salary".to_string()];
+        assert!(matches!(
+            run_csv(
+                CSV.as_bytes(),
+                2,
+                Some(&missing),
+                &PipelineConfig::default()
+            ),
+            Err(Error::Relation(kanon_relation::Error::UnknownAttribute(_)))
+        ));
+    }
+}

@@ -1,0 +1,265 @@
+//! Pipeline run accounting: per-shard solver outcomes and whole-run
+//! throughput, with a hand-rolled JSON renderer (the workspace carries no
+//! serde).
+
+use std::time::Duration;
+
+/// What produced a shard's partition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolvedBy {
+    /// A ladder rung finished inside the shard's budget slice.
+    Rung(kanon_baselines::ladder::Rung),
+    /// Every rung tripped its budget; the pipeline fell back to the O(s·m)
+    /// suppress-and-split partition (one block, split into the (k, 2k-1)
+    /// band). Valid but with no approximation guarantee.
+    Fallback,
+}
+
+impl SolvedBy {
+    /// Short stable name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SolvedBy::Rung(rung) => rung.name(),
+            SolvedBy::Fallback => "suppress-split-fallback",
+        }
+    }
+}
+
+/// One shard's account of a pipeline run.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Shard index in plan order; the residue group (when present) takes
+    /// the next index after the last shard.
+    pub id: usize,
+    /// Rows in the shard.
+    pub rows: usize,
+    /// Which solver produced the shard's partition.
+    pub solved_by: SolvedBy,
+    /// True when the shard's ladder fell below its first attempted rung
+    /// (or all the way to the fallback).
+    pub degraded: bool,
+    /// Ladder attempts made (0 when the ladder was skipped entirely).
+    pub attempts: usize,
+    /// Suppressed-cell cost of the shard's local partition.
+    pub cost: usize,
+    /// Wall-clock time spent solving the shard.
+    pub elapsed: Duration,
+    /// Why the ladder gave up, when the fallback answered.
+    pub note: Option<String>,
+}
+
+/// Summary of a completed [`crate::run_pipeline`] call.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// Rows in the whole table.
+    pub n_rows: usize,
+    /// Quasi-identifier columns the solver saw.
+    pub n_cols: usize,
+    /// The anonymity parameter.
+    pub k: usize,
+    /// Configured target shard size.
+    pub shard_size: usize,
+    /// Sharding strategy name (`hash` or `sorted`).
+    pub strategy: &'static str,
+    /// Worker threads that solved shards concurrently.
+    pub workers: usize,
+    /// Per-shard accounts, in shard-id order; the residue group (when
+    /// present) is the last entry.
+    pub shards: Vec<ShardReport>,
+    /// Rows solved in the residue group.
+    pub residue_rows: usize,
+    /// Total suppressed cells across all shards (equals the merged
+    /// anonymization's cost).
+    pub total_cost: usize,
+    /// End-to-end wall-clock time (plan + solve + merge).
+    pub elapsed: Duration,
+}
+
+impl PipelineReport {
+    /// Number of shards (excluding the residue group).
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len() - usize::from(self.residue_rows > 0)
+    }
+
+    /// Shards that degraded below their first attempted rung.
+    #[must_use]
+    pub fn degraded_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.degraded).count()
+    }
+
+    /// Rows anonymized per wall-clock second.
+    #[must_use]
+    pub fn rows_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.n_rows as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Renders the report as a JSON object (stable key order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 128 * self.shards.len());
+        out.push('{');
+        push_kv(&mut out, "n_rows", &self.n_rows.to_string());
+        push_kv(&mut out, "n_cols", &self.n_cols.to_string());
+        push_kv(&mut out, "k", &self.k.to_string());
+        push_kv(&mut out, "shard_size", &self.shard_size.to_string());
+        push_kv(
+            &mut out,
+            "strategy",
+            &format!("\"{}\"", json_escape(self.strategy)),
+        );
+        push_kv(&mut out, "workers", &self.workers.to_string());
+        push_kv(&mut out, "n_shards", &self.n_shards().to_string());
+        push_kv(&mut out, "residue_rows", &self.residue_rows.to_string());
+        push_kv(
+            &mut out,
+            "degraded_shards",
+            &self.degraded_shards().to_string(),
+        );
+        push_kv(&mut out, "total_cost", &self.total_cost.to_string());
+        push_kv(
+            &mut out,
+            "elapsed_ms",
+            &self.elapsed.as_millis().to_string(),
+        );
+        push_kv(
+            &mut out,
+            "rows_per_sec",
+            &format!("{:.1}", self.rows_per_sec()),
+        );
+        out.push_str("\"shards\":[");
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_kv(&mut out, "id", &shard.id.to_string());
+            push_kv(&mut out, "rows", &shard.rows.to_string());
+            push_kv(
+                &mut out,
+                "solved_by",
+                &format!("\"{}\"", json_escape(shard.solved_by.name())),
+            );
+            push_kv(&mut out, "degraded", &shard.degraded.to_string());
+            push_kv(&mut out, "attempts", &shard.attempts.to_string());
+            push_kv(&mut out, "cost", &shard.cost.to_string());
+            push_kv(
+                &mut out,
+                "elapsed_ms",
+                &shard.elapsed.as_millis().to_string(),
+            );
+            if let Some(note) = &shard.note {
+                push_kv(&mut out, "note", &format!("\"{}\"", json_escape(note)));
+            }
+            // Strip the trailing comma the last push_kv left.
+            out.pop();
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_kv(out: &mut String, key: &str, rendered_value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(rendered_value);
+    out.push(',');
+}
+
+/// Escapes a string for inclusion inside a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kanon_baselines::ladder::Rung;
+
+    fn report() -> PipelineReport {
+        PipelineReport {
+            n_rows: 20,
+            n_cols: 3,
+            k: 3,
+            shard_size: 8,
+            strategy: "hash",
+            workers: 2,
+            shards: vec![
+                ShardReport {
+                    id: 0,
+                    rows: 12,
+                    solved_by: SolvedBy::Rung(Rung::CenterGreedy),
+                    degraded: false,
+                    attempts: 1,
+                    cost: 9,
+                    elapsed: Duration::from_millis(4),
+                    note: None,
+                },
+                ShardReport {
+                    id: 1,
+                    rows: 8,
+                    solved_by: SolvedBy::Fallback,
+                    degraded: true,
+                    attempts: 2,
+                    cost: 16,
+                    elapsed: Duration::from_millis(7),
+                    note: Some("budget \"wall-clock\" exceeded".into()),
+                },
+            ],
+            residue_rows: 0,
+            total_cost: 25,
+            elapsed: Duration::from_millis(12),
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let json = report().to_json();
+        assert!(json.starts_with("{\"n_rows\":20,"));
+        assert!(json.contains("\"strategy\":\"hash\""));
+        assert!(json.contains("\"solved_by\":\"center-greedy\""));
+        assert!(json.contains("\"solved_by\":\"suppress-split-fallback\""));
+        assert!(json.contains("\"degraded_shards\":1"));
+        // The note's inner quotes are escaped.
+        assert!(json.contains("\\\"wall-clock\\\""));
+        // Crude balance check: equal counts of braces.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn derived_counters() {
+        let r = report();
+        assert_eq!(r.n_shards(), 2);
+        assert_eq!(r.degraded_shards(), 1);
+        assert!(r.rows_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn escape_covers_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -4,6 +4,17 @@
 //! newlines; rejects ragged rows against the header. Deliberately small —
 //! this is a data-ingestion convenience for the examples and CLI, not a
 //! general CSV library.
+//!
+//! Two entry points share one state machine:
+//!
+//! * [`Reader`] — a chunked, streaming record iterator over any
+//!   [`std::io::Read`]. It holds one fixed-size byte buffer plus the record
+//!   being assembled, so a multi-gigabyte file never needs to be in memory
+//!   at once. This is the ingestion path of the sharded pipeline.
+//! * [`parse`] — the whole-text convenience wrapper: feeds the text's bytes
+//!   through a [`Reader`] and collects a [`Table`].
+
+use std::io;
 
 use crate::error::{Error, Result};
 use crate::schema::Schema;
@@ -21,19 +32,17 @@ use crate::table::Table;
 /// [`Error::Csv`] on syntax problems or ragged rows; schema errors for a
 /// bad header.
 pub fn parse(text: &str) -> Result<Table> {
-    let records = parse_records(text)?;
-    let mut it = records.into_iter();
-    let (header_line, header) = it.next().ok_or(Error::Csv {
+    let mut reader = Reader::new(text.as_bytes());
+    let header = reader.read_record()?.ok_or(Error::Csv {
         line: 1,
         message: "missing header record".into(),
     })?;
-    let _ = header_line;
-    let schema = Schema::new(header)?;
+    let schema = Schema::new(header.fields)?;
     let mut table = Table::new(schema);
-    for (line, record) in it {
-        table.push_row(record).map_err(|e| match e {
+    while let Some(record) = reader.read_record()? {
+        table.push_row(record.fields).map_err(|e| match e {
             Error::ArityMismatch { expected, found } => Error::Csv {
-                line,
+                line: record.line,
                 message: format!("expected {expected} fields, found {found}"),
             },
             other => other,
@@ -68,7 +77,11 @@ pub fn to_string(table: &Table) -> String {
     out
 }
 
-fn write_record<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
+/// Appends one CSV record (RFC-4180 quoting for fields containing commas,
+/// quotes, or newlines) and a trailing newline to `out`. The building
+/// block of [`to_string`], public so streaming writers can emit one record
+/// at a time without materializing a [`Table`].
+pub fn write_record<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
     let mut first = true;
     for field in fields {
         if !first {
@@ -91,73 +104,196 @@ fn write_record<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
     out.push('\n');
 }
 
-/// Splits text into records of fields, tracking 1-based starting lines.
-fn parse_records(text: &str) -> Result<Vec<(usize, Vec<String>)>> {
-    let mut records = Vec::new();
-    let mut field = String::new();
-    let mut record: Vec<String> = Vec::new();
-    let mut line = 1usize;
-    let mut record_line = 1usize;
-    let mut in_quotes = false;
-    let mut chars = text.chars().peekable();
-    let mut saw_any = false;
+/// One parsed CSV record: its fields and the 1-based line it started on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// 1-based line number of the record's first character.
+    pub line: usize,
+    /// The record's fields, unescaped.
+    pub fields: Vec<String>,
+}
 
-    while let Some(ch) = chars.next() {
-        saw_any = true;
-        if in_quotes {
-            match ch {
-                '"' => {
-                    if chars.peek() == Some(&'"') {
-                        chars.next();
-                        field.push('"');
-                    } else {
-                        in_quotes = false;
-                    }
-                }
-                '\n' => {
-                    line += 1;
-                    field.push(ch);
-                }
-                _ => field.push(ch),
-            }
-            continue;
-        }
-        match ch {
-            '"' => {
-                if !field.is_empty() {
-                    return Err(Error::Csv {
-                        line,
-                        message: "quote inside unquoted field".into(),
-                    });
-                }
-                in_quotes = true;
-            }
-            ',' => {
-                record.push(std::mem::take(&mut field));
-            }
-            '\r' => {
-                // Swallow; `\r\n` handled by the `\n` branch.
-            }
-            '\n' => {
-                record.push(std::mem::take(&mut field));
-                records.push((record_line, std::mem::take(&mut record)));
-                line += 1;
-                record_line = line;
-            }
-            _ => field.push(ch),
+/// Bytes read from the underlying source per refill. Small enough that a
+/// `Reader` over a pipe stays responsive, large enough to amortize
+/// syscalls.
+const CHUNK: usize = 64 * 1024;
+
+/// A chunked, streaming CSV record reader over any [`io::Read`].
+///
+/// Memory held at any time is one 64 KiB refill buffer plus the
+/// record currently being assembled — never the whole input. Delimiters are
+/// ASCII, so the byte-level state machine passes multi-byte UTF-8 sequences
+/// through untouched; each completed field is validated as UTF-8.
+///
+/// ```
+/// use kanon_relation::csv::Reader;
+/// let mut r = Reader::new("a,b\n1,\"x,y\"\n".as_bytes());
+/// assert_eq!(r.read_record().unwrap().unwrap().fields, vec!["a", "b"]);
+/// let rec = r.read_record().unwrap().unwrap();
+/// assert_eq!(rec.line, 2);
+/// assert_eq!(rec.fields, vec!["1", "x,y"]);
+/// assert!(r.read_record().unwrap().is_none());
+/// ```
+#[derive(Debug)]
+pub struct Reader<R: io::Read> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Next unconsumed position in `buf[..len]`.
+    pos: usize,
+    /// Valid prefix length of `buf`.
+    len: usize,
+    /// True once the underlying reader returned 0 bytes.
+    eof: bool,
+    /// 1-based line of the byte about to be consumed.
+    line: usize,
+}
+
+impl<R: io::Read> Reader<R> {
+    /// Wraps a byte source. The reader performs its own chunked buffering,
+    /// so there is no need for an outer `BufReader`.
+    pub fn new(inner: R) -> Self {
+        Reader {
+            inner,
+            buf: vec![0; CHUNK],
+            pos: 0,
+            len: 0,
+            eof: false,
+            line: 1,
         }
     }
-    if in_quotes {
-        return Err(Error::Csv {
+
+    /// Refills the buffer; returns false at end of input.
+    fn refill(&mut self) -> Result<bool> {
+        if self.eof {
+            return Ok(false);
+        }
+        loop {
+            match self.inner.read(&mut self.buf) {
+                Ok(0) => {
+                    self.eof = true;
+                    return Ok(false);
+                }
+                Ok(n) => {
+                    self.pos = 0;
+                    self.len = n;
+                    return Ok(true);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(Error::Io(e.to_string())),
+            }
+        }
+    }
+
+    /// Next byte, or `None` at end of input.
+    fn next_byte(&mut self) -> Result<Option<u8>> {
+        if self.pos == self.len && !self.refill()? {
+            return Ok(None);
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        Ok(Some(b))
+    }
+
+    /// Peeks the next byte without consuming it.
+    fn peek_byte(&mut self) -> Result<Option<u8>> {
+        if self.pos == self.len && !self.refill()? {
+            return Ok(None);
+        }
+        Ok(Some(self.buf[self.pos]))
+    }
+
+    /// Finishes a raw field: validates UTF-8 and appends to the record.
+    fn push_field(record: &mut Vec<String>, raw: &mut Vec<u8>, line: usize) -> Result<()> {
+        let field = String::from_utf8(std::mem::take(raw)).map_err(|_| Error::Csv {
             line,
-            message: "unterminated quoted field".into(),
-        });
-    }
-    if saw_any && (!field.is_empty() || !record.is_empty()) {
+            message: "invalid UTF-8 in field".into(),
+        })?;
         record.push(field);
-        records.push((record_line, record));
+        Ok(())
     }
-    Ok(records)
+
+    /// Reads the next record, or `None` at end of input.
+    ///
+    /// A trailing newline does not produce an empty final record; a final
+    /// record without a trailing newline is produced normally.
+    ///
+    /// # Errors
+    /// [`Error::Csv`] on syntax problems, [`Error::Io`] on read failures.
+    pub fn read_record(&mut self) -> Result<Option<Record>> {
+        let mut field: Vec<u8> = Vec::new();
+        let mut record: Vec<String> = Vec::new();
+        let record_line = self.line;
+        let mut in_quotes = false;
+        let mut saw_any = false;
+
+        while let Some(b) = self.next_byte()? {
+            saw_any = true;
+            if in_quotes {
+                match b {
+                    b'"' => {
+                        if self.peek_byte()? == Some(b'"') {
+                            self.next_byte()?;
+                            field.push(b'"');
+                        } else {
+                            in_quotes = false;
+                        }
+                    }
+                    b'\n' => {
+                        self.line += 1;
+                        field.push(b);
+                    }
+                    _ => field.push(b),
+                }
+                continue;
+            }
+            match b {
+                b'"' => {
+                    if !field.is_empty() {
+                        return Err(Error::Csv {
+                            line: self.line,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                b',' => Self::push_field(&mut record, &mut field, self.line)?,
+                b'\r' => {
+                    // Swallow; `\r\n` handled by the `\n` branch.
+                }
+                b'\n' => {
+                    Self::push_field(&mut record, &mut field, self.line)?;
+                    self.line += 1;
+                    return Ok(Some(Record {
+                        line: record_line,
+                        fields: record,
+                    }));
+                }
+                _ => field.push(b),
+            }
+        }
+        if in_quotes {
+            return Err(Error::Csv {
+                line: self.line,
+                message: "unterminated quoted field".into(),
+            });
+        }
+        if saw_any && (!field.is_empty() || !record.is_empty()) {
+            Self::push_field(&mut record, &mut field, self.line)?;
+            return Ok(Some(Record {
+                line: record_line,
+                fields: record,
+            }));
+        }
+        Ok(None)
+    }
+}
+
+impl<R: io::Read> Iterator for Reader<R> {
+    type Item = Result<Record>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_record().transpose()
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +398,106 @@ mod tests {
                 },
             )
             .expect("CSV writer/parser roundtrip must hold for printable fields");
+    }
+
+    /// An `io::Read` that yields at most one byte per call, forcing the
+    /// streaming reader through every refill boundary.
+    struct OneByte<'a>(&'a [u8]);
+
+    impl std::io::Read for OneByte<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.0.split_first() {
+                Some((&b, rest)) if !buf.is_empty() => {
+                    buf[0] = b;
+                    self.0 = rest;
+                    Ok(1)
+                }
+                _ => Ok(0),
+            }
+        }
+    }
+
+    fn records(text: &str) -> Vec<Record> {
+        Reader::new(text.as_bytes())
+            .collect::<Result<Vec<_>>>()
+            .unwrap()
+    }
+
+    #[test]
+    fn reader_streams_records_with_lines() {
+        let recs = records("a,b\n1,2\n3,4\n");
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].line, 1);
+        assert_eq!(recs[2].line, 3);
+        assert_eq!(recs[2].fields, vec!["3", "4"]);
+    }
+
+    #[test]
+    fn reader_crlf_and_trailing_newline_edge_cases() {
+        // CRLF terminators: the \r never reaches a field.
+        let recs = records("a,b\r\n1,2\r\n");
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].fields, vec!["1", "2"]);
+        // A trailing newline yields no phantom empty record...
+        assert_eq!(records("a\n1\n").len(), 2);
+        // ...while a missing one still yields the final record.
+        let recs = records("a\n1");
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].fields, vec!["1"]);
+        // A lone final CR is swallowed, not a record.
+        assert_eq!(records("a\n1\r\n").len(), 2);
+        // Blank line = one record with a single empty field (RFC 4180
+        // treats it as a record; `parse` then rejects it as ragged).
+        let recs = records("x\n\ny\n");
+        assert_eq!(recs[1].fields, vec![""]);
+    }
+
+    #[test]
+    fn reader_survives_refill_boundaries() {
+        // Quoted fields with embedded delimiters, doubled quotes, and CRLF,
+        // delivered one byte at a time: every state-machine transition
+        // crosses a refill.
+        let text = "name,notes\r\n\"Stone, H.\",\"said \"\"hi\"\"\r\nbye\"\r\nplain,x\r\n";
+        let recs: Vec<Record> = Reader::new(OneByte(text.as_bytes()))
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[1].fields[0], "Stone, H.");
+        assert_eq!(recs[1].fields[1], "said \"hi\"\r\nbye");
+        // Record 2's quoted field spans a newline, so record 3 starts on
+        // line 4.
+        assert_eq!(recs[2].line, 4);
+    }
+
+    #[test]
+    fn reader_rejects_invalid_utf8() {
+        let bytes: &[u8] = b"a,b\n\xFF\xFE,2\n";
+        let err = Reader::new(bytes).collect::<Result<Vec<_>>>().unwrap_err();
+        assert!(matches!(err, Error::Csv { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("UTF-8"));
+    }
+
+    #[test]
+    fn reader_propagates_io_errors() {
+        struct Broken;
+        impl std::io::Read for Broken {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+        let err = Reader::new(Broken).read_record().unwrap_err();
+        assert!(matches!(err, Error::Io(_)), "{err}");
+        assert!(err.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn parse_is_a_thin_wrapper_over_reader() {
+        // Identical outcomes for good and bad inputs.
+        let good = "a,b\n\"1,x\",2\n";
+        let via_reader: Vec<Record> = records(good);
+        let via_parse = parse(good).unwrap();
+        assert_eq!(via_parse.n_rows() + 1, via_reader.len());
+        assert_eq!(via_parse.row(0)[0], via_reader[1].fields[0]);
     }
 
     #[test]

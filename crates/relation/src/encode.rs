@@ -55,6 +55,12 @@ impl Codec {
         self.columns.len()
     }
 
+    /// The column names captured at encode time, in schema order.
+    #[must_use]
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
     /// Distinct-value count of column `j` (its alphabet size).
     ///
     /// # Panics
@@ -103,6 +109,113 @@ impl Codec {
     }
 }
 
+/// Record-at-a-time dictionary encoder for streaming ingestion.
+///
+/// [`Codec::encode`] needs the whole [`Table`] up front; the sharded
+/// pipeline instead feeds records straight off a
+/// [`csv::Reader`](crate::csv::Reader) as they are parsed, so the raw CSV
+/// text is never materialized. Codes are assigned in first-appearance
+/// order, exactly like the batch path — encoding the same records in the
+/// same order produces a byte-identical [`Dataset`] and [`Codec`].
+///
+/// ```
+/// use kanon_relation::encode::StreamingEncoder;
+/// let mut enc = StreamingEncoder::new(vec!["city".into(), "age".into()]).unwrap();
+/// enc.push_record(&["paris".into(), "30".into()]).unwrap();
+/// enc.push_record(&["rome".into(), "30".into()]).unwrap();
+/// let (ds, codec) = enc.finish();
+/// assert_eq!(ds.row(1), &[1, 0]);
+/// assert_eq!(codec.value(0, 1).unwrap(), "rome");
+/// ```
+#[derive(Clone, Debug)]
+pub struct StreamingEncoder {
+    dicts: Vec<HashMap<String, u32>>,
+    columns: Vec<Vec<String>>,
+    header: Vec<String>,
+    flat: Vec<u32>,
+    n: usize,
+}
+
+impl StreamingEncoder {
+    /// Starts an encoder for the given header. The header is validated the
+    /// same way a [`crate::Schema`] is (non-empty, distinct names).
+    ///
+    /// # Errors
+    /// [`Error::EmptySchema`] / [`Error::DuplicateAttribute`].
+    pub fn new(header: Vec<String>) -> Result<Self> {
+        let schema = crate::schema::Schema::new(header)?;
+        let header = schema.names().to_vec();
+        let m = header.len();
+        Ok(StreamingEncoder {
+            dicts: vec![HashMap::new(); m],
+            columns: vec![Vec::new(); m],
+            header,
+            flat: Vec::new(),
+            n: 0,
+        })
+    }
+
+    /// Number of records pushed so far.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.header.len()
+    }
+
+    /// The header this encoder was started with.
+    #[must_use]
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Encodes one record.
+    ///
+    /// # Errors
+    /// [`Error::ArityMismatch`] if the record length differs from the
+    /// header's.
+    pub fn push_record(&mut self, record: &[String]) -> Result<()> {
+        if record.len() != self.header.len() {
+            return Err(Error::ArityMismatch {
+                expected: self.header.len(),
+                found: record.len(),
+            });
+        }
+        for (j, value) in record.iter().enumerate() {
+            let code = match self.dicts[j].get(value) {
+                Some(&code) => code,
+                None => {
+                    let next = self.dicts[j].len() as u32;
+                    self.dicts[j].insert(value.clone(), next);
+                    self.columns[j].push(value.clone());
+                    next
+                }
+            };
+            self.flat.push(code);
+        }
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Finalizes into the dataset and the codec for decoding releases.
+    #[must_use]
+    pub fn finish(self) -> (Dataset, Codec) {
+        let ds = Dataset::from_flat(self.n, self.header.len(), self.flat)
+            .expect("streaming encoder builds a rectangular buffer");
+        (
+            ds,
+            Codec {
+                columns: self.columns,
+                header: self.header,
+            },
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +252,47 @@ mod tests {
         let released = s.apply(&ds).unwrap();
         let text = codec.decode(&released).unwrap();
         assert_eq!(text, "city,age\nparis,30\n*,30\nparis,41\n");
+    }
+
+    #[test]
+    fn streaming_encoder_matches_batch_encode() {
+        let table = sample();
+        let (batch_ds, batch_codec) = table.encode();
+        let mut enc = StreamingEncoder::new(table.schema().names().to_vec()).unwrap();
+        for row in table.rows() {
+            enc.push_record(row).unwrap();
+        }
+        assert_eq!(enc.n_rows(), 3);
+        assert_eq!(enc.arity(), 2);
+        let (ds, codec) = enc.finish();
+        assert_eq!(
+            ds.rows().collect::<Vec<_>>(),
+            batch_ds.rows().collect::<Vec<_>>()
+        );
+        assert_eq!(codec.header(), batch_codec.header());
+        for j in 0..2 {
+            assert_eq!(codec.alphabet_size(j), batch_codec.alphabet_size(j));
+        }
+        // Decoding through either codec renders the same text.
+        let released = Suppressor::identity(3, 2).apply(&ds).unwrap();
+        assert_eq!(
+            codec.decode(&released).unwrap(),
+            batch_codec.decode(&released).unwrap()
+        );
+    }
+
+    #[test]
+    fn streaming_encoder_validates_header_and_arity() {
+        assert!(StreamingEncoder::new(vec![]).is_err());
+        assert!(StreamingEncoder::new(vec!["a".into(), "a".into()]).is_err());
+        let mut enc = StreamingEncoder::new(vec!["a".into(), "b".into()]).unwrap();
+        assert!(matches!(
+            enc.push_record(&["only".into()]),
+            Err(Error::ArityMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
     }
 
     #[test]

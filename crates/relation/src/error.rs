@@ -40,6 +40,9 @@ pub enum Error {
     },
     /// Hierarchy level out of range or inconsistent hierarchy definition.
     Hierarchy(String),
+    /// An I/O failure while streaming records from a reader. Carries the
+    /// rendered `std::io::Error` so this enum stays `Clone + PartialEq`.
+    Io(String),
     /// Wrapped core error.
     Core(kanon_core::Error),
 }
@@ -62,6 +65,7 @@ impl fmt::Display for Error {
                 write!(f, "column {column} has no dictionary entry for code {code}")
             }
             Error::Hierarchy(msg) => write!(f, "hierarchy error: {msg}"),
+            Error::Io(msg) => write!(f, "I/O error: {msg}"),
             Error::Core(e) => write!(f, "core error: {e}"),
         }
     }
@@ -109,6 +113,7 @@ mod tests {
             (Error::EmptyTable, "no data rows"),
             (Error::UnknownCode { column: 1, code: 9 }, "code 9"),
             (Error::Hierarchy("bad level".into()), "bad level"),
+            (Error::Io("pipe closed".into()), "pipe closed"),
             (Error::Core(kanon_core::Error::KZero), "core error"),
         ];
         for (e, needle) in cases {

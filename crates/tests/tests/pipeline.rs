@@ -93,6 +93,7 @@ fn cli_anonymize_verify_roundtrip_through_files() {
         emit_mask: None,
         deadline_ms: None,
         max_memory_mb: None,
+        json: false,
     })
     .unwrap();
     assert!(outcome.notes.iter().any(|n| n.contains("suppressed")));

@@ -27,11 +27,13 @@
 pub mod census;
 pub mod clustered;
 pub mod correlated;
+pub mod stream;
 pub mod uniform;
 pub mod zipf;
 
 pub use census::{census_table, CensusParams};
 pub use clustered::{clustered, knn_lower_bound, ClusteredParams, PlantedInstance};
 pub use correlated::{correlated, CorrelatedParams};
+pub use stream::write_zipf_csv;
 pub use uniform::uniform;
 pub use zipf::{zipf, ZipfParams};
