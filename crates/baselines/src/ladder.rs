@@ -11,13 +11,18 @@
 //! of the remaining allowance, and falls one rung down whenever a rung's
 //! budget trips (or its static size guard rejects the instance).
 //!
-//! Budget slicing: every rung except the last receives **half the remaining
-//! deadline** (so an expensive rung that times out leaves the cheaper rungs
-//! room to finish), and the final rung receives everything that is left.
-//! Memory and candidate caps are inherited per rung with a fresh memory
-//! counter — an abandoned rung's (freed) allocations do not starve its
-//! successor. Cancellation is shared: cancelling the parent budget aborts
-//! whichever rung is running *and* every rung after it.
+//! Budget slicing: at the moment a rung starts, the deadline actually
+//! remaining (recomputed from elapsed wall-clock time, never from a
+//! schedule drawn up before the run) is divided equally among the rungs
+//! still to try — with three rungs left the first receives a third, and a
+//! rung that returns early (instantly-failing guard, trivially small
+//! shard) hands its unused time straight to its successors instead of
+//! stranding them with slices from a stale schedule. The final rung always
+//! receives everything that is left. Memory and candidate caps are
+//! inherited per rung with a fresh memory counter — an abandoned rung's
+//! (freed) allocations do not starve its successor. Cancellation is
+//! shared: cancelling the parent budget aborts whichever rung is running
+//! *and* every rung after it.
 
 use std::time::{Duration, Instant};
 
@@ -193,6 +198,18 @@ pub fn run_ladder(
     k: usize,
     config: &LadderConfig,
 ) -> Result<(Anonymization, RunReport)> {
+    run_ladder_with(ds, k, config, attempt)
+}
+
+/// The ladder loop, generic over the rung runner so tests can inject mock
+/// rungs (instantly-failing, deliberately slow) and observe the slices the
+/// real scheduling hands out.
+fn run_ladder_with(
+    ds: &Dataset,
+    k: usize,
+    config: &LadderConfig,
+    mut run_rung: impl FnMut(&Dataset, usize, &LadderConfig, Rung, &Budget) -> Result<Anonymization>,
+) -> Result<(Anonymization, RunReport)> {
     ds.check_k(k)?;
     let start = Rung::ALL
         .iter()
@@ -204,18 +221,24 @@ pub fn run_ladder(
 
     for (idx, &rung) in rungs.iter().enumerate() {
         let is_last = idx + 1 == rungs.len();
-        // Non-final rungs get half the remaining deadline; the final rung
-        // gets everything left. `child` clamps to the parent's remaining
-        // time and shares the cancellation flag.
+        // Slices are recomputed from the *actual* remaining deadline at the
+        // moment each rung starts (never from a schedule fixed up front):
+        // the time left is divided equally among the rungs still to try, so
+        // a rung that returns early — instantly-tripping guard, trivially
+        // small shard — passes its unused allowance on instead of leaving
+        // its successors with stale, starved slices. The final rung gets
+        // everything left. `child` clamps to the parent's remaining time
+        // and shares the cancellation flag.
         let slice = if is_last {
             config.budget.child(None)
         } else {
+            let rungs_left = (rungs.len() - idx) as u32;
             config
                 .budget
-                .child(config.budget.remaining().map(|r| r / 2))
+                .child(config.budget.remaining().map(|r| r / rungs_left))
         };
         let started = Instant::now();
-        match attempt(ds, k, config, rung, &slice) {
+        match run_rung(ds, k, config, rung, &slice) {
             Ok(anon) => {
                 attempts.push(RungReport {
                     rung,
@@ -349,6 +372,104 @@ mod tests {
         let ds = dataset();
         assert!(run_ladder(&ds, 0, &LadderConfig::default()).is_err());
         assert!(run_ladder(&ds, 19, &LadderConfig::default()).is_err());
+    }
+
+    /// A mock rung failure that the ladder treats as recoverable.
+    fn budget_trip() -> Error {
+        Error::BudgetExceeded {
+            resource: kanon_core::Resource::WallClock,
+            spent: 0,
+            limit: 0,
+        }
+    }
+
+    /// Regression (deadline-slice starvation): a first rung that returns
+    /// *instantly* must not strand the later rungs with slices from a
+    /// stale, up-front schedule. With a 3-rung ladder and deadline `D`, the
+    /// first rung's slice is `D/3`; when it fails in ~0 time the second
+    /// rung's slice must be recomputed from the time actually left — about
+    /// `D/2` — not the `D/3` a pre-drawn schedule would hand it.
+    #[test]
+    fn instant_first_rung_passes_its_time_to_later_rungs() {
+        let ds = dataset();
+        let deadline = Duration::from_millis(400);
+        let config = LadderConfig {
+            budget: Budget::builder().deadline(deadline).build(),
+            ..Default::default()
+        };
+        let mut observed: Vec<(Rung, Duration)> = Vec::new();
+        let (anon, report) = run_ladder_with(&ds, 3, &config, |ds, k, config, rung, slice| {
+            observed.push((rung, slice.remaining().expect("deadline set")));
+            match rung {
+                Rung::FullGreedyCover => Err(budget_trip()),
+                other => attempt(ds, k, config, other, slice),
+            }
+        })
+        .unwrap();
+        assert_eq!(report.rung, Rung::CenterGreedy);
+        assert!(anon.table.is_k_anonymous(3));
+        let first = observed[0].1;
+        let second = observed[1].1;
+        // First slice: an equal third of the deadline, not half.
+        assert!(
+            first <= deadline / 3 && first > deadline / 4,
+            "first rung slice {first:.2?} is not ~D/3"
+        );
+        // Second slice: recomputed from the ~full remaining time (about
+        // D/2). A stale schedule would leave it the original D/3 = 133 ms;
+        // anything comfortably above that proves the recomputation.
+        assert!(
+            second > deadline * 2 / 5,
+            "second rung slice {second:.2?} was not recomputed from the \
+             actual elapsed time (stale schedule would give {:.2?})",
+            deadline / 3
+        );
+    }
+
+    /// Regression (mock-slow first rung): when the first rung consumes its
+    /// entire slice, the rungs after it still receive fresh, equal shares
+    /// of whatever genuinely remains — and the final rung inherits all of
+    /// it, so the ladder answers inside the original deadline.
+    #[test]
+    fn slow_first_rung_does_not_starve_the_final_rung() {
+        let ds = dataset();
+        let deadline = Duration::from_millis(300);
+        let started = Instant::now();
+        let config = LadderConfig {
+            budget: Budget::builder().deadline(deadline).build(),
+            ..Default::default()
+        };
+        let mut observed: Vec<(Rung, Duration)> = Vec::new();
+        let (anon, report) = run_ladder_with(&ds, 3, &config, |ds, k, config, rung, slice| {
+            observed.push((rung, slice.remaining().expect("deadline set")));
+            match rung {
+                // Mock-slow: burn the whole slice, then trip.
+                Rung::FullGreedyCover => loop {
+                    slice.check()?;
+                    std::thread::sleep(Duration::from_millis(1));
+                },
+                // Fail instantly so the *last* rung's slice is observable.
+                Rung::CenterGreedy => Err(budget_trip()),
+                Rung::Agglomerative => attempt(ds, k, config, rung, slice),
+            }
+        })
+        .unwrap();
+        assert_eq!(report.rung, Rung::Agglomerative);
+        assert!(anon.table.is_k_anonymous(3));
+        assert!(
+            started.elapsed() < deadline + Duration::from_millis(100),
+            "ladder overran the deadline: {:.2?}",
+            started.elapsed()
+        );
+        // The slow rung held ~D/3 = 100 ms; the final rung must get all of
+        // the ~200 ms actually left. The old compounding-halving schedule
+        // (D/2 to the first rung, half of the rest to the second) left the
+        // final rung only ~D/2; require comfortably more than that.
+        let last = observed[2].1;
+        assert!(
+            last > deadline / 2 + Duration::from_millis(25),
+            "final rung got {last:.2?} of a {deadline:.2?} deadline — starved"
+        );
     }
 
     #[test]

@@ -108,6 +108,42 @@ pub enum Command {
         /// row-by-row when writing to a file.
         output: Option<String>,
     },
+    /// `kanon serve`: the long-running anonymization server.
+    Serve {
+        /// Listen address (`host:port`; port 0 picks a free port).
+        addr: String,
+        /// Job-solver worker threads.
+        workers: usize,
+        /// Bounded queue depth beyond the running jobs.
+        queue_depth: usize,
+        /// Global memory pool in MiB that per-job budgets lease from.
+        pool_memory_mb: u64,
+    },
+    /// `kanon bench-serve`: closed-loop load generator + acceptance check.
+    BenchServe {
+        /// Target server (`None` self-hosts one in-process).
+        addr: Option<String>,
+        /// Total jobs to submit.
+        requests: usize,
+        /// Concurrent closed-loop clients.
+        clients: usize,
+        /// Rows per generated zipf CSV job.
+        rows: usize,
+        /// Privacy parameter for every job.
+        k: usize,
+        /// Shard size passed with every job.
+        shard_size: usize,
+        /// Optional per-job deadline in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Workers for the self-hosted server.
+        workers: usize,
+        /// Queue depth for the self-hosted server.
+        queue_depth: usize,
+        /// RNG seed for the generated table.
+        seed: u64,
+        /// Where to write the JSON bench report.
+        out: Option<String>,
+    },
     /// `kanon help`.
     Help,
 }
@@ -132,6 +168,11 @@ USAGE:
     kanon generate  [--rows N] [--seed S] [--output <FILE>]
                     [--workload census|zipf] [--regions R]
                     [--cols M] [--alphabet A] [--exponent E]
+    kanon serve     [--addr HOST:PORT] [--workers N] [--queue-depth N]
+                    [--pool-memory-mb MB]
+    kanon bench-serve [--addr HOST:PORT] [--requests N] [--clients N]
+                    [--rows N] [-k K] [--shard-size N] [--deadline-ms MS]
+                    [--workers N] [--queue-depth N] [--seed S] [--out FILE]
     kanon help
 
 COMMANDS:
@@ -147,6 +188,14 @@ COMMANDS:
     generate    Emit a synthetic CSV for experimentation: census-like
                 typed microdata, or zipf-skewed categorical data that
                 streams to --output for very large --rows.
+    serve       Run the anonymization server: POST /v1/anonymize submits
+                a job (202 + id, or 429 + Retry-After when the queue or
+                memory pool is full), GET /v1/jobs/<id> polls it, and
+                GET /metrics exposes Prometheus counters.
+    bench-serve Drive a server with a closed-loop zipf workload and
+                verify the acceptance bar: zero 5xx, every job
+                k-anonymous, /metrics counters reconciling exactly.
+                Without --addr it self-hosts a server in-process.
 
 BUDGETS:
     --deadline-ms and --max-memory-mb bound the solver's wall-clock time and
@@ -416,6 +465,76 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 output: flag("--output").cloned(),
             })
         }
+        "serve" => {
+            unexpected(
+                &["--addr", "--workers", "--queue-depth", "--pool-memory-mb"],
+                &[],
+            )?;
+            let positive = |name: &str, default: u64| -> Result<u64, CliError> {
+                match flag(name) {
+                    None => Ok(default),
+                    Some(v) => v.parse::<u64>().ok().filter(|&x| x >= 1).ok_or_else(|| {
+                        CliError::Usage(format!("{name} needs a positive integer\n\n{}", usage()))
+                    }),
+                }
+            };
+            Ok(Command::Serve {
+                addr: flag("--addr")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:8672".into()),
+                workers: positive("--workers", 4)? as usize,
+                queue_depth: positive("--queue-depth", 64)? as usize,
+                pool_memory_mb: positive("--pool-memory-mb", 256)?,
+            })
+        }
+        "bench-serve" => {
+            unexpected(
+                &[
+                    "--addr",
+                    "--requests",
+                    "--clients",
+                    "--rows",
+                    "-k",
+                    "--shard-size",
+                    "--deadline-ms",
+                    "--workers",
+                    "--queue-depth",
+                    "--seed",
+                    "--out",
+                ],
+                &[],
+            )?;
+            let positive = |name: &str, default: u64| -> Result<u64, CliError> {
+                match flag(name) {
+                    None => Ok(default),
+                    Some(v) => v.parse::<u64>().ok().filter(|&x| x >= 1).ok_or_else(|| {
+                        CliError::Usage(format!("{name} needs a positive integer\n\n{}", usage()))
+                    }),
+                }
+            };
+            Ok(Command::BenchServe {
+                addr: flag("--addr").cloned(),
+                requests: positive("--requests", 64)? as usize,
+                clients: positive("--clients", 8)? as usize,
+                rows: positive("--rows", 50_000)? as usize,
+                k: positive("-k", 5)? as usize,
+                shard_size: positive("--shard-size", 512)? as usize,
+                deadline_ms: flag("--deadline-ms")
+                    .map(|v| {
+                        v.parse::<u64>().ok().filter(|&x| x >= 1).ok_or_else(|| {
+                            CliError::Usage(format!(
+                                "--deadline-ms needs a positive integer\n\n{}",
+                                usage()
+                            ))
+                        })
+                    })
+                    .transpose()?,
+                workers: positive("--workers", 4)? as usize,
+                queue_depth: positive("--queue-depth", 64)? as usize,
+                seed: positive("--seed", 42)?,
+                out: flag("--out").cloned(),
+            })
+        }
         "help" | "-h" | "--help" => Ok(Command::Help),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{}",
@@ -678,6 +797,74 @@ mod tests {
             parse(&argv("attack --released r.csv")),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parse_serve_and_bench_serve() {
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:8672".into(),
+                workers: 4,
+                queue_depth: 64,
+                pool_memory_mb: 256,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "serve --addr 0.0.0.0:9000 --workers 8 --queue-depth 16 --pool-memory-mb 512"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: "0.0.0.0:9000".into(),
+                workers: 8,
+                queue_depth: 16,
+                pool_memory_mb: 512,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "bench-serve --requests 32 --clients 4 --rows 1000 -k 3 \
+                 --shard-size 64 --deadline-ms 5000 --seed 7 --out bench.json"
+            ))
+            .unwrap(),
+            Command::BenchServe {
+                addr: None,
+                requests: 32,
+                clients: 4,
+                rows: 1000,
+                k: 3,
+                shard_size: 64,
+                deadline_ms: Some(5000),
+                workers: 4,
+                queue_depth: 64,
+                seed: 7,
+                out: Some("bench.json".into()),
+            }
+        );
+        let defaults = parse(&argv("bench-serve")).unwrap();
+        assert!(matches!(
+            defaults,
+            Command::BenchServe {
+                addr: None,
+                requests: 64,
+                rows: 50_000,
+                k: 5,
+                deadline_ms: None,
+                ..
+            }
+        ));
+        for bad in [
+            "serve --workers 0",
+            "serve --bogus x",
+            "bench-serve --requests 0",
+            "bench-serve --deadline-ms never",
+        ] {
+            assert!(
+                matches!(parse(&argv(bad)), Err(CliError::Usage(_))),
+                "{bad}"
+            );
+        }
     }
 
     #[test]

@@ -132,7 +132,113 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
             *max_memory_mb,
             *json,
         ),
+        Command::Serve {
+            addr,
+            workers,
+            queue_depth,
+            pool_memory_mb,
+        } => serve(addr, *workers, *queue_depth, *pool_memory_mb),
+        Command::BenchServe {
+            addr,
+            requests,
+            clients,
+            rows,
+            k,
+            shard_size,
+            deadline_ms,
+            workers,
+            queue_depth,
+            seed,
+            out,
+        } => bench_serve(
+            addr.as_deref(),
+            *requests,
+            *clients,
+            *rows,
+            *k,
+            *shard_size,
+            *deadline_ms,
+            *workers,
+            *queue_depth,
+            *seed,
+            out.as_deref(),
+        ),
     }
+}
+
+/// Boots the anonymization service and blocks forever. The bound address
+/// is printed before blocking so scripts can wait on it.
+fn serve(
+    addr: &str,
+    workers: usize,
+    queue_depth: usize,
+    pool_memory_mb: u64,
+) -> Result<Outcome, CliError> {
+    let pool_memory_bytes = pool_memory_mb * 1024 * 1024;
+    let config = kanon_service::ServiceConfig {
+        addr: addr.to_string(),
+        workers,
+        queue_depth,
+        pool_memory_bytes,
+        default_job_memory_bytes: (pool_memory_bytes / workers.max(1) as u64).max(1),
+        ..kanon_service::ServiceConfig::default()
+    };
+    let server = kanon_service::Server::start(config)
+        .map_err(|e| CliError::Failed(format!("cannot start service: {e}")))?;
+    // `execute` normally returns an Outcome to print, but a server has no
+    // end state: announce the address on stdout directly and park.
+    println!("kanon-service listening on {}", server.addr());
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Runs the closed-loop service bench and prints its JSON report. A
+/// failed acceptance gate (5xx, lost jobs, counter mismatch) exits
+/// nonzero so CI can assert on it directly.
+#[allow(clippy::too_many_arguments)]
+fn bench_serve(
+    addr: Option<&str>,
+    requests: usize,
+    clients: usize,
+    rows: usize,
+    k: usize,
+    shard_size: usize,
+    deadline_ms: Option<u64>,
+    workers: usize,
+    queue_depth: usize,
+    seed: u64,
+    out: Option<&str>,
+) -> Result<Outcome, CliError> {
+    let config = kanon_service::BenchConfig {
+        addr: addr.map(str::to_string),
+        requests,
+        clients,
+        rows,
+        k,
+        shard_size,
+        deadline_ms,
+        server_workers: workers,
+        queue_depth,
+        out_path: out.map(str::to_string),
+        seed,
+    };
+    let report = kanon_service::run_bench(&config)
+        .map_err(|e| CliError::Failed(format!("bench-serve failed: {e}")))?;
+    let json = report.to_json();
+    if !report.ok() {
+        return Err(CliError::Failed(format!(
+            "bench-serve acceptance gate failed: {json}"
+        )));
+    }
+    let mut notes = Vec::new();
+    if let Some(path) = out {
+        notes.push(format!("wrote {path}"));
+    }
+    Ok(Outcome {
+        stdout: json,
+        notes,
+    })
 }
 
 /// Parses CSV input, rejecting tables with no data rows up front

@@ -1,88 +1,5 @@
-//! Minimal JSON rendering for `--json` output (the workspace carries no
-//! serde; keys are emitted in insertion order so the shape is stable and
-//! golden-testable).
+//! JSON rendering for `--json` output. The builder itself lives in
+//! [`kanon_pipeline::json`] so the serving layer can share it; this module
+//! re-exports it under the CLI's historical path.
 
-use kanon_pipeline::json_escape;
-
-/// An in-progress JSON object. Values are appended in call order.
-#[derive(Debug, Default)]
-pub struct JsonObject {
-    buf: String,
-    first: bool,
-}
-
-impl JsonObject {
-    /// Starts an empty object.
-    #[must_use]
-    pub fn new() -> Self {
-        JsonObject {
-            buf: String::from("{"),
-            first: true,
-        }
-    }
-
-    fn key(&mut self, key: &str) {
-        if !self.first {
-            self.buf.push(',');
-        }
-        self.first = false;
-        self.buf.push('"');
-        self.buf.push_str(key);
-        self.buf.push_str("\":");
-    }
-
-    /// Appends `key` with an already-rendered JSON value (a number, a
-    /// nested object, an array).
-    pub fn raw(&mut self, key: &str, value: &str) -> &mut Self {
-        self.key(key);
-        self.buf.push_str(value);
-        self
-    }
-
-    /// Appends `key` with an escaped string value.
-    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
-        self.key(key);
-        self.buf.push('"');
-        self.buf.push_str(&json_escape(value));
-        self.buf.push('"');
-        self
-    }
-
-    /// Appends `key` with an integer value.
-    pub fn number(&mut self, key: &str, value: u128) -> &mut Self {
-        self.key(key);
-        self.buf.push_str(&value.to_string());
-        self
-    }
-
-    /// Appends `key` with a boolean value.
-    pub fn boolean(&mut self, key: &str, value: bool) -> &mut Self {
-        self.key(key);
-        self.buf.push_str(if value { "true" } else { "false" });
-        self
-    }
-
-    /// Closes the object and returns the rendered text.
-    #[must_use]
-    pub fn finish(self) -> String {
-        let mut buf = self.buf;
-        buf.push('}');
-        buf
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn renders_in_insertion_order() {
-        let mut obj = JsonObject::new();
-        obj.number("a", 1)
-            .string("b", "x\"y")
-            .boolean("c", false)
-            .raw("d", "[1,2]");
-        assert_eq!(obj.finish(), r#"{"a":1,"b":"x\"y","c":false,"d":[1,2]}"#);
-        assert_eq!(JsonObject::new().finish(), "{}");
-    }
-}
+pub use kanon_pipeline::json::JsonObject;

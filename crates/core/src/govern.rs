@@ -300,6 +300,157 @@ impl Budget {
     }
 }
 
+/// A fleet-wide memory pool that leases per-job [`Budget`]s and reclaims
+/// them when the job is done.
+///
+/// [`Budget::child_with_memory`] narrows a *single* child's cap but gives
+/// every child a fresh counter — `N` children capped at `C` bytes each can
+/// collectively plan `N × C` bytes, and nothing stops a caller from minting
+/// children faster than they finish. That is fine inside one job (the
+/// sharded pipeline bounds its own concurrency), but a *server* admitting
+/// many independent jobs needs a single owner of the aggregate arithmetic.
+/// `BudgetPool` is that owner: [`BudgetPool::try_lease`] reserves the
+/// lease's whole allowance up front (checked, atomically) and the returned
+/// [`BudgetLease`] gives it back on drop — so the sum of live leases can
+/// never exceed the pool, whatever the interleaving.
+///
+/// A failed lease is an *admission* signal (the caller should shed load,
+/// e.g. answer `429`), not a solver error, but it reuses
+/// [`Error::BudgetExceeded`] with [`Resource::Memory`] so the layers above
+/// need only one vocabulary.
+///
+/// ```
+/// use std::time::Duration;
+/// use kanon_core::govern::BudgetPool;
+///
+/// let pool = BudgetPool::new(1024);
+/// let lease = pool.try_lease(64, Some(Duration::from_millis(50))).unwrap();
+/// assert_eq!(pool.leased(), 64);
+/// assert!(pool.try_lease(1024, None).is_err()); // only 960 left
+/// drop(lease);
+/// assert_eq!(pool.leased(), 0);
+/// ```
+#[derive(Debug)]
+pub struct BudgetPool {
+    total: u64,
+    leased: Arc<AtomicU64>,
+}
+
+impl BudgetPool {
+    /// A pool of `total_bytes` of planned-allocation allowance.
+    #[must_use]
+    pub fn new(total_bytes: u64) -> Self {
+        BudgetPool {
+            total: total_bytes,
+            leased: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The pool's total allowance in bytes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bytes currently reserved by live leases.
+    #[must_use]
+    pub fn leased(&self) -> u64 {
+        self.leased.load(Ordering::Relaxed)
+    }
+
+    /// Bytes a new lease could still reserve.
+    #[must_use]
+    pub fn available(&self) -> u64 {
+        self.total.saturating_sub(self.leased())
+    }
+
+    /// Reserves `bytes` from the pool and returns a lease whose budget is
+    /// memory-capped at exactly that reservation (optionally with a
+    /// deadline). The reservation is returned to the pool when the lease is
+    /// dropped; the lease's budget is cancelled at the same time, so clones
+    /// still held by a runaway solver stop within one poll interval.
+    ///
+    /// # Errors
+    /// [`Error::Overflow`] when `bytes` is zero or absurd enough that the
+    /// reservation arithmetic cannot be carried out exactly;
+    /// [`Error::BudgetExceeded`] with [`Resource::Memory`] when the pool
+    /// cannot afford the reservation (`spent` is what the total would have
+    /// become, `limit` the pool size).
+    pub fn try_lease(&self, bytes: u64, allowance: Option<Duration>) -> Result<BudgetLease> {
+        if bytes == 0 {
+            return Err(Error::Overflow {
+                what: "zero-byte pool lease",
+            });
+        }
+        // CAS loop: reserve atomically so concurrent leases cannot race the
+        // total past the pool, and overflow is checked, never wrapped.
+        let mut current = self.leased.load(Ordering::Relaxed);
+        loop {
+            let proposed = current.checked_add(bytes).ok_or(Error::Overflow {
+                what: "pool lease accounting",
+            })?;
+            if proposed > self.total {
+                return Err(Error::BudgetExceeded {
+                    resource: Resource::Memory,
+                    spent: proposed,
+                    limit: self.total,
+                });
+            }
+            match self.leased.compare_exchange_weak(
+                current,
+                proposed,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+        let mut builder = Budget::builder().max_memory_bytes(bytes);
+        if let Some(allowance) = allowance {
+            builder = builder.deadline(allowance);
+        }
+        Ok(BudgetLease {
+            leased: Arc::clone(&self.leased),
+            bytes,
+            budget: builder.build(),
+        })
+    }
+}
+
+/// A live reservation from a [`BudgetPool`]: carries the job's [`Budget`]
+/// and returns the reserved bytes to the pool on drop.
+#[derive(Debug)]
+pub struct BudgetLease {
+    leased: Arc<AtomicU64>,
+    bytes: u64,
+    budget: Budget,
+}
+
+impl BudgetLease {
+    /// The budget governing the leased job. Clone it freely; all clones
+    /// share the lease's memory counter and cancellation flag.
+    #[must_use]
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Bytes this lease reserved from the pool.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for BudgetLease {
+    fn drop(&mut self) {
+        // Cancel first so any straggler holding a clone of the budget stops
+        // planning allocations against a reservation that no longer exists.
+        self.budget.cancel();
+        self.leased.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
 /// Builder for [`Budget`]; every limit is optional.
 #[derive(Clone, Debug, Default)]
 pub struct BudgetBuilder {
@@ -519,6 +670,72 @@ mod tests {
             }
         }
         seen.expect("cancellation observed within POLL_INTERVAL ticks");
+    }
+
+    #[test]
+    fn pool_leases_and_reclaims() {
+        let pool = BudgetPool::new(100);
+        assert_eq!(pool.total(), 100);
+        assert_eq!(pool.available(), 100);
+        let a = pool.try_lease(60, None).unwrap();
+        assert_eq!(pool.leased(), 60);
+        assert_eq!(pool.available(), 40);
+        assert_eq!(a.bytes(), 60);
+        // The leased budget enforces exactly its reservation.
+        assert!(a.budget().try_charge_memory(60).is_ok());
+        assert!(a.budget().try_charge_memory(1).is_err());
+        // The pool cannot over-subscribe.
+        let err = pool.try_lease(41, None).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::BudgetExceeded {
+                resource: Resource::Memory,
+                spent: 101,
+                limit: 100,
+            }
+        ));
+        // A smaller lease still fits, and dropping reclaims.
+        let b = pool.try_lease(40, None).unwrap();
+        assert_eq!(pool.available(), 0);
+        drop(a);
+        assert_eq!(pool.leased(), 40);
+        drop(b);
+        assert_eq!(pool.leased(), 0);
+    }
+
+    #[test]
+    fn pool_lease_deadline_and_cancellation_on_drop() {
+        let pool = BudgetPool::new(1 << 20);
+        let lease = pool
+            .try_lease(1024, Some(Duration::from_secs(3600)))
+            .unwrap();
+        assert!(lease.budget().remaining().unwrap() <= Duration::from_secs(3600));
+        let escaped = lease.budget().clone();
+        assert!(escaped.check().is_ok());
+        drop(lease);
+        // A clone that outlived the lease observes the cancellation.
+        assert!(matches!(
+            escaped.check(),
+            Err(Error::BudgetExceeded {
+                resource: Resource::Cancelled,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn pool_rejects_degenerate_and_overflowing_leases() {
+        let pool = BudgetPool::new(u64::MAX);
+        assert!(matches!(
+            pool.try_lease(0, None),
+            Err(Error::Overflow { .. })
+        ));
+        let _hold = pool.try_lease(u64::MAX, None).unwrap();
+        // leased + bytes would wrap: checked, not wrapped.
+        assert!(matches!(
+            pool.try_lease(u64::MAX, None),
+            Err(Error::Overflow { .. })
+        ));
     }
 
     #[test]

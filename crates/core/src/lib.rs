@@ -77,6 +77,6 @@ pub use cover::Cover;
 pub use dataset::{Dataset, Value};
 pub use distcache::PairwiseDistances;
 pub use error::{Error, Result};
-pub use govern::{Budget, Resource};
+pub use govern::{Budget, BudgetLease, BudgetPool, Resource};
 pub use partition::Partition;
 pub use suppression::{AnonymizedTable, Suppressor};

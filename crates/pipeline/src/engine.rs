@@ -43,6 +43,33 @@ use crate::error::{Error, Result};
 use crate::report::{PipelineReport, ShardReport, SolvedBy};
 use crate::shard::{full_cover_candidates, plan_shards};
 
+/// Live progress of a pipeline run, emitted through the callback of
+/// [`run_pipeline_with_progress`] so callers that own long-running jobs
+/// (the `kanon-service` job store) can surface status while the run is in
+/// flight. Events arrive on the calling thread, in order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Progress {
+    /// The shard plan is fixed; `units` shards (the residue group, when
+    /// present, counts as one) will be solved.
+    Planned {
+        /// Total work units: shards plus the residue group if any.
+        units: usize,
+        /// Rows pooled into the residue group.
+        residue_rows: usize,
+    },
+    /// One more work unit finished.
+    UnitSolved {
+        /// Units finished so far (1-based running count).
+        done: usize,
+        /// Total work units, as in [`Progress::Planned`].
+        units: usize,
+        /// Whether this unit degraded below its first attempted rung.
+        degraded: bool,
+    },
+    /// Every unit is solved; the merge + validation step started.
+    Merging,
+}
+
 /// A solved shard: its local partition (indices into the shard's sub-table,
 /// already inside the (k, 2k-1) band) and its report entry.
 struct Solved {
@@ -190,8 +217,27 @@ pub fn run_pipeline(
     k: usize,
     config: &PipelineConfig,
 ) -> Result<(Anonymization, PipelineReport)> {
+    run_pipeline_with_progress(ds, k, config, &|_| {})
+}
+
+/// As [`run_pipeline`], with a progress callback invoked (on the calling
+/// thread) as the plan is fixed, as each shard and the residue finish, and
+/// when the merge starts. The engine holds no global state — handles are
+/// fully re-entrant, so any number of pipelines may run concurrently in one
+/// process, each reporting through its own callback.
+pub fn run_pipeline_with_progress(
+    ds: &Dataset,
+    k: usize,
+    config: &PipelineConfig,
+    on_progress: &(dyn Fn(Progress) + Sync),
+) -> Result<(Anonymization, PipelineReport)> {
     let started = Instant::now();
     let plan = plan_shards(ds, k, config)?;
+    let units = plan.shards.len() + usize::from(!plan.residue.is_empty());
+    on_progress(Progress::Planned {
+        units,
+        residue_rows: plan.residue.len(),
+    });
     // A cancelled budget aborts up front. An already-expired *deadline*
     // does not: the run proceeds and every shard degrades to the fallback,
     // because completion-under-any-budget is the pipeline's contract.
@@ -218,7 +264,13 @@ pub fn run_pipeline(
             let sub = select(ds, rows);
             let budget = slice_budget(&config.budget, rows.len(), rows_left, 1, mem_slice);
             rows_left -= rows.len() as u64;
-            solved[id] = Some(solve_shard(id, &sub, k, config, budget)?);
+            let s = solve_shard(id, &sub, k, config, budget)?;
+            on_progress(Progress::UnitSolved {
+                done: id + 1,
+                units,
+                degraded: s.report.degraded,
+            });
+            solved[id] = Some(s);
         }
     } else {
         let shards = &plan.shards;
@@ -268,9 +320,18 @@ pub fn run_pipeline(
             });
 
             let mut first_err: Option<Error> = None;
+            let mut done = 0usize;
             for (id, out) in done_rx {
                 match out {
-                    Ok(s) => solved_ref[id] = Some(s),
+                    Ok(s) => {
+                        done += 1;
+                        on_progress(Progress::UnitSolved {
+                            done,
+                            units,
+                            degraded: s.report.degraded,
+                        });
+                        solved_ref[id] = Some(s);
+                    }
                     Err(e) if first_err.is_none() => {
                         // Abort in-flight solvers; keep draining so every
                         // worker can exit and the scope can join.
@@ -293,14 +354,21 @@ pub fn run_pipeline(
         None
     } else {
         let sub = select(ds, &plan.residue);
-        Some(solve_shard(
+        let s = solve_shard(
             plan.shards.len(),
             &sub,
             k,
             config,
             config.budget.child(None),
-        )?)
+        )?;
+        on_progress(Progress::UnitSolved {
+            done: units,
+            units,
+            degraded: s.report.degraded,
+        });
+        Some(s)
     };
+    on_progress(Progress::Merging);
 
     // Merge: concatenate local partitions in shard order, then remap the
     // concatenated row indices through the permutation (shard rows in
@@ -449,6 +517,42 @@ mod tests {
         // Cancellation before the run starts is reported as an error (the
         // up-front check), not a degraded run.
         assert!(run_pipeline(&ds, 3, &config).is_err());
+    }
+
+    #[test]
+    fn progress_events_cover_every_unit_in_order() {
+        let ds = dataset(100);
+        for workers in [1, 3] {
+            let config = PipelineConfig {
+                shard_size: 16,
+                workers: Some(workers),
+                ..PipelineConfig::default()
+            };
+            let events = Mutex::new(Vec::new());
+            let (_, report) =
+                run_pipeline_with_progress(&ds, 3, &config, &|p| events.lock().unwrap().push(p))
+                    .unwrap();
+            let events = events.into_inner().unwrap();
+            let units = report.shards.len();
+            assert_eq!(events.len(), units + 2, "{events:?}");
+            assert_eq!(
+                events[0],
+                Progress::Planned {
+                    units,
+                    residue_rows: report.residue_rows,
+                }
+            );
+            for (i, event) in events[1..=units].iter().enumerate() {
+                match *event {
+                    Progress::UnitSolved { done, units: u, .. } => {
+                        assert_eq!(done, i + 1);
+                        assert_eq!(u, units);
+                    }
+                    other => panic!("expected UnitSolved, got {other:?}"),
+                }
+            }
+            assert_eq!(events[units + 1], Progress::Merging);
+        }
     }
 
     #[test]

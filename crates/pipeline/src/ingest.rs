@@ -16,7 +16,6 @@ use kanon_relation::encode::StreamingEncoder;
 use kanon_relation::Codec;
 
 use crate::config::PipelineConfig;
-use crate::engine::run_pipeline;
 use crate::error::{Error, Result};
 use crate::report::PipelineReport;
 
@@ -76,12 +75,28 @@ pub struct CsvRun {
 /// # Errors
 /// Ingestion errors from [`ingest_csv`],
 /// [`kanon_relation::Error::UnknownAttribute`] for an unrecognized column
-/// name, and every [`run_pipeline`] error.
+/// name, and every [`crate::engine::run_pipeline`] error.
 pub fn run_csv<R: io::Read>(
     reader: R,
     k: usize,
     quasi: Option<&[String]>,
     config: &PipelineConfig,
+) -> Result<CsvRun> {
+    run_csv_with_progress(reader, k, quasi, config, &|_| {})
+}
+
+/// As [`run_csv`], forwarding live [`crate::engine::Progress`] events to
+/// `on_progress` — the serving layer uses this to publish per-job status
+/// while the run is in flight.
+///
+/// # Errors
+/// As [`run_csv`].
+pub fn run_csv_with_progress<R: io::Read>(
+    reader: R,
+    k: usize,
+    quasi: Option<&[String]>,
+    config: &PipelineConfig,
+    on_progress: &(dyn Fn(crate::engine::Progress) + Sync),
 ) -> Result<CsvRun> {
     let (dataset, codec) = ingest_csv(reader)?;
     let quasi_cols: Vec<usize> = match quasi {
@@ -102,7 +117,8 @@ pub fn run_csv<R: io::Read>(
     let qi = dataset
         .project_columns(&quasi_cols)
         .map_err(|e| Error::Relation(kanon_relation::Error::Core(e)))?;
-    let (anonymization, report) = run_pipeline(&qi, k, config)?;
+    let (anonymization, report) =
+        crate::engine::run_pipeline_with_progress(&qi, k, config, on_progress)?;
     Ok(CsvRun {
         dataset,
         codec,

@@ -41,12 +41,13 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod ingest;
+pub mod json;
 pub mod report;
 pub mod shard;
 
 pub use config::{PipelineConfig, ShardStrategy};
-pub use engine::run_pipeline;
+pub use engine::{run_pipeline, run_pipeline_with_progress, Progress};
 pub use error::{Error, Result};
-pub use ingest::{ingest_csv, run_csv, CsvRun};
+pub use ingest::{ingest_csv, run_csv, run_csv_with_progress, CsvRun};
 pub use report::{json_escape, PipelineReport, ShardReport, SolvedBy};
 pub use shard::{full_cover_candidates, plan_shards, ShardPlan};

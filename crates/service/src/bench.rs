@@ -1,0 +1,471 @@
+//! `kanon bench-serve`: a closed-loop load generator that doubles as the
+//! service's end-to-end acceptance check.
+//!
+//! Closed loop means each client thread has at most one job in flight: it
+//! submits, polls the job to a terminal state, then submits the next.
+//! That keeps offered load proportional to service capacity, so the run
+//! measures latency under a sustainable arrival process instead of
+//! manufacturing a queue explosion.
+//!
+//! After the loop drains, the generator scrapes `/metrics` and
+//! reconciles the server's counters against its own tallies — exactly,
+//! not approximately. Any 5xx, any failed job, any non-k-anonymous
+//! result, or any counter mismatch fails the run.
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use kanon_pipeline::json::JsonObject;
+use kanon_workloads::{write_zipf_csv, ZipfParams};
+
+use crate::config::ServiceConfig;
+use crate::error::{Error, Result};
+use crate::metrics::parse_exposition;
+use crate::server::Server;
+
+/// Parameters of a bench run.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Target server; `None` self-hosts one in-process on a loopback
+    /// port, which is how CI runs the whole check as a single command.
+    pub addr: Option<String>,
+    /// Total jobs to submit.
+    pub requests: usize,
+    /// Concurrent client threads (each with one job in flight).
+    pub clients: usize,
+    /// Rows in the generated zipf CSV each job submits.
+    pub rows: usize,
+    /// Anonymity parameter for every job.
+    pub k: usize,
+    /// `shard_size` passed with every job.
+    pub shard_size: usize,
+    /// Optional per-job deadline passed with every job.
+    pub deadline_ms: Option<u64>,
+    /// Worker threads for the self-hosted server (ignored with `addr`).
+    pub server_workers: usize,
+    /// Queue depth for the self-hosted server (ignored with `addr`).
+    pub queue_depth: usize,
+    /// Where to write the JSON report; `None` skips the file.
+    pub out_path: Option<String>,
+    /// RNG seed for the generated table.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            addr: None,
+            requests: 64,
+            clients: 8,
+            rows: 50_000,
+            k: 5,
+            shard_size: 512,
+            deadline_ms: None,
+            server_workers: 4,
+            queue_depth: 64,
+            out_path: None,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of a bench run, including the reconciliation verdict.
+#[derive(Debug)]
+pub struct BenchReport {
+    /// Jobs submitted (client-side).
+    pub submitted: usize,
+    /// `202` admissions observed by clients.
+    pub accepted: usize,
+    /// `429` rejections observed by clients (each later retried).
+    pub rejected: usize,
+    /// Jobs that reached `completed` with a k-anonymous result.
+    pub completed: usize,
+    /// Jobs that reached `failed` or a non-k-anonymous result.
+    pub failed: usize,
+    /// 5xx responses observed by clients.
+    pub server_errors: usize,
+    /// End-to-end job latencies (submit to terminal state), sorted.
+    pub latencies: Vec<Duration>,
+    /// Wall-clock duration of the whole loop.
+    pub elapsed: Duration,
+    /// Counter mismatches found while reconciling against `/metrics`
+    /// (empty means the scrape agreed exactly).
+    pub mismatches: Vec<String>,
+}
+
+impl BenchReport {
+    /// True when the run met every acceptance condition.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.server_errors == 0
+            && self.failed == 0
+            && self.completed == self.submitted
+            && self.mismatches.is_empty()
+    }
+
+    fn percentile(&self, p: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((self.latencies.len() as f64) * p).ceil() as usize;
+        self.latencies[rank.clamp(1, self.latencies.len()) - 1]
+    }
+
+    /// Jobs completed per wall-clock second.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.completed as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Renders the report as JSON (stable key order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.number("submitted", self.submitted as u128)
+            .number("accepted", self.accepted as u128)
+            .number("rejected", self.rejected as u128)
+            .number("completed", self.completed as u128)
+            .number("failed", self.failed as u128)
+            .number("server_errors", self.server_errors as u128)
+            .number("elapsed_ms", self.elapsed.as_millis())
+            .raw(
+                "throughput_jobs_per_sec",
+                &format!("{:.2}", self.throughput()),
+            )
+            .number("p50_ms", self.percentile(0.50).as_millis())
+            .number("p95_ms", self.percentile(0.95).as_millis())
+            .number("p99_ms", self.percentile(0.99).as_millis())
+            .boolean("counters_reconciled", self.mismatches.is_empty())
+            .boolean("ok", self.ok());
+        if !self.mismatches.is_empty() {
+            let rendered: Vec<String> = self
+                .mismatches
+                .iter()
+                .map(|m| format!("\"{}\"", kanon_pipeline::json_escape(m)))
+                .collect();
+            obj.raw("mismatches", &format!("[{}]", rendered.join(",")));
+        }
+        obj.finish()
+    }
+}
+
+/// Runs the closed loop and, when configured, writes the JSON report.
+///
+/// # Errors
+/// [`Error::Io`] when the target (or self-hosted) server cannot be
+/// reached, [`Error::Bench`] when responses are not parsable HTTP.
+/// A run that *reaches* the server but fails acceptance returns `Ok`
+/// with [`BenchReport::ok`] false — the caller decides the exit code.
+pub fn run_bench(config: &BenchConfig) -> Result<BenchReport> {
+    // When self-hosting, the server must outlive the whole run; it joins
+    // its threads when this binding drops at the end of the function.
+    let _hosted: Option<Server>;
+    let addr: SocketAddr = match &config.addr {
+        Some(addr) => {
+            _hosted = None;
+            addr.to_socket_addrs()?
+                .next()
+                .ok_or_else(|| Error::Bench(format!("cannot resolve {addr}")))?
+        }
+        None => {
+            let server = Server::start(ServiceConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: config.server_workers,
+                queue_depth: config.queue_depth,
+                ..ServiceConfig::default()
+            })?;
+            let addr = server.addr();
+            _hosted = Some(server);
+            addr
+        }
+    };
+
+    let mut csv = Vec::new();
+    let params = ZipfParams {
+        n: config.rows,
+        m: 6,
+        alphabet: 40,
+        exponent: 1.1,
+    };
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    write_zipf_csv(&mut rng, &params, &mut csv)
+        .map_err(|e| Error::Bench(format!("zipf generation failed: {e}")))?;
+
+    let mut target = format!(
+        "/v1/anonymize?k={}&shard_size={}",
+        config.k, config.shard_size
+    );
+    if let Some(ms) = config.deadline_ms {
+        target.push_str(&format!("&deadline_ms={ms}"));
+    }
+
+    let next = AtomicUsize::new(0);
+    let tallies = Mutex::new((0usize, 0usize, 0usize, 0usize, Vec::new()));
+    let started = Instant::now();
+    let loop_result: std::result::Result<(), Error> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients.max(1))
+            .map(|_| {
+                let (next, tallies, csv, target) = (&next, &tallies, &csv, &target);
+                scope.spawn(move || -> std::result::Result<(), Error> {
+                    while next.fetch_add(1, Ordering::Relaxed) < config.requests {
+                        let job_started = Instant::now();
+                        let id = loop {
+                            let (status, body) = request(addr, "POST", target, csv)?;
+                            match status {
+                                202 => {
+                                    break extract_number(&body, "\"id\":").ok_or_else(|| {
+                                        Error::Bench(format!("202 without an id: {body}"))
+                                    })?
+                                }
+                                429 => {
+                                    tallies.lock().expect("tally lock").3 += 1;
+                                    std::thread::sleep(Duration::from_millis(200));
+                                }
+                                s if s >= 500 => {
+                                    tallies.lock().expect("tally lock").2 += 1;
+                                    return Err(Error::Bench(format!("server error {s}: {body}")));
+                                }
+                                s => {
+                                    return Err(Error::Bench(format!(
+                                        "unexpected submit status {s}: {body}"
+                                    )))
+                                }
+                            }
+                        };
+                        let poll_target = format!("/v1/jobs/{id}");
+                        let verdict = loop {
+                            let (status, body) = request(addr, "GET", &poll_target, &[])?;
+                            if status >= 500 {
+                                tallies.lock().expect("tally lock").2 += 1;
+                                return Err(Error::Bench(format!("server error {status}: {body}")));
+                            }
+                            if body.contains("\"state\":\"completed\"") {
+                                break body.contains("\"k_anonymous\":true");
+                            }
+                            if body.contains("\"state\":\"failed\"") {
+                                break false;
+                            }
+                            std::thread::sleep(Duration::from_millis(5));
+                        };
+                        let mut t = tallies.lock().expect("tally lock");
+                        if verdict {
+                            t.0 += 1;
+                            t.4.push(job_started.elapsed());
+                        } else {
+                            t.1 += 1;
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("bench client panicked")?;
+        }
+        Ok(())
+    });
+    loop_result?;
+    let elapsed = started.elapsed();
+
+    let (completed, failed, server_errors, rejected, mut latencies) =
+        tallies.into_inner().expect("tally lock");
+    latencies.sort_unstable();
+    let accepted = completed + failed;
+
+    // Scrape and reconcile: the server's accounting must agree exactly
+    // with what the clients observed.
+    let (status, page) = request(addr, "GET", "/metrics", &[])?;
+    if status != 200 {
+        return Err(Error::Bench(format!("metrics scrape answered {status}")));
+    }
+    let scraped = parse_exposition(&page);
+    let mismatches = reconcile(
+        &scraped,
+        accepted as u64,
+        rejected as u64,
+        completed as u64,
+        failed as u64,
+    );
+
+    let report = BenchReport {
+        submitted: config.requests,
+        accepted,
+        rejected,
+        completed,
+        failed,
+        server_errors,
+        latencies,
+        elapsed,
+        mismatches,
+    };
+    if let Some(path) = &config.out_path {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(report.to_json().as_bytes())?;
+        file.write_all(b"\n")?;
+    }
+    Ok(report)
+}
+
+/// Checks the scraped counters against client-side tallies. Returns one
+/// message per disagreement.
+fn reconcile(
+    scraped: &BTreeMap<String, f64>,
+    accepted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+) -> Vec<String> {
+    let mut mismatches = Vec::new();
+    let mut check = |name: &str, expected: u64| {
+        let actual = scraped.get(name).copied().unwrap_or(0.0);
+        if (actual - expected as f64).abs() > 0.0 {
+            mismatches.push(format!(
+                "{name}: server says {actual}, clients saw {expected}"
+            ));
+        }
+    };
+    check("kanon_jobs_accepted_total", accepted);
+    check("kanon_jobs_rejected_total", rejected);
+    check("kanon_jobs_completed_total", completed);
+    check("kanon_jobs_failed_total", failed);
+    for (name, value) in scraped {
+        if let Some(code) = name
+            .strip_prefix("kanon_http_responses_total{code=\"")
+            .and_then(|rest| rest.strip_suffix("\"}"))
+        {
+            if code.starts_with('5') && *value > 0.0 {
+                mismatches.push(format!(
+                    "server emitted {value} responses with status {code}"
+                ));
+            }
+        }
+    }
+    mismatches
+}
+
+/// One HTTP exchange over a fresh connection (the server closes after
+/// every response anyway). Returns the status and the body as text.
+fn request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> Result<(u16, String)> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut writer = &stream;
+    write!(
+        writer,
+        "{method} {target} HTTP/1.1\r\nHost: kanon\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()?;
+
+    let mut reader = BufReader::new(&stream);
+    read_response(&mut reader)
+}
+
+/// Parses a status line, headers, and `Content-Length` body.
+fn read_response<R: std::io::BufRead>(reader: &mut R) -> Result<(u16, String)> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        if reader.read(&mut byte)? == 0 {
+            return Err(Error::Bench("connection closed mid-response".into()));
+        }
+        head.push(byte[0]);
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > 64 * 1024 {
+            return Err(Error::Bench("response head too large".into()));
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Error::Bench(format!("bad status line: {status_line:?}")))?;
+    let content_length: usize = lines
+        .filter_map(|line| line.split_once(':'))
+        .find(|(name, _)| name.trim().eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, value)| value.trim().parse().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// Extracts the unsigned integer that follows `prefix` in a JSON text.
+fn extract_number(text: &str, prefix: &str) -> Option<u64> {
+    let rest = &text[text.find(prefix)? + prefix.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_extraction() {
+        assert_eq!(extract_number("{\"id\":42,\"x\":1}", "\"id\":"), Some(42));
+        assert_eq!(extract_number("{\"x\":1}", "\"id\":"), None);
+    }
+
+    #[test]
+    fn reconcile_flags_disagreements_and_5xx() {
+        let mut scraped = BTreeMap::new();
+        scraped.insert("kanon_jobs_accepted_total".to_string(), 3.0);
+        scraped.insert("kanon_jobs_rejected_total".to_string(), 1.0);
+        scraped.insert("kanon_jobs_completed_total".to_string(), 3.0);
+        scraped.insert("kanon_jobs_failed_total".to_string(), 0.0);
+        assert!(reconcile(&scraped, 3, 1, 3, 0).is_empty());
+        assert_eq!(reconcile(&scraped, 4, 1, 3, 0).len(), 1);
+        scraped.insert("kanon_http_responses_total{code=\"500\"}".to_string(), 2.0);
+        assert_eq!(reconcile(&scraped, 3, 1, 3, 0).len(), 1);
+    }
+
+    #[test]
+    fn report_json_and_percentiles() {
+        let report = BenchReport {
+            submitted: 4,
+            accepted: 4,
+            rejected: 1,
+            completed: 4,
+            failed: 0,
+            server_errors: 0,
+            latencies: (1..=4).map(Duration::from_millis).collect(),
+            elapsed: Duration::from_millis(100),
+            mismatches: Vec::new(),
+        };
+        assert!(report.ok());
+        assert_eq!(report.percentile(0.50), Duration::from_millis(2));
+        assert_eq!(report.percentile(0.99), Duration::from_millis(4));
+        let json = report.to_json();
+        assert!(json.contains("\"ok\":true"));
+        assert!(json.contains("\"p50_ms\":2"));
+        assert!(json.contains("\"counters_reconciled\":true"));
+
+        let bad = BenchReport {
+            failed: 1,
+            completed: 3,
+            mismatches: vec!["x".into()],
+            ..report
+        };
+        assert!(!bad.ok());
+        assert!(bad.to_json().contains("\"mismatches\":[\"x\"]"));
+    }
+}

@@ -1,0 +1,397 @@
+//! A deliberately small HTTP/1.1 implementation over `std::io` streams:
+//! just enough protocol for the service's four endpoints, with hard limits
+//! on head and body size so a hostile client cannot balloon memory.
+//!
+//! Unsupported protocol features are rejected, not ignored: chunked
+//! transfer encoding gets `400` (the service requires `Content-Length` so
+//! admission can bound body size *before* reading it), and every response
+//! closes the connection (`Connection: close`), which keeps the handler
+//! loop free of keep-alive state.
+
+use std::io::{self, BufRead, Write};
+
+/// A parsed request: method, target (path + query, still encoded), lowered
+/// header names, and the full body.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target: path plus optional `?query`, percent-encoded.
+    pub target: String,
+    /// Headers with names lowercased; values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A protocol-level rejection the server answers with an error status
+/// before closing the connection.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Reject {
+    /// HTTP status to answer with (`400`, `413`, ...).
+    pub status: u16,
+    /// Human-readable reason, sent in the response body.
+    pub reason: String,
+}
+
+impl Reject {
+    fn bad_request(reason: impl Into<String>) -> Self {
+        Reject {
+            status: 400,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// Reads one request head byte-by-byte up to `max_head_bytes`, then the
+/// body per `Content-Length` up to `max_body_bytes`.
+///
+/// The outer `Err` is a transport failure (client vanished, socket
+/// timeout) where no response can be sent; the inner `Err` is a protocol
+/// rejection the caller should answer (`400` for malformed or oversized
+/// heads, unsupported transfer encodings, and bad `Content-Length`
+/// values; `413` for bodies over the limit).
+///
+/// # Errors
+/// `io::Error` when the underlying stream fails or hits EOF mid-request.
+pub fn read_request<R: BufRead>(
+    stream: &mut R,
+    max_head_bytes: usize,
+    max_body_bytes: usize,
+) -> io::Result<Result<Request, Reject>> {
+    let head = match read_head(stream, max_head_bytes)? {
+        Ok(head) => head,
+        Err(reject) => return Ok(Err(reject)),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => {
+            return Ok(Err(Reject::bad_request(format!(
+                "malformed request line: {request_line:?}"
+            ))))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Ok(Err(Reject::bad_request(format!(
+            "unsupported protocol version {version:?}"
+        ))));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(Err(Reject::bad_request(format!(
+                "malformed header line: {line:?}"
+            ))));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    if request.header("transfer-encoding").is_some() {
+        return Ok(Err(Reject::bad_request(
+            "transfer-encoding is not supported; send Content-Length",
+        )));
+    }
+    let content_length = match request.header("content-length") {
+        None => 0,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return Ok(Err(Reject::bad_request(format!(
+                    "bad Content-Length: {raw:?}"
+                ))))
+            }
+        },
+    };
+    if content_length > max_body_bytes {
+        return Ok(Err(Reject {
+            status: 413,
+            reason: format!(
+                "body of {content_length} bytes exceeds the {max_body_bytes}-byte limit"
+            ),
+        }));
+    }
+
+    let mut request = request;
+    if content_length > 0 {
+        let mut body = vec![0u8; content_length];
+        stream.read_exact(&mut body)?;
+        request.body = body;
+    }
+    Ok(Ok(request))
+}
+
+/// Reads up to and including the blank line that ends the head. Returns
+/// the head text without the trailing `\r\n\r\n`.
+fn read_head<R: BufRead>(
+    stream: &mut R,
+    max_head_bytes: usize,
+) -> io::Result<Result<String, Reject>> {
+    let mut head: Vec<u8> = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte)? {
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "client closed the connection mid-head",
+                ))
+            }
+            _ => head.push(byte[0]),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            head.truncate(head.len() - 4);
+            break;
+        }
+        if head.len() > max_head_bytes {
+            return Ok(Err(Reject::bad_request(format!(
+                "request head exceeds the {max_head_bytes}-byte limit"
+            ))));
+        }
+    }
+    match String::from_utf8(head) {
+        Ok(text) => Ok(Ok(text)),
+        Err(_) => Ok(Err(Reject::bad_request("request head is not UTF-8"))),
+    }
+}
+
+/// A response to serialize. Every response carries `Connection: close`.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value) appended verbatim.
+    pub extra_headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response with the given status.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+}
+
+/// Status reason phrases for the codes the service emits.
+#[must_use]
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes `response` onto `stream` and flushes.
+///
+/// # Errors
+/// `io::Error` when the client has gone away or the socket times out.
+pub fn write_response<W: Write>(stream: &mut W, response: &Response) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len()
+    )?;
+    for (name, value) in &response.extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+/// Splits a request target into its path and decoded `key=value` query
+/// pairs. Percent-escapes and `+` are decoded in both keys and values;
+/// a malformed escape leaves the original text in place.
+#[must_use]
+pub fn split_target(target: &str) -> (&str, Vec<(String, String)>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut pairs = Vec::new();
+    for piece in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = piece.split_once('=').unwrap_or((piece, ""));
+        pairs.push((percent_decode(key), percent_decode(value)));
+    }
+    (path, pairs)
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                match (
+                    bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16)),
+                    bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16)),
+                ) {
+                    (Some(hi), Some(lo)) => {
+                        out.push((hi * 16 + lo) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> io::Result<Result<Request, Reject>> {
+        read_request(&mut BufReader::new(raw), 1024, 4096)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/anonymize?k=3 HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = parse(raw).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/anonymize?k=3");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_protocol_garbage() {
+        for raw in [
+            &b"NOT A REQUEST LINE AT ALL\r\n\r\n"[..],
+            &b"GET noslash HTTP/1.1\r\n\r\n"[..],
+            &b"GET / HTTP/9.9\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nbroken header\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
+        ] {
+            let reject = parse(raw).unwrap().unwrap_err();
+            assert_eq!(reject.status, 400, "for {:?}", String::from_utf8_lossy(raw));
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_400_and_oversized_body_is_413() {
+        let mut big_head = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        big_head.extend(std::iter::repeat_n(b'a', 2048));
+        big_head.extend(b"\r\n\r\n");
+        assert_eq!(parse(&big_head).unwrap().unwrap_err().status, 400);
+
+        let big_body = b"POST / HTTP/1.1\r\nContent-Length: 999999\r\n\r\n";
+        assert_eq!(parse(big_body).unwrap().unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn early_disconnect_is_a_transport_error() {
+        assert!(parse(b"GET / HT").is_err());
+        assert!(parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").is_err());
+    }
+
+    #[test]
+    fn response_serialization_includes_close_and_length() {
+        let mut out = Vec::new();
+        let mut resp = Response::json(202, "{\"id\":1}".to_string());
+        resp.extra_headers
+            .push(("Retry-After".to_string(), "1".to_string()));
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"));
+        assert!(text.contains("Content-Length: 8\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"id\":1}"));
+    }
+
+    #[test]
+    fn target_splitting_decodes_queries() {
+        let (path, pairs) = split_target("/v1/anonymize?k=3&path=%2Ftmp%2Fa+b.csv&flag");
+        assert_eq!(path, "/v1/anonymize");
+        assert_eq!(
+            pairs,
+            vec![
+                ("k".to_string(), "3".to_string()),
+                ("path".to_string(), "/tmp/a b.csv".to_string()),
+                ("flag".to_string(), String::new()),
+            ]
+        );
+        let (path, pairs) = split_target("/healthz");
+        assert_eq!(path, "/healthz");
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn percent_decoding_tolerates_malformed_escapes() {
+        assert_eq!(percent_decode("a%2"), "a%2");
+        assert_eq!(percent_decode("a%zz"), "a%zz");
+        assert_eq!(percent_decode("100%25"), "100%");
+    }
+}

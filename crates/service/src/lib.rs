@@ -1,0 +1,47 @@
+//! `kanon-service`: a multi-tenant anonymization server with admission
+//! control and live observability — std-only, no async runtime, no HTTP
+//! framework.
+//!
+//! The solvers in this workspace answer one instance at a time under one
+//! [`kanon_core::govern::Budget`]. A shared deployment has a different
+//! problem: many tenants submitting tables concurrently, each expecting
+//! an explicit yes-or-no *now* rather than an unbounded wait, and an
+//! operator who needs to see queue pressure and degradation as it
+//! happens. This crate is that serving layer:
+//!
+//! - **Admission control** ([`server`]) — a submission either gets a job
+//!   id (`202`) or a `429` with `Retry-After`, decided without blocking:
+//!   jobs lease their memory cap from a global
+//!   [`kanon_core::BudgetPool`] and take a slot in a bounded
+//!   [`queue::JobQueue`]. Overload degrades service *latency* for nobody
+//!   — it shrinks admission instead.
+//! - **Execution** — a `std::thread::scope` worker pool drives each job
+//!   through [`kanon_pipeline`] under its leased budget; per-job
+//!   pipelines are single-threaded, so one tenant's giant table cannot
+//!   crowd out the rest.
+//! - **Observability** ([`metrics`]) — Prometheus text at `/metrics`
+//!   whose counters reconcile exactly: after a drain, accepted equals
+//!   completed plus failed, a property `kanon bench-serve`
+//!   ([`mod@bench`]) asserts end-to-end.
+//!
+//! Endpoints: `POST /v1/anonymize` (CSV body or `path=`; query `k`,
+//! `shard_size`, `deadline_ms`, `max_memory_mb`, `strategy`, `quasi`),
+//! `GET /v1/jobs/{id}`, `GET /healthz`, `GET /metrics`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod config;
+pub mod error;
+pub mod http;
+pub mod job;
+pub mod metrics;
+pub mod queue;
+pub mod router;
+pub mod server;
+
+pub use bench::{run_bench, BenchConfig, BenchReport};
+pub use config::ServiceConfig;
+pub use error::{Error, Result};
+pub use server::{Server, ServiceState};

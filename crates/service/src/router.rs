@@ -1,0 +1,239 @@
+//! Maps parsed requests onto the service's endpoints and validates
+//! submission parameters before anything touches the queue.
+
+use kanon_pipeline::ShardStrategy;
+
+use crate::http::{split_target, Reject, Request};
+use crate::job::JobId;
+
+/// Validated parameters of a `POST /v1/anonymize` submission.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SubmitParams {
+    /// The anonymity parameter (required, at least 1).
+    pub k: usize,
+    /// Target rows per shard; the server default applies when absent.
+    pub shard_size: Option<usize>,
+    /// Per-job deadline in milliseconds; the server default applies when
+    /// absent.
+    pub deadline_ms: Option<u64>,
+    /// Per-job memory cap in MiB, leased from the global pool; the server
+    /// default applies when absent.
+    pub max_memory_mb: Option<u64>,
+    /// Sharding strategy (`hash` or `sorted`).
+    pub strategy: Option<ShardStrategy>,
+    /// Comma-separated quasi-identifier column names; every column when
+    /// absent.
+    pub quasi: Option<Vec<String>>,
+    /// Server-side CSV path for out-of-core inputs; the request body is
+    /// the CSV when absent.
+    pub path: Option<String>,
+}
+
+/// An endpoint the service can serve.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz`.
+    Health,
+    /// `GET /metrics`.
+    Metrics,
+    /// `POST /v1/anonymize`.
+    Submit(SubmitParams),
+    /// `GET /v1/jobs/{id}`.
+    JobStatus(JobId),
+}
+
+/// Resolves a request to a route.
+///
+/// # Errors
+/// [`Reject`] with `404` for unknown paths, `405` for a known path with
+/// the wrong method, and `400` for unparsable submission parameters.
+pub fn route(request: &Request) -> Result<Route, Reject> {
+    let (path, query) = split_target(&request.target);
+
+    match path {
+        "/healthz" => method_gate(request, "GET", Route::Health),
+        "/metrics" => method_gate(request, "GET", Route::Metrics),
+        "/v1/anonymize" => {
+            if request.method != "POST" {
+                return Err(method_not_allowed("POST"));
+            }
+            Ok(Route::Submit(parse_submit(&query)?))
+        }
+        _ => {
+            if let Some(raw_id) = path.strip_prefix("/v1/jobs/") {
+                if request.method != "GET" {
+                    return Err(method_not_allowed("GET"));
+                }
+                let id: JobId = raw_id.parse().map_err(|_| Reject {
+                    status: 400,
+                    reason: format!("bad job id {raw_id:?}"),
+                })?;
+                return Ok(Route::JobStatus(id));
+            }
+            Err(Reject {
+                status: 404,
+                reason: format!("no such endpoint: {path}"),
+            })
+        }
+    }
+}
+
+fn method_gate(request: &Request, method: &str, route: Route) -> Result<Route, Reject> {
+    if request.method == method {
+        Ok(route)
+    } else {
+        Err(method_not_allowed(method))
+    }
+}
+
+fn method_not_allowed(allowed: &str) -> Reject {
+    Reject {
+        status: 405,
+        reason: format!("method not allowed (use {allowed})"),
+    }
+}
+
+fn parse_submit(query: &[(String, String)]) -> Result<SubmitParams, Reject> {
+    let lookup = |key: &str| -> Option<&str> {
+        query
+            .iter()
+            .find(|(name, _)| name == key)
+            .map(|(_, value)| value.as_str())
+    };
+    let bad = |what: &str, raw: &str| Reject {
+        status: 400,
+        reason: format!("bad query parameter {what}={raw:?}"),
+    };
+    let k = match lookup("k") {
+        None => {
+            return Err(Reject {
+                status: 400,
+                reason: "missing required query parameter k".into(),
+            })
+        }
+        Some(raw) => raw
+            .parse::<usize>()
+            .ok()
+            .filter(|k| *k >= 1)
+            .ok_or_else(|| bad("k", raw))?,
+    };
+    let parse_usize = |key: &str| -> Result<Option<usize>, Reject> {
+        lookup(key)
+            .map(|raw| raw.parse::<usize>().map_err(|_| bad(key, raw)))
+            .transpose()
+    };
+    let parse_u64 = |key: &str| -> Result<Option<u64>, Reject> {
+        lookup(key)
+            .map(|raw| {
+                raw.parse::<u64>()
+                    .ok()
+                    .filter(|v| *v > 0)
+                    .ok_or_else(|| bad(key, raw))
+            })
+            .transpose()
+    };
+    let strategy = lookup("strategy")
+        .map(|raw| ShardStrategy::from_name(raw).map_err(|_| bad("strategy", raw)))
+        .transpose()?;
+    let quasi = lookup("quasi").map(|raw| {
+        raw.split(',')
+            .filter(|name| !name.is_empty())
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    });
+    Ok(SubmitParams {
+        k,
+        shard_size: parse_usize("shard_size")?,
+        deadline_ms: parse_u64("deadline_ms")?,
+        max_memory_mb: parse_u64("max_memory_mb")?,
+        strategy,
+        quasi,
+        path: lookup("path").map(str::to_string),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: &str, target: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn routes_the_four_endpoints() {
+        assert_eq!(route(&request("GET", "/healthz")).unwrap(), Route::Health);
+        assert_eq!(route(&request("GET", "/metrics")).unwrap(), Route::Metrics);
+        assert_eq!(
+            route(&request("GET", "/v1/jobs/42")).unwrap(),
+            Route::JobStatus(42)
+        );
+        match route(&request("POST", "/v1/anonymize?k=3")).unwrap() {
+            Route::Submit(params) => {
+                assert_eq!(params.k, 3);
+                assert_eq!(params.shard_size, None);
+                assert_eq!(params.path, None);
+            }
+            other => panic!("expected Submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_parses_every_parameter() {
+        let target = "/v1/anonymize?k=5&shard_size=64&deadline_ms=2000&max_memory_mb=32\
+                      &strategy=sorted&quasi=age,zip&path=%2Fdata%2Fin.csv";
+        match route(&request("POST", target)).unwrap() {
+            Route::Submit(params) => {
+                assert_eq!(params.k, 5);
+                assert_eq!(params.shard_size, Some(64));
+                assert_eq!(params.deadline_ms, Some(2000));
+                assert_eq!(params.max_memory_mb, Some(32));
+                assert_eq!(params.strategy, Some(ShardStrategy::Sorted));
+                assert_eq!(
+                    params.quasi,
+                    Some(vec!["age".to_string(), "zip".to_string()])
+                );
+                assert_eq!(params.path.as_deref(), Some("/data/in.csv"));
+            }
+            other => panic!("expected Submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejections_carry_the_right_status() {
+        assert_eq!(route(&request("GET", "/nope")).unwrap_err().status, 404);
+        assert_eq!(route(&request("POST", "/healthz")).unwrap_err().status, 405);
+        assert_eq!(
+            route(&request("DELETE", "/v1/anonymize?k=2"))
+                .unwrap_err()
+                .status,
+            405
+        );
+        assert_eq!(
+            route(&request("GET", "/v1/jobs/not-a-number"))
+                .unwrap_err()
+                .status,
+            400
+        );
+        for bad in [
+            "/v1/anonymize",
+            "/v1/anonymize?k=0",
+            "/v1/anonymize?k=x",
+            "/v1/anonymize?k=2&shard_size=big",
+            "/v1/anonymize?k=2&deadline_ms=0",
+            "/v1/anonymize?k=2&max_memory_mb=0",
+            "/v1/anonymize?k=2&strategy=spiral",
+        ] {
+            assert_eq!(
+                route(&request("POST", bad)).unwrap_err().status,
+                400,
+                "for {bad}"
+            );
+        }
+    }
+}

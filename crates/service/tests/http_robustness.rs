@@ -1,0 +1,153 @@
+//! Hostile-client tests against a live server over raw sockets: malformed
+//! request lines, oversized heads, unsupported transfer encodings,
+//! oversized and short bodies, and clients that vanish mid-request. The
+//! server must answer the documented `4xx` (or nothing, for a vanished
+//! peer) and keep serving afterwards — proven by pushing more requests
+//! through than it has handler threads, which would hang if any handler
+//! leaked or died.
+
+mod common;
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use kanon_service::{Server, ServiceConfig};
+
+fn small_server() -> Server {
+    Server::start(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        http_threads: 2,
+        max_head_bytes: 512,
+        max_body_bytes: 2048,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts")
+}
+
+#[test]
+fn malformed_requests_get_4xx_and_the_server_survives() {
+    let server = small_server();
+    let addr = server.addr();
+
+    let cases: &[(&[u8], u16)] = &[
+        (b"COMPLETE GARBAGE\r\n\r\n", 400),
+        (b"GET noslash HTTP/1.1\r\n\r\n", 400),
+        (b"GET / SMTP/1.0\r\n\r\n", 400),
+        (b"GET /healthz HTTP/1.1\r\nbroken-header-no-colon\r\n\r\n", 400),
+        (
+            b"POST /v1/anonymize?k=2 HTTP/1.1\r\nContent-Length: over9000\r\n\r\n",
+            400,
+        ),
+        (
+            b"POST /v1/anonymize?k=2 HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+            400,
+        ),
+        (
+            b"POST /v1/anonymize?k=2 HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+            413,
+        ),
+        (b"PUT /v1/anonymize?k=2 HTTP/1.1\r\nContent-Length: 0\r\n\r\n", 405),
+        (b"GET /v1/jobs/abc HTTP/1.1\r\n\r\n", 400),
+        (b"GET /made/up/path HTTP/1.1\r\n\r\n", 404),
+    ];
+    for (bytes, expected) in cases {
+        let (status, _, body) = common::raw(addr, bytes).expect("an answer");
+        assert_eq!(
+            status,
+            *expected,
+            "for {:?}: {body}",
+            String::from_utf8_lossy(bytes)
+        );
+        assert!(
+            body.contains("\"error\""),
+            "error body for {expected}: {body}"
+        );
+    }
+
+    // An oversized head never even finishes parsing: feed a header that
+    // keeps going past the limit.
+    let mut endless = b"GET /healthz HTTP/1.1\r\nX-Pad: ".to_vec();
+    endless.extend(std::iter::repeat_n(b'a', 4096));
+    endless.extend_from_slice(b"\r\n\r\n");
+    let (status, _, _) = common::raw(addr, &endless).expect("an answer");
+    assert_eq!(status, 400);
+
+    // The server is still fully alive: more sequential requests than it
+    // has handler threads all succeed.
+    for _ in 0..8 {
+        let (status, _, body) = common::http(addr, "GET", "/healthz", &[]);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"status\":\"ok\""));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn vanishing_clients_do_not_wedge_the_handler_pool() {
+    let server = small_server();
+    let addr = server.addr();
+
+    // Disconnect mid-request-line, mid-headers, and mid-body, more times
+    // than there are handler threads.
+    for partial in [
+        &b"GET /heal"[..],
+        &b"GET /healthz HTTP/1.1\r\nHost: x"[..],
+        &b"POST /v1/anonymize?k=2 HTTP/1.1\r\nContent-Length: 100\r\n\r\nonly-a-bit"[..],
+    ] {
+        for _ in 0..3 {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(partial).expect("send partial");
+            drop(stream);
+        }
+    }
+    // A zero-byte connection (connect, immediately close).
+    for _ in 0..3 {
+        drop(TcpStream::connect(addr).expect("connect"));
+    }
+
+    // Every handler thread must still be answering.
+    std::thread::sleep(Duration::from_millis(50));
+    for _ in 0..6 {
+        let (status, _, _) = common::http(addr, "GET", "/healthz", &[]);
+        assert_eq!(status, 200);
+    }
+
+    // And the job path still works end to end.
+    let csv = b"a,b\n1,x\n1,x\n2,y\n2,y\n";
+    let (status, _, body) = common::http(addr, "POST", "/v1/anonymize?k=2&shard_size=4", csv);
+    assert_eq!(status, 202, "{body}");
+    let id = common::extract_number(&body, "\"id\":").expect("job id");
+    let done = common::await_job(addr, id);
+    assert!(done.contains("\"state\":\"completed\""), "{done}");
+    assert!(done.contains("\"k_anonymous\":true"), "{done}");
+    server.shutdown();
+}
+
+#[test]
+fn submissions_with_bad_parameters_are_rejected_before_admission() {
+    let server = small_server();
+    let addr = server.addr();
+
+    for (target, expected) in [
+        ("/v1/anonymize", 400),                          // no k
+        ("/v1/anonymize?k=0", 400),                      // k must be >= 1
+        ("/v1/anonymize?k=3&shard_size=4", 400),         // below 2k-1
+        ("/v1/anonymize?k=2&strategy=spiral", 400),      // unknown strategy
+        ("/v1/anonymize?k=2&max_memory_mb=999999", 400), // bigger than the pool
+    ] {
+        let (status, _, body) = common::http(addr, "POST", target, b"a\n1\n2\n");
+        assert_eq!(status, expected, "for {target}: {body}");
+    }
+    // Empty body with no path=.
+    let (status, _, body) = common::http(addr, "POST", "/v1/anonymize?k=2", &[]);
+    assert_eq!(status, 400, "{body}");
+
+    // Nothing was admitted: metrics show zero accepted jobs.
+    let (status, _, page) = common::http(addr, "GET", "/metrics", &[]);
+    assert_eq!(status, 200);
+    assert!(page.contains("kanon_jobs_accepted_total 0"), "{page}");
+    assert!(page.contains("kanon_jobs_rejected_total 0"), "{page}");
+    server.shutdown();
+}

@@ -1,0 +1,215 @@
+//! End-to-end service tests: a job's full lifecycle, admission control
+//! under burst overload (queue and memory pool), and the in-process
+//! closed-loop bench with exact counter reconciliation.
+
+mod common;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use kanon_service::{run_bench, BenchConfig, Server, ServiceConfig};
+
+const CSV: &str = "age,zip,job\n34,90210,cook\n34,90210,cook\n35,90210,cook\n\
+                   35,90211,nurse\n34,90211,nurse\n35,90211,nurse\n";
+
+#[test]
+fn a_job_runs_queued_to_completed_and_counters_agree() {
+    let server = Server::start(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    let (status, head, body) = common::http(
+        addr,
+        "POST",
+        "/v1/anonymize?k=2&shard_size=8&quasi=age,zip",
+        CSV.as_bytes(),
+    );
+    assert_eq!(status, 202, "{body}");
+    assert!(head.contains("Location: /v1/jobs/1"), "{head}");
+    let id = common::extract_number(&body, "\"id\":").expect("job id");
+
+    let done = common::await_job(addr, id);
+    assert!(done.contains("\"state\":\"completed\""), "{done}");
+    assert!(done.contains("\"k_anonymous\":true"), "{done}");
+    assert!(done.contains("\"report\":{"), "{done}");
+    assert!(done.contains("\"n_rows\":6"), "{done}");
+    assert!(done.contains("\"n_cols\":2"), "{done}"); // quasi projection
+
+    // Unknown jobs 404.
+    let (status, _, _) = common::http(addr, "GET", "/v1/jobs/999", &[]);
+    assert_eq!(status, 404);
+
+    // The pool has fully reclaimed the job's lease.
+    let (_, _, health) = common::http(addr, "GET", "/healthz", &[]);
+    let available = common::extract_number(&health, "\"pool_available_bytes\":").unwrap();
+    assert_eq!(available, ServiceConfig::default().pool_memory_bytes);
+
+    // Counters: one accepted, one completed, nothing else.
+    let (_, _, page) = common::http(addr, "GET", "/metrics", &[]);
+    assert!(page.contains("kanon_jobs_accepted_total 1"), "{page}");
+    assert!(page.contains("kanon_jobs_completed_total 1"), "{page}");
+    assert!(page.contains("kanon_jobs_rejected_total 0"), "{page}");
+    assert!(page.contains("kanon_jobs_failed_total 0"), "{page}");
+    assert!(page.contains("kanon_shards_solved_total{solver="), "{page}");
+    server.shutdown();
+}
+
+#[test]
+fn burst_overload_yields_clean_429s_that_reconcile_exactly() {
+    // One worker, one queue slot: a 16-submission burst must mostly bounce.
+    let server = Server::start(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_depth: 1,
+        http_threads: 8,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // A body big enough that one job occupies the worker for a while.
+    let mut body = String::from("a,b\n");
+    for i in 0..1000u32 {
+        body.push_str(&format!("v{},w{}\n", i % 37, i % 53));
+    }
+
+    let accepted = AtomicUsize::new(0);
+    let rejected = AtomicUsize::new(0);
+    let ids = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..16 {
+            let (body, accepted, rejected, ids) = (&body, &accepted, &rejected, &ids);
+            scope.spawn(move || {
+                let (status, head, resp) = common::http(
+                    addr,
+                    "POST",
+                    "/v1/anonymize?k=3&shard_size=16",
+                    body.as_bytes(),
+                );
+                match status {
+                    202 => {
+                        accepted.fetch_add(1, Ordering::Relaxed);
+                        ids.lock()
+                            .unwrap()
+                            .push(common::extract_number(&resp, "\"id\":").unwrap());
+                    }
+                    429 => {
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                        assert!(head.contains("Retry-After:"), "{head}");
+                    }
+                    other => panic!("burst got unexpected status {other}: {resp}"),
+                }
+            });
+        }
+    });
+    let accepted = accepted.load(Ordering::Relaxed);
+    let rejected = rejected.load(Ordering::Relaxed);
+    assert_eq!(accepted + rejected, 16);
+    assert!(rejected >= 1, "burst should overflow a depth-1 queue");
+
+    // Every accepted job still completes (none are dropped post-accept).
+    for id in ids.into_inner().unwrap() {
+        let done = common::await_job(addr, id);
+        assert!(done.contains("\"state\":\"completed\""), "{done}");
+        assert!(done.contains("\"k_anonymous\":true"), "{done}");
+    }
+
+    // Exact reconciliation after the drain.
+    let (_, _, page) = common::http(addr, "GET", "/metrics", &[]);
+    assert!(
+        page.contains(&format!("kanon_jobs_accepted_total {accepted}")),
+        "{page}"
+    );
+    assert!(
+        page.contains(&format!("kanon_jobs_rejected_total {rejected}")),
+        "{page}"
+    );
+    assert!(
+        page.contains(&format!("kanon_jobs_completed_total {accepted}")),
+        "{page}"
+    );
+    assert!(page.contains("kanon_jobs_failed_total 0"), "{page}");
+    server.shutdown();
+}
+
+#[test]
+fn memory_pool_exhaustion_rejects_even_with_queue_room() {
+    // Pool fits exactly one default-size job; the queue has plenty of
+    // room, so any second concurrent submission must bounce off the pool.
+    let server = Server::start(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_depth: 8,
+        pool_memory_bytes: 32 * 1024 * 1024,
+        default_job_memory_bytes: 32 * 1024 * 1024,
+        http_threads: 4,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    let mut body = String::from("a,b\n");
+    for i in 0..800u32 {
+        body.push_str(&format!("v{},w{}\n", i % 31, i % 43));
+    }
+
+    let accepted = AtomicUsize::new(0);
+    let rejected = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let (body, accepted, rejected) = (&body, &accepted, &rejected);
+            scope.spawn(move || {
+                let (status, head, resp) = common::http(
+                    addr,
+                    "POST",
+                    "/v1/anonymize?k=3&shard_size=16",
+                    body.as_bytes(),
+                );
+                match status {
+                    202 => {
+                        accepted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    429 => {
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                        assert!(head.contains("Retry-After:"), "{head}");
+                        assert!(resp.contains("memory pool exhausted"), "{resp}");
+                    }
+                    other => panic!("unexpected status {other}: {resp}"),
+                }
+            });
+        }
+    });
+    assert_eq!(
+        accepted.load(Ordering::Relaxed) + rejected.load(Ordering::Relaxed),
+        4
+    );
+    assert!(rejected.load(Ordering::Relaxed) >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn in_process_bench_reconciles_and_writes_its_report() {
+    let out = std::env::temp_dir().join(format!("bench-service-{}.json", std::process::id()));
+    let report = run_bench(&BenchConfig {
+        requests: 8,
+        clients: 4,
+        rows: 400,
+        k: 3,
+        shard_size: 16,
+        server_workers: 2,
+        queue_depth: 8,
+        out_path: Some(out.to_str().unwrap().to_string()),
+        ..BenchConfig::default()
+    })
+    .expect("bench runs");
+    assert!(report.ok(), "{}", report.to_json());
+    assert_eq!(report.completed, 8);
+    assert_eq!(report.server_errors, 0);
+    let written = std::fs::read_to_string(&out).expect("report file");
+    assert!(written.contains("\"ok\":true"), "{written}");
+    assert!(written.contains("\"p99_ms\":"), "{written}");
+    std::fs::remove_file(&out).ok();
+}

@@ -1,0 +1,118 @@
+//! `BudgetPool` invariants: the pool is the single owner of aggregate
+//! memory arithmetic, so the sum of live leases can never exceed the pool —
+//! under any interleaving of concurrent lease/release traffic — and every
+//! reservation is returned exactly once.
+//!
+//! This is the contract `kanon-service` admission control relies on: a
+//! `429` is the *only* overload outcome, never an over-subscribed pool.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use kanon_core::govern::BudgetPool;
+use kanon_core::{Error, Resource};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Hammer one pool from several threads, each repeatedly leasing a
+    /// random size, charging against the leased budget, and releasing.
+    /// Tracked invariants:
+    ///   1. `pool.leased() <= pool.total()` at every observation point;
+    ///   2. a granted lease's budget enforces exactly its reservation;
+    ///   3. after every thread finishes, the pool drains back to zero.
+    #[test]
+    fn concurrent_leases_never_exceed_the_pool(
+        total in 64u64..4096,
+        threads in 2usize..6,
+        rounds in 4usize..32,
+        sizes in proptest::collection::vec(1u64..1024, 8),
+    ) {
+        let pool = Arc::new(BudgetPool::new(total));
+        let violated = Arc::new(AtomicBool::new(false));
+        let granted = Arc::new(AtomicU64::new(0));
+        let rejected = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let pool = Arc::clone(&pool);
+                let violated = Arc::clone(&violated);
+                let granted = Arc::clone(&granted);
+                let rejected = Arc::clone(&rejected);
+                let sizes = &sizes;
+                scope.spawn(move || {
+                    for r in 0..rounds {
+                        let bytes = sizes[(t * 31 + r * 7) % sizes.len()];
+                        match pool.try_lease(bytes, None) {
+                            Ok(lease) => {
+                                granted.fetch_add(1, Ordering::Relaxed);
+                                if pool.leased() > pool.total() {
+                                    violated.store(true, Ordering::Relaxed);
+                                }
+                                // The lease's own budget is capped at the
+                                // reservation, nothing more.
+                                if lease.budget().try_charge_memory(bytes).is_err()
+                                    || lease.budget().try_charge_memory(1).is_ok()
+                                {
+                                    violated.store(true, Ordering::Relaxed);
+                                }
+                                drop(lease);
+                            }
+                            Err(Error::BudgetExceeded {
+                                resource: Resource::Memory,
+                                spent,
+                                limit,
+                            }) => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                                // The rejection names the would-be total and
+                                // the pool size, and is only issued when the
+                                // reservation genuinely would not fit.
+                                if spent <= limit || limit != pool.total() {
+                                    violated.store(true, Ordering::Relaxed);
+                                }
+                            }
+                            Err(_) => violated.store(true, Ordering::Relaxed),
+                        }
+                    }
+                });
+            }
+        });
+        prop_assert!(!violated.load(Ordering::Relaxed), "pool invariant violated");
+        prop_assert_eq!(pool.leased(), 0, "leases not fully reclaimed");
+        prop_assert_eq!(
+            (granted.load(Ordering::Relaxed) + rejected.load(Ordering::Relaxed)) as usize,
+            threads * rounds
+        );
+    }
+
+    /// Sequential model check: a shuffled lease/release schedule agrees
+    /// with a plain integer model of the pool.
+    #[test]
+    fn pool_agrees_with_integer_model(
+        total in 1u64..512,
+        requests in proptest::collection::vec(1u64..600, 1..24),
+    ) {
+        let pool = BudgetPool::new(total);
+        let mut live = Vec::new();
+        let mut model: u64 = 0;
+        for (i, &bytes) in requests.iter().enumerate() {
+            match pool.try_lease(bytes, None) {
+                Ok(lease) => {
+                    model += bytes;
+                    live.push(lease);
+                }
+                Err(_) => prop_assert!(model + bytes > total, "spurious rejection"),
+            }
+            prop_assert_eq!(pool.leased(), model);
+            // Release roughly every other granted lease to mix traffic.
+            if i % 2 == 1 && !live.is_empty() {
+                let lease = live.remove(i % live.len());
+                model -= lease.bytes();
+                drop(lease);
+                prop_assert_eq!(pool.leased(), model);
+            }
+        }
+        drop(live);
+        prop_assert_eq!(pool.leased(), 0);
+    }
+}

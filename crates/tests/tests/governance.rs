@@ -282,7 +282,8 @@ proptest! {
 /// The fixed-seed acceptance instance: n = 48, k = 3, so the §4.2 cover
 /// enumerates Σ C(48, 3..=5) = 1 924 180 candidate subsets — inside the
 /// 2M candidate guard, but far more sequential work than a 200 ms deadline
-/// affords (the top rung's slice is half the remaining deadline).
+/// affords (the top rung's slice is an equal share — a third — of the
+/// remaining deadline).
 fn acceptance_instance() -> (Dataset, usize) {
     (fixed_dataset(48, 4), 3)
 }
