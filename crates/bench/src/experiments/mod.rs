@@ -1,5 +1,5 @@
 //! The experiment registry. Each experiment validates one claim of the
-//! paper (see DESIGN.md §8) and returns a plain-text report.
+//! paper (see DESIGN.md §9) and returns a plain-text report.
 
 pub mod e01_ratio_full;
 pub mod e02_ratio_center;

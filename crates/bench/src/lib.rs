@@ -3,7 +3,7 @@
 //! The experiment harness reproducing the quantitative content of Meyerson
 //! & Williams (PODS 2004). The paper is theoretical — it has no result
 //! tables — so each experiment here validates one theorem/lemma/figure
-//! empirically; DESIGN.md §8 maps experiment ids to paper claims and
+//! empirically; DESIGN.md §9 maps experiment ids to paper claims and
 //! EXPERIMENTS.md records claim-vs-measured.
 //!
 //! Run everything with:

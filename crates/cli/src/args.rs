@@ -58,6 +58,8 @@ pub enum Command {
         shard_size: usize,
         /// Row-to-shard assignment strategy.
         strategy: kanon_pipeline::ShardStrategy,
+        /// Pinned hash-bucket count (`None` = derived from the table).
+        buckets: Option<usize>,
         /// Worker threads (`None` = auto).
         workers: Option<usize>,
         /// Quasi-identifier column names (`None` = all columns).
@@ -69,6 +71,8 @@ pub enum Command {
         /// Emit a machine-readable JSON report instead of notes + CSV.
         json: bool,
     },
+    /// `kanon delta`: incremental anonymization over a durable store.
+    Delta(DeltaAction),
     /// `kanon verify`.
     Verify {
         /// Privacy parameter to check.
@@ -148,6 +152,65 @@ pub enum Command {
     Help,
 }
 
+/// The `kanon delta` sub-actions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaAction {
+    /// `kanon delta init`: create a store from a CSV table.
+    Init {
+        /// Store directory.
+        dir: String,
+        /// Privacy parameter, fixed for the store's lifetime.
+        k: usize,
+        /// Input CSV path (`-` reads stdin).
+        input: String,
+        /// Target rows per shard.
+        shard_size: usize,
+        /// Pinned hash-bucket count (`None` = derived from the table).
+        buckets: Option<usize>,
+        /// Quasi-identifier column names (`None` = all columns).
+        quasi: Option<Vec<String>>,
+        /// Wall-clock budget in milliseconds (`None` = unlimited).
+        deadline_ms: Option<u64>,
+        /// Planned-allocation memory budget in MiB (`None` = unlimited).
+        max_memory_mb: Option<u64>,
+        /// Emit a machine-readable JSON report instead of notes.
+        json: bool,
+    },
+    /// `kanon delta apply`: apply an ops CSV as one atomic batch.
+    Apply {
+        /// Store directory.
+        dir: String,
+        /// Ops CSV path (`-` reads stdin).
+        ops: String,
+        /// Released-CSV output path (`None` = no release written).
+        output: Option<String>,
+        /// Wall-clock budget in milliseconds (`None` = unlimited).
+        deadline_ms: Option<u64>,
+        /// Planned-allocation memory budget in MiB (`None` = unlimited).
+        max_memory_mb: Option<u64>,
+        /// Emit a machine-readable JSON report instead of notes.
+        json: bool,
+    },
+    /// `kanon delta status`: report store health without solving.
+    Status {
+        /// Store directory.
+        dir: String,
+        /// Emit a machine-readable JSON report instead of notes.
+        json: bool,
+    },
+    /// `kanon delta release`: write the current released CSV.
+    Release {
+        /// Store directory.
+        dir: String,
+        /// Released-CSV output path (`None` = stdout).
+        output: Option<String>,
+        /// Wall-clock budget in milliseconds (`None` = unlimited).
+        deadline_ms: Option<u64>,
+        /// Planned-allocation memory budget in MiB (`None` = unlimited).
+        max_memory_mb: Option<u64>,
+    },
+}
+
 /// The usage text.
 #[must_use]
 pub fn usage() -> String {
@@ -160,8 +223,16 @@ USAGE:
                     [--emit-mask <FILE>] [--json]
                     [--deadline-ms MS] [--max-memory-mb MB]
     kanon pipeline  -k <K> --input <FILE|-> [--output <FILE>]
-                    [--shard-size N] [--strategy hash|sorted] [--workers N]
-                    [--quasi col1,col2,...] [--json]
+                    [--shard-size N] [--strategy hash|sorted] [--buckets N]
+                    [--workers N] [--quasi col1,col2,...] [--json]
+                    [--deadline-ms MS] [--max-memory-mb MB]
+    kanon delta init    --dir <DIR> -k <K> --input <FILE|->
+                    [--shard-size N] [--buckets N] [--quasi col1,col2,...]
+                    [--deadline-ms MS] [--max-memory-mb MB] [--json]
+    kanon delta apply   --dir <DIR> --ops <FILE|-> [--output <FILE>]
+                    [--deadline-ms MS] [--max-memory-mb MB] [--json]
+    kanon delta status  --dir <DIR> [--json]
+    kanon delta release --dir <DIR> [--output <FILE>]
                     [--deadline-ms MS] [--max-memory-mb MB]
     kanon verify    -k <K> --input <FILE|-> [--quasi col1,col2,...]
     kanon attack    --released <FILE> --external <FILE> --join col1,col2,...
@@ -181,6 +252,14 @@ COMMANDS:
     pipeline    Shard the table, solve each shard under a slice of the
                 budget, and merge — scales to millions of rows (solver
                 memory is bounded by --shard-size, not the table).
+    delta       Incremental anonymization over a durable store (WAL +
+                snapshot). `init` ingests and solves a table once;
+                `apply` replays an ops CSV (header `op,id,<columns...>`,
+                ops insert/delete/update) as one atomic batch, re-solving
+                only the buckets it touched; `status` reports store
+                health; `release` writes the current anonymized CSV —
+                byte-identical to a fresh `pipeline` run on the same
+                table with the store's pinned --buckets.
     verify      Check that a released CSV (with * for suppressed cells)
                 is k-anonymous; reports the actual anonymity level.
     attack      Play the adversary: join a released CSV against external
@@ -347,6 +426,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--output",
                     "--shard-size",
                     "--strategy",
+                    "--buckets",
                     "--workers",
                     "--quasi",
                     "--deadline-ms",
@@ -388,12 +468,148 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 output: flag("--output").cloned(),
                 shard_size: positive("--shard-size")?.unwrap_or(512),
                 strategy,
+                buckets: positive("--buckets")?,
                 workers: positive("--workers")?,
                 quasi: quasi(flag("--quasi")),
                 deadline_ms: budget_flag("--deadline-ms")?,
                 max_memory_mb: budget_flag("--max-memory-mb")?,
                 json: has_switch("--json"),
             })
+        }
+        "delta" => {
+            let Some(action) = rest.first().map(|s| s.as_str()) else {
+                return Err(CliError::Usage(format!(
+                    "delta needs an action (init | apply | status | release)\n\n{}",
+                    usage()
+                )));
+            };
+            // Local flag helpers over the args *after* the action word.
+            let rest = &rest[1..];
+            let flag = |name: &str| -> Option<&String> {
+                rest.iter()
+                    .position(|a| **a == name)
+                    .and_then(|i| rest.get(i + 1).copied())
+            };
+            let has_switch = |name: &str| rest.iter().any(|a| **a == name);
+            let unexpected = |allowed: &[&str], switches: &[&str]| -> Result<(), CliError> {
+                let mut i = 0;
+                while i < rest.len() {
+                    let a = rest[i].as_str();
+                    if switches.contains(&a) {
+                        i += 1;
+                    } else if allowed.contains(&a) {
+                        i += 2;
+                    } else {
+                        return Err(CliError::Usage(format!(
+                            "unexpected argument `{a}`\n\n{}",
+                            usage()
+                        )));
+                    }
+                }
+                Ok(())
+            };
+            let positive = |name: &str| -> Result<Option<usize>, CliError> {
+                match flag(name) {
+                    None => Ok(None),
+                    Some(v) => v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&x| x >= 1)
+                        .map(Some)
+                        .ok_or_else(|| {
+                            CliError::Usage(format!(
+                                "{name} needs a positive integer\n\n{}",
+                                usage()
+                            ))
+                        }),
+                }
+            };
+            let budget_flag = |name: &str| -> Result<Option<u64>, CliError> {
+                Ok(positive(name)?.map(|x| x as u64))
+            };
+            let dir = || -> Result<String, CliError> {
+                flag("--dir")
+                    .cloned()
+                    .ok_or_else(|| CliError::Usage(format!("--dir is required\n\n{}", usage())))
+            };
+            match action {
+                "init" => {
+                    unexpected(
+                        &[
+                            "--dir",
+                            "-k",
+                            "--input",
+                            "--shard-size",
+                            "--buckets",
+                            "--quasi",
+                            "--deadline-ms",
+                            "--max-memory-mb",
+                        ],
+                        &["--json"],
+                    )?;
+                    let k = parse_k(flag("-k"))?;
+                    let input = flag("--input").cloned().ok_or_else(|| {
+                        CliError::Usage(format!("--input is required\n\n{}", usage()))
+                    })?;
+                    Ok(Command::Delta(DeltaAction::Init {
+                        dir: dir()?,
+                        k,
+                        input,
+                        shard_size: positive("--shard-size")?.unwrap_or(512),
+                        buckets: positive("--buckets")?,
+                        quasi: quasi(flag("--quasi")),
+                        deadline_ms: budget_flag("--deadline-ms")?,
+                        max_memory_mb: budget_flag("--max-memory-mb")?,
+                        json: has_switch("--json"),
+                    }))
+                }
+                "apply" => {
+                    unexpected(
+                        &[
+                            "--dir",
+                            "--ops",
+                            "--output",
+                            "--deadline-ms",
+                            "--max-memory-mb",
+                        ],
+                        &["--json"],
+                    )?;
+                    let ops = flag("--ops").cloned().ok_or_else(|| {
+                        CliError::Usage(format!("--ops is required\n\n{}", usage()))
+                    })?;
+                    Ok(Command::Delta(DeltaAction::Apply {
+                        dir: dir()?,
+                        ops,
+                        output: flag("--output").cloned(),
+                        deadline_ms: budget_flag("--deadline-ms")?,
+                        max_memory_mb: budget_flag("--max-memory-mb")?,
+                        json: has_switch("--json"),
+                    }))
+                }
+                "status" => {
+                    unexpected(&["--dir"], &["--json"])?;
+                    Ok(Command::Delta(DeltaAction::Status {
+                        dir: dir()?,
+                        json: has_switch("--json"),
+                    }))
+                }
+                "release" => {
+                    unexpected(
+                        &["--dir", "--output", "--deadline-ms", "--max-memory-mb"],
+                        &[],
+                    )?;
+                    Ok(Command::Delta(DeltaAction::Release {
+                        dir: dir()?,
+                        output: flag("--output").cloned(),
+                        deadline_ms: budget_flag("--deadline-ms")?,
+                        max_memory_mb: budget_flag("--max-memory-mb")?,
+                    }))
+                }
+                other => Err(CliError::Usage(format!(
+                    "unknown delta action `{other}` (init | apply | status | release)\n\n{}",
+                    usage()
+                ))),
+            }
         }
         "verify" => {
             unexpected(&["-k", "--input", "--quasi"], &[])?;
@@ -622,6 +838,7 @@ mod tests {
                 output: Some("out.csv".into()),
                 shard_size: 1024,
                 strategy: kanon_pipeline::ShardStrategy::Sorted,
+                buckets: None,
                 workers: Some(4),
                 quasi: Some(vec!["age".into(), "zip".into()]),
                 deadline_ms: Some(30_000),
@@ -639,6 +856,7 @@ mod tests {
                 output: None,
                 shard_size: 512,
                 strategy: kanon_pipeline::ShardStrategy::HashQuasi,
+                buckets: None,
                 workers: None,
                 quasi: None,
                 deadline_ms: None,
@@ -652,6 +870,7 @@ mod tests {
             "pipeline -k 3",
             "pipeline -k 3 --input - --strategy range",
             "pipeline -k 3 --input - --shard-size 0",
+            "pipeline -k 3 --input - --buckets 0",
             "pipeline -k 3 --input - --workers 0",
             "pipeline -k 3 --input - --bogus x",
         ] {
@@ -859,6 +1078,91 @@ mod tests {
             "serve --bogus x",
             "bench-serve --requests 0",
             "bench-serve --deadline-ms never",
+        ] {
+            assert!(
+                matches!(parse(&argv(bad)), Err(CliError::Usage(_))),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_buckets_parse_on_pipeline() {
+        let cmd = parse(&argv("pipeline -k 3 --input - --buckets 250")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Pipeline {
+                buckets: Some(250),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_delta_actions() {
+        assert_eq!(
+            parse(&argv(
+                "delta init --dir store -k 3 --input t.csv --shard-size 256 \
+                 --buckets 100 --quasi age,zip --deadline-ms 5000 --json"
+            ))
+            .unwrap(),
+            Command::Delta(DeltaAction::Init {
+                dir: "store".into(),
+                k: 3,
+                input: "t.csv".into(),
+                shard_size: 256,
+                buckets: Some(100),
+                quasi: Some(vec!["age".into(), "zip".into()]),
+                deadline_ms: Some(5000),
+                max_memory_mb: None,
+                json: true,
+            })
+        );
+        assert_eq!(
+            parse(&argv(
+                "delta apply --dir store --ops ops.csv --output out.csv"
+            ))
+            .unwrap(),
+            Command::Delta(DeltaAction::Apply {
+                dir: "store".into(),
+                ops: "ops.csv".into(),
+                output: Some("out.csv".into()),
+                deadline_ms: None,
+                max_memory_mb: None,
+                json: false,
+            })
+        );
+        assert_eq!(
+            parse(&argv("delta status --dir store --json")).unwrap(),
+            Command::Delta(DeltaAction::Status {
+                dir: "store".into(),
+                json: true,
+            })
+        );
+        assert_eq!(
+            parse(&argv("delta release --dir store")).unwrap(),
+            Command::Delta(DeltaAction::Release {
+                dir: "store".into(),
+                output: None,
+                deadline_ms: None,
+                max_memory_mb: None,
+            })
+        );
+    }
+
+    #[test]
+    fn delta_parse_errors() {
+        for bad in [
+            "delta",
+            "delta compact --dir store",
+            "delta init -k 3 --input t.csv",        // --dir missing
+            "delta init --dir store --input t.csv", // -k missing
+            "delta init --dir store -k 3",          // --input missing
+            "delta init --dir store -k 3 --input t.csv --buckets 0",
+            "delta apply --dir store", // --ops missing
+            "delta apply --ops o.csv", // --dir missing
+            "delta status --dir store --bogus x",
+            "delta release --output out.csv",
         ] {
             assert!(
                 matches!(parse(&argv(bad)), Err(CliError::Usage(_))),

@@ -115,6 +115,7 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
             output,
             shard_size,
             strategy,
+            buckets,
             workers,
             quasi,
             deadline_ms,
@@ -126,12 +127,14 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
             output.as_deref(),
             *shard_size,
             *strategy,
+            *buckets,
             *workers,
             quasi.as_deref(),
             *deadline_ms,
             *max_memory_mb,
             *json,
         ),
+        Command::Delta(action) => delta(action),
         Command::Serve {
             addr,
             workers,
@@ -595,6 +598,7 @@ fn pipeline(
     output: Option<&str>,
     shard_size: usize,
     strategy: kanon_pipeline::ShardStrategy,
+    buckets: Option<usize>,
     workers: Option<usize>,
     quasi: Option<&[String]>,
     deadline_ms: Option<u64>,
@@ -604,6 +608,7 @@ fn pipeline(
     let config = kanon_pipeline::PipelineConfig {
         shard_size,
         strategy,
+        n_buckets: buckets,
         workers,
         budget: build_budget(deadline_ms, max_memory_mb),
         ..Default::default()
@@ -615,18 +620,7 @@ fn pipeline(
             .map_err(|e| CliError::Failed(format!("cannot read `{input}`: {e}")))?;
         kanon_pipeline::run_csv(std::io::BufReader::new(file), k, quasi, &config)
     }
-    .map_err(|e| match e {
-        kanon_pipeline::Error::Relation(kanon_relation::Error::EmptyTable) => CliError::EmptyInput,
-        kanon_pipeline::Error::Relation(kanon_relation::Error::UnknownAttribute(name)) => {
-            CliError::Usage(format!("unknown quasi-identifier column `{name}`"))
-        }
-        kanon_pipeline::Error::Core(kanon_core::Error::KZero) => CliError::BadK { k, n: 0 },
-        kanon_pipeline::Error::Core(kanon_core::Error::KExceedsRows { k, n }) => {
-            CliError::BadK { k, n }
-        }
-        kanon_pipeline::Error::Config(msg) => CliError::Usage(msg),
-        other => CliError::Failed(format!("pipeline failed: {other}")),
-    })?;
+    .map_err(|e| map_pipeline_error(e, k))?;
 
     let mut notes = vec![
         format!(
@@ -658,8 +652,14 @@ fn pipeline(
     let stdout = if let Some(path) = output {
         let file = std::fs::File::create(path)
             .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
-        write_release(&run, std::io::BufWriter::new(file))
-            .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
+        kanon_pipeline::write_release(
+            &run.dataset,
+            &run.codec,
+            &run.quasi,
+            &run.anonymization.suppressor,
+            std::io::BufWriter::new(file),
+        )
+        .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
         notes.push(format!("wrote {path}"));
         if json {
             pipeline_json(&run, None)
@@ -668,8 +668,14 @@ fn pipeline(
         }
     } else {
         let mut buf = Vec::new();
-        write_release(&run, &mut buf)
-            .map_err(|e| CliError::Failed(format!("cannot render release: {e}")))?;
+        kanon_pipeline::write_release(
+            &run.dataset,
+            &run.codec,
+            &run.quasi,
+            &run.anonymization.suppressor,
+            &mut buf,
+        )
+        .map_err(|e| CliError::Failed(format!("cannot render release: {e}")))?;
         let released = String::from_utf8(buf)
             .map_err(|e| CliError::Failed(format!("cannot render release: {e}")))?;
         if json {
@@ -693,40 +699,173 @@ fn pipeline_json(run: &kanon_pipeline::CsvRun, csv: Option<&str>) -> String {
     obj.finish()
 }
 
-/// Streams the released table: original values everywhere, `*` on
-/// suppressed quasi-identifier cells.
-fn write_release(run: &kanon_pipeline::CsvRun, mut w: impl std::io::Write) -> std::io::Result<()> {
-    let arity = run.codec.arity();
-    // Column j's position inside the quasi-identifier projection, if any.
-    let mut qi_pos: Vec<Option<usize>> = vec![None; arity];
-    for (pos, &j) in run.quasi.iter().enumerate() {
-        qi_pos[j] = Some(pos);
+/// Maps pipeline-layer errors onto CLI exit classes; shared by the
+/// `pipeline` and `delta` commands.
+fn map_pipeline_error(e: kanon_pipeline::Error, k: usize) -> CliError {
+    match e {
+        kanon_pipeline::Error::Relation(kanon_relation::Error::EmptyTable) => CliError::EmptyInput,
+        kanon_pipeline::Error::Relation(kanon_relation::Error::UnknownAttribute(name)) => {
+            CliError::Usage(format!("unknown quasi-identifier column `{name}`"))
+        }
+        kanon_pipeline::Error::Core(kanon_core::Error::KZero) => CliError::BadK { k, n: 0 },
+        kanon_pipeline::Error::Core(kanon_core::Error::KExceedsRows { k, n }) => {
+            CliError::BadK { k, n }
+        }
+        kanon_pipeline::Error::Config(msg) => CliError::Usage(msg),
+        kanon_pipeline::Error::Delta(msg) => CliError::Failed(format!("delta rejected: {msg}")),
+        other => CliError::Failed(format!("pipeline failed: {other}")),
     }
-    let mut line = String::new();
-    csv::write_record(&mut line, run.codec.header().iter().map(String::as_str));
-    w.write_all(line.as_bytes())?;
-    let mut fields: Vec<&str> = Vec::with_capacity(arity);
-    for i in 0..run.dataset.n_rows() {
-        fields.clear();
-        for (j, pos) in qi_pos.iter().enumerate() {
-            let suppressed =
-                pos.is_some_and(|pos| run.anonymization.suppressor.is_suppressed(i, pos));
-            if suppressed {
-                fields.push("*");
+}
+
+/// Runs a `kanon delta` action against the durable store.
+fn delta(action: &crate::args::DeltaAction) -> Result<Outcome, CliError> {
+    use crate::args::DeltaAction;
+    use kanon_pipeline::DeltaStore;
+
+    let open = |dir: &str, deadline_ms: Option<u64>, max_memory_mb: Option<u64>| {
+        DeltaStore::open(dir, build_budget(deadline_ms, max_memory_mb))
+            .map_err(|e| map_pipeline_error(e, 0))
+    };
+    let write_output = |path: &str, csv: &str| -> Result<(), CliError> {
+        std::fs::write(path, csv)
+            .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))
+    };
+
+    match action {
+        DeltaAction::Init {
+            dir,
+            k,
+            input,
+            shard_size,
+            buckets,
+            quasi,
+            deadline_ms,
+            max_memory_mb,
+            json,
+        } => {
+            let config = kanon_pipeline::DeltaConfig {
+                k: *k,
+                shard_size: *shard_size,
+                n_buckets: *buckets,
+                quasi: quasi.clone(),
+                budget: build_budget(*deadline_ms, *max_memory_mb),
+            };
+            let store = if input == "-" {
+                DeltaStore::init(dir, std::io::stdin().lock(), &config)
             } else {
-                let code = run.dataset.get(i, j);
-                fields.push(
-                    run.codec
-                        .value(j, code)
-                        .expect("codes come from this codec"),
-                );
+                let file = std::fs::File::open(input)
+                    .map_err(|e| CliError::Failed(format!("cannot read `{input}`: {e}")))?;
+                DeltaStore::init(dir, std::io::BufReader::new(file), &config)
+            }
+            .map_err(|e| map_pipeline_error(e, *k))?;
+            let status = store.status();
+            let notes = vec![format!(
+                "initialized delta store at {dir}: {} rows, k={}, {} bucket(s), shard size {}",
+                status.n_rows, status.k, status.n_buckets, status.shard_size,
+            )];
+            let stdout = if *json {
+                status.to_json()
+            } else {
+                String::new()
+            };
+            Ok(Outcome { stdout, notes })
+        }
+        DeltaAction::Apply {
+            dir,
+            ops,
+            output,
+            deadline_ms,
+            max_memory_mb,
+            json,
+        } => {
+            let mut store = open(dir, *deadline_ms, *max_memory_mb)?;
+            let parsed = if ops == "-" {
+                store.parse_ops(std::io::stdin().lock())
+            } else {
+                let file = std::fs::File::open(ops)
+                    .map_err(|e| CliError::Failed(format!("cannot read `{ops}`: {e}")))?;
+                store.parse_ops(std::io::BufReader::new(file))
+            }
+            .map_err(|e| map_pipeline_error(e, store.k()))?;
+            let k = store.k();
+            let report = store.apply(&parsed).map_err(|e| map_pipeline_error(e, k))?;
+            let mut notes = vec![
+                format!(
+                    "batch {}: +{} -{} ~{} → {} rows",
+                    report.seq, report.inserted, report.deleted, report.updated, report.n_rows,
+                ),
+                format!(
+                    "re-solved {} unit(s) / {} row(s) of {} ({:.1}%), total cost {}",
+                    report.resolved_units,
+                    report.resolved_rows,
+                    report.n_rows,
+                    100.0 * report.resolved_rows as f64 / report.n_rows.max(1) as f64,
+                    report.total_cost,
+                ),
+            ];
+            if let Some(path) = output {
+                let release = store.release().map_err(|e| map_pipeline_error(e, k))?;
+                write_output(path, &release.to_csv_string())?;
+                notes.push(format!("wrote {path}"));
+            }
+            let stdout = if *json {
+                report.to_json()
+            } else {
+                String::new()
+            };
+            Ok(Outcome { stdout, notes })
+        }
+        DeltaAction::Status { dir, json } => {
+            let store = open(dir, None, None)?;
+            let status = store.status();
+            let stdout = if *json {
+                status.to_json()
+            } else {
+                let cost = status
+                    .total_cost
+                    .map_or_else(|| "unknown (dirty)".to_string(), |c| c.to_string());
+                format!(
+                    "{} rows, k={}, seq {}, {} bucket(s), {} cached / {} dirty unit(s), \
+                     wal {} B, total cost {cost}",
+                    status.n_rows,
+                    status.k,
+                    status.seq,
+                    status.n_buckets,
+                    status.cached_units,
+                    status.dirty_units,
+                    status.wal_bytes,
+                )
+            };
+            Ok(Outcome {
+                stdout,
+                notes: Vec::new(),
+            })
+        }
+        DeltaAction::Release {
+            dir,
+            output,
+            deadline_ms,
+            max_memory_mb,
+        } => {
+            let mut store = open(dir, *deadline_ms, *max_memory_mb)?;
+            let k = store.k();
+            let release = store.release().map_err(|e| map_pipeline_error(e, k))?;
+            let csv = release.to_csv_string();
+            match output {
+                Some(path) => {
+                    write_output(path, &csv)?;
+                    Ok(Outcome {
+                        stdout: String::new(),
+                        notes: vec![format!("wrote {path}")],
+                    })
+                }
+                None => Ok(Outcome {
+                    stdout: csv,
+                    notes: Vec::new(),
+                }),
             }
         }
-        line.clear();
-        csv::write_record(&mut line, fields.iter().copied());
-        w.write_all(line.as_bytes())?;
     }
-    w.flush()
 }
 
 /// Streams a zipf-skewed categorical CSV; with `--output` the rows go

@@ -220,6 +220,26 @@ impl Budget {
         self.memory.load(Ordering::Relaxed)
     }
 
+    /// As [`Budget::try_charge_memory`], but scoped: the returned guard
+    /// refunds the charge when dropped. Use for transient buffers (WAL
+    /// replay records, staging areas) whose memory is returned to the pool
+    /// as soon as the scope ends, unlike the fire-and-forget charges solvers
+    /// make for allocations that live for the rest of the run.
+    ///
+    /// # Errors
+    /// [`Error::BudgetExceeded`] with [`Resource::Memory`]; nothing is
+    /// charged in that case.
+    pub fn try_charge_memory_scoped(&self, bytes: u64) -> Result<MemoryCharge<'_>> {
+        // Uncapped budgets skip the counter in `try_charge_memory`, so the
+        // guard must remember a zero charge to stay symmetric on drop.
+        let charged = if self.max_memory.is_some() { bytes } else { 0 };
+        self.try_charge_memory(bytes)?;
+        Ok(MemoryCharge {
+            budget: self,
+            bytes: charged,
+        })
+    }
+
     /// The planned-allocation memory cap, `None` when uncapped. Callers that
     /// divide a budget among concurrent workers (the sharded pipeline) read
     /// this to compute per-worker [`Budget::child_with_memory`] slices.
@@ -296,6 +316,23 @@ impl Budget {
         PollTicker {
             budget: self,
             countdown: POLL_INTERVAL,
+        }
+    }
+}
+
+/// A planned-allocation charge that refunds itself on drop. Created by
+/// [`Budget::try_charge_memory_scoped`].
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately refunds the charge"]
+pub struct MemoryCharge<'a> {
+    budget: &'a Budget,
+    bytes: u64,
+}
+
+impl Drop for MemoryCharge<'_> {
+    fn drop(&mut self) {
+        if self.bytes > 0 {
+            self.budget.memory.fetch_sub(self.bytes, Ordering::Relaxed);
         }
     }
 }
@@ -593,6 +630,31 @@ mod tests {
         // The failed charge rolled back, so a smaller one still fits.
         assert_eq!(b.memory_charged(), 60);
         assert!(b.try_charge_memory(40).is_ok());
+    }
+
+    #[test]
+    fn scoped_charges_refund_on_drop() {
+        let b = Budget::builder().max_memory_bytes(100).build();
+        {
+            let _guard = b.try_charge_memory_scoped(80).unwrap();
+            assert_eq!(b.memory_charged(), 80);
+            // While the guard lives, the remaining headroom is 20 bytes.
+            assert!(b.try_charge_memory_scoped(30).is_err());
+        }
+        // The guard's drop refunded the 80 bytes.
+        assert_eq!(b.memory_charged(), 0);
+        assert!(b.try_charge_memory_scoped(100).is_ok());
+
+        // A failed scoped charge leaves the counter untouched.
+        let err = b.try_charge_memory_scoped(101);
+        assert!(err.is_err());
+        assert_eq!(b.memory_charged(), 0);
+
+        // Uncapped budgets skip the accounting, and the guard must not
+        // underflow the counter on drop.
+        let free = Budget::unlimited();
+        drop(free.try_charge_memory_scoped(u64::MAX).unwrap());
+        assert_eq!(free.memory_charged(), 0);
     }
 
     #[test]

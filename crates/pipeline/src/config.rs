@@ -68,6 +68,14 @@ pub struct PipelineConfig {
     pub shard_size: usize,
     /// Row-to-shard assignment strategy.
     pub strategy: ShardStrategy,
+    /// Fixed bucket count for [`ShardStrategy::HashQuasi`]. `None` derives
+    /// `ceil(n / shard_size)` from the table size — right for one-shot
+    /// batch runs. The delta engine pins this instead: bucket assignment
+    /// must not move when rows arrive or depart, or every shard would go
+    /// dirty on every update. A batch run given the same pinned count
+    /// reproduces the incremental run's sharding exactly, which is what the
+    /// differential equivalence suite leans on.
+    pub n_buckets: Option<usize>,
     /// Worker threads solving shards concurrently. `None` defers to
     /// [`kanon_core::distcache::resolve_threads`] (the `RAYON_NUM_THREADS`
     /// environment variable, then available parallelism).
@@ -91,6 +99,7 @@ impl Default for PipelineConfig {
         PipelineConfig {
             shard_size: 512,
             strategy: ShardStrategy::default(),
+            n_buckets: None,
             workers: None,
             budget: Budget::unlimited(),
             start: None,
@@ -124,6 +133,9 @@ impl PipelineConfig {
         if let Some(0) = self.workers {
             return Err(Error::Config("worker count must be at least 1".into()));
         }
+        if let Some(0) = self.n_buckets {
+            return Err(Error::Config("bucket count must be at least 1".into()));
+        }
         Ok(())
     }
 }
@@ -154,5 +166,15 @@ mod tests {
             ..PipelineConfig::default()
         };
         assert!(zero_workers.validate(2).is_err());
+        let zero_buckets = PipelineConfig {
+            n_buckets: Some(0),
+            ..PipelineConfig::default()
+        };
+        assert!(zero_buckets.validate(2).is_err());
+        let pinned = PipelineConfig {
+            n_buckets: Some(7),
+            ..PipelineConfig::default()
+        };
+        assert!(pinned.validate(2).is_ok());
     }
 }

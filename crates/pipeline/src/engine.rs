@@ -41,7 +41,7 @@ use kanon_core::{Algorithm, Anonymization, Dataset, Partition, Resource};
 use crate::config::PipelineConfig;
 use crate::error::{Error, Result};
 use crate::report::{PipelineReport, ShardReport, SolvedBy};
-use crate::shard::{full_cover_candidates, plan_shards};
+use crate::shard::{chunk_near_equal, full_cover_candidates, plan_shards, residue_chunk_target};
 
 /// Live progress of a pipeline run, emitted through the callback of
 /// [`run_pipeline_with_progress`] so callers that own long-running jobs
@@ -71,10 +71,12 @@ pub enum Progress {
 }
 
 /// A solved shard: its local partition (indices into the shard's sub-table,
-/// already inside the (k, 2k-1) band) and its report entry.
-struct Solved {
-    partition: Partition,
-    report: ShardReport,
+/// already inside the (k, 2k-1) band) and its report entry. The delta
+/// engine caches these per bucket, which is why the fields are
+/// crate-visible.
+pub(crate) struct Solved {
+    pub(crate) partition: Partition,
+    pub(crate) report: ShardReport,
 }
 
 /// One unit of work for the pool.
@@ -84,7 +86,7 @@ struct Task {
     budget: Budget,
 }
 
-fn select(ds: &Dataset, rows: &[u32]) -> Dataset {
+pub(crate) fn select(ds: &Dataset, rows: &[u32]) -> Dataset {
     let idx: Vec<usize> = rows.iter().map(|&r| r as usize).collect();
     ds.select_rows(&idx)
         .expect("shard plan only holds in-range row indices")
@@ -93,7 +95,7 @@ fn select(ds: &Dataset, rows: &[u32]) -> Dataset {
 /// The first rung worth attempting for a shard of `s` rows: the exhaustive
 /// greedy only when its candidate family fits the configured cap, otherwise
 /// the center greedy (skipping a guaranteed guard rejection).
-fn choose_start(s: usize, k: usize, config: &PipelineConfig) -> Rung {
+pub(crate) fn choose_start(s: usize, k: usize, config: &PipelineConfig) -> Rung {
     if let Some(start) = config.start {
         return start;
     }
@@ -114,7 +116,7 @@ fn recoverable(err: &kanon_core::Error) -> bool {
     )
 }
 
-fn solve_shard(
+pub(crate) fn solve_shard(
     id: usize,
     sub: &Dataset,
     k: usize,
@@ -181,7 +183,7 @@ fn solve_shard(
 /// A dispatch-time budget slice: deadline proportional to the shard's share
 /// of undispatched rows (scaled by the worker count, since `workers` slices
 /// run concurrently), memory capped at `mem_slice`.
-fn slice_budget(
+pub(crate) fn slice_budget(
     parent: &Budget,
     shard_rows: usize,
     rows_left: u64,
@@ -197,6 +199,109 @@ fn slice_budget(
         Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX)).min(rem)
     });
     parent.child_with_memory(allowance, mem_slice)
+}
+
+/// Solves the residue pool as a sequence of near-equal chunks of `target`
+/// rows, combined into one [`Solved`] unit (one report entry, one progress
+/// tick — the residue stays a single logical shard to callers).
+///
+/// Chunks are consecutive ranges of the residue's row order, so the
+/// concatenated chunk partitions line up with the residue sub-table's
+/// indices without any remapping. Each chunk gets everything that remains
+/// of the parent budget, like the single-shard residue always did.
+pub(crate) fn solve_residue(
+    id: usize,
+    sub: &Dataset,
+    k: usize,
+    target: usize,
+    config: &PipelineConfig,
+    parent: &Budget,
+) -> Result<Solved> {
+    let started = Instant::now();
+    let rows: Vec<u32> = (0..sub.n_rows() as u32).collect();
+    let chunks = chunk_near_equal(&rows, target.max(2 * k.max(1) - 1));
+    if chunks.len() == 1 {
+        return solve_shard(id, sub, k, config, parent.child(None));
+    }
+    let mut parts = Vec::with_capacity(chunks.len());
+    let mut rows_total = 0;
+    let mut cost = 0;
+    let mut attempts = 0;
+    let mut degraded = false;
+    let mut worst: Option<SolvedBy> = None;
+    let mut note = None;
+    for chunk in &chunks {
+        let piece = select(sub, chunk);
+        let s = solve_shard(id, &piece, k, config, parent.child(None))?;
+        rows_total += s.report.rows;
+        cost += s.report.cost;
+        attempts += s.report.attempts;
+        degraded |= s.report.degraded;
+        if note.is_none() {
+            note = s.report.note;
+        }
+        worst = Some(match worst {
+            None => s.report.solved_by,
+            Some(w) => weaker_solver(w, s.report.solved_by),
+        });
+        parts.push(s.partition);
+    }
+    let partition = Partition::concat_disjoint(parts).map_err(Error::Core)?;
+    Ok(Solved {
+        partition,
+        report: ShardReport {
+            id,
+            rows: rows_total,
+            solved_by: worst.expect("at least one chunk"),
+            degraded,
+            attempts,
+            cost,
+            elapsed: started.elapsed(),
+            note,
+        },
+    })
+}
+
+/// Of two chunk outcomes, the one with the weaker guarantee — that is what
+/// the combined residue entry reports, so a degraded chunk is never hidden
+/// behind a stronger sibling.
+fn weaker_solver(a: SolvedBy, b: SolvedBy) -> SolvedBy {
+    let rank = |s: &SolvedBy| match s {
+        // Rungs are ordered strongest-first in `Rung::ALL`.
+        SolvedBy::Rung(r) => Rung::ALL
+            .iter()
+            .position(|x| x == r)
+            .expect("Rung::ALL contains every rung"),
+        SolvedBy::Fallback => Rung::ALL.len(),
+    };
+    if rank(&b) > rank(&a) {
+        b
+    } else {
+        a
+    }
+}
+
+/// The merge step shared by the batch engine and the delta engine:
+/// concatenate per-shard partitions (in `parts` order), remap the
+/// concatenated indices through `perm` (the shard rows in the same order)
+/// back to table rows, then re-validate the (k, 2k-1) band before
+/// assembling the final [`Anonymization`].
+pub(crate) fn finalize_merge(
+    ds: &Dataset,
+    k: usize,
+    perm: &[u32],
+    parts: Vec<Partition>,
+) -> Result<Anonymization> {
+    let concat = Partition::concat_disjoint(parts).map_err(Error::Core)?;
+    let blocks: Vec<Vec<u32>> = concat
+        .blocks()
+        .iter()
+        .map(|b| b.iter().map(|&i| perm[i as usize]).collect())
+        .collect();
+    let partition = Partition::new(blocks, ds.n_rows(), k).map_err(Error::Core)?;
+    partition.validate_group_sizes(k).map_err(Error::Core)?;
+    anonymization_from_partition(ds, partition, k, Algorithm::External("pipeline"))
+        .map_err(Error::Core)
 }
 
 /// Runs the sharded pipeline over an already-encoded table: plan shards,
@@ -354,13 +459,8 @@ pub fn run_pipeline_with_progress(
         None
     } else {
         let sub = select(ds, &plan.residue);
-        let s = solve_shard(
-            plan.shards.len(),
-            &sub,
-            k,
-            config,
-            config.budget.child(None),
-        )?;
+        let target = residue_chunk_target(ds.n_rows(), plan.n_buckets, k, config.shard_size);
+        let s = solve_residue(plan.shards.len(), &sub, k, target, config, &config.budget)?;
         on_progress(Progress::UnitSolved {
             done: units,
             units,
@@ -387,17 +487,7 @@ pub fn run_pipeline_with_progress(
         parts.push(s.partition);
         shard_reports.push(s.report);
     }
-    let concat = Partition::concat_disjoint(parts).map_err(Error::Core)?;
-    let blocks: Vec<Vec<u32>> = concat
-        .blocks()
-        .iter()
-        .map(|b| b.iter().map(|&i| perm[i as usize]).collect())
-        .collect();
-    let partition = Partition::new(blocks, ds.n_rows(), k).map_err(Error::Core)?;
-    partition.validate_group_sizes(k).map_err(Error::Core)?;
-
-    let anon = anonymization_from_partition(ds, partition, k, Algorithm::External("pipeline"))
-        .map_err(Error::Core)?;
+    let anon = finalize_merge(ds, k, &perm, parts)?;
     // Per-block suppression is position-independent, so the merged cost is
     // exactly the sum of the per-shard costs.
     debug_assert_eq!(

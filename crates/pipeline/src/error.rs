@@ -15,6 +15,13 @@ pub enum Error {
     Relation(kanon_relation::Error),
     /// A pipeline configuration that cannot produce a valid sharding.
     Config(String),
+    /// Wrapped durable-store error (WAL/snapshot I/O or corruption) from
+    /// the delta engine.
+    Store(kanon_store::Error),
+    /// A delta batch that cannot be applied (unknown row id, arity
+    /// mismatch, table would shrink below `k`). Rejected *before* the batch
+    /// reaches the WAL, so durable state never holds an invalid op.
+    Delta(String),
 }
 
 impl fmt::Display for Error {
@@ -23,6 +30,8 @@ impl fmt::Display for Error {
             Error::Core(e) => write!(f, "core error: {e}"),
             Error::Relation(e) => write!(f, "relation error: {e}"),
             Error::Config(msg) => write!(f, "pipeline config error: {msg}"),
+            Error::Store(e) => write!(f, "store error: {e}"),
+            Error::Delta(msg) => write!(f, "delta error: {msg}"),
         }
     }
 }
@@ -32,7 +41,8 @@ impl std::error::Error for Error {
         match self {
             Error::Core(e) => Some(e),
             Error::Relation(e) => Some(e),
-            Error::Config(_) => None,
+            Error::Store(e) => Some(e),
+            Error::Config(_) | Error::Delta(_) => None,
         }
     }
 }
@@ -46,6 +56,12 @@ impl From<kanon_core::Error> for Error {
 impl From<kanon_relation::Error> for Error {
     fn from(e: kanon_relation::Error) -> Self {
         Error::Relation(e)
+    }
+}
+
+impl From<kanon_store::Error> for Error {
+    fn from(e: kanon_store::Error) -> Self {
+        Error::Store(e)
     }
 }
 

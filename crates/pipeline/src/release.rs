@@ -1,0 +1,120 @@
+//! Rendering a released table back to CSV.
+//!
+//! The release is the original table with `*` on suppressed
+//! quasi-identifier cells; non-quasi columns pass through untouched. The
+//! writer streams row by row, so rendering is O(1) memory beyond the line
+//! buffer however large the table. Both the CLI's `pipeline` command and
+//! the delta engine's `release` path go through this one function — the
+//! differential equivalence suite compares their outputs byte for byte,
+//! which only means something if neither has its own formatting quirks.
+
+use std::io;
+
+use kanon_core::{Dataset, Suppressor};
+use kanon_relation::csv;
+use kanon_relation::Codec;
+
+/// Streams the released table to `w`: header, then one CSV record per row,
+/// original values everywhere except suppressed quasi-identifier cells,
+/// which render as `*`.
+///
+/// `quasi` maps suppressor columns back to table columns: the suppressor's
+/// column `pos` is the table's column `quasi[pos]`.
+///
+/// # Errors
+/// I/O errors from `w`.
+///
+/// # Panics
+/// If a dataset code is unknown to `codec` or `quasi` is out of bounds —
+/// both mean the caller paired state from different runs.
+pub fn write_release(
+    dataset: &Dataset,
+    codec: &Codec,
+    quasi: &[usize],
+    suppressor: &Suppressor,
+    mut w: impl io::Write,
+) -> io::Result<()> {
+    let arity = codec.arity();
+    // Column j's position inside the quasi-identifier projection, if any.
+    let mut qi_pos: Vec<Option<usize>> = vec![None; arity];
+    for (pos, &j) in quasi.iter().enumerate() {
+        qi_pos[j] = Some(pos);
+    }
+    let mut line = String::new();
+    csv::write_record(&mut line, codec.header().iter().map(String::as_str));
+    w.write_all(line.as_bytes())?;
+    let mut fields: Vec<&str> = Vec::with_capacity(arity);
+    for i in 0..dataset.n_rows() {
+        fields.clear();
+        for (j, pos) in qi_pos.iter().enumerate() {
+            let suppressed = pos.is_some_and(|pos| suppressor.is_suppressed(i, pos));
+            if suppressed {
+                fields.push("*");
+            } else {
+                let code = dataset.get(i, j);
+                fields.push(codec.value(j, code).expect("codes come from this codec"));
+            }
+        }
+        line.clear();
+        csv::write_record(&mut line, fields.iter().copied());
+        w.write_all(line.as_bytes())?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_csv, PipelineConfig};
+
+    const CSV: &str = "age,zip,job\n34,90210,cook\n34,90210,cook\n35,90210,cook\n\
+                       35,90211,nurse\n34,90211,nurse\n35,90211,nurse\n";
+
+    #[test]
+    fn release_has_stars_only_on_suppressed_quasi_cells() {
+        let quasi = vec!["age".to_string(), "zip".to_string()];
+        let run = run_csv(CSV.as_bytes(), 3, Some(&quasi), &PipelineConfig::default()).unwrap();
+        let mut buf = Vec::new();
+        write_release(
+            &run.dataset,
+            &run.codec,
+            &run.quasi,
+            &run.anonymization.suppressor,
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "age,zip,job");
+        assert_eq!(lines.len(), 7);
+        // The non-quasi column is never starred.
+        for line in &lines[1..] {
+            let job = line.split(',').nth(2).unwrap();
+            assert!(job == "cook" || job == "nurse", "{line}");
+        }
+        // Star count equals the reported suppression cost.
+        let stars = text.matches('*').count();
+        assert_eq!(stars, run.anonymization.cost);
+    }
+
+    #[test]
+    fn all_columns_quasi_round_trips_unsuppressed_cells() {
+        let run = run_csv(CSV.as_bytes(), 2, None, &PipelineConfig::default()).unwrap();
+        let mut buf = Vec::new();
+        write_release(
+            &run.dataset,
+            &run.codec,
+            &run.quasi,
+            &run.anonymization.suppressor,
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Every unsuppressed cell matches the input verbatim.
+        for (i, (got, want)) in text.lines().skip(1).zip(CSV.lines().skip(1)).enumerate() {
+            for (g, w) in got.split(',').zip(want.split(',')) {
+                assert!(g == w || g == "*", "row {i}: {got} vs {want}");
+            }
+        }
+    }
+}

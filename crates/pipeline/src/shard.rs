@@ -26,6 +26,11 @@ pub struct ShardPlan {
     /// at least `k` rows (a smaller residue is folded into a shard), except
     /// when the whole table is residue (then `n >= k` rows).
     pub residue: Vec<u32>,
+    /// How many hash buckets the plan used (1 for [`ShardStrategy::Sorted`],
+    /// which has a single global order instead of buckets). The engine sizes
+    /// residue chunks from this, and the delta engine pins it via
+    /// [`PipelineConfig::n_buckets`] so its bucketing matches a batch run.
+    pub n_buckets: usize,
 }
 
 impl ShardPlan {
@@ -37,8 +42,10 @@ impl ShardPlan {
 }
 
 /// FNV-1a over a row's encoded quasi-identifier values. Stable across
-/// platforms and worker counts (it reads only the table contents).
-fn fnv1a_row(row: &[u32]) -> u64 {
+/// platforms and worker counts (it reads only the table contents). The
+/// delta engine routes updates with the same hash, so a row keeps its
+/// bucket for as long as its codes are unchanged.
+pub(crate) fn fnv1a_row(row: &[u32]) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
@@ -59,7 +66,7 @@ fn fnv1a_row(row: &[u32]) -> u64 {
 /// With `target >= 2k - 1` and `len >= k`, every piece has at least `k`
 /// rows: for `q >= 2` pieces, `len >= (q-1)*target + 1` gives
 /// `floor(len/q) >= (2k-1) - (2k-2)/q >= k`.
-fn chunk_near_equal(rows: &[u32], target: usize) -> Vec<Vec<u32>> {
+pub(crate) fn chunk_near_equal(rows: &[u32], target: usize) -> Vec<Vec<u32>> {
     let q = rows.len().div_ceil(target).max(1);
     let base = rows.len() / q;
     let extra = rows.len() % q; // first `extra` pieces get one more row
@@ -88,7 +95,10 @@ pub fn plan_shards(ds: &Dataset, k: usize, config: &PipelineConfig) -> Result<Sh
     // ascending row id for hashing, sort position for range sharding.
     let buckets: Vec<Vec<u32>> = match config.strategy {
         ShardStrategy::HashQuasi => {
-            let n_buckets = n.div_ceil(target).max(1);
+            let n_buckets = config
+                .n_buckets
+                .unwrap_or_else(|| n.div_ceil(target))
+                .max(1);
             let mut buckets = vec![Vec::new(); n_buckets];
             for (i, row) in ds.rows().enumerate() {
                 let b = (fnv1a_row(row) % n_buckets as u64) as usize;
@@ -107,6 +117,7 @@ pub fn plan_shards(ds: &Dataset, k: usize, config: &PipelineConfig) -> Result<Sh
         }
     };
 
+    let n_buckets = buckets.len();
     let mut shards = Vec::new();
     let mut residue = Vec::new();
     for bucket in buckets {
@@ -141,7 +152,28 @@ pub fn plan_shards(ds: &Dataset, k: usize, config: &PipelineConfig) -> Result<Sh
         shards.iter().map(Vec::len).sum::<usize>() + residue.len(),
         n
     );
-    Ok(ShardPlan { shards, residue })
+    Ok(ShardPlan {
+        shards,
+        residue,
+        n_buckets,
+    })
+}
+
+/// The chunk size the engine cuts the residue into: the plan's average
+/// bucket size, clamped into `[2k - 1, shard_size]`. With many small
+/// buckets (the delta engine's regime) the residue can hold thousands of
+/// rows; solving it as one oversized shard would blow the solver's
+/// `O(s²)` comfort zone and force a full residue re-solve on every
+/// update. Chunking it like any other bucket keeps both runs — batch and
+/// incremental — on the same work, which is what keeps them equivalent.
+pub(crate) fn residue_chunk_target(
+    n: usize,
+    n_buckets: usize,
+    k: usize,
+    shard_size: usize,
+) -> usize {
+    let avg = n.div_ceil(n_buckets.max(1));
+    avg.clamp((2 * k.max(1) - 1).min(shard_size), shard_size)
 }
 
 /// Checked `Σ C(n, s)` for `s` in `k..=min(2k-1, n)` — the exhaustive
@@ -252,6 +284,44 @@ mod tests {
                 "a hash shard spans two buckets"
             );
         }
+    }
+
+    #[test]
+    fn pinned_bucket_count_overrides_the_derived_one() {
+        let ds = dataset(100);
+        let derived = plan_shards(&ds, 3, &PipelineConfig::default()).unwrap();
+        assert_eq!(derived.n_buckets, 1); // 100 rows, target 512
+        let config = PipelineConfig {
+            n_buckets: Some(13),
+            ..PipelineConfig::default()
+        };
+        let plan = plan_shards(&ds, 3, &config).unwrap();
+        assert_eq!(plan.n_buckets, 13);
+        assert_covers(&plan, 100, 3, 512);
+        for shard in &plan.shards {
+            let bucket = (fnv1a_row(ds.row(shard[0] as usize)) % 13) as usize;
+            // Rows of one shard share a bucket under the pinned modulus
+            // (the shard that absorbed a sub-k residue is the exception,
+            // so only check shards no larger than the biggest bucket).
+            let uniform = shard
+                .iter()
+                .all(|&r| (fnv1a_row(ds.row(r as usize)) % 13) as usize == bucket);
+            assert!(uniform || plan.residue.is_empty());
+        }
+        // Same pinned count, same plan — independent of derivation.
+        assert_eq!(plan, plan_shards(&ds, 3, &config).unwrap());
+    }
+
+    #[test]
+    fn residue_chunk_target_tracks_bucket_size_within_the_band() {
+        // Average bucket of 8 rows: chunks match it once 2k-1 allows.
+        assert_eq!(residue_chunk_target(80, 10, 3, 512), 8);
+        // Floor: never below 2k-1.
+        assert_eq!(residue_chunk_target(80, 40, 4, 512), 7);
+        // Ceiling: never above the configured shard size.
+        assert_eq!(residue_chunk_target(10_000, 2, 3, 512), 512);
+        // Degenerate inputs stay in range.
+        assert_eq!(residue_chunk_target(5, 0, 3, 512), 5);
     }
 
     #[test]

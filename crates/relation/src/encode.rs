@@ -49,6 +49,38 @@ impl Codec {
         )
     }
 
+    /// Rebuilds a codec from its raw parts: the header and one dictionary
+    /// (strings indexed by code) per column. This is the persistence hook —
+    /// a durable store that saved [`Codec::column_values`] for every column
+    /// can reconstruct the exact codec later, without replaying the data
+    /// that first produced it.
+    ///
+    /// # Errors
+    /// [`Error::EmptySchema`] / [`Error::DuplicateAttribute`] for a bad
+    /// header, [`Error::ArityMismatch`] when the dictionary count differs
+    /// from the header's.
+    pub fn from_parts(header: Vec<String>, columns: Vec<Vec<String>>) -> Result<Codec> {
+        let schema = crate::schema::Schema::new(header)?;
+        let header = schema.names().to_vec();
+        if columns.len() != header.len() {
+            return Err(Error::ArityMismatch {
+                expected: header.len(),
+                found: columns.len(),
+            });
+        }
+        Ok(Codec { columns, header })
+    }
+
+    /// Column `j`'s full dictionary: original strings indexed by code, in
+    /// first-appearance order.
+    ///
+    /// # Panics
+    /// Panics if `j` is out of bounds.
+    #[must_use]
+    pub fn column_values(&self, j: usize) -> &[String] {
+        &self.columns[j]
+    }
+
     /// Number of columns.
     #[must_use]
     pub fn arity(&self) -> usize {
@@ -241,6 +273,28 @@ mod tests {
         assert_eq!(codec.value(0, 1).unwrap(), "rome");
         assert!(codec.value(0, 7).is_err());
         assert!(codec.value(5, 0).is_err());
+    }
+
+    #[test]
+    fn from_parts_reconstructs_an_equivalent_codec() {
+        let (_, codec) = sample().encode();
+        let parts: Vec<Vec<String>> = (0..codec.arity())
+            .map(|j| codec.column_values(j).to_vec())
+            .collect();
+        let rebuilt = Codec::from_parts(codec.header().to_vec(), parts).unwrap();
+        assert_eq!(rebuilt.header(), codec.header());
+        for j in 0..codec.arity() {
+            assert_eq!(rebuilt.column_values(j), codec.column_values(j));
+            for code in 0..codec.alphabet_size(j) as u32 {
+                assert_eq!(
+                    rebuilt.value(j, code).unwrap(),
+                    codec.value(j, code).unwrap()
+                );
+            }
+        }
+        // Part-count mismatches and bad headers are rejected.
+        assert!(Codec::from_parts(vec!["a".into()], vec![vec![], vec![]]).is_err());
+        assert!(Codec::from_parts(vec![], vec![]).is_err());
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! A minimal little-endian binary codec for record payloads.
+//!
+//! Payloads travel inside CRC-checked envelopes (WAL records, snapshots),
+//! so by the time a [`ByteReader`] sees them the bytes are known to be the
+//! bytes that were written. A read that still runs off the end or finds a
+//! nonsensical tag therefore indicates a format bug or version skew and is
+//! reported as [`Error::Corrupt`], never silently zero-filled.
+
+use crate::error::{Error, Result};
+
+/// Appends primitive values to a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (the on-disk format is 64-bit
+    /// regardless of platform).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(u32::try_from(s.len()).expect("string length fits u32"));
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed `u32` slice.
+    pub fn put_u32_slice(&mut self, vs: &[u32]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_u32(v);
+        }
+    }
+
+    /// Appends a length-prefixed `u64` slice.
+    pub fn put_u64_slice(&mut self, vs: &[u64]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_u64(v);
+        }
+    }
+}
+
+/// Reads primitive values back out of an encoded payload.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+    /// File label for error reports (`wal` or `snapshot`).
+    file: &'static str,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`; `file` labels corruption reports.
+    #[must_use]
+    pub fn new(buf: &'a [u8], file: &'static str) -> Self {
+        ByteReader { buf, at: 0, file }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// Reports a decode problem at the current offset.
+    #[must_use]
+    pub fn corrupt(&self, detail: impl Into<String>) -> Error {
+        Error::Corrupt {
+            file: self.file,
+            offset: self.at as u64,
+            detail: detail.into(),
+        }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8]> {
+        if self.remaining() < len {
+            return Err(self.corrupt(format!(
+                "payload truncated: wanted {len} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.at..self.at + len];
+        self.at += len;
+        Ok(slice)
+    }
+
+    /// Reads a single byte.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] on truncation.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] on truncation.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] on truncation.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] on truncation or a value beyond this platform's
+    /// address width.
+    pub fn get_usize(&mut self) -> Result<usize> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| self.corrupt(format!("length {v} exceeds usize")))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] on truncation or invalid UTF-8.
+    pub fn get_str(&mut self) -> Result<String> {
+        let len = self.get_u32()? as usize;
+        if len > self.remaining() {
+            return Err(self.corrupt(format!(
+                "string length {len} exceeds {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("string is not UTF-8"))
+    }
+
+    /// Reads a length-prefixed `u32` slice.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] on truncation or an implausible length.
+    pub fn get_u32_vec(&mut self) -> Result<Vec<u32>> {
+        let len = self.get_usize()?;
+        if len > self.remaining() / 4 {
+            return Err(self.corrupt(format!("u32 slice length {len} exceeds payload")));
+        }
+        (0..len).map(|_| self.get_u32()).collect()
+    }
+
+    /// Reads a length-prefixed `u64` slice.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] on truncation or an implausible length.
+    pub fn get_u64_vec(&mut self) -> Result<Vec<u64>> {
+        let len = self.get_usize()?;
+        if len > self.remaining() / 8 {
+            return Err(self.corrupt(format!("u64 slice length {len} exceeds payload")));
+        }
+        (0..len).map(|_| self.get_u64()).collect()
+    }
+
+    /// Asserts every byte has been consumed (trailing garbage is version
+    /// skew, not padding).
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] when bytes remain.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.remaining() > 0 {
+            return Err(self.corrupt(format!("{} trailing bytes after payload", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_primitives() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX - 1);
+        w.put_usize(12);
+        w.put_str("héllo");
+        w.put_u32_slice(&[1, 2, 3]);
+        w.put_u64_slice(&[9, 8]);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes, "wal");
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_usize().unwrap(), 12);
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(r.get_u32_vec().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_u64_vec().unwrap(), vec![9, 8]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_corruption_not_default_values() {
+        let mut w = ByteWriter::new();
+        w.put_u32(5);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..2], "snapshot");
+        let err = r.get_u32().unwrap_err();
+        assert!(err.to_string().contains("snapshot"));
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected() {
+        // A string claiming to be longer than the payload.
+        let mut w = ByteWriter::new();
+        w.put_u32(1_000_000);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "wal");
+        assert!(r.get_str().is_err());
+
+        // A slice claiming more elements than could fit.
+        let mut w = ByteWriter::new();
+        w.put_usize(usize::MAX / 8);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "wal");
+        assert!(r.get_u64_vec().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_flagged() {
+        let mut w = ByteWriter::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "wal");
+        r.get_u8().unwrap();
+        assert!(r.expect_end().is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+//!
+//! The workspace carries no external checksum crate, so the classic
+//! byte-at-a-time table implementation lives here. The polynomial and bit
+//! order match zlib's `crc32`, which keeps the on-disk format checkable
+//! with standard tools.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xedb8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `data` (initial value 0, i.e. the common one-shot form).
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check values for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"hello, world");
+        let mut data = *b"hello, world";
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                data[i] ^= 1 << bit;
+                assert_ne!(crc32(&data), base, "flip at byte {i} bit {bit} undetected");
+                data[i] ^= 1 << bit;
+            }
+        }
+    }
+}

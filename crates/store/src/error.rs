@@ -1,0 +1,88 @@
+//! Store error taxonomy: I/O, corruption, and budget trips.
+
+use std::fmt;
+use std::io;
+
+/// Alias for store results.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Everything that can go wrong reading or writing durable state.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// A committed record or snapshot failed its integrity checks. Unlike a
+    /// torn tail, this is never recovered from silently: the bytes claim to
+    /// be complete but do not check out.
+    Corrupt {
+        /// Which file was found corrupt (`wal` or `snapshot`).
+        file: &'static str,
+        /// Byte offset at which the corruption was detected.
+        offset: u64,
+        /// What check failed.
+        detail: String,
+    },
+    /// A replay buffer would exceed the governing budget's memory cap.
+    Budget(kanon_core::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "store I/O error: {e}"),
+            Error::Corrupt {
+                file,
+                offset,
+                detail,
+            } => write!(f, "corrupt {file} at byte {offset}: {detail}"),
+            Error::Budget(e) => write!(f, "store budget exceeded: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Budget(e) => Some(e),
+            Error::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<kanon_core::Error> for Error {
+    fn from(e: kanon_core::Error) -> Self {
+        Error::Budget(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_file_and_offset() {
+        let e = Error::Corrupt {
+            file: "wal",
+            offset: 42,
+            detail: "checksum mismatch".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("wal"));
+        assert!(text.contains("42"));
+        assert!(text.contains("checksum"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: Error = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+}

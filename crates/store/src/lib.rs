@@ -1,0 +1,40 @@
+//! `kanon-store`: durable state for incremental anonymization.
+//!
+//! The delta engine in `kanon-pipeline` must survive a crash at any byte
+//! boundary without ever replaying into a half-applied update. This crate
+//! supplies the two storage primitives that make that possible, with no
+//! dependency on what is being stored:
+//!
+//! - **Write-ahead log** ([`wal`]) — an append-only file of
+//!   length-prefixed, CRC-32-checksummed records. Appends are the
+//!   durability point for a delta batch; replay either yields a consistent
+//!   prefix (a torn tail from a crash mid-append is truncated away) or
+//!   refuses loudly (a checksum mismatch inside the committed prefix is
+//!   corruption, never silently skipped).
+//! - **Snapshot** ([`snapshot`]) — a whole-state checkpoint written to a
+//!   temporary file and atomically renamed into place, with a magic number,
+//!   format version, and whole-payload checksum. Compaction writes a
+//!   snapshot and then resets the WAL; a crash between the two steps is
+//!   harmless because records at or below the snapshot's sequence number
+//!   are skipped on replay.
+//!
+//! Record payloads are opaque bytes here; [`bytes`] offers the little
+//! binary codec (`u32`/`u64`/length-prefixed strings, all little-endian)
+//! the delta engine uses to fill them. Replay buffers are charged against a
+//! [`kanon_core::govern::Budget`] so a hostile or corrupt length prefix
+//! cannot balloon memory past the governor's cap.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bytes;
+pub mod crc;
+pub mod error;
+pub mod snapshot;
+pub mod wal;
+
+pub use bytes::{ByteReader, ByteWriter};
+pub use crc::crc32;
+pub use error::{Error, Result};
+pub use snapshot::{read_snapshot, write_snapshot};
+pub use wal::{encode_record, Replay, Wal, RECORD_HEADER};

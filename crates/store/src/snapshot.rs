@@ -1,0 +1,226 @@
+//! Atomic whole-state snapshots.
+//!
+//! A snapshot is written to `<path>.tmp`, fsynced, and renamed over
+//! `<path>` — the rename is the commit point, so readers only ever see the
+//! old snapshot or the new one, never a partial write. The containing
+//! directory is fsynced after the rename (best effort on platforms where
+//! directory handles cannot be synced) so the rename itself survives a
+//! power cut.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! [4 bytes magic "KSNP"] [u32 version] [u64 payload len] [u32 crc32(payload)] [payload]
+//! ```
+//!
+//! Any mismatch — magic, unsupported version, truncation, checksum — is
+//! [`Error::Corrupt`]: a snapshot is either wholly valid or rejected. There
+//! is no partial-recovery mode; the caller falls back to the previous
+//! snapshot (if it kept one) or re-initializes from source data.
+
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use kanon_core::govern::Budget;
+
+use crate::crc::crc32;
+use crate::error::{Error, Result};
+
+const MAGIC: [u8; 4] = *b"KSNP";
+const HEADER: usize = 4 + 4 + 8 + 4;
+
+/// Writes `payload` as a version-`version` snapshot at `path`, atomically.
+///
+/// # Errors
+/// I/O errors from the temporary write, fsync, or rename.
+pub fn write_snapshot(path: impl AsRef<Path>, version: u32, payload: &[u8]) -> Result<()> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        let mut header = Vec::with_capacity(HEADER);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&version.to_le_bytes());
+        header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        header.extend_from_slice(&crc32(payload).to_le_bytes());
+        file.write_all(&header)?;
+        file.write_all(payload)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Persist the rename itself. Not all filesystems let us sync a
+    // directory handle; failure here narrows durability, not atomicity.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads the snapshot at `path`. `Ok(None)` when no snapshot exists yet.
+///
+/// # Errors
+/// [`Error::Corrupt`] on any integrity failure (bad magic, version other
+/// than `version`, truncation, checksum mismatch); [`Error::Budget`] when
+/// the payload buffer would exceed `budget`'s memory cap; I/O errors.
+pub fn read_snapshot(
+    path: impl AsRef<Path>,
+    version: u32,
+    budget: &Budget,
+) -> Result<Option<Vec<u8>>> {
+    let path = path.as_ref();
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut header = [0u8; HEADER];
+    file.read_exact(&mut header).map_err(|_| Error::Corrupt {
+        file: "snapshot",
+        offset: 0,
+        detail: "file shorter than the snapshot header".into(),
+    })?;
+    if header[..4] != MAGIC {
+        return Err(Error::Corrupt {
+            file: "snapshot",
+            offset: 0,
+            detail: "bad magic (not a kanon snapshot)".into(),
+        });
+    }
+    let found_version = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if found_version != version {
+        return Err(Error::Corrupt {
+            file: "snapshot",
+            offset: 4,
+            detail: format!("snapshot version {found_version}, expected {version}"),
+        });
+    }
+    let len = u64::from_le_bytes([
+        header[8], header[9], header[10], header[11], header[12], header[13], header[14],
+        header[15],
+    ]);
+    let crc = u32::from_le_bytes([header[16], header[17], header[18], header[19]]);
+    let expected = file.metadata()?.len().saturating_sub(HEADER as u64);
+    if len != expected {
+        return Err(Error::Corrupt {
+            file: "snapshot",
+            offset: 8,
+            detail: format!("payload length {len} but {expected} bytes follow the header"),
+        });
+    }
+    // Keep the transient charge alive only while the payload is verified;
+    // the caller owns the returned buffer and its long-term accounting.
+    let _charge = budget.try_charge_memory_scoped(len)?;
+    let mut payload = Vec::with_capacity(usize::try_from(len).map_err(|_| Error::Corrupt {
+        file: "snapshot",
+        offset: 8,
+        detail: format!("payload length {len} exceeds usize"),
+    })?);
+    file.read_to_end(&mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(Error::Corrupt {
+            file: "snapshot",
+            offset: HEADER as u64,
+            detail: "payload checksum mismatch".into(),
+        });
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("kanon-snapshot-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("state.snap")
+    }
+
+    #[test]
+    fn round_trip() {
+        let path = tmp("round-trip");
+        write_snapshot(&path, 1, b"the whole state").unwrap();
+        let payload = read_snapshot(&path, 1, &Budget::unlimited())
+            .unwrap()
+            .unwrap();
+        assert_eq!(payload, b"the whole state");
+        // No stray temporary left behind.
+        assert!(!path.with_extension("tmp").exists());
+    }
+
+    #[test]
+    fn missing_snapshot_is_none() {
+        let path = tmp("missing").with_extension("nope");
+        assert!(read_snapshot(&path, 1, &Budget::unlimited())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn overwrite_replaces_atomically() {
+        let path = tmp("overwrite");
+        write_snapshot(&path, 1, b"old").unwrap();
+        write_snapshot(&path, 1, b"new and longer").unwrap();
+        let payload = read_snapshot(&path, 1, &Budget::unlimited())
+            .unwrap()
+            .unwrap();
+        assert_eq!(payload, b"new and longer");
+    }
+
+    #[test]
+    fn corruption_is_refused() {
+        let path = tmp("corrupt");
+        write_snapshot(&path, 1, b"fragile bytes").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+
+        // Flip one payload byte.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&path, 1, &Budget::unlimited()),
+            Err(Error::Corrupt { .. })
+        ));
+        bytes[last] ^= 0x40;
+
+        // Truncate the payload.
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(
+            read_snapshot(&path, 1, &Budget::unlimited()),
+            Err(Error::Corrupt { .. })
+        ));
+
+        // Wrong magic.
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        std::fs::write(&path, &wrong).unwrap();
+        assert!(matches!(
+            read_snapshot(&path, 1, &Budget::unlimited()),
+            Err(Error::Corrupt { .. })
+        ));
+
+        // Wrong version.
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&path, 2, &Budget::unlimited()),
+            Err(Error::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn payload_buffer_is_budget_charged() {
+        let path = tmp("budget");
+        write_snapshot(&path, 1, &[3u8; 4096]).unwrap();
+        let tight = Budget::builder().max_memory_bytes(16).build();
+        assert!(matches!(
+            read_snapshot(&path, 1, &tight),
+            Err(Error::Budget(_))
+        ));
+        assert_eq!(tight.memory_charged(), 0);
+    }
+}

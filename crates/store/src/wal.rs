@@ -1,0 +1,374 @@
+//! The write-ahead log: append-only, length-prefixed, checksummed records.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! record := [u32 len (LE)] [u32 crc32(payload) (LE)] [payload; len bytes]
+//! wal    := record*
+//! ```
+//!
+//! There is no file header: an empty file is a valid empty log, which is
+//! what `O_CREAT` naturally produces and what compaction resets to.
+//!
+//! ## Recovery semantics
+//!
+//! An append is durable once `append` returns (the record bytes are written
+//! and fsynced in one call). Replay distinguishes two failure shapes:
+//!
+//! - **Torn tail** — the file ends mid-record (header or payload cut
+//!   short). This is what a crash between `write` and a completed append
+//!   leaves behind. Replay stops at the last complete record and reports
+//!   the tear; the consistent prefix is the recovered state.
+//! - **Corruption** — a record is fully present but its checksum does not
+//!   match, or its length prefix is absurd. The committed prefix has been
+//!   damaged; replay refuses loudly ([`Error::Corrupt`]) rather than skip
+//!   or truncate, because silently dropping an *interior* record would
+//!   reorder history.
+//!
+//! Payload buffers allocated during replay are charged against a
+//! [`Budget`] via a scoped guard, so a corrupt length prefix cannot
+//! balloon memory before the checksum gets a chance to reject it.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use kanon_core::govern::Budget;
+
+use crate::crc::crc32;
+use crate::error::{Error, Result};
+
+/// Each record costs 8 bytes beyond its payload.
+pub const RECORD_HEADER: usize = 8;
+
+/// Hard ceiling on a single record's payload (64 MiB). A length prefix
+/// beyond this is treated as corruption even before the budget is asked:
+/// no legitimate delta batch approaches it, and it bounds what a flipped
+/// high byte can make replay try to allocate.
+pub const MAX_RECORD: u32 = 64 << 20;
+
+/// Serializes one record (header + payload) into `out`. Exposed so tests
+/// can build valid WAL images byte-by-byte and corrupt them surgically.
+pub fn encode_record(out: &mut Vec<u8>, payload: &[u8]) {
+    let len = u32::try_from(payload.len()).expect("payload fits u32");
+    assert!(len <= MAX_RECORD, "payload exceeds MAX_RECORD");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// The result of replaying a WAL file.
+#[derive(Debug)]
+pub struct Replay {
+    /// Payloads of every complete, checksum-valid record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// True when the file ended mid-record (crash during an append). The
+    /// records above are the consistent prefix; the torn bytes carry no
+    /// committed data and are safe to truncate away.
+    pub torn_tail: bool,
+    /// Byte offset of the end of the last complete record (where a torn
+    /// tail starts, or the file length when the log is clean).
+    pub valid_bytes: u64,
+}
+
+/// An open write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path` for appending.
+    ///
+    /// # Errors
+    /// I/O errors from open/metadata.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Wal> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&path)?;
+        let bytes = file.metadata()?.len();
+        Ok(Wal { file, path, bytes })
+    }
+
+    /// The file this log writes to.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current log size in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Appends one record and fsyncs. When this returns, the record is
+    /// durable; a crash mid-call leaves at worst a torn tail that replay
+    /// recovers from.
+    ///
+    /// # Errors
+    /// I/O errors from write/fsync.
+    ///
+    /// # Panics
+    /// If `payload` exceeds [`MAX_RECORD`].
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        let mut buf = Vec::with_capacity(RECORD_HEADER + payload.len());
+        encode_record(&mut buf, payload);
+        self.file.write_all(&buf)?;
+        self.file.sync_data()?;
+        self.bytes += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Truncates the log to empty (after a successful snapshot compaction).
+    ///
+    /// # Errors
+    /// I/O errors from truncate/fsync.
+    pub fn reset(&mut self) -> Result<()> {
+        self.truncate_to(0)
+    }
+
+    /// Truncates the log to its first `bytes` bytes — how a torn tail found
+    /// by [`Wal::replay`] is discarded so later appends extend the valid
+    /// prefix instead of interleaving with crash debris. (Appends go to the
+    /// end of file, so the shrunken length is what the next append sees.)
+    ///
+    /// # Errors
+    /// I/O errors from truncate/fsync.
+    pub fn truncate_to(&mut self, bytes: u64) -> Result<()> {
+        self.file.set_len(bytes)?;
+        self.file.sync_data()?;
+        self.bytes = bytes;
+        Ok(())
+    }
+
+    /// Replays the log at `path`, returning every committed record.
+    /// A missing file is an empty log. See the module docs for the
+    /// torn-tail vs corruption distinction.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] on a checksum mismatch or absurd length prefix;
+    /// [`Error::Budget`] when a record buffer would exceed `budget`'s
+    /// memory cap; I/O errors from the filesystem.
+    pub fn replay(path: impl AsRef<Path>, budget: &Budget) -> Result<Replay> {
+        let file = match File::open(path.as_ref()) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Replay {
+                    records: Vec::new(),
+                    torn_tail: false,
+                    valid_bytes: 0,
+                })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        replay_reader(file, budget)
+    }
+}
+
+/// Replays WAL-formatted bytes from any reader (the file-free core of
+/// [`Wal::replay`], also driven directly by the fault-injection suite).
+///
+/// # Errors
+/// As [`Wal::replay`].
+pub fn replay_reader<R: Read>(mut reader: R, budget: &Budget) -> Result<Replay> {
+    let mut records = Vec::new();
+    let mut offset: u64 = 0;
+    loop {
+        let mut header = [0u8; RECORD_HEADER];
+        match read_exact_or_eof(&mut reader, &mut header)? {
+            Fill::Empty => {
+                // Clean end: the previous record was the last one.
+                return Ok(Replay {
+                    records,
+                    torn_tail: false,
+                    valid_bytes: offset,
+                });
+            }
+            Fill::Partial => {
+                return Ok(Replay {
+                    records,
+                    torn_tail: true,
+                    valid_bytes: offset,
+                });
+            }
+            Fill::Full => {}
+        }
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        if len > MAX_RECORD {
+            return Err(Error::Corrupt {
+                file: "wal",
+                offset,
+                detail: format!("record length {len} exceeds the {MAX_RECORD}-byte ceiling"),
+            });
+        }
+        // Charge the payload buffer before allocating it; the guard refunds
+        // the charge once the payload has been copied out or rejected.
+        let _charge = budget.try_charge_memory_scoped(u64::from(len))?;
+        let mut payload = vec![0u8; len as usize];
+        match read_exact_or_eof(&mut reader, &mut payload)? {
+            Fill::Full => {}
+            Fill::Empty | Fill::Partial => {
+                return Ok(Replay {
+                    records,
+                    torn_tail: true,
+                    valid_bytes: offset,
+                });
+            }
+        }
+        if crc32(&payload) != crc {
+            return Err(Error::Corrupt {
+                file: "wal",
+                offset,
+                detail: "record checksum mismatch".into(),
+            });
+        }
+        offset += (RECORD_HEADER + payload.len()) as u64;
+        records.push(payload);
+    }
+}
+
+enum Fill {
+    /// The buffer was filled completely.
+    Full,
+    /// EOF before any byte was read.
+    Empty,
+    /// EOF after some but not all bytes (a torn record).
+    Partial,
+}
+
+fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<Fill> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    Fill::Empty
+                } else {
+                    Fill::Partial
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Fill::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("kanon-store-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let path = tmp("round-trip");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(b"first").unwrap();
+        wal.append(b"").unwrap();
+        wal.append(&[0xab; 1000]).unwrap();
+        assert_eq!(wal.bytes(), (5 + 1000 + 3 * RECORD_HEADER) as u64);
+
+        let replay = Wal::replay(&path, &Budget::unlimited()).unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.valid_bytes, wal.bytes());
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.records[0], b"first");
+        assert_eq!(replay.records[1], b"");
+        assert_eq!(replay.records[2], vec![0xab; 1000]);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_log() {
+        let path = tmp("missing").with_extension("nope");
+        let replay = Wal::replay(&path, &Budget::unlimited()).unwrap();
+        assert!(replay.records.is_empty());
+        assert!(!replay.torn_tail);
+    }
+
+    #[test]
+    fn torn_tail_recovers_the_prefix() {
+        let mut image = Vec::new();
+        encode_record(&mut image, b"alpha");
+        encode_record(&mut image, b"beta");
+        let full = image.len();
+        encode_record(&mut image, b"gamma");
+        // Cut at every byte boundary inside the third record (a cut at
+        // exactly `full` is a clean EOF, not a tear): the first two records
+        // must always survive, the third must never half-apply.
+        for cut in full + 1..image.len() {
+            let replay = replay_reader(&image[..cut], &Budget::unlimited()).unwrap();
+            assert!(replay.torn_tail, "cut at {cut} not reported as torn");
+            assert_eq!(replay.records.len(), 2, "cut at {cut}");
+            assert_eq!(replay.valid_bytes, full as u64);
+        }
+    }
+
+    #[test]
+    fn interior_corruption_refuses_loudly() {
+        let mut image = Vec::new();
+        encode_record(&mut image, b"alpha");
+        encode_record(&mut image, b"beta");
+        // Flip a payload byte of the *first* record.
+        image[RECORD_HEADER] ^= 0x01;
+        let err = replay_reader(&image[..], &Budget::unlimited()).unwrap_err();
+        assert!(matches!(err, Error::Corrupt { offset: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_corruption() {
+        let mut image = Vec::new();
+        encode_record(&mut image, b"ok");
+        let mut bad = (MAX_RECORD + 1).to_le_bytes().to_vec();
+        bad.extend_from_slice(&[0; 4]);
+        image.extend_from_slice(&bad);
+        let err = replay_reader(&image[..], &Budget::unlimited()).unwrap_err();
+        assert!(matches!(err, Error::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn replay_buffers_respect_the_memory_budget() {
+        let mut image = Vec::new();
+        encode_record(&mut image, &[7u8; 4096]);
+        let tight = Budget::builder().max_memory_bytes(100).build();
+        let err = replay_reader(&image[..], &tight).unwrap_err();
+        assert!(matches!(err, Error::Budget(_)), "{err}");
+        // The scoped charge rolled back, so the budget is untouched.
+        assert_eq!(tight.memory_charged(), 0);
+        // A roomy budget replays the same image fine, and ends uncharged.
+        let roomy = Budget::builder().max_memory_bytes(1 << 20).build();
+        let replay = replay_reader(&image[..], &roomy).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(roomy.memory_charged(), 0);
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let path = tmp("reset");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(b"short-lived").unwrap();
+        wal.reset().unwrap();
+        assert_eq!(wal.bytes(), 0);
+        let replay = Wal::replay(&path, &Budget::unlimited()).unwrap();
+        assert!(replay.records.is_empty());
+        // The log accepts appends after a reset.
+        wal.append(b"fresh").unwrap();
+        let replay = Wal::replay(&path, &Budget::unlimited()).unwrap();
+        assert_eq!(replay.records.len(), 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Deletion and update edge cases for the delta engine: buckets shrinking
+//! below `k` (residue re-pooling), deleting an entire bucket, and
+//! cross-bucket updates staying atomic inside one WAL record.
+//!
+//! Each scenario asserts the same master property as the differential
+//! suite — byte-identity with a fresh batch run — because re-pooling and
+//! bucket-emptying bugs show up precisely as divergence from what
+//! `plan_shards` does with the same rows.
+
+use kanon_core::govern::Budget;
+use kanon_pipeline::{
+    run_csv, write_release, DeltaConfig, DeltaOp, DeltaStore, PipelineConfig, ShardStrategy,
+};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kanon-delta-edges-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn row(i: u64) -> Vec<String> {
+    vec![format!("a{}", i % 4), format!("b{}", i % 6)]
+}
+
+fn csv_of(rows: &[Vec<String>]) -> String {
+    let mut s = String::from("p,q\n");
+    for r in rows {
+        s.push_str(&r.join(","));
+        s.push('\n');
+    }
+    s
+}
+
+fn batch_csv(table: &str, k: usize, store: &DeltaStore) -> (String, usize) {
+    let config = PipelineConfig {
+        shard_size: store.shard_size(),
+        strategy: ShardStrategy::HashQuasi,
+        n_buckets: Some(store.n_buckets()),
+        ..PipelineConfig::default()
+    };
+    let run = run_csv(table.as_bytes(), k, None, &config).unwrap();
+    let mut buf = Vec::new();
+    write_release(
+        &run.dataset,
+        &run.codec,
+        &run.quasi,
+        &run.anonymization.suppressor,
+        &mut buf,
+    )
+    .unwrap();
+    (String::from_utf8(buf).unwrap(), run.anonymization.cost)
+}
+
+/// Asserts the store's release equals a batch run over `rows` and is
+/// k-anonymous; returns the shared cost.
+fn assert_equiv(store: &mut DeltaStore, rows: &[(u64, Vec<String>)], k: usize) -> usize {
+    let table: Vec<Vec<String>> = rows.iter().map(|(_, r)| r.clone()).collect();
+    let (want, cost) = batch_csv(&csv_of(&table), k, store);
+    let release = store.release().unwrap();
+    assert_eq!(release.to_csv_string(), want, "diverged from batch");
+    assert_eq!(release.anonymization.cost, cost);
+    assert!(release.anonymization.table.is_k_anonymous(k));
+    cost
+}
+
+/// Deleting one row at a time from a small table walks buckets below `k`
+/// one after another — every intermediate state must re-pool the
+/// undersized bucket's rows into the residue exactly like `plan_shards`.
+#[test]
+fn every_single_row_deletion_re_pools_correctly() {
+    let k = 3;
+    for victim in 0..18u64 {
+        let dir = tmp(&format!("shrink-{victim}"));
+        let rows: Vec<Vec<String>> = (0..18).map(row).collect();
+        let mut store = DeltaStore::init(
+            &dir,
+            csv_of(&rows).as_bytes(),
+            // Many buckets for 18 rows: most hold only a handful, so a
+            // single deletion routinely pushes one below k.
+            &DeltaConfig {
+                n_buckets: Some(5),
+                ..DeltaConfig::new(k)
+            },
+        )
+        .unwrap();
+        store.apply(&[DeltaOp::Delete { id: victim }]).unwrap();
+        let mirror: Vec<(u64, Vec<String>)> = (0..18u64)
+            .filter(|id| *id != victim)
+            .map(|id| (id, row(id)))
+            .collect();
+        assert_equiv(&mut store, &mirror, k);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Deleting every copy of one distinct row empties its hash bucket
+/// entirely; the layout must drop the bucket (not solve an empty unit)
+/// and still match batch.
+#[test]
+fn deleting_an_entire_bucket_is_sound() {
+    let k = 2;
+    let dir = tmp("empty-bucket");
+    // Four distinct row shapes, several copies each — identical rows
+    // always share a bucket, so killing one shape can empty one.
+    let mut mirror: Vec<(u64, Vec<String>)> = (0..20u64).map(|id| (id, row(id % 4))).collect();
+    let mut store = DeltaStore::init(
+        &dir,
+        csv_of(&mirror.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>()).as_bytes(),
+        &DeltaConfig {
+            n_buckets: Some(6),
+            ..DeltaConfig::new(k)
+        },
+    )
+    .unwrap();
+    // Kill every copy of shape 2 (ids ≡ 2 mod 4) in one atomic batch.
+    let doomed: Vec<u64> = mirror
+        .iter()
+        .filter(|(id, _)| id % 4 == 2)
+        .map(|(id, _)| *id)
+        .collect();
+    let ops: Vec<DeltaOp> = doomed.iter().map(|&id| DeltaOp::Delete { id }).collect();
+    store.apply(&ops).unwrap();
+    mirror.retain(|(id, _)| id % 4 != 2);
+    assert_equiv(&mut store, &mirror, k);
+
+    // The emptied bucket accepts new rows again later.
+    store
+        .apply(&[
+            DeltaOp::Insert { fields: row(2) },
+            DeltaOp::Insert { fields: row(2) },
+        ])
+        .unwrap();
+    mirror.push((20, row(2)));
+    mirror.push((21, row(2)));
+    assert_equiv(&mut store, &mirror, k);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An update that moves a row across buckets travels as one WAL record:
+/// after a crash the store has either both halves of the move or neither.
+#[test]
+fn cross_bucket_update_is_atomic_under_crash() {
+    let k = 2;
+    let dir = tmp("atomic-update");
+    let mut mirror: Vec<(u64, Vec<String>)> = (0..16u64).map(|id| (id, row(id))).collect();
+    let mut store = DeltaStore::init(
+        &dir,
+        csv_of(&mirror.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>()).as_bytes(),
+        &DeltaConfig {
+            n_buckets: Some(4),
+            ..DeltaConfig::new(k)
+        },
+    )
+    .unwrap();
+    let before = store.release().unwrap().to_csv_string();
+
+    // Rewriting the row to a different value class re-hashes it into a
+    // different bucket with near-certainty; bundle a second op so the
+    // batch is visibly multi-op yet still one record.
+    let moved = vec!["zz".to_string(), "zz".to_string()];
+    let ops = vec![
+        DeltaOp::Update {
+            id: 5,
+            fields: moved.clone(),
+        },
+        DeltaOp::Insert { fields: row(1) },
+    ];
+    store.apply(&ops).unwrap();
+    mirror.iter_mut().find(|(id, _)| *id == 5).unwrap().1 = moved;
+    mirror.push((16, row(1)));
+    assert_equiv(&mut store, &mirror, k);
+    let after = store.release().unwrap().to_csv_string();
+    drop(store);
+
+    let wal = std::fs::read(dir.join("delta.wal")).unwrap();
+    // Crash mid-record: every strict prefix of the record must replay to
+    // the pre-batch state — the move never half-applies.
+    for cut in [1usize, wal.len() / 2, wal.len() - 1] {
+        let work = tmp(&format!("atomic-cut-{cut}"));
+        std::fs::create_dir_all(&work).unwrap();
+        std::fs::copy(dir.join("state.snap"), work.join("state.snap")).unwrap();
+        std::fs::write(work.join("delta.wal"), &wal[..cut]).unwrap();
+        let mut cut_store = DeltaStore::open(&work, Budget::unlimited()).unwrap();
+        assert_eq!(cut_store.seq(), 0, "cut at {cut}: partial batch applied");
+        assert_eq!(
+            cut_store.release().unwrap().to_csv_string(),
+            before,
+            "cut at {cut}: state is neither pre- nor post-batch"
+        );
+        let _ = std::fs::remove_dir_all(&work);
+    }
+    // And the complete record replays to the post-batch state.
+    let mut full = DeltaStore::open(&dir, Budget::unlimited()).unwrap();
+    assert_eq!(full.seq(), 1);
+    assert_eq!(full.release().unwrap().to_csv_string(), after);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A batch shrinking any bucket is fine, but shrinking the whole table
+/// below `k` must be rejected atomically — no rows vanish.
+#[test]
+fn table_shrinking_below_k_is_rejected_whole() {
+    let k = 3;
+    let dir = tmp("below-k");
+    let rows: Vec<Vec<String>> = (0..5).map(row).collect();
+    let mut store = DeltaStore::init(&dir, csv_of(&rows).as_bytes(), &DeltaConfig::new(k)).unwrap();
+    let ops: Vec<DeltaOp> = (0..3u64).map(|id| DeltaOp::Delete { id }).collect();
+    let err = store.apply(&ops).unwrap_err();
+    assert!(err.to_string().contains("below k"), "{err}");
+    assert_eq!(store.n_rows(), 5, "rejected batch still deleted rows");
+    assert_eq!(store.seq(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

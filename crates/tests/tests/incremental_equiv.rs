@@ -1,0 +1,200 @@
+//! Differential harness: the incremental delta engine must be
+//! **byte-identical** to the batch pipeline.
+//!
+//! For random tables (zipf-skewed and uniform) and random interleaved
+//! insert/delete/update streams, after every applied batch the
+//! `DeltaStore` release — CSV bytes, suppression cost, and k-anonymity
+//! verdict — must equal a fresh batch `run_csv` over the materialized
+//! final table with the store's pinned bucket count. This is the
+//! executable form of the engine's equivalence contract (see the
+//! `kanon_pipeline::delta` module docs): if the incremental path ever
+//! diverges from the batch path on any reachable state, this suite is
+//! the tripwire.
+
+use kanon_core::govern::Budget;
+use kanon_pipeline::{
+    run_csv, write_release, DeltaConfig, DeltaOp, DeltaStore, PipelineConfig, ShardStrategy,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+const COLS: usize = 3;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kanon-equiv-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A random row: `exponent` 0.0 is uniform, larger is zipf-skewed toward
+/// low values — both regimes matter (skew concentrates rows in few
+/// buckets, uniform spreads them thin and exercises the residue).
+fn random_row(rng: &mut StdRng, alphabet: u32, exponent: f64) -> Vec<String> {
+    (0..COLS)
+        .map(|j| {
+            let v = if exponent == 0.0 {
+                rng.gen_range(0..alphabet)
+            } else {
+                // Inverse-power skew without needing a real zipf sampler.
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let x = (1.0 - u).powf(1.5) * f64::from(alphabet);
+                (x as u32).min(alphabet - 1)
+            };
+            format!("c{j}v{v}")
+        })
+        .collect()
+}
+
+fn csv_of(rows: &[Vec<String>]) -> String {
+    let mut s = String::from("x,y,z\n");
+    for row in rows {
+        s.push_str(&row.join(","));
+        s.push('\n');
+    }
+    s
+}
+
+/// The batch pipeline's released CSV and cost for the same table under
+/// the store's pinned sharding.
+fn batch_release(table: &str, k: usize, store: &DeltaStore) -> (String, usize, bool) {
+    let config = PipelineConfig {
+        shard_size: store.shard_size(),
+        strategy: ShardStrategy::HashQuasi,
+        n_buckets: Some(store.n_buckets()),
+        ..PipelineConfig::default()
+    };
+    let run = run_csv(table.as_bytes(), k, None, &config).expect("batch run");
+    let mut buf = Vec::new();
+    write_release(
+        &run.dataset,
+        &run.codec,
+        &run.quasi,
+        &run.anonymization.suppressor,
+        &mut buf,
+    )
+    .expect("render");
+    (
+        String::from_utf8(buf).expect("utf8"),
+        run.anonymization.cost,
+        run.anonymization.table.is_k_anonymous(k),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole contract: after every batch of a random op stream the
+    /// incremental release is byte-identical to a from-scratch batch run
+    /// on the materialized table — same CSV, same cost, same verdict.
+    #[test]
+    fn incremental_equiv(
+        seed in 0u64..10_000,
+        n in 16usize..56,
+        k_pick in 0usize..3,
+        skew in 0usize..2,
+        n_batches in 1usize..4,
+    ) {
+        let k = [2usize, 3, 5][k_pick];
+        prop_assume!(n >= 3 * k);
+        let exponent = if skew == 0 { 0.0 } else { 1.0 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let alphabet = 5;
+
+        // Mirror of the live table: (id, fields) in id order.
+        let mut mirror: Vec<(u64, Vec<String>)> = (0..n as u64)
+            .map(|id| (id, random_row(&mut rng, alphabet, exponent)))
+            .collect();
+        let table0 = csv_of(&mirror.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>());
+
+        let dir = tmp(&format!("s{seed}-n{n}-k{k}"));
+        let mut store = DeltaStore::init(&dir, table0.as_bytes(), &DeltaConfig::new(k))
+            .expect("init");
+        let mut next_id = n as u64;
+
+        for _ in 0..n_batches {
+            // Random interleaved ops, never shrinking below 2k rows.
+            let mut ops: Vec<DeltaOp> = Vec::new();
+            let mut gone: Vec<u64> = Vec::new();
+            let mut live = mirror.len();
+            for _ in 0..rng.gen_range(1..8usize) {
+                match rng.gen_range(0..3u32) {
+                    0 => {
+                        ops.push(DeltaOp::Insert {
+                            fields: random_row(&mut rng, alphabet, exponent),
+                        });
+                        live += 1;
+                    }
+                    1 if live > 2 * k => {
+                        // Delete a random still-live pre-batch row.
+                        let candidates: Vec<u64> = mirror
+                            .iter()
+                            .map(|(id, _)| *id)
+                            .filter(|id| !gone.contains(id))
+                            .collect();
+                        let id = candidates[rng.gen_range(0..candidates.len())];
+                        ops.push(DeltaOp::Delete { id });
+                        gone.push(id);
+                        live -= 1;
+                    }
+                    _ => {
+                        let candidates: Vec<u64> = mirror
+                            .iter()
+                            .map(|(id, _)| *id)
+                            .filter(|id| !gone.contains(id))
+                            .collect();
+                        let id = candidates[rng.gen_range(0..candidates.len())];
+                        ops.push(DeltaOp::Update {
+                            id,
+                            fields: random_row(&mut rng, alphabet, exponent),
+                        });
+                    }
+                }
+            }
+
+            // Mirror the ops exactly as the store defines them.
+            for op in &ops {
+                match op {
+                    DeltaOp::Insert { fields } => {
+                        mirror.push((next_id, fields.clone()));
+                        next_id += 1;
+                    }
+                    DeltaOp::Delete { id } => mirror.retain(|(mid, _)| mid != id),
+                    DeltaOp::Update { id, fields } => {
+                        mirror
+                            .iter_mut()
+                            .find(|(mid, _)| mid == id)
+                            .expect("live id")
+                            .1 = fields.clone();
+                    }
+                }
+            }
+            store.apply(&ops).expect("apply");
+
+            let table = csv_of(&mirror.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>());
+            let (want_csv, want_cost, want_kanon) = batch_release(&table, k, &store);
+            let release = store.release().expect("release");
+            prop_assert_eq!(release.to_csv_string(), want_csv, "released CSV diverged");
+            prop_assert_eq!(release.anonymization.cost, want_cost, "cost diverged");
+            prop_assert_eq!(
+                release.anonymization.table.is_k_anonymous(k),
+                want_kanon,
+                "verify verdict diverged"
+            );
+            prop_assert!(want_kanon, "batch release itself not {}-anonymous", k);
+        }
+
+        // And the durable state round-trips: reopening replays to the
+        // same bytes the in-memory store released.
+        let final_csv = store.release().expect("release").to_csv_string();
+        drop(store);
+        let mut reopened = DeltaStore::open(&dir, Budget::unlimited()).expect("open");
+        prop_assert_eq!(
+            reopened.release().expect("release").to_csv_string(),
+            final_csv,
+            "reopen diverged from the live store"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
