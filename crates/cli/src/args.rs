@@ -122,6 +122,9 @@ pub enum Command {
         queue_depth: usize,
         /// Global memory pool in MiB that per-job budgets lease from.
         pool_memory_mb: u64,
+        /// Directory for durable tenant tables (`None` disables the
+        /// `/v1/tables` endpoints).
+        data_dir: Option<String>,
     },
     /// `kanon bench-serve`: closed-loop load generator + acceptance check.
     BenchServe {
@@ -147,6 +150,9 @@ pub enum Command {
         seed: u64,
         /// Where to write the JSON bench report.
         out: Option<String>,
+        /// Bench the durable-table path (concurrent ops batches through
+        /// the single-writer lock) instead of the job loop.
+        table: bool,
     },
     /// `kanon help`.
     Help,
@@ -240,10 +246,11 @@ USAGE:
                     [--workload census|zipf] [--regions R]
                     [--cols M] [--alphabet A] [--exponent E]
     kanon serve     [--addr HOST:PORT] [--workers N] [--queue-depth N]
-                    [--pool-memory-mb MB]
+                    [--pool-memory-mb MB] [--data-dir DIR]
     kanon bench-serve [--addr HOST:PORT] [--requests N] [--clients N]
                     [--rows N] [-k K] [--shard-size N] [--deadline-ms MS]
                     [--workers N] [--queue-depth N] [--seed S] [--out FILE]
+                    [--table]
     kanon help
 
 COMMANDS:
@@ -270,11 +277,21 @@ COMMANDS:
     serve       Run the anonymization server: POST /v1/anonymize submits
                 a job (202 + id, or 429 + Retry-After when the queue or
                 memory pool is full), GET /v1/jobs/<id> polls it, and
-                GET /metrics exposes Prometheus counters.
+                GET /metrics exposes Prometheus counters. With --data-dir
+                it also serves durable tables at /v1/tables/<name>
+                (PUT creates from CSV, POST <name>/ops appends an atomic
+                batch, GET <name>/release streams the anonymized CSV);
+                on restart every table's WAL is replayed — corrupt
+                tables are quarantined (503 + degraded /healthz), not
+                fatal.
     bench-serve Drive a server with a closed-loop zipf workload and
                 verify the acceptance bar: zero 5xx, every job
                 k-anonymous, /metrics counters reconciling exactly.
-                Without --addr it self-hosts a server in-process.
+                Without --addr it self-hosts a server in-process. With
+                --table it benches the durable-table path instead:
+                concurrent writers race ops batches through the
+                single-writer lock, honoring every Retry-After, and the
+                final table seq must equal the acknowledged batches.
 
 BUDGETS:
     --deadline-ms and --max-memory-mb bound the solver's wall-clock time and
@@ -683,7 +700,13 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         }
         "serve" => {
             unexpected(
-                &["--addr", "--workers", "--queue-depth", "--pool-memory-mb"],
+                &[
+                    "--addr",
+                    "--workers",
+                    "--queue-depth",
+                    "--pool-memory-mb",
+                    "--data-dir",
+                ],
                 &[],
             )?;
             let positive = |name: &str, default: u64| -> Result<u64, CliError> {
@@ -701,6 +724,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 workers: positive("--workers", 4)? as usize,
                 queue_depth: positive("--queue-depth", 64)? as usize,
                 pool_memory_mb: positive("--pool-memory-mb", 256)?,
+                data_dir: flag("--data-dir").cloned(),
             })
         }
         "bench-serve" => {
@@ -718,7 +742,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--seed",
                     "--out",
                 ],
-                &[],
+                &["--table"],
             )?;
             let positive = |name: &str, default: u64| -> Result<u64, CliError> {
                 match flag(name) {
@@ -749,6 +773,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 queue_depth: positive("--queue-depth", 64)? as usize,
                 seed: positive("--seed", 42)?,
                 out: flag("--out").cloned(),
+                table: has_switch("--table"),
             })
         }
         "help" | "-h" | "--help" => Ok(Command::Help),
@@ -1027,11 +1052,13 @@ mod tests {
                 workers: 4,
                 queue_depth: 64,
                 pool_memory_mb: 256,
+                data_dir: None,
             }
         );
         assert_eq!(
             parse(&argv(
-                "serve --addr 0.0.0.0:9000 --workers 8 --queue-depth 16 --pool-memory-mb 512"
+                "serve --addr 0.0.0.0:9000 --workers 8 --queue-depth 16 --pool-memory-mb 512 \
+                 --data-dir /tmp/tables"
             ))
             .unwrap(),
             Command::Serve {
@@ -1039,12 +1066,13 @@ mod tests {
                 workers: 8,
                 queue_depth: 16,
                 pool_memory_mb: 512,
+                data_dir: Some("/tmp/tables".into()),
             }
         );
         assert_eq!(
             parse(&argv(
                 "bench-serve --requests 32 --clients 4 --rows 1000 -k 3 \
-                 --shard-size 64 --deadline-ms 5000 --seed 7 --out bench.json"
+                 --shard-size 64 --deadline-ms 5000 --seed 7 --out bench.json --table"
             ))
             .unwrap(),
             Command::BenchServe {
@@ -1059,6 +1087,7 @@ mod tests {
                 queue_depth: 64,
                 seed: 7,
                 out: Some("bench.json".into()),
+                table: true,
             }
         );
         let defaults = parse(&argv("bench-serve")).unwrap();

@@ -140,7 +140,14 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
             workers,
             queue_depth,
             pool_memory_mb,
-        } => serve(addr, *workers, *queue_depth, *pool_memory_mb),
+            data_dir,
+        } => serve(
+            addr,
+            *workers,
+            *queue_depth,
+            *pool_memory_mb,
+            data_dir.as_deref(),
+        ),
         Command::BenchServe {
             addr,
             requests,
@@ -153,6 +160,7 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
             queue_depth,
             seed,
             out,
+            table,
         } => bench_serve(
             addr.as_deref(),
             *requests,
@@ -165,6 +173,7 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
             *queue_depth,
             *seed,
             out.as_deref(),
+            *table,
         ),
     }
 }
@@ -176,6 +185,7 @@ fn serve(
     workers: usize,
     queue_depth: usize,
     pool_memory_mb: u64,
+    data_dir: Option<&str>,
 ) -> Result<Outcome, CliError> {
     let pool_memory_bytes = pool_memory_mb * 1024 * 1024;
     let config = kanon_service::ServiceConfig {
@@ -184,6 +194,7 @@ fn serve(
         queue_depth,
         pool_memory_bytes,
         default_job_memory_bytes: (pool_memory_bytes / workers.max(1) as u64).max(1),
+        data_dir: data_dir.map(std::path::PathBuf::from),
         ..kanon_service::ServiceConfig::default()
     };
     let server = kanon_service::Server::start(config)
@@ -212,6 +223,7 @@ fn bench_serve(
     queue_depth: usize,
     seed: u64,
     out: Option<&str>,
+    table: bool,
 ) -> Result<Outcome, CliError> {
     let config = kanon_service::BenchConfig {
         addr: addr.map(str::to_string),
@@ -225,6 +237,7 @@ fn bench_serve(
         queue_depth,
         out_path: out.map(str::to_string),
         seed,
+        table_mode: table,
     };
     let report = kanon_service::run_bench(&config)
         .map_err(|e| CliError::Failed(format!("bench-serve failed: {e}")))?;

@@ -59,7 +59,7 @@ use kanon_core::{Anonymization, Dataset, Partition};
 use kanon_relation::csv::Reader;
 use kanon_relation::Codec;
 use kanon_store::bytes::{ByteReader, ByteWriter};
-use kanon_store::{read_snapshot, write_snapshot, Wal};
+use kanon_store::{read_snapshot, write_snapshot, DirLock, Wal};
 
 use crate::config::{PipelineConfig, ShardStrategy};
 use crate::engine;
@@ -323,6 +323,10 @@ impl DeltaRelease {
 pub struct DeltaStore {
     dir: PathBuf,
     wal: Wal,
+    /// Single-writer guard on `dir`, held for the store's lifetime so two
+    /// live stores (or processes) never append to the same WAL. Crash
+    /// debris from a dead holder is taken over on open.
+    _lock: DirLock,
     /// Solver configuration. `strategy` is always `HashQuasi` and
     /// `n_buckets` is always pinned; `budget` is the session budget.
     pipeline: PipelineConfig,
@@ -383,6 +387,7 @@ impl DeltaStore {
                 dir.display()
             )));
         }
+        let lock = DirLock::acquire(&dir)?;
         let (dataset, codec) = ingest_csv(reader)?;
         dataset.check_k(config.k).map_err(Error::Core)?;
         let header = codec.header().to_vec();
@@ -429,6 +434,7 @@ impl DeltaStore {
         let mut store = DeltaStore {
             dir,
             wal,
+            _lock: lock,
             pipeline,
             k: config.k,
             header,
@@ -454,8 +460,9 @@ impl DeltaStore {
     /// `apply` or `release`.
     ///
     /// # Errors
-    /// [`Error::Store`] for missing/corrupt durable state; replayed-batch
-    /// validation failures surface as [`Error::Delta`].
+    /// [`Error::Store`] for missing/corrupt durable state (including a
+    /// directory lock held by a live writer); replayed-batch validation
+    /// failures surface as [`Error::Delta`].
     pub fn open(dir: impl Into<PathBuf>, budget: Budget) -> Result<Self> {
         let dir = dir.into();
         let payload =
@@ -465,7 +472,8 @@ impl DeltaStore {
                     dir.display()
                 ))
             })?;
-        let mut store = Self::decode_snapshot(&dir, &payload, budget)?;
+        let lock = DirLock::acquire(&dir)?;
+        let mut store = Self::decode_snapshot(&dir, &payload, budget, lock)?;
         drop(payload);
 
         let replay = Wal::replay(wal_path(&dir), &store.pipeline.budget)?;
@@ -547,6 +555,20 @@ impl DeltaStore {
     #[must_use]
     pub fn wal_bytes(&self) -> u64 {
         self.wal.bytes()
+    }
+
+    /// The directory holding the store's durable state.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Replaces the session budget governing subsequent solves, replay
+    /// buffers, and snapshot compaction. A multi-tenant host swaps in the
+    /// budget of whichever lease is driving the current operation, so WAL
+    /// rotation triggered by an `apply` is charged to that tenant.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.pipeline.budget = budget;
     }
 
     // ------------------------------------------------------------------
@@ -1133,13 +1155,16 @@ impl DeltaStore {
     /// Folds the WAL into a fresh snapshot: snapshot rename commits, then
     /// the WAL resets. A crash in between double-applies nothing, because
     /// replay skips batches at or below the snapshot's sequence number.
+    /// Returns the WAL bytes the rotation retired. The snapshot encode
+    /// buffer is charged against the session budget, so rotation work is
+    /// billed to whoever is driving the store (see [`Self::set_budget`]).
     ///
     /// # Errors
-    /// Store I/O.
-    pub fn compact(&mut self) -> Result<()> {
+    /// Store I/O; [`Error::Core`] when the session budget cannot absorb
+    /// the snapshot buffer.
+    pub fn compact(&mut self) -> Result<u64> {
         self.write_snapshot()?;
-        self.wal.reset()?;
-        Ok(())
+        Ok(self.wal.reset()?)
     }
 
     // ------------------------------------------------------------------
@@ -1191,11 +1216,19 @@ impl DeltaStore {
             w.put_str(&c.solved_by);
             w.put_u8(u8::from(c.degraded));
         }
-        write_snapshot(snapshot_path(&self.dir), SNAPSHOT_VERSION, &w.into_bytes())?;
+        let bytes = w.into_bytes();
+        // The encode buffer is the memory cost of a rotation; charge it to
+        // the session budget before it hits the disk.
+        let _charge = self
+            .pipeline
+            .budget
+            .try_charge_memory_scoped(bytes.len() as u64)
+            .map_err(Error::Core)?;
+        write_snapshot(snapshot_path(&self.dir), SNAPSHOT_VERSION, &bytes)?;
         Ok(())
     }
 
-    fn decode_snapshot(dir: &Path, payload: &[u8], budget: Budget) -> Result<Self> {
+    fn decode_snapshot(dir: &Path, payload: &[u8], budget: Budget, lock: DirLock) -> Result<Self> {
         let mut r = ByteReader::new(payload, "snapshot");
         let seq = r.get_u64()?;
         let next_id = r.get_u64()?;
@@ -1293,6 +1326,7 @@ impl DeltaStore {
         Ok(DeltaStore {
             dir: dir.to_path_buf(),
             wal,
+            _lock: lock,
             pipeline,
             k,
             header,

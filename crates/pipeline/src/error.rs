@@ -24,6 +24,24 @@ pub enum Error {
     Delta(String),
 }
 
+impl Error {
+    /// True when the error means durable state failed an integrity check —
+    /// the signal a serving layer uses to quarantine a table rather than
+    /// retry. Torn tails never reach here (they are recovered silently);
+    /// this is a committed record or snapshot that does not check out.
+    #[must_use]
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, Error::Store(kanon_store::Error::Corrupt { .. }))
+    }
+
+    /// True when another live writer holds the store directory's
+    /// single-writer lock — a retryable conflict, not damage.
+    #[must_use]
+    pub fn is_locked(&self) -> bool {
+        matches!(self, Error::Store(kanon_store::Error::Locked { .. }))
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

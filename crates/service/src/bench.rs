@@ -20,7 +20,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use kanon_pipeline::json::JsonObject;
 use kanon_workloads::{write_zipf_csv, ZipfParams};
@@ -56,6 +56,10 @@ pub struct BenchConfig {
     pub out_path: Option<String>,
     /// RNG seed for the generated table.
     pub seed: u64,
+    /// Bench the durable-table path instead of the job loop: seed one
+    /// table, then race `clients` writers posting ops batches through the
+    /// single-writer lock, honoring every `409`/`429` `Retry-After`.
+    pub table_mode: bool,
 }
 
 impl Default for BenchConfig {
@@ -72,6 +76,7 @@ impl Default for BenchConfig {
             queue_depth: 64,
             out_path: None,
             seed: 42,
+            table_mode: false,
         }
     }
 }
@@ -83,8 +88,11 @@ pub struct BenchReport {
     pub submitted: usize,
     /// `202` admissions observed by clients.
     pub accepted: usize,
-    /// `429` rejections observed by clients (each later retried).
+    /// `429`/`409` rejections observed by clients (each later retried).
     pub rejected: usize,
+    /// Retries performed after a rejection, each preceded by a jittered
+    /// exponential backoff no shorter than the server's `Retry-After`.
+    pub retries: usize,
     /// Jobs that reached `completed` with a k-anonymous result.
     pub completed: usize,
     /// Jobs that reached `failed` or a non-k-anonymous result.
@@ -136,6 +144,7 @@ impl BenchReport {
         obj.number("submitted", self.submitted as u128)
             .number("accepted", self.accepted as u128)
             .number("rejected", self.rejected as u128)
+            .number("retries", self.retries as u128)
             .number("completed", self.completed as u128)
             .number("failed", self.failed as u128)
             .number("server_errors", self.server_errors as u128)
@@ -172,6 +181,9 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport> {
     // When self-hosting, the server must outlive the whole run; it joins
     // its threads when this binding drops at the end of the function.
     let _hosted: Option<Server>;
+    // Self-hosted table runs get a throwaway data directory, removed
+    // only after the server has shut down and released its locks.
+    let mut scratch_dir: Option<std::path::PathBuf> = None;
     let addr: SocketAddr = match &config.addr {
         Some(addr) => {
             _hosted = None;
@@ -180,10 +192,23 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport> {
                 .ok_or_else(|| Error::Bench(format!("cannot resolve {addr}")))?
         }
         None => {
+            let data_dir = if config.table_mode {
+                let dir = std::env::temp_dir().join(format!(
+                    "kanon-bench-tables-{}-{}",
+                    std::process::id(),
+                    config.seed
+                ));
+                std::fs::create_dir_all(&dir)?;
+                scratch_dir = Some(dir.clone());
+                Some(dir)
+            } else {
+                None
+            };
             let server = Server::start(ServiceConfig {
                 addr: "127.0.0.1:0".to_string(),
                 workers: config.server_workers,
                 queue_depth: config.queue_depth,
+                data_dir,
                 ..ServiceConfig::default()
             })?;
             let addr = server.addr();
@@ -203,6 +228,52 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport> {
     write_zipf_csv(&mut rng, &params, &mut csv)
         .map_err(|e| Error::Bench(format!("zipf generation failed: {e}")))?;
 
+    let report = if config.table_mode {
+        run_table_loop(config, addr, &csv)
+    } else {
+        run_job_loop(config, addr, &csv)
+    };
+    drop(_hosted);
+    if let Some(dir) = scratch_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let report = report?;
+    if let Some(path) = &config.out_path {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(report.to_json().as_bytes())?;
+        file.write_all(b"\n")?;
+    }
+    Ok(report)
+}
+
+/// Client-side tallies, shared by all bench threads under one lock.
+#[derive(Default)]
+struct Tally {
+    completed: usize,
+    failed: usize,
+    server_errors: usize,
+    rejected: usize,
+    retries: usize,
+    /// `409`s alone (a subset of `rejected`) — reconciled against
+    /// `kanon_table_write_conflicts_total` in table mode.
+    conflicts: usize,
+    max_seq: u64,
+    latencies: Vec<Duration>,
+}
+
+/// The honest client's pause before a retry: full-jitter exponential
+/// backoff *on top of* the server's `Retry-After`, so the retry never
+/// lands sooner than the server asked and concurrent clients do not
+/// re-collide in lockstep.
+fn backoff_delay(rng: &mut StdRng, attempt: u32, retry_after_secs: Option<u64>) -> Duration {
+    let step = Duration::from_millis(100 << attempt.min(4));
+    let jittered = step.mul_f64(0.5 + rng.gen::<f64>() * 0.5);
+    Duration::from_secs(retry_after_secs.unwrap_or(0)) + jittered
+}
+
+/// The original closed loop: each client submits a job, polls it to a
+/// terminal state, then takes the next.
+fn run_job_loop(config: &BenchConfig, addr: SocketAddr, csv: &[u8]) -> Result<BenchReport> {
     let mut target = format!(
         "/v1/anonymize?k={}&shard_size={}",
         config.k, config.shard_size
@@ -212,17 +283,19 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport> {
     }
 
     let next = AtomicUsize::new(0);
-    let tallies = Mutex::new((0usize, 0usize, 0usize, 0usize, Vec::new()));
+    let tallies = Mutex::new(Tally::default());
     let started = Instant::now();
     let loop_result: std::result::Result<(), Error> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.clients.max(1))
-            .map(|_| {
-                let (next, tallies, csv, target) = (&next, &tallies, &csv, &target);
+            .map(|client| {
+                let (next, tallies, target) = (&next, &tallies, &target);
                 scope.spawn(move || -> std::result::Result<(), Error> {
+                    let mut rng = StdRng::seed_from_u64(config.seed ^ (client as u64 + 1));
                     while next.fetch_add(1, Ordering::Relaxed) < config.requests {
                         let job_started = Instant::now();
+                        let mut attempt = 0u32;
                         let id = loop {
-                            let (status, body) = request(addr, "POST", target, csv)?;
+                            let (status, retry_after, body) = request(addr, "POST", target, csv)?;
                             match status {
                                 202 => {
                                     break extract_number(&body, "\"id\":").ok_or_else(|| {
@@ -230,11 +303,20 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport> {
                                     })?
                                 }
                                 429 => {
-                                    tallies.lock().expect("tally lock").3 += 1;
-                                    std::thread::sleep(Duration::from_millis(200));
+                                    {
+                                        let mut t = tallies.lock().expect("tally lock");
+                                        t.rejected += 1;
+                                        t.retries += 1;
+                                    }
+                                    std::thread::sleep(backoff_delay(
+                                        &mut rng,
+                                        attempt,
+                                        retry_after,
+                                    ));
+                                    attempt += 1;
                                 }
                                 s if s >= 500 => {
-                                    tallies.lock().expect("tally lock").2 += 1;
+                                    tallies.lock().expect("tally lock").server_errors += 1;
                                     return Err(Error::Bench(format!("server error {s}: {body}")));
                                 }
                                 s => {
@@ -246,9 +328,9 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport> {
                         };
                         let poll_target = format!("/v1/jobs/{id}");
                         let verdict = loop {
-                            let (status, body) = request(addr, "GET", &poll_target, &[])?;
+                            let (status, _, body) = request(addr, "GET", &poll_target, &[])?;
                             if status >= 500 {
-                                tallies.lock().expect("tally lock").2 += 1;
+                                tallies.lock().expect("tally lock").server_errors += 1;
                                 return Err(Error::Bench(format!("server error {status}: {body}")));
                             }
                             if body.contains("\"state\":\"completed\"") {
@@ -261,10 +343,10 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport> {
                         };
                         let mut t = tallies.lock().expect("tally lock");
                         if verdict {
-                            t.0 += 1;
-                            t.4.push(job_started.elapsed());
+                            t.completed += 1;
+                            t.latencies.push(job_started.elapsed());
                         } else {
-                            t.1 += 1;
+                            t.failed += 1;
                         }
                     }
                     Ok(())
@@ -279,14 +361,13 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport> {
     loop_result?;
     let elapsed = started.elapsed();
 
-    let (completed, failed, server_errors, rejected, mut latencies) =
-        tallies.into_inner().expect("tally lock");
-    latencies.sort_unstable();
-    let accepted = completed + failed;
+    let mut tally = tallies.into_inner().expect("tally lock");
+    tally.latencies.sort_unstable();
+    let accepted = tally.completed + tally.failed;
 
     // Scrape and reconcile: the server's accounting must agree exactly
     // with what the clients observed.
-    let (status, page) = request(addr, "GET", "/metrics", &[])?;
+    let (status, _, page) = request(addr, "GET", "/metrics", &[])?;
     if status != 200 {
         return Err(Error::Bench(format!("metrics scrape answered {status}")));
     }
@@ -294,28 +375,235 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchReport> {
     let mismatches = reconcile(
         &scraped,
         accepted as u64,
-        rejected as u64,
-        completed as u64,
-        failed as u64,
+        tally.rejected as u64,
+        tally.completed as u64,
+        tally.failed as u64,
     );
 
-    let report = BenchReport {
+    Ok(BenchReport {
         submitted: config.requests,
         accepted,
-        rejected,
-        completed,
-        failed,
-        server_errors,
-        latencies,
+        rejected: tally.rejected,
+        retries: tally.retries,
+        completed: tally.completed,
+        failed: tally.failed,
+        server_errors: tally.server_errors,
+        latencies: tally.latencies,
         elapsed,
         mismatches,
-    };
-    if let Some(path) = &config.out_path {
-        let mut file = std::fs::File::create(path)?;
-        file.write_all(report.to_json().as_bytes())?;
-        file.write_all(b"\n")?;
+    })
+}
+
+/// The durable-table loop: seed one table from the first half of the
+/// generated CSV, then race `clients` writers inserting the second half
+/// as `requests` ops batches. Every `409` from the single-writer lock is
+/// followed by an honest backoff and a retry; at the end the table's
+/// sequence number must equal exactly the batches acknowledged with
+/// `200` — the accepted-equals-applied invariant, observed end to end.
+fn run_table_loop(config: &BenchConfig, addr: SocketAddr, csv: &[u8]) -> Result<BenchReport> {
+    let text = std::str::from_utf8(csv).map_err(|_| Error::Bench("zipf CSV not UTF-8".into()))?;
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| Error::Bench("generated CSV is empty".into()))?;
+    let rows: Vec<&str> = lines.collect();
+    if rows.len() < 2 * config.requests.max(1) {
+        return Err(Error::Bench(format!(
+            "table mode needs at least 2 rows per batch; got {} rows for {} batches",
+            rows.len(),
+            config.requests
+        )));
     }
-    Ok(report)
+    let (seed_rows, op_rows) = rows.split_at(rows.len() / 2);
+    let mut seed_csv = String::from(header);
+    seed_csv.push('\n');
+    for row in seed_rows {
+        seed_csv.push_str(row);
+        seed_csv.push('\n');
+    }
+    let chunk = op_rows.len().div_ceil(config.requests.max(1));
+    let batches: Vec<String> = op_rows
+        .chunks(chunk)
+        .map(|chunk| {
+            let mut ops = format!("op,id,{header}\n");
+            for row in chunk {
+                ops.push_str("insert,,");
+                ops.push_str(row);
+                ops.push('\n');
+            }
+            ops
+        })
+        .collect();
+    let inserted: usize = op_rows.len();
+
+    let create_target = format!(
+        "/v1/tables/bench?k={}&shard_size={}",
+        config.k, config.shard_size
+    );
+    let (status, _, body) = request(addr, "PUT", &create_target, seed_csv.as_bytes())?;
+    if status != 201 {
+        return Err(Error::Bench(format!(
+            "table create answered {status}: {body}"
+        )));
+    }
+
+    let next = AtomicUsize::new(0);
+    let tallies = Mutex::new(Tally::default());
+    let started = Instant::now();
+    let loop_result: std::result::Result<(), Error> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients.max(1))
+            .map(|client| {
+                let (next, tallies, batches) = (&next, &tallies, &batches);
+                scope.spawn(move || -> std::result::Result<(), Error> {
+                    let mut rng = StdRng::seed_from_u64(config.seed ^ (client as u64 + 1));
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(batch) = batches.get(index) else {
+                            return Ok(());
+                        };
+                        let batch_started = Instant::now();
+                        let mut attempt = 0u32;
+                        loop {
+                            let (status, retry_after, body) =
+                                request(addr, "POST", "/v1/tables/bench/ops", batch.as_bytes())?;
+                            match status {
+                                200 => {
+                                    let seq =
+                                        extract_number(&body, "\"seq\":").ok_or_else(|| {
+                                            Error::Bench(format!("200 without a seq: {body}"))
+                                        })?;
+                                    let mut t = tallies.lock().expect("tally lock");
+                                    t.completed += 1;
+                                    t.max_seq = t.max_seq.max(seq);
+                                    t.latencies.push(batch_started.elapsed());
+                                    break;
+                                }
+                                409 | 429 => {
+                                    {
+                                        let mut t = tallies.lock().expect("tally lock");
+                                        t.rejected += 1;
+                                        t.retries += 1;
+                                        if status == 409 {
+                                            t.conflicts += 1;
+                                        }
+                                    }
+                                    if retry_after.is_none() {
+                                        return Err(Error::Bench(format!(
+                                            "{status} without Retry-After: {body}"
+                                        )));
+                                    }
+                                    std::thread::sleep(backoff_delay(
+                                        &mut rng,
+                                        attempt,
+                                        retry_after,
+                                    ));
+                                    attempt += 1;
+                                }
+                                s if s >= 500 => {
+                                    tallies.lock().expect("tally lock").server_errors += 1;
+                                    return Err(Error::Bench(format!("server error {s}: {body}")));
+                                }
+                                s => {
+                                    return Err(Error::Bench(format!(
+                                        "unexpected ops status {s}: {body}"
+                                    )))
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("bench client panicked")?;
+        }
+        Ok(())
+    });
+    loop_result?;
+    let elapsed = started.elapsed();
+
+    let mut tally = tallies.into_inner().expect("tally lock");
+    tally.latencies.sort_unstable();
+    let mut mismatches = Vec::new();
+
+    // Accepted == applied, read back from the durable store itself.
+    let (status, _, body) = request(addr, "GET", "/v1/tables/bench", &[])?;
+    if status != 200 {
+        return Err(Error::Bench(format!(
+            "table status answered {status}: {body}"
+        )));
+    }
+    let final_seq = extract_number(&body, "\"seq\":").unwrap_or(0);
+    if final_seq != tally.completed as u64 {
+        mismatches.push(format!(
+            "table seq is {final_seq}, clients got {} acknowledgements",
+            tally.completed
+        ));
+    }
+    if tally.max_seq != final_seq {
+        mismatches.push(format!(
+            "highest acknowledged seq {} does not match final seq {final_seq}",
+            tally.max_seq
+        ));
+    }
+    let n_rows = extract_number(&body, "\"n_rows\":").unwrap_or(0);
+    let expected_rows = (seed_rows.len() + inserted) as u64;
+    if n_rows != expected_rows {
+        mismatches.push(format!(
+            "table has {n_rows} rows, clients inserted up to {expected_rows}"
+        ));
+    }
+
+    // The release must stream exactly the current rows.
+    let (status, _, release) = request(addr, "GET", "/v1/tables/bench/release", &[])?;
+    if status != 200 {
+        return Err(Error::Bench(format!("release answered {status}")));
+    }
+    let released = release.lines().count().saturating_sub(1) as u64;
+    if released != n_rows {
+        mismatches.push(format!(
+            "release streams {released} rows but the table holds {n_rows}"
+        ));
+    }
+
+    // And the server's own per-table counters must agree with the
+    // clients' observations, exactly.
+    let (status, _, page) = request(addr, "GET", "/metrics", &[])?;
+    if status != 200 {
+        return Err(Error::Bench(format!("metrics scrape answered {status}")));
+    }
+    let scraped = parse_exposition(&page);
+    for (name, expected) in [
+        (
+            "kanon_table_batches_applied_total{table=\"bench\"}",
+            tally.completed as u64,
+        ),
+        (
+            "kanon_table_write_conflicts_total{table=\"bench\"}",
+            tally.conflicts as u64,
+        ),
+        ("kanon_table_quarantined{table=\"bench\"}", 0),
+    ] {
+        let actual = scraped.get(name).copied().unwrap_or(0.0);
+        if (actual - expected as f64).abs() > 0.0 {
+            mismatches.push(format!(
+                "{name}: server says {actual}, clients saw {expected}"
+            ));
+        }
+    }
+
+    Ok(BenchReport {
+        submitted: batches.len(),
+        accepted: tally.completed,
+        rejected: tally.rejected,
+        retries: tally.retries,
+        completed: tally.completed,
+        failed: tally.failed,
+        server_errors: tally.server_errors,
+        latencies: tally.latencies,
+        elapsed,
+        mismatches,
+    })
 }
 
 /// Checks the scraped counters against client-side tallies. Returns one
@@ -356,8 +644,14 @@ fn reconcile(
 }
 
 /// One HTTP exchange over a fresh connection (the server closes after
-/// every response anyway). Returns the status and the body as text.
-fn request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> Result<(u16, String)> {
+/// every response anyway). Returns the status, the parsed `Retry-After`
+/// (seconds) if the server sent one, and the body as text.
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> Result<(u16, Option<u64>, String)> {
     let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
@@ -375,7 +669,7 @@ fn request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> Result<
 }
 
 /// Parses a status line, headers, and `Content-Length` body.
-fn read_response<R: std::io::BufRead>(reader: &mut R) -> Result<(u16, String)> {
+fn read_response<R: std::io::BufRead>(reader: &mut R) -> Result<(u16, Option<u64>, String)> {
     let mut head = Vec::new();
     let mut byte = [0u8; 1];
     loop {
@@ -398,14 +692,22 @@ fn read_response<R: std::io::BufRead>(reader: &mut R) -> Result<(u16, String)> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| Error::Bench(format!("bad status line: {status_line:?}")))?;
-    let content_length: usize = lines
-        .filter_map(|line| line.split_once(':'))
-        .find(|(name, _)| name.trim().eq_ignore_ascii_case("content-length"))
-        .and_then(|(_, value)| value.trim().parse().ok())
-        .unwrap_or(0);
+    let mut content_length = 0usize;
+    let mut retry_after = None;
+    for (name, value) in lines.filter_map(|line| line.split_once(':')) {
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().unwrap_or(0);
+        } else if name.trim().eq_ignore_ascii_case("retry-after") {
+            retry_after = value.trim().parse().ok();
+        }
+    }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    Ok((
+        status,
+        retry_after,
+        String::from_utf8_lossy(&body).into_owned(),
+    ))
 }
 
 /// Extracts the unsigned integer that follows `prefix` in a JSON text.
@@ -418,6 +720,18 @@ fn extract_number(text: &str, prefix: &str) -> Option<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn backoff_honors_retry_after_and_grows_with_jitter() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for attempt in 0..8 {
+            let with_floor = backoff_delay(&mut rng, attempt, Some(1));
+            assert!(with_floor >= Duration::from_secs(1), "floor ignored");
+            let free = backoff_delay(&mut rng, attempt, None);
+            let step = Duration::from_millis(100 << attempt.min(4));
+            assert!(free >= step / 2 && free <= step, "jitter out of range");
+        }
+    }
 
     #[test]
     fn number_extraction() {
@@ -444,6 +758,7 @@ mod tests {
             submitted: 4,
             accepted: 4,
             rejected: 1,
+            retries: 1,
             completed: 4,
             failed: 0,
             server_errors: 0,
@@ -456,6 +771,7 @@ mod tests {
         assert_eq!(report.percentile(0.99), Duration::from_millis(4));
         let json = report.to_json();
         assert!(json.contains("\"ok\":true"));
+        assert!(json.contains("\"retries\":1"));
         assert!(json.contains("\"p50_ms\":2"));
         assert!(json.contains("\"counters_reconciled\":true"));
 

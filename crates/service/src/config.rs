@@ -2,6 +2,7 @@
 //! and the global memory pool that admission control carves per-job
 //! budgets from.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use crate::error::{Error, Result};
@@ -38,6 +39,10 @@ pub struct ServiceConfig {
     /// Socket read/write timeout for request handling, so a stalled client
     /// cannot pin a connection handler forever.
     pub io_timeout: Duration,
+    /// Directory holding durable tenant tables (one subdirectory per
+    /// table). `None` disables the `/v1/tables` endpoints entirely; the
+    /// job endpoints are unaffected either way.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -55,6 +60,7 @@ impl Default for ServiceConfig {
             default_job_memory_bytes: pool_memory_bytes / workers as u64,
             default_deadline: None,
             io_timeout: Duration::from_secs(10),
+            data_dir: None,
         }
     }
 }

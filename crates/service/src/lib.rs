@@ -24,9 +24,19 @@
 //!   completed plus failed, a property `kanon bench-serve`
 //!   ([`mod@bench`]) asserts end-to-end.
 //!
+//! - **Durable tables** ([`tables`]) — when started with a data
+//!   directory, the server mounts one
+//!   [`kanon_pipeline::delta::DeltaStore`] per tenant table behind
+//!   `/v1/tables/{name}`: crash-safe batch appends whose WAL doubles as
+//!   the job log, startup recovery that replays every table (quarantining
+//!   corrupt ones instead of dying), and streamed releases served from a
+//!   cache readers never block writers for.
+//!
 //! Endpoints: `POST /v1/anonymize` (CSV body or `path=`; query `k`,
 //! `shard_size`, `deadline_ms`, `max_memory_mb`, `strategy`, `quasi`),
-//! `GET /v1/jobs/{id}`, `GET /healthz`, `GET /metrics`.
+//! `GET /v1/jobs/{id}`, `PUT`/`GET`/`DELETE /v1/tables/{name}`,
+//! `POST /v1/tables/{name}/ops`, `GET /v1/tables/{name}/release`,
+//! `GET /healthz`, `GET /readyz`, `GET /metrics`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +50,7 @@ pub mod metrics;
 pub mod queue;
 pub mod router;
 pub mod server;
+pub mod tables;
 
 pub use bench::{run_bench, BenchConfig, BenchReport};
 pub use config::ServiceConfig;

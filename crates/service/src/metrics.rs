@@ -38,6 +38,29 @@ const LATENCY_BUCKETS: &[(&str, f64)] = &[
     ("10", 10.0),
 ];
 
+/// Per-table counters and gauges for the durable-table subsystem.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TableStats {
+    /// Current WAL size in bytes (gauge; 0 right after a compaction).
+    pub wal_bytes: u64,
+    /// Ops batches applied since this process started (counter). The
+    /// durable truth across restarts is the table's `seq`, which lives in
+    /// the WAL — this counter is the in-process view.
+    pub batches_applied: u64,
+    /// Individual ops (inserts + deletes + updates) applied (counter).
+    pub ops_applied: u64,
+    /// Dirty units re-solved across refreshes (counter).
+    pub resolved_units: u64,
+    /// Wall-clock seconds the startup recovery replay took (gauge; 0 for
+    /// tables created in this process).
+    pub recovery_seconds: f64,
+    /// Whether the table is quarantined (gauge).
+    pub quarantined: bool,
+    /// Writers answered `409` because another writer held the table's
+    /// single-writer lock (counter).
+    pub write_conflicts: u64,
+}
+
 /// The service's metric registry. One instance lives for the server's
 /// whole lifetime; counters only ever increase.
 #[derive(Debug, Default)]
@@ -49,6 +72,7 @@ pub struct Metrics {
     jobs_degraded: AtomicU64,
     shards_by_solver: Mutex<BTreeMap<&'static str, u64>>,
     http_responses: Mutex<BTreeMap<u16, u64>>,
+    tables: Mutex<BTreeMap<String, TableStats>>,
     latency_counts: [AtomicU64; LATENCY_BUCKETS.len() + 1],
     latency_sum_micros: AtomicU64,
     latency_count: AtomicU64,
@@ -108,6 +132,23 @@ impl Metrics {
             Ordering::Relaxed,
         );
         self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Updates (creating on first touch) the stats of one durable table.
+    pub fn table(&self, name: &str, update: impl FnOnce(&mut TableStats)) {
+        let mut tables = self.tables.lock().expect("metrics lock");
+        update(tables.entry(name.to_string()).or_default());
+    }
+
+    /// Drops a deleted table's stats so the scrape stops reporting it.
+    pub fn remove_table(&self, name: &str) {
+        self.tables.lock().expect("metrics lock").remove(name);
+    }
+
+    /// A snapshot of one table's stats, if the table is known.
+    #[must_use]
+    pub fn table_stats(&self, name: &str) -> Option<TableStats> {
+        self.tables.lock().expect("metrics lock").get(name).cloned()
     }
 
     /// Jobs admitted so far.
@@ -191,6 +232,64 @@ impl Metrics {
             out.push_str(&format!(
                 "kanon_http_responses_total{{code=\"{code}\"}} {count}\n"
             ));
+        }
+
+        {
+            let tables = self.tables.lock().expect("metrics lock");
+            if !tables.is_empty() {
+                let mut family =
+                    |name: &str, kind: &str, help: &str, value: &dyn Fn(&TableStats) -> String| {
+                        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+                        for (table, stats) in tables.iter() {
+                            out.push_str(&format!(
+                                "{name}{{table=\"{table}\"}} {}\n",
+                                value(stats)
+                            ));
+                        }
+                    };
+                family(
+                    "kanon_table_wal_bytes",
+                    "gauge",
+                    "Current WAL size of a durable table.",
+                    &|t| t.wal_bytes.to_string(),
+                );
+                family(
+                    "kanon_table_batches_applied_total",
+                    "counter",
+                    "Ops batches applied to a durable table (this process).",
+                    &|t| t.batches_applied.to_string(),
+                );
+                family(
+                    "kanon_table_ops_applied_total",
+                    "counter",
+                    "Individual ops applied to a durable table (this process).",
+                    &|t| t.ops_applied.to_string(),
+                );
+                family(
+                    "kanon_table_resolved_units_total",
+                    "counter",
+                    "Dirty units re-solved across refreshes (this process).",
+                    &|t| t.resolved_units.to_string(),
+                );
+                family(
+                    "kanon_table_recovery_seconds",
+                    "gauge",
+                    "Wall-clock duration of the startup WAL replay.",
+                    &|t| format!("{:.6}", t.recovery_seconds),
+                );
+                family(
+                    "kanon_table_quarantined",
+                    "gauge",
+                    "1 when the table is quarantined after an integrity failure.",
+                    &|t| u8::from(t.quarantined).to_string(),
+                );
+                family(
+                    "kanon_table_write_conflicts_total",
+                    "counter",
+                    "Writers answered 409 because the single-writer lock was held.",
+                    &|t| t.write_conflicts.to_string(),
+                );
+            }
         }
 
         out.push_str("# HELP kanon_queue_depth Jobs waiting in the admission queue.\n");
@@ -291,6 +390,51 @@ mod tests {
             2.0
         );
         assert_eq!(parsed["kanon_request_latency_seconds_count"], 2.0);
+    }
+
+    #[test]
+    fn table_families_render_per_table() {
+        let m = Metrics::new();
+        m.table("orders", |t| {
+            t.wal_bytes = 512;
+            t.batches_applied = 3;
+            t.ops_applied = 9;
+            t.resolved_units = 4;
+            t.recovery_seconds = 0.25;
+        });
+        m.table("people", |t| {
+            t.quarantined = true;
+            t.write_conflicts = 2;
+        });
+        let parsed = parse_exposition(&m.render(0, 0, 0));
+        assert_eq!(parsed["kanon_table_wal_bytes{table=\"orders\"}"], 512.0);
+        assert_eq!(
+            parsed["kanon_table_batches_applied_total{table=\"orders\"}"],
+            3.0
+        );
+        assert_eq!(
+            parsed["kanon_table_ops_applied_total{table=\"orders\"}"],
+            9.0
+        );
+        assert_eq!(
+            parsed["kanon_table_resolved_units_total{table=\"orders\"}"],
+            4.0
+        );
+        assert_eq!(
+            parsed["kanon_table_recovery_seconds{table=\"orders\"}"],
+            0.25
+        );
+        assert_eq!(parsed["kanon_table_quarantined{table=\"people\"}"], 1.0);
+        assert_eq!(parsed["kanon_table_quarantined{table=\"orders\"}"], 0.0);
+        assert_eq!(
+            parsed["kanon_table_write_conflicts_total{table=\"people\"}"],
+            2.0
+        );
+        m.remove_table("people");
+        let parsed = parse_exposition(&m.render(0, 0, 0));
+        assert!(!parsed.contains_key("kanon_table_quarantined{table=\"people\"}"));
+        assert_eq!(m.table_stats("orders").unwrap().batches_applied, 3);
+        assert!(m.table_stats("people").is_none());
     }
 
     #[test]

@@ -29,17 +29,60 @@ pub struct SubmitParams {
     pub path: Option<String>,
 }
 
+/// Validated parameters of a `PUT /v1/tables/{name}` creation.
+#[derive(Debug, PartialEq, Eq)]
+pub struct TableParams {
+    /// The anonymity parameter (required, at least 1).
+    pub k: usize,
+    /// Target rows per shard; the delta engine's default applies when
+    /// absent.
+    pub shard_size: Option<usize>,
+    /// Pinned hash-bucket count; derived from the initial table when
+    /// absent.
+    pub buckets: Option<usize>,
+    /// Comma-separated quasi-identifier column names; every column when
+    /// absent.
+    pub quasi: Option<Vec<String>>,
+    /// Deadline for the initial solve in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Memory cap in MiB, leased from the global pool for the initial
+    /// solve.
+    pub max_memory_mb: Option<u64>,
+}
+
+/// Validated parameters of a `POST /v1/tables/{name}/ops` batch.
+#[derive(Debug, PartialEq, Eq)]
+pub struct TableOpsParams {
+    /// Deadline for applying the batch, in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Memory cap in MiB, leased from the global pool for the batch.
+    pub max_memory_mb: Option<u64>,
+}
+
 /// An endpoint the service can serve.
 #[derive(Debug, PartialEq, Eq)]
 pub enum Route {
-    /// `GET /healthz`.
+    /// `GET /healthz` — liveness plus degradation detail.
     Health,
+    /// `GET /readyz` — strict readiness (`503` while recovering or
+    /// degraded).
+    Ready,
     /// `GET /metrics`.
     Metrics,
     /// `POST /v1/anonymize`.
     Submit(SubmitParams),
     /// `GET /v1/jobs/{id}`.
     JobStatus(JobId),
+    /// `PUT /v1/tables/{name}`.
+    TableCreate(String, TableParams),
+    /// `POST /v1/tables/{name}/ops`.
+    TableOps(String, TableOpsParams),
+    /// `GET /v1/tables/{name}/release`.
+    TableRelease(String),
+    /// `GET /v1/tables/{name}`.
+    TableStatus(String),
+    /// `DELETE /v1/tables/{name}`.
+    TableDelete(String),
 }
 
 /// Resolves a request to a route.
@@ -52,6 +95,7 @@ pub fn route(request: &Request) -> Result<Route, Reject> {
 
     match path {
         "/healthz" => method_gate(request, "GET", Route::Health),
+        "/readyz" => method_gate(request, "GET", Route::Ready),
         "/metrics" => method_gate(request, "GET", Route::Metrics),
         "/v1/anonymize" => {
             if request.method != "POST" {
@@ -70,11 +114,51 @@ pub fn route(request: &Request) -> Result<Route, Reject> {
                 })?;
                 return Ok(Route::JobStatus(id));
             }
+            if let Some(rest) = path.strip_prefix("/v1/tables/") {
+                return route_table(request, rest, &query);
+            }
             Err(Reject {
                 status: 404,
                 reason: format!("no such endpoint: {path}"),
             })
         }
+    }
+}
+
+/// Routes `/v1/tables/{name}` and `/v1/tables/{name}/{action}`. The name
+/// is validated here, before any handler touches the filesystem.
+fn route_table(request: &Request, rest: &str, query: &[(String, String)]) -> Result<Route, Reject> {
+    let (name, action) = match rest.split_once('/') {
+        Some((name, action)) => (name, Some(action)),
+        None => (rest, None),
+    };
+    crate::tables::validate_table_name(name)?;
+    let name = name.to_string();
+    match action {
+        None => match request.method.as_str() {
+            "GET" => Ok(Route::TableStatus(name)),
+            "PUT" => Ok(Route::TableCreate(name, parse_table_create(query)?)),
+            "DELETE" => Ok(Route::TableDelete(name)),
+            _ => Err(method_not_allowed("GET, PUT or DELETE")),
+        },
+        Some("ops") => {
+            if request.method != "POST" {
+                return Err(method_not_allowed("POST"));
+            }
+            let (deadline_ms, max_memory_mb) = parse_budget(query)?;
+            Ok(Route::TableOps(
+                name,
+                TableOpsParams {
+                    deadline_ms,
+                    max_memory_mb,
+                },
+            ))
+        }
+        Some("release") => method_gate(request, "GET", Route::TableRelease(name)),
+        Some(other) => Err(Reject {
+            status: 404,
+            reason: format!("no such table action: {other}"),
+        }),
     }
 }
 
@@ -152,6 +236,77 @@ fn parse_submit(query: &[(String, String)]) -> Result<SubmitParams, Reject> {
     })
 }
 
+fn lookup<'q>(query: &'q [(String, String)], key: &str) -> Option<&'q str> {
+    query
+        .iter()
+        .find(|(name, _)| name == key)
+        .map(|(_, value)| value.as_str())
+}
+
+fn bad_param(what: &str, raw: &str) -> Reject {
+    Reject {
+        status: 400,
+        reason: format!("bad query parameter {what}={raw:?}"),
+    }
+}
+
+/// Parses the optional `deadline_ms` / `max_memory_mb` pair (both must be
+/// positive when present).
+fn parse_budget(query: &[(String, String)]) -> Result<(Option<u64>, Option<u64>), Reject> {
+    let positive = |key: &str| -> Result<Option<u64>, Reject> {
+        lookup(query, key)
+            .map(|raw| {
+                raw.parse::<u64>()
+                    .ok()
+                    .filter(|v| *v > 0)
+                    .ok_or_else(|| bad_param(key, raw))
+            })
+            .transpose()
+    };
+    Ok((positive("deadline_ms")?, positive("max_memory_mb")?))
+}
+
+fn parse_table_create(query: &[(String, String)]) -> Result<TableParams, Reject> {
+    let k = match lookup(query, "k") {
+        None => {
+            return Err(Reject {
+                status: 400,
+                reason: "missing required query parameter k".into(),
+            })
+        }
+        Some(raw) => raw
+            .parse::<usize>()
+            .ok()
+            .filter(|k| *k >= 1)
+            .ok_or_else(|| bad_param("k", raw))?,
+    };
+    let positive_usize = |key: &str| -> Result<Option<usize>, Reject> {
+        lookup(query, key)
+            .map(|raw| {
+                raw.parse::<usize>()
+                    .ok()
+                    .filter(|v| *v > 0)
+                    .ok_or_else(|| bad_param(key, raw))
+            })
+            .transpose()
+    };
+    let quasi = lookup(query, "quasi").map(|raw| {
+        raw.split(',')
+            .filter(|name| !name.is_empty())
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    });
+    let (deadline_ms, max_memory_mb) = parse_budget(query)?;
+    Ok(TableParams {
+        k,
+        shard_size: positive_usize("shard_size")?,
+        buckets: positive_usize("buckets")?,
+        quasi,
+        deadline_ms,
+        max_memory_mb,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +357,102 @@ mod tests {
             }
             other => panic!("expected Submit, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn routes_the_table_endpoints() {
+        assert_eq!(route(&request("GET", "/readyz")).unwrap(), Route::Ready);
+        match route(&request(
+            "PUT",
+            "/v1/tables/orders?k=3&buckets=17&shard_size=64&quasi=age,zip",
+        ))
+        .unwrap()
+        {
+            Route::TableCreate(name, params) => {
+                assert_eq!(name, "orders");
+                assert_eq!(params.k, 3);
+                assert_eq!(params.buckets, Some(17));
+                assert_eq!(params.shard_size, Some(64));
+                assert_eq!(
+                    params.quasi,
+                    Some(vec!["age".to_string(), "zip".to_string()])
+                );
+            }
+            other => panic!("expected TableCreate, got {other:?}"),
+        }
+        assert_eq!(
+            route(&request("POST", "/v1/tables/orders/ops?max_memory_mb=8")).unwrap(),
+            Route::TableOps(
+                "orders".to_string(),
+                TableOpsParams {
+                    deadline_ms: None,
+                    max_memory_mb: Some(8),
+                }
+            )
+        );
+        assert_eq!(
+            route(&request("GET", "/v1/tables/orders/release")).unwrap(),
+            Route::TableRelease("orders".to_string())
+        );
+        assert_eq!(
+            route(&request("GET", "/v1/tables/orders")).unwrap(),
+            Route::TableStatus("orders".to_string())
+        );
+        assert_eq!(
+            route(&request("DELETE", "/v1/tables/orders")).unwrap(),
+            Route::TableDelete("orders".to_string())
+        );
+    }
+
+    #[test]
+    fn table_rejections_carry_the_right_status() {
+        // Hostile or malformed names never reach the filesystem.
+        for bad in [
+            "/v1/tables/..",
+            "/v1/tables/a.b",
+            "/v1/tables/a%2Fb", // stays encoded in the path: '%' is invalid
+            "/v1/tables/",
+        ] {
+            assert_eq!(
+                route(&request("GET", bad)).unwrap_err().status,
+                400,
+                "for {bad}"
+            );
+        }
+        assert_eq!(
+            route(&request("PATCH", "/v1/tables/t")).unwrap_err().status,
+            405
+        );
+        assert_eq!(
+            route(&request("GET", "/v1/tables/t/ops"))
+                .unwrap_err()
+                .status,
+            405
+        );
+        assert_eq!(
+            route(&request("GET", "/v1/tables/t/nope"))
+                .unwrap_err()
+                .status,
+            404
+        );
+        for bad in [
+            "/v1/tables/t?buckets=0",
+            "/v1/tables/t?k=2&buckets=0",
+            "/v1/tables/t?k=0",
+            "/v1/tables/t",
+        ] {
+            assert_eq!(
+                route(&request("PUT", bad)).unwrap_err().status,
+                400,
+                "for {bad}"
+            );
+        }
+        assert_eq!(
+            route(&request("POST", "/v1/tables/t/ops?deadline_ms=0"))
+                .unwrap_err()
+                .status,
+            400
+        );
     }
 
     #[test]

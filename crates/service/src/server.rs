@@ -33,6 +33,7 @@ use crate::job::{JobId, JobStore};
 use crate::metrics::Metrics;
 use crate::queue::{JobQueue, PushError};
 use crate::router::{route, Route, SubmitParams};
+use crate::tables::{self, TableRegistry};
 
 /// Where a job's CSV comes from.
 #[derive(Debug)]
@@ -65,6 +66,9 @@ pub struct ServiceState {
     pub queue: JobQueue<QueuedJob>,
     /// The global memory pool jobs lease from.
     pub pool: BudgetPool,
+    /// Durable tenant tables, when the server was started with a data
+    /// directory (`None` disables the `/v1/tables` endpoints).
+    pub tables: Option<TableRegistry>,
 }
 
 /// A running server. Dropping it (or calling [`Server::shutdown`]) stops
@@ -87,11 +91,16 @@ impl Server {
         config.validate()?;
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let tables = match &config.data_dir {
+            Some(dir) => Some(TableRegistry::open(dir)?),
+            None => None,
+        };
         let state = Arc::new(ServiceState {
             metrics: Metrics::new(),
             jobs: JobStore::new(),
             queue: JobQueue::new(config.queue_depth),
             pool: BudgetPool::new(config.pool_memory_bytes),
+            tables,
             config,
         });
         let stop = Arc::new(AtomicBool::new(false));
@@ -152,6 +161,15 @@ impl Drop for Server {
 /// returning from here means every handler and worker has exited.
 fn serve(listener: &TcpListener, state: &Arc<ServiceState>, stop: &AtomicBool) {
     std::thread::scope(|scope| {
+        // Recovery replays every table's WAL concurrently with serving:
+        // the listener is already accepting, and tables answer 503 with
+        // Retry-After until their replay lands (or quarantines them).
+        if let Some(tables) = &state.tables {
+            if tables.recovering() {
+                scope.spawn(|| tables.recover(state));
+            }
+        }
+
         for _ in 0..state.config.workers {
             scope.spawn(|| {
                 while let Some(job) = state.queue.pop() {
@@ -224,14 +242,8 @@ fn reject_response(reject: &Reject) -> Response {
 fn dispatch(state: &ServiceState, request: Request) -> Response {
     match route(&request) {
         Err(reject) => reject_response(&reject),
-        Ok(Route::Health) => {
-            let mut obj = JsonObject::new();
-            obj.string("status", "ok")
-                .number("queue_depth", state.queue.depth() as u128)
-                .number("workers", state.config.workers as u128)
-                .number("pool_available_bytes", u128::from(state.pool.available()));
-            Response::json(200, obj.finish())
-        }
+        Ok(Route::Health) => health_response(state),
+        Ok(Route::Ready) => ready_response(state),
         Ok(Route::Metrics) => Response::text(
             200,
             state
@@ -246,7 +258,58 @@ fn dispatch(state: &ServiceState, request: Request) -> Response {
             }),
         },
         Ok(Route::Submit(params)) => admit(state, params, request.body),
+        Ok(Route::TableCreate(name, params)) => {
+            tables::handle_create(state, &name, &params, &request.body)
+        }
+        Ok(Route::TableOps(name, params)) => {
+            tables::handle_ops(state, &name, &params, &request.body)
+        }
+        Ok(Route::TableRelease(name)) => tables::handle_release(state, &name),
+        Ok(Route::TableStatus(name)) => tables::handle_status(state, &name),
+        Ok(Route::TableDelete(name)) => tables::handle_delete(state, &name),
     }
+}
+
+/// Liveness: always `200` while the process serves requests, but the
+/// status string flips to `"degraded"` (and the quarantined tables are
+/// named) when recovery is still replaying or any table refused its WAL.
+fn health_response(state: &ServiceState) -> Response {
+    let (body, _) = health_body(state);
+    Response::json(200, body)
+}
+
+/// Readiness: `503` while recovery is replaying or any table is
+/// quarantined, so load balancers stop routing before clients see the
+/// per-table `503`s; `200 ok` otherwise.
+fn ready_response(state: &ServiceState) -> Response {
+    let (body, degraded) = health_body(state);
+    if degraded {
+        let mut response = Response::json(503, body);
+        response
+            .extra_headers
+            .push(("Retry-After".to_string(), "1".to_string()));
+        return response;
+    }
+    Response::json(200, body)
+}
+
+fn health_body(state: &ServiceState) -> (String, bool) {
+    let mut obj = JsonObject::new();
+    let mut degraded = false;
+    if let Some(tables) = &state.tables {
+        let recovering = tables.recovering();
+        let quarantined = tables.quarantined_names();
+        degraded = recovering || !quarantined.is_empty();
+        obj.boolean("recovering", recovering);
+        let listed: Vec<String> = quarantined.iter().map(|n| format!("\"{n}\"")).collect();
+        obj.raw("quarantined", &format!("[{}]", listed.join(",")));
+        obj.number("tables", tables.len() as u128);
+    }
+    obj.string("status", if degraded { "degraded" } else { "ok" })
+        .number("queue_depth", state.queue.depth() as u128)
+        .number("workers", state.config.workers as u128)
+        .number("pool_available_bytes", u128::from(state.pool.available()));
+    (obj.finish(), degraded)
 }
 
 /// The admission decision: validate, lease memory, take a queue slot.

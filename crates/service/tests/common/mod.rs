@@ -2,6 +2,10 @@
 //! tests deliberately speak TCP directly instead of going through any
 //! client abstraction: the service's contract is bytes on a socket.
 
+// Compiled once per integration-test binary; not every binary uses every
+// helper.
+#![allow(dead_code)]
+
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;

@@ -126,6 +126,94 @@ fn vanishing_clients_do_not_wedge_the_handler_pool() {
 }
 
 #[test]
+fn hostile_clients_cannot_corrupt_or_wedge_tables() {
+    // Without a data directory the table endpoints are cleanly disabled.
+    let server = small_server();
+    let (status, _, body) = common::http(server.addr(), "GET", "/v1/tables/t", &[]);
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("table serving is disabled"), "{body}");
+    server.shutdown();
+
+    let dir = std::env::temp_dir().join(format!("kanon-hostile-tables-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let server = Server::start(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        http_threads: 2,
+        max_body_bytes: 2048,
+        data_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    let seed = b"a,b\n1,x\n1,x\n2,y\n2,y\n1,x\n2,y\n";
+    let (status, _, body) = common::http(addr, "PUT", "/v1/tables/t?k=2&shard_size=4", seed);
+    assert_eq!(status, 201, "{body}");
+
+    // The documented rejections, none of which may touch the table.
+    let cases: &[(&str, &str, &[u8], u16)] = &[
+        ("PUT", "/v1/tables/t?k=2", seed, 409),     // already exists
+        ("PUT", "/v1/tables/..?k=2", seed, 400),    // traversal
+        ("PUT", "/v1/tables/a%2Fb?k=2", seed, 400), // encoded slash
+        ("PUT", "/v1/tables/bad?shard_size=8", seed, 400), // no k
+        ("PUT", "/v1/tables/empty?k=2", &[], 400),  // empty body
+        ("PATCH", "/v1/tables/t", &[], 405),        // bad method
+        ("GET", "/v1/tables/t/ops", &[], 405),      // ops is POST-only
+        ("GET", "/v1/tables/t/nope", &[], 404),     // no such action
+        ("POST", "/v1/tables/ghost/ops", b"op,id,a,b\n", 404), // unknown table
+        ("POST", "/v1/tables/t/ops", b"op,id,wrong\nx\n", 400), // bad ops header
+        ("POST", "/v1/tables/t/ops?deadline_ms=0", b"x", 400), // bad budget param
+    ];
+    for (method, target, body, expected) in cases {
+        let (status, _, resp) = common::http(addr, method, target, body);
+        assert_eq!(status, *expected, "for {method} {target}: {resp}");
+        assert!(resp.contains("\"error\""), "{resp}");
+    }
+
+    // An oversized ops batch bounces at the body limit.
+    let (status, _, body) = common::raw(
+        addr,
+        b"POST /v1/tables/t/ops HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+    )
+    .expect("an answer");
+    assert_eq!(status, 413, "{body}");
+
+    // A client that vanishes mid-ops-CSV leaves no trace: the batch was
+    // never parsed, let alone applied.
+    for _ in 0..3 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(
+                b"POST /v1/tables/t/ops HTTP/1.1\r\nContent-Length: 500\r\n\r\nop,id,a,b\nins",
+            )
+            .expect("send partial");
+        drop(stream);
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Nothing above moved the table: still ready, still at seq 0, and a
+    // real batch still lands.
+    let (status, _, status_json) = common::http(addr, "GET", "/v1/tables/t", &[]);
+    assert_eq!(status, 200, "{status_json}");
+    assert_eq!(common::extract_number(&status_json, "\"seq\":"), Some(0));
+    let (status, _, body) = common::http(
+        addr,
+        "POST",
+        "/v1/tables/t/ops",
+        b"op,id,a,b\ninsert,,3,z\n",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"seq\":1"), "{body}");
+    let (_, _, health) = common::http(addr, "GET", "/healthz", &[]);
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn submissions_with_bad_parameters_are_rejected_before_admission() {
     let server = small_server();
     let addr = server.addr();

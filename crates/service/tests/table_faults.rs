@@ -1,0 +1,290 @@
+//! The WAL fault-injection matrix, driven through the HTTP path: every
+//! truncation point and every flipped byte of a served table's WAL, plus
+//! snapshot corruption, each followed by a full server restart. The
+//! contract mirrors the store-level `wal_faults` suite, observed from a
+//! client's seat:
+//!
+//! - a torn tail recovers the longest whole prefix of acknowledged
+//!   batches and the table serves it;
+//! - interior corruption either recovers a shorter consistent prefix or
+//!   quarantines the table — `503` with a structured error, `/healthz`
+//!   degraded, `/readyz` refusing — while healthy tables keep serving;
+//! - `DELETE` is the operator's way out of quarantine.
+
+mod common;
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use kanon_service::{Server, ServiceConfig};
+use kanon_store::RECORD_HEADER;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kanon-tbl-faults-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start(data_dir: &Path) -> Server {
+    Server::start(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        http_threads: 2,
+        data_dir: Some(data_dir.to_path_buf()),
+        ..ServiceConfig::default()
+    })
+    .expect("server starts")
+}
+
+/// Polls `/healthz` until the recovery pass has finished (whatever its
+/// verdict); returns the final health body.
+fn await_recovered(addr: SocketAddr) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, _, body) = common::http(addr, "GET", "/healthz", &[]);
+        assert_eq!(status, 200, "liveness must hold during recovery: {body}");
+        if body.contains("\"recovering\":false") {
+            return body;
+        }
+        assert!(Instant::now() < deadline, "recovery never finished: {body}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Copies a table directory, leaving the advisory lock behind (the
+/// fixture process is still alive, so a copied lock would read as held).
+fn copy_table(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_name() == kanon_store::LOCK_FILE {
+            continue;
+        }
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+/// Byte offsets where each WAL record starts.
+fn record_bounds(wal: &[u8]) -> Vec<(usize, usize)> {
+    let mut bounds = Vec::new();
+    let mut at = 0usize;
+    while at + RECORD_HEADER <= wal.len() {
+        let len = u32::from_le_bytes(wal[at..at + 4].try_into().unwrap()) as usize;
+        let end = at + RECORD_HEADER + len;
+        assert!(end <= wal.len(), "fixture WAL is torn");
+        bounds.push((at, end));
+        at = end;
+    }
+    assert_eq!(at, wal.len());
+    bounds
+}
+
+/// The fixture, built entirely over HTTP: a `frail` table with two
+/// acknowledged ops batches past its snapshot, a pristine `good` table
+/// beside it, and the release bytes after each batch prefix.
+struct Fixture {
+    dir: PathBuf,
+    wal: Vec<u8>,
+    /// `releases[i]` is the served release after `i` batches.
+    releases: Vec<String>,
+    good_release: String,
+}
+
+fn build_fixture(name: &str) -> Fixture {
+    let dir = tmp(name);
+    let server = start(&dir);
+    let addr = server.addr();
+
+    let mut seed = String::from("p,q\n");
+    for i in 0..10u64 {
+        seed.push_str(&format!("a{},b{}\n", i % 5, i % 3));
+    }
+    for table in ["frail", "good"] {
+        let (status, _, body) = common::http(
+            addr,
+            "PUT",
+            &format!("/v1/tables/{table}?k=2&shard_size=8"),
+            seed.as_bytes(),
+        );
+        assert_eq!(status, 201, "{body}");
+    }
+
+    let mut releases = Vec::new();
+    let (status, _, r0) = common::http(addr, "GET", "/v1/tables/frail/release", &[]);
+    assert_eq!(status, 200);
+    releases.push(r0);
+    for batch in [
+        "insert,,a9,b9\ninsert,,a9,b8\n",
+        "delete,3,,\ninsert,,a7,b6\n",
+    ] {
+        let ops = format!("op,id,p,q\n{batch}");
+        let (status, _, body) = common::http(addr, "POST", "/v1/tables/frail/ops", ops.as_bytes());
+        assert_eq!(status, 200, "{body}");
+        let (status, _, release) = common::http(addr, "GET", "/v1/tables/frail/release", &[]);
+        assert_eq!(status, 200);
+        releases.push(release);
+    }
+    let (status, _, good_release) = common::http(addr, "GET", "/v1/tables/good/release", &[]);
+    assert_eq!(status, 200);
+    server.shutdown();
+
+    let wal = std::fs::read(dir.join("frail").join("delta.wal")).unwrap();
+    Fixture {
+        dir,
+        wal,
+        releases,
+        good_release,
+    }
+}
+
+/// Mounts a mutated copy of the fixture and reports what the service
+/// makes of it: `Ok(seq)` when `frail` serves a recovered prefix,
+/// `Err(health)` when it was quarantined.
+fn mount_mutated(fixture: &Fixture, work: &Path, mutated_wal: &[u8]) -> Result<u64, String> {
+    copy_table(&fixture.dir.join("frail"), &work.join("frail"));
+    copy_table(&fixture.dir.join("good"), &work.join("good"));
+    std::fs::write(work.join("frail").join("delta.wal"), mutated_wal).unwrap();
+
+    let server = start(work);
+    let addr = server.addr();
+    let health = await_recovered(addr);
+
+    // Whatever happened to `frail`, its healthy sibling keeps serving.
+    let (status, _, good) = common::http(addr, "GET", "/v1/tables/good/release", &[]);
+    assert_eq!(status, 200, "healthy table stopped serving: {good}");
+    assert_eq!(good, fixture.good_release);
+
+    let verdict = if health.contains("\"frail\"") {
+        // Quarantined: the table answers 503 with a structured error and
+        // readiness refuses, but liveness holds.
+        assert!(health.contains("\"status\":\"degraded\""), "{health}");
+        let (status, head, body) = common::http(addr, "GET", "/v1/tables/frail/release", &[]);
+        assert_eq!(status, 503, "{body}");
+        // Quarantine is not transient — no Retry-After; DELETE is the
+        // only way out.
+        assert!(!head.contains("Retry-After:"), "{head}");
+        assert!(body.contains("\"error\":\"table quarantined\""), "{body}");
+        assert!(body.contains("\"table\":\"frail\""), "{body}");
+        let (status, _, ready) = common::http(addr, "GET", "/readyz", &[]);
+        assert_eq!(status, 503, "{ready}");
+        Err(health)
+    } else {
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        let (status, _, status_json) = common::http(addr, "GET", "/v1/tables/frail", &[]);
+        assert_eq!(status, 200, "{status_json}");
+        let seq = common::extract_number(&status_json, "\"seq\":").unwrap();
+        let (status, _, release) = common::http(addr, "GET", "/v1/tables/frail/release", &[]);
+        assert_eq!(status, 200);
+        assert_eq!(
+            release, fixture.releases[seq as usize],
+            "seq {seq}: served state is not that batch prefix"
+        );
+        Ok(seq)
+    };
+    server.shutdown();
+    verdict
+}
+
+#[test]
+fn truncation_at_every_byte_serves_the_acknowledged_prefix() {
+    let fixture = build_fixture("truncate");
+    let bounds = record_bounds(&fixture.wal);
+    assert_eq!(bounds.len(), 2);
+    let work = tmp("truncate-work");
+    for cut in 0..=fixture.wal.len() {
+        let complete = bounds.iter().filter(|(_, end)| *end <= cut).count() as u64;
+        match mount_mutated(&fixture, &work, &fixture.wal[..cut]) {
+            Ok(seq) => assert_eq!(
+                seq, complete,
+                "cut at {cut}: served {seq} batches, {complete} were whole"
+            ),
+            Err(health) => panic!("cut at {cut}: a torn tail must never quarantine: {health}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&fixture.dir);
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn a_flipped_byte_quarantines_or_serves_a_shorter_prefix() {
+    let fixture = build_fixture("flip");
+    let bounds = record_bounds(&fixture.wal);
+    let work = tmp("flip-work");
+    let mut quarantines = 0usize;
+    for pos in 0..fixture.wal.len() {
+        for bit in [0x01u8, 0x80] {
+            let mut bad = fixture.wal.clone();
+            bad[pos] ^= bit;
+            let record = bounds
+                .iter()
+                .position(|(s, e)| (*s..*e).contains(&pos))
+                .unwrap() as u64;
+            match mount_mutated(&fixture, &work, &bad) {
+                // A flip in a length field can make the record look torn;
+                // the corrupted batch itself must never be served.
+                Ok(seq) => assert!(
+                    seq <= record,
+                    "flip at {pos} (record {record}): corrupted batch {seq} survived"
+                ),
+                Err(_) => quarantines += 1,
+            }
+        }
+    }
+    assert!(
+        quarantines > 0,
+        "CRC corruption never quarantined — the loud path is untested"
+    );
+    let _ = std::fs::remove_dir_all(&fixture.dir);
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn a_corrupt_snapshot_quarantines_and_delete_clears_it() {
+    let fixture = build_fixture("snap");
+    let work = tmp("snap-work");
+    copy_table(&fixture.dir.join("frail"), &work.join("frail"));
+    copy_table(&fixture.dir.join("good"), &work.join("good"));
+    let snap_path = work.join("frail").join("state.snap");
+    let mut snap = std::fs::read(&snap_path).unwrap();
+    let mid = snap.len() / 2;
+    snap[mid] ^= 0x10;
+    std::fs::write(&snap_path, &snap).unwrap();
+
+    let server = start(&work);
+    let addr = server.addr();
+    let health = await_recovered(addr);
+    assert!(health.contains("\"status\":\"degraded\""), "{health}");
+    assert!(health.contains("\"quarantined\":[\"frail\"]"), "{health}");
+
+    // Ops against the quarantined table are refused with the reason.
+    let ops = "op,id,p,q\ninsert,,a1,b1\n";
+    let (status, _, body) = common::http(addr, "POST", "/v1/tables/frail/ops", ops.as_bytes());
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"error\":\"table quarantined\""), "{body}");
+
+    // The quarantine gauge is up; the healthy sibling still serves.
+    let (_, _, page) = common::http(addr, "GET", "/metrics", &[]);
+    assert!(
+        page.contains("kanon_table_quarantined{table=\"frail\"} 1"),
+        "{page}"
+    );
+    let (status, _, good) = common::http(addr, "GET", "/v1/tables/good/release", &[]);
+    assert_eq!(status, 200);
+    assert_eq!(good, fixture.good_release);
+
+    // DELETE is the way out: the table (and the degradation) disappear.
+    let (status, _, body) = common::http(addr, "DELETE", "/v1/tables/frail", &[]);
+    assert_eq!(status, 200, "{body}");
+    let (status, _, health) = common::http(addr, "GET", "/healthz", &[]);
+    assert_eq!(status, 200);
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    let (status, _, _) = common::http(addr, "GET", "/readyz", &[]);
+    assert_eq!(status, 200);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&fixture.dir);
+    let _ = std::fs::remove_dir_all(&work);
+}

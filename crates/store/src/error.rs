@@ -24,6 +24,13 @@ pub enum Error {
     },
     /// A replay buffer would exceed the governing budget's memory cap.
     Budget(kanon_core::Error),
+    /// Another live holder owns the store directory's single-writer lock.
+    Locked {
+        /// The lock file that refused acquisition.
+        path: std::path::PathBuf,
+        /// PID recorded in the lock file, when its body was readable.
+        holder_pid: Option<u32>,
+    },
 }
 
 impl fmt::Display for Error {
@@ -36,6 +43,10 @@ impl fmt::Display for Error {
                 detail,
             } => write!(f, "corrupt {file} at byte {offset}: {detail}"),
             Error::Budget(e) => write!(f, "store budget exceeded: {e}"),
+            Error::Locked { path, holder_pid } => match holder_pid {
+                Some(pid) => write!(f, "store locked by pid {pid} ({})", path.display()),
+                None => write!(f, "store locked ({})", path.display()),
+            },
         }
     }
 }
@@ -45,7 +56,7 @@ impl std::error::Error for Error {
         match self {
             Error::Io(e) => Some(e),
             Error::Budget(e) => Some(e),
-            Error::Corrupt { .. } => None,
+            Error::Corrupt { .. } | Error::Locked { .. } => None,
         }
     }
 }

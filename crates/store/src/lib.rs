@@ -18,6 +18,10 @@
 //!   harmless because records at or below the snapshot's sequence number
 //!   are skipped on replay.
 //!
+//! A third primitive, the **directory lock** ([`lock`]), keeps two live
+//! writers out of the same store directory (single-writer WAL discipline)
+//! while letting crash recovery take over a verifiably dead holder's lock.
+//!
 //! Record payloads are opaque bytes here; [`bytes`] offers the little
 //! binary codec (`u32`/`u64`/length-prefixed strings, all little-endian)
 //! the delta engine uses to fill them. Replay buffers are charged against a
@@ -30,11 +34,13 @@
 pub mod bytes;
 pub mod crc;
 pub mod error;
+pub mod lock;
 pub mod snapshot;
 pub mod wal;
 
 pub use bytes::{ByteReader, ByteWriter};
 pub use crc::crc32;
 pub use error::{Error, Result};
+pub use lock::{DirLock, LOCK_FILE};
 pub use snapshot::{read_snapshot, write_snapshot};
 pub use wal::{encode_record, Replay, Wal, RECORD_HEADER};

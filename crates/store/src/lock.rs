@@ -1,0 +1,185 @@
+//! Single-writer directory locks for durable store directories.
+//!
+//! A [`DirLock`] guards a store directory against two live processes (or
+//! two stores inside one process) appending to the same WAL. The lock is a
+//! `store.lock` file created with `O_CREAT | O_EXCL`; the file body holds
+//! the owner's PID in decimal.
+//!
+//! ## Staleness
+//!
+//! A `kill -9` leaves the lock file behind, and crash recovery must not be
+//! blocked by debris from the process it is recovering. On acquisition
+//! conflict the holder's PID is read back; if that process is verifiably
+//! gone (on Linux, `/proc/<pid>` does not exist) the stale file is removed
+//! and acquisition retried once. A live holder — or an unreadable lock
+//! file, or a platform where liveness cannot be checked — refuses with
+//! [`Error::Locked`], never steals.
+//!
+//! Dropping the lock removes the file. The protocol is advisory: it
+//! coordinates cooperating `kanon` processes, it does not stop a hostile
+//! writer with raw filesystem access.
+
+use std::fs::{self, OpenOptions};
+use std::io::{ErrorKind, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::{Error, Result};
+
+/// Name of the lock file inside a guarded store directory.
+pub const LOCK_FILE: &str = "store.lock";
+
+/// An exclusive advisory lock on a store directory. Held for the lifetime
+/// of the value; dropping it releases the lock by removing the file.
+#[derive(Debug)]
+pub struct DirLock {
+    path: PathBuf,
+}
+
+impl DirLock {
+    /// Acquires the lock for `dir`, taking over from a verifiably dead
+    /// previous holder.
+    ///
+    /// # Errors
+    /// [`Error::Locked`] when another live process (or another store in
+    /// this process) holds the lock; I/O errors from the filesystem.
+    pub fn acquire(dir: impl AsRef<Path>) -> Result<DirLock> {
+        let path = dir.as_ref().join(LOCK_FILE);
+        match Self::try_create(&path) {
+            Ok(lock) => Ok(lock),
+            Err(Error::Locked { holder_pid, .. }) => {
+                if pid_is_dead(holder_pid) {
+                    // The holder crashed without releasing. Remove its
+                    // debris and retry exactly once; losing the retry race
+                    // to a concurrent acquirer is a genuine conflict.
+                    let _ = fs::remove_file(&path);
+                    Self::try_create(&path)
+                } else {
+                    Err(Error::Locked {
+                        path: path.clone(),
+                        holder_pid,
+                    })
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_create(path: &Path) -> Result<DirLock> {
+        match OpenOptions::new().write(true).create_new(true).open(path) {
+            Ok(mut file) => {
+                // Best effort: a lock file with an unreadable body is
+                // still a held lock, just never a stealable one.
+                let _ = write!(file, "{}", std::process::id());
+                let _ = file.sync_all();
+                Ok(DirLock {
+                    path: path.to_path_buf(),
+                })
+            }
+            Err(e) if e.kind() == ErrorKind::AlreadyExists => {
+                let holder_pid = fs::read_to_string(path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                Err(Error::Locked {
+                    path: path.to_path_buf(),
+                    holder_pid,
+                })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// The lock file's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// True only when the holder is *verifiably* gone. `None` (unreadable
+/// lock body) and non-Linux platforms conservatively report "alive":
+/// refusing a stale lock is recoverable, stealing a live one is not.
+fn pid_is_dead(pid: Option<u32>) -> bool {
+    let Some(pid) = pid else { return false };
+    if pid == std::process::id() {
+        // Our own previous store in this process still holds it.
+        return false;
+    }
+    if cfg!(target_os = "linux") {
+        !Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("kanon-lock-test-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn acquire_release_reacquire() {
+        let dir = tmp("cycle");
+        let lock = DirLock::acquire(&dir).unwrap();
+        assert!(lock.path().exists());
+        drop(lock);
+        assert!(!dir.join(LOCK_FILE).exists());
+        let _again = DirLock::acquire(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_acquire_in_process_is_refused() {
+        let dir = tmp("conflict");
+        let _held = DirLock::acquire(&dir).unwrap();
+        let err = DirLock::acquire(&dir).unwrap_err();
+        match err {
+            Error::Locked { holder_pid, .. } => {
+                assert_eq!(holder_pid, Some(std::process::id()));
+            }
+            other => panic!("expected Locked, got {other}"),
+        }
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn stale_lock_from_dead_pid_is_taken_over() {
+        let dir = tmp("stale");
+        // No real process gets PID near u32::MAX on Linux (pid_max caps
+        // far below), so this lock is verifiably dead debris.
+        fs::write(dir.join(LOCK_FILE), format!("{}", u32::MAX - 7)).unwrap();
+        let lock = DirLock::acquire(&dir).unwrap();
+        assert_eq!(
+            fs::read_to_string(lock.path()).unwrap().trim(),
+            format!("{}", std::process::id())
+        );
+    }
+
+    #[test]
+    fn garbage_lock_body_is_never_stolen() {
+        let dir = tmp("garbage");
+        fs::write(dir.join(LOCK_FILE), "not a pid").unwrap();
+        let err = DirLock::acquire(&dir).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::Locked {
+                    holder_pid: None,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+}

@@ -125,12 +125,16 @@ impl Wal {
         Ok(())
     }
 
-    /// Truncates the log to empty (after a successful snapshot compaction).
+    /// Truncates the log to empty (after a successful snapshot compaction)
+    /// and reports how many log bytes the rotation retired, so the caller
+    /// can charge the rotation against whoever governs the store.
     ///
     /// # Errors
     /// I/O errors from truncate/fsync.
-    pub fn reset(&mut self) -> Result<()> {
-        self.truncate_to(0)
+    pub fn reset(&mut self) -> Result<u64> {
+        let retired = self.bytes;
+        self.truncate_to(0)?;
+        Ok(retired)
     }
 
     /// Truncates the log to its first `bytes` bytes — how a torn tail found
