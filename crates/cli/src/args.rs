@@ -62,6 +62,8 @@ pub enum Command {
         buckets: Option<usize>,
         /// Worker threads (`None` = auto).
         workers: Option<usize>,
+        /// Work-stealing sub-unit row threshold (`None` = whole shards).
+        split_unit: Option<usize>,
         /// Quasi-identifier column names (`None` = all columns).
         quasi: Option<Vec<String>>,
         /// Wall-clock budget in milliseconds (`None` = unlimited).
@@ -230,7 +232,8 @@ USAGE:
                     [--deadline-ms MS] [--max-memory-mb MB]
     kanon pipeline  -k <K> --input <FILE|-> [--output <FILE>]
                     [--shard-size N] [--strategy hash|sorted] [--buckets N]
-                    [--workers N] [--quasi col1,col2,...] [--json]
+                    [--workers N] [--split-unit N]
+                    [--quasi col1,col2,...] [--json]
                     [--deadline-ms MS] [--max-memory-mb MB]
     kanon delta init    --dir <DIR> -k <K> --input <FILE|->
                     [--shard-size N] [--buckets N] [--quasi col1,col2,...]
@@ -259,6 +262,12 @@ COMMANDS:
     pipeline    Shard the table, solve each shard under a slice of the
                 budget, and merge — scales to millions of rows (solver
                 memory is bounded by --shard-size, not the table).
+                Worker count precedence: --workers, then the
+                RAYON_NUM_THREADS environment variable, then all available
+                CPU cores. --split-unit N cuts shards larger than N rows
+                into independently stolen sub-units (N >= 2k-1; same
+                output at every worker count, at a possible cost penalty
+                versus solving each shard whole).
     delta       Incremental anonymization over a durable store (WAL +
                 snapshot). `init` ingests and solves a table once;
                 `apply` replays an ops CSV (header `op,id,<columns...>`,
@@ -301,6 +310,14 @@ BUDGETS:
     guarantee the budget affords. With `center` or `exhaustive` the chosen
     solver runs governed and fails cleanly when the budget trips; `forest`
     and `exact` do not support budgets.
+
+ENVIRONMENT:
+    RAYON_NUM_THREADS   Default worker/thread count when --workers or
+                        --threads is not given.
+    KANON_FORCE_KERNEL  Distance-kernel override: `scalar`, `swar`, or
+                        `simd` (a ceiling — falls back to swar when the
+                        CPU lacks AVX2/NEON). Unset picks the best
+                        kernel the CPU supports at startup.
 "
     .to_string()
 }
@@ -445,6 +462,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--strategy",
                     "--buckets",
                     "--workers",
+                    "--split-unit",
                     "--quasi",
                     "--deadline-ms",
                     "--max-memory-mb",
@@ -487,6 +505,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 strategy,
                 buckets: positive("--buckets")?,
                 workers: positive("--workers")?,
+                split_unit: positive("--split-unit")?,
                 quasi: quasi(flag("--quasi")),
                 deadline_ms: budget_flag("--deadline-ms")?,
                 max_memory_mb: budget_flag("--max-memory-mb")?,
@@ -852,7 +871,8 @@ mod tests {
     fn parse_pipeline() {
         let cmd = parse(&argv(
             "pipeline -k 5 --input big.csv --output out.csv --shard-size 1024 \
-             --strategy sorted --workers 4 --quasi age,zip --deadline-ms 30000 --json",
+             --strategy sorted --workers 4 --split-unit 256 --quasi age,zip \
+             --deadline-ms 30000 --json",
         ))
         .unwrap();
         assert_eq!(
@@ -865,6 +885,7 @@ mod tests {
                 strategy: kanon_pipeline::ShardStrategy::Sorted,
                 buckets: None,
                 workers: Some(4),
+                split_unit: Some(256),
                 quasi: Some(vec!["age".into(), "zip".into()]),
                 deadline_ms: Some(30_000),
                 max_memory_mb: None,
@@ -883,6 +904,7 @@ mod tests {
                 strategy: kanon_pipeline::ShardStrategy::HashQuasi,
                 buckets: None,
                 workers: None,
+                split_unit: None,
                 quasi: None,
                 deadline_ms: None,
                 max_memory_mb: None,
@@ -897,6 +919,7 @@ mod tests {
             "pipeline -k 3 --input - --shard-size 0",
             "pipeline -k 3 --input - --buckets 0",
             "pipeline -k 3 --input - --workers 0",
+            "pipeline -k 3 --input - --split-unit 0",
             "pipeline -k 3 --input - --bogus x",
         ] {
             assert!(

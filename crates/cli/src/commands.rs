@@ -117,6 +117,7 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
             strategy,
             buckets,
             workers,
+            split_unit,
             quasi,
             deadline_ms,
             max_memory_mb,
@@ -129,6 +130,7 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
             *strategy,
             *buckets,
             *workers,
+            *split_unit,
             quasi.as_deref(),
             *deadline_ms,
             *max_memory_mb,
@@ -613,6 +615,7 @@ fn pipeline(
     strategy: kanon_pipeline::ShardStrategy,
     buckets: Option<usize>,
     workers: Option<usize>,
+    split_unit: Option<usize>,
     quasi: Option<&[String]>,
     deadline_ms: Option<u64>,
     max_memory_mb: Option<u64>,
@@ -623,6 +626,7 @@ fn pipeline(
         strategy,
         n_buckets: buckets,
         workers,
+        split_unit,
         budget: build_budget(deadline_ms, max_memory_mb),
         ..Default::default()
     };

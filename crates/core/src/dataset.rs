@@ -20,7 +20,11 @@ pub type Value = u32;
 pub struct Dataset {
     n: usize,
     m: usize,
-    data: Box<[Value]>,
+    /// Row-major flat storage. A `Vec` (not a boxed slice) so sub-table
+    /// buffers can round-trip through [`Dataset::into_flat_buffer`] /
+    /// [`Dataset::select_rows_into`] without reallocating — the pipeline
+    /// workers recycle one buffer across every shard they solve.
+    data: Vec<Value>,
 }
 
 impl Dataset {
@@ -51,11 +55,7 @@ impl Dataset {
             }
             data.extend_from_slice(row);
         }
-        Ok(Dataset {
-            n,
-            m,
-            data: data.into_boxed_slice(),
-        })
+        Ok(Dataset { n, m, data })
     }
 
     /// Builds an `n × m` dataset by evaluating `f(row, col)` for each cell.
@@ -66,11 +66,7 @@ impl Dataset {
                 data.push(f(i, j));
             }
         }
-        Dataset {
-            n,
-            m,
-            data: data.into_boxed_slice(),
-        }
+        Dataset { n, m, data }
     }
 
     /// Builds a dataset from a flat row-major buffer.
@@ -85,11 +81,7 @@ impl Dataset {
                 found: data.len(),
             });
         }
-        Ok(Dataset {
-            n,
-            m,
-            data: data.into_boxed_slice(),
-        })
+        Ok(Dataset { n, m, data })
     }
 
     /// Number of records (`n`, the paper's `|V|`).
@@ -171,8 +163,43 @@ impl Dataset {
         Ok(Dataset {
             n: indices.len(),
             m: self.m,
-            data: data.into_boxed_slice(),
+            data,
         })
+    }
+
+    /// As [`Dataset::select_rows`], but over `u32` indices (the sharder's
+    /// native row-id type) and reusing `buf` as the backing storage — the
+    /// buffer is cleared and refilled, so a worker that round-trips it
+    /// through [`Dataset::into_flat_buffer`] allocates nothing per shard
+    /// once the buffer has grown to the largest shard it has seen.
+    ///
+    /// # Errors
+    /// Returns [`Error::RowOutOfBounds`] on a bad index.
+    pub fn select_rows_into(&self, indices: &[u32], mut buf: Vec<Value>) -> Result<Self> {
+        buf.clear();
+        buf.reserve(indices.len() * self.m);
+        for &i in indices {
+            let i = i as usize;
+            if i >= self.n {
+                return Err(Error::RowOutOfBounds {
+                    index: i,
+                    n: self.n,
+                });
+            }
+            buf.extend_from_slice(self.row(i));
+        }
+        Ok(Dataset {
+            n: indices.len(),
+            m: self.m,
+            data: buf,
+        })
+    }
+
+    /// Consumes the dataset and returns its flat backing buffer (capacity
+    /// intact) for reuse via [`Dataset::select_rows_into`].
+    #[must_use]
+    pub fn into_flat_buffer(self) -> Vec<Value> {
+        self.data
     }
 
     /// Returns a new dataset containing only the given columns (in the
@@ -206,7 +233,7 @@ impl Dataset {
         Ok(Dataset {
             n: self.n,
             m: columns.len(),
-            data: data.into_boxed_slice(),
+            data,
         })
     }
 

@@ -25,13 +25,22 @@
 //! fills disjoint sub-slices via `std::thread::scope` — no locks, no
 //! cloning, byte-identical output to the sequential build.
 //!
-//! Each band computes distances with the packed SWAR kernel
-//! ([`crate::metric::PackedRows`], ~8 attributes per word op) whenever the
-//! dataset's dictionary codes fit the packed lanes and the budget affords
-//! the packed copy; otherwise it falls back to the scalar [`hamming`] scan.
-//! Both paths produce identical `u32` distances — pinned by the
-//! `parallel_differential` suite and the packed-agreement tests in
-//! [`crate::metric`].
+//! Each band computes distances with the column-major packed codec
+//! ([`crate::metric::PackedColumns`]) whenever the dataset's dictionary
+//! codes fit the packed lanes, the budget affords the packed copy, and the
+//! active [`crate::kernel`] tier wants packing (`KANON_FORCE_KERNEL=scalar`
+//! disables it): row `i`'s suffix distances are then one batched
+//! one-to-many sweep per word-column over contiguous words, dispatched to
+//! the SWAR or SIMD kernel resolved at process start, with the budget
+//! ticker batched via [`PollTicker::tick_many`] per ≤ 1024-entry segment.
+//! Otherwise it falls back to the scalar [`hamming`] scan. All paths
+//! produce identical `u32` distances — pinned by the
+//! `parallel_differential` and `kernel_equiv` suites and the
+//! packed-agreement tests in [`crate::metric`].
+//!
+//! The triangle buffer itself is recycled through the thread-local
+//! [`crate::scratch`] pool (taken on build, returned on drop), so a
+//! pipeline worker's steady state allocates nothing per shard.
 //!
 //! Thread counts resolve through [`resolve_threads`]: an explicit request
 //! wins, then the `RAYON_NUM_THREADS` environment variable (the de-facto
@@ -40,8 +49,9 @@
 
 use crate::dataset::Dataset;
 use crate::error::{Error, Result};
-use crate::govern::{Budget, PollTicker};
-use crate::metric::{hamming, PackedRows};
+use crate::govern::{Budget, PollTicker, POLL_INTERVAL};
+use crate::metric::{hamming, PackedColumns};
+use crate::scratch;
 
 /// Checked strict-upper-triangle length `n(n−1)/2`, also validating that
 /// every intermediate of the hot [`PairwiseDistances::tri_index`] formula
@@ -80,7 +90,14 @@ fn triangle_len(n: usize) -> Result<usize> {
 pub struct PairwiseDistances {
     n: usize,
     /// Strict upper triangle, row-major: `(0,1), (0,2), …, (n−2,n−1)`.
-    tri: Box<[u32]>,
+    /// Taken from (and on drop returned to) the thread-local scratch pool.
+    tri: Vec<u32>,
+}
+
+impl Drop for PairwiseDistances {
+    fn drop(&mut self) {
+        scratch::give_u32(std::mem::take(&mut self.tri));
+    }
 }
 
 impl PairwiseDistances {
@@ -138,18 +155,21 @@ impl PairwiseDistances {
         let total = triangle_len(n)?;
         budget.check()?;
         budget.try_charge_memory((total as u64).saturating_mul(4))?;
-        let mut tri = vec![0u32; total];
+        let mut tri = scratch::take_u32(total);
 
-        // Packed SWAR kernel: ~8 attribute comparisons per word op. Charged
-        // against the budget like every other planned allocation, but a
-        // refused charge degrades to the scalar row scan instead of failing
-        // the build — packing is an optimization, never a requirement.
-        // `PackedRows::try_build` itself returns `None` for wide alphabets.
-        let packed = if budget
-            .try_charge_memory(PackedRows::storage_bytes(n, ds.n_cols()))
-            .is_ok()
+        // Column-major packed codec, dispatched to the process-wide kernel
+        // tier. Charged against the budget like every other planned
+        // allocation, but a refused charge degrades to the scalar row scan
+        // instead of failing the build — packing is an optimization, never
+        // a requirement. `try_build` itself returns `None` for wide
+        // alphabets, and a forced-scalar kernel skips packing entirely so
+        // the fallback is genuinely exercised end to end.
+        let packed = if crate::kernel::packing_enabled()
+            && budget
+                .try_charge_memory(PackedColumns::storage_bytes(n, ds.n_cols()))
+                .is_ok()
         {
-            PackedRows::try_build(ds)
+            PackedColumns::try_build(ds)
         } else {
             None
         };
@@ -159,10 +179,7 @@ impl PairwiseDistances {
         if threads <= 1 || n < 128 {
             let mut ticker = budget.ticker();
             fill_band(ds, packed, 0, n, n, &mut tri, &mut ticker)?;
-            return Ok(PairwiseDistances {
-                n,
-                tri: tri.into_boxed_slice(),
-            });
+            return Ok(PairwiseDistances { n, tri });
         }
 
         // Band rows so each thread owns roughly `total / threads` entries;
@@ -196,10 +213,7 @@ impl PairwiseDistances {
         for outcome in outcomes {
             outcome?;
         }
-        Ok(PairwiseDistances {
-            n,
-            tri: tri.into_boxed_slice(),
-        })
+        Ok(PairwiseDistances { n, tri })
     }
 
     /// Number of rows the cache covers.
@@ -306,34 +320,42 @@ impl PairwiseDistances {
 }
 
 /// Fills the triangular entries of rows `first..last` (a contiguous band)
-/// into `chunk`, preferring the packed SWAR kernel when one was built.
-/// The `packed`/scalar branch is hoisted out of the pair loop so the hot
-/// path stays branch-free; both paths produce identical `u32` distances.
+/// into `chunk`, preferring the column-major packed codec when one was
+/// built: row `i`'s suffix `(i, i+1..n)` is then computed by batched
+/// one-to-many sweeps over ≤ [`POLL_INTERVAL`]-entry segments, with the
+/// budget ticker charged per segment via [`PollTicker::tick_many`] (same
+/// real-check schedule as per-entry ticking, without the per-entry
+/// branch). The scalar fallback keeps the original per-entry tick. Both
+/// paths produce identical `u32` distances.
 fn fill_band(
     ds: &Dataset,
-    packed: Option<&PackedRows>,
+    packed: Option<&PackedColumns>,
     first: usize,
     last: usize,
     n: usize,
     chunk: &mut [u32],
     ticker: &mut PollTicker<'_>,
 ) -> Result<()> {
-    let mut idx = 0;
+    let mut at = 0usize;
     if let Some(p) = packed {
         for i in first..last {
-            for j in (i + 1)..n {
-                ticker.tick()?;
-                chunk[idx] = p.distance(i, j);
-                idx += 1;
+            let row_out = &mut chunk[at..at + (n - 1 - i)];
+            let mut from = i + 1;
+            while from < n {
+                let to = n.min(from + POLL_INTERVAL as usize);
+                ticker.tick_many((to - from) as u64)?;
+                p.distances_span(i, from, to, &mut row_out[from - i - 1..to - i - 1]);
+                from = to;
             }
+            at += n - 1 - i;
         }
     } else {
         for i in first..last {
             let ri = ds.row(i);
             for j in (i + 1)..n {
                 ticker.tick()?;
-                chunk[idx] = hamming(ri, ds.row(j)) as u32;
-                idx += 1;
+                chunk[at] = hamming(ri, ds.row(j)) as u32;
+                at += 1;
             }
         }
     }

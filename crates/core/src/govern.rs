@@ -557,6 +557,34 @@ impl PollTicker<'_> {
         }
         Ok(())
     }
+
+    /// Accounts for `steps` hot-loop steps at once: performs exactly the
+    /// real checks `steps` individual [`PollTicker::tick`] calls would
+    /// have performed (`⌊(steps + drift)/POLL_INTERVAL⌋` of them), without
+    /// the per-step decrement. Batched kernels — which do thousands of
+    /// lane comparisons per call — use this to keep the poll-interval
+    /// contract while removing the per-entry branch from the inner loop.
+    ///
+    /// Callers must keep individual batches ≤ ~[`POLL_INTERVAL`] steps (or
+    /// tick *before* long batches) for the "cancellation observed within
+    /// ~1k steps" bound to stay honest; the distance-cache fill ticks once
+    /// per ≤ `POLL_INTERVAL`-entry segment.
+    ///
+    /// # Errors
+    /// Propagates [`Budget::check`] failures.
+    #[inline]
+    pub fn tick_many(&mut self, steps: u64) -> Result<()> {
+        let mut left = steps;
+        while left >= u64::from(self.countdown) {
+            left -= u64::from(self.countdown);
+            self.countdown = POLL_INTERVAL;
+            self.budget.check()?;
+        }
+        // `left < countdown ≤ POLL_INTERVAL`, so the invariant
+        // `0 < countdown ≤ POLL_INTERVAL` is preserved.
+        self.countdown -= left as u32;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -732,6 +760,27 @@ mod tests {
             }
         }
         seen.expect("cancellation observed within POLL_INTERVAL ticks");
+    }
+
+    #[test]
+    fn tick_many_matches_individual_ticks() {
+        // Count real checks via the candidate counter: each tick_many(n)
+        // must schedule exactly the checks n tick()s would have.
+        let b = Budget::builder()
+            .deadline(Duration::from_secs(3600))
+            .build();
+        let mut a = b.ticker();
+        let mut m = b.ticker();
+        for steps in [0u64, 1, 1023, 1024, 1025, 5000, 3] {
+            m.tick_many(steps).unwrap();
+            for _ in 0..steps {
+                a.tick().unwrap();
+            }
+            assert_eq!(a.countdown, m.countdown, "after batch of {steps}");
+        }
+        // Cancellation surfaces on the next real check, same as tick().
+        b.cancel();
+        assert!(m.tick_many(u64::from(POLL_INTERVAL)).is_err());
     }
 
     #[test]

@@ -18,20 +18,52 @@
 //! families at once, in `O(n)` per center per round after an `O(m·n²)`
 //! preprocessing step — giving the paper's `O(m·n² + n³)` total.
 
+//!
+//! **Performance note.** The preprocessing stores, per center, the rows
+//! sorted by distance *and* the sorted distances themselves, in two flat
+//! `n×n` tables. Distances are bounded by the column count `m`, so each
+//! center's order is built by a **stable counting sort** over `m+1`
+//! buckets — `O(n + m)` per center instead of `O(n log n)` comparisons,
+//! and provably the same permutation as the stable `sort_by_key` it
+//! replaced (ties keep ascending row id in both). The distance row is
+//! filled by one [`PackedColumns`] one-to-many sweep when the active
+//! kernel packs, and every center scan then reads radii from the
+//! contiguous table instead of probing the triangular cache per step.
+//!
+//! **Lazy selection.** A naive greedy rescans every center each round —
+//! `O(n²)` per selected ball. Instead, selection runs Minoux-style lazy
+//! evaluation over a min-heap of per-center keys `(ratio, center,
+//! prefix)`. The heap keys are *lower bounds*: a candidate ball's radius
+//! and prefix are static, its `fresh` count (uncovered members) only
+//! shrinks as coverage grows, so its exact ratio `radius / fresh` only
+//! worsens, and candidates only ever *leave* the eligible set (`fresh`
+//! hitting 0 is permanent). Popping the smallest cached key, rescanning
+//! just that center, and accepting when the rescanned key is ≤ the next
+//! cached key therefore selects the **identical ball sequence** the full
+//! rescan would — the accepted key is ≤ every other center's lower bound,
+//! hence ≤ every current key, and the full `(ratio, center, prefix)`
+//! tuple makes the minimum unique. Each round costs one `O(n)` rescan
+//! plus however many stale heads it pops, instead of `n` scans.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use super::Ratio;
 use crate::cover::Cover;
 use crate::dataset::Dataset;
 use crate::distcache::PairwiseDistances;
 use crate::error::{Error, Result};
 use crate::govern::Budget;
+use crate::metric::PackedColumns;
+use crate::scratch;
 
 /// Tuning knobs for the center-based greedy cover.
 #[derive(Clone, Debug)]
 pub struct CenterConfig {
     /// Row-count guard: the algorithm stores a triangular pairwise-distance
-    /// cache and per-center sorted orders (`≈ 6n²` bytes combined);
-    /// instances above the guard are rejected rather than silently
-    /// exhausting memory.
+    /// cache plus flat per-center order and radius tables (`≈ 10n²` bytes
+    /// combined); instances above the guard are rejected rather than
+    /// silently exhausting memory.
     pub max_rows: usize,
     /// Whether a ball of radius 0 (exact duplicates of the center) may be
     /// selected when it already has ≥ k members. Radius-0 balls have weight
@@ -92,9 +124,10 @@ pub fn try_center_greedy_cover_governed(
 ) -> Result<Cover> {
     ds.check_k(k)?;
     budget.check()?;
-    // O(m·n²) preprocessing, shared with any later cache consumer.
-    let dm = PairwiseDistances::try_build_governed(ds, Some(config.threads.max(1)), budget)?;
-    try_center_greedy_cover_governed_with_cache(ds, k, config, &dm, budget)
+    // When the active kernel packs this table, the column-major sweeps
+    // supply every distance the cover reads — skip the O(n²/2) triangular
+    // cache entirely. Forced-scalar or wide-alphabet tables still build it.
+    cover_impl(ds, k, config, None, budget)
 }
 
 /// [`center_greedy_cover`] over a caller-supplied distance cache.
@@ -125,6 +158,21 @@ pub fn try_center_greedy_cover_governed_with_cache(
 ) -> Result<Cover> {
     ds.check_k(k)?;
     budget.check()?;
+    cover_impl(ds, k, config, Some(dm), budget)
+}
+
+/// The cover body behind both governed entry points. `dm` is a
+/// caller-supplied triangular cache to reuse; with `None` the impl packs
+/// the table column-major instead and only builds a cache of its own when
+/// packing is unavailable (forced scalar, wide alphabet, or a refused
+/// memory charge).
+fn cover_impl(
+    ds: &Dataset,
+    k: usize,
+    config: &CenterConfig,
+    dm: Option<&PairwiseDistances>,
+    budget: &Budget,
+) -> Result<Cover> {
     let n = ds.n_rows();
     if n > config.max_rows {
         return Err(Error::InstanceTooLarge {
@@ -132,150 +180,261 @@ pub fn try_center_greedy_cover_governed_with_cache(
             limit: format!("n = {n} exceeds max_rows = {}", config.max_rows),
         });
     }
-    if dm.n() != n {
-        return Err(Error::InvalidPartition(format!(
-            "distance cache covers {} rows but the dataset has {n}",
-            dm.n()
-        )));
+    if let Some(dm) = dm {
+        if dm.n() != n {
+            return Err(Error::InvalidPartition(format!(
+                "distance cache covers {} rows but the dataset has {n}",
+                dm.n()
+            )));
+        }
     }
 
-    // The per-center sorted orders are the dominant allocation: n² ids of
-    // 4 bytes plus n Vec headers.
+    // The flat order and radius tables are the dominant allocation: 2·n²
+    // u32 entries plus one n-entry distance row.
     budget.try_charge_memory(
         (n as u64)
             .saturating_mul(n as u64)
-            .saturating_mul(4)
-            .saturating_add((n as u64).saturating_mul(24)),
+            .saturating_mul(8)
+            .saturating_add((n as u64).saturating_mul(4)),
     )?;
 
-    // order[c] = all rows sorted by distance from c (c itself first).
+    // Column-major packed codec for the per-center distance rows: charged
+    // like any planned allocation, degrading to triangular-cache probes
+    // (identical distances) when refused, unsupported, or forced scalar.
+    let m = ds.n_cols();
+    let packed = if crate::kernel::packing_enabled()
+        && budget
+            .try_charge_memory(PackedColumns::storage_bytes(n, m))
+            .is_ok()
+    {
+        PackedColumns::try_build(ds)
+    } else {
+        None
+    };
+
+    // Distance source when the table doesn't pack: the caller's cache, or
+    // a triangular cache built (and budget-charged) here.
+    let owned_dm;
+    let dm = match (&packed, dm) {
+        (Some(_), _) | (None, Some(_)) => dm,
+        (None, None) => {
+            owned_dm =
+                PairwiseDistances::try_build_governed(ds, Some(config.threads.max(1)), budget)?;
+            Some(&owned_dm)
+        }
+    };
+
+    // orders[c·n..][..n] = all rows sorted by distance from c (c itself
+    // first); radii[c·n + p] = that sorted distance. Distances are ≤ m, so
+    // a stable counting sort over m+1 buckets builds each order in O(n+m);
+    // iterating rows in ascending id keeps ties in ascending id, exactly
+    // the permutation the stable `sort_by_key` produced.
     let mut order_ticker = budget.ticker();
-    let mut orders: Vec<Vec<u32>> = Vec::with_capacity(n);
+    let mut orders = scratch::take_u32(n * n);
+    let mut radii = scratch::take_u32(n * n);
+    let mut dist = scratch::take_u32(n);
+    let mut starts = vec![0usize; m + 2];
     for c in 0..n {
-        order_ticker.tick()?;
-        let mut idx: Vec<u32> = (0..n as u32).collect();
-        idx.sort_by_key(|&r| dm.get(c, r as usize));
-        orders.push(idx);
+        order_ticker.tick_many(n as u64)?;
+        if let Some(p) = &packed {
+            p.distances_one_to_many(c, &mut dist);
+        } else {
+            let dm = dm.expect("a distance source exists when packing is off");
+            for (r, d) in dist.iter_mut().enumerate() {
+                *d = dm.get(c, r);
+            }
+        }
+        starts[..=m].fill(0);
+        for &d in dist.iter() {
+            starts[d as usize] += 1;
+        }
+        let mut sum = 0usize;
+        for s in &mut starts[..=m] {
+            let class = *s;
+            *s = sum;
+            sum += class;
+        }
+        let ord_row = &mut orders[c * n..(c + 1) * n];
+        let rad_row = &mut radii[c * n..(c + 1) * n];
+        for (r, &d) in dist.iter().enumerate() {
+            let pos = starts[d as usize];
+            starts[d as usize] += 1;
+            ord_row[pos] = r as u32;
+            rad_row[pos] = d;
+        }
     }
 
     let mut covered = vec![false; n];
     let mut remaining = n;
     let mut chosen: Vec<Vec<u32>> = Vec::new();
 
-    while remaining > 0 {
-        // Best candidate this round, minimizing the deterministic key
-        // (ratio, center, prefix length).
-        let best = scan_centers(&orders, dm, &covered, k, config, budget)?;
+    let outcome = (|| -> Result<()> {
+        // Round 0: every center's exact best key, banded across threads.
+        // These seed the lazy-evaluation heap; see the module doc for why
+        // stale heap entries stay valid lower bounds.
+        let mut keys: Vec<Option<Key>> = vec![None; n];
+        scan_all_centers(&radii, n, &covered, k, config, budget, &mut keys)?;
+        let mut heap: BinaryHeap<Reverse<Key>> = keys.into_iter().flatten().map(Reverse).collect();
 
-        let Some((_, c, p)) = best else {
-            // Every remaining candidate is a zero-radius ball that was
-            // excluded by configuration; fall back to including them so the
-            // cover always completes.
-            return Err(Error::InvalidPartition(
-                "center greedy found no eligible ball; \
-                 enable include_zero_radius or check the instance"
-                    .into(),
-            ));
-        };
-        let members: Vec<u32> = orders[c][..=p].to_vec();
-        for &r in &members {
-            if !covered[r as usize] {
-                covered[r as usize] = true;
-                remaining -= 1;
+        let mut ticker = budget.ticker();
+        while remaining > 0 {
+            let Some(Reverse((_, c, _))) = heap.pop() else {
+                // Every remaining candidate is a zero-radius ball that was
+                // excluded by configuration; fall back to including them so
+                // the cover always completes.
+                return Err(Error::InvalidPartition(
+                    "center greedy found no eligible ball; \
+                     enable include_zero_radius or check the instance"
+                        .into(),
+                ));
+            };
+            // Rescan the popped center against the current coverage.
+            ticker.tick_many(n as u64)?;
+            let Some(key) = best_for_center(
+                &orders,
+                &radii,
+                n,
+                &covered,
+                k,
+                config.include_zero_radius,
+                c,
+            ) else {
+                continue; // center exhausted — permanently ineligible
+            };
+            if heap.peek().is_some_and(|&Reverse(next)| next < key) {
+                // Another center's lower bound beats the fresh key; requeue.
+                heap.push(Reverse(key));
+                continue;
             }
+            let (_, _, p) = key;
+            let members: Vec<u32> = orders[c * n..][..=p].to_vec();
+            for &r in &members {
+                if !covered[r as usize] {
+                    covered[r as usize] = true;
+                    remaining -= 1;
+                }
+            }
+            chosen.push(members);
+            // The selecting center may hold further balls; its pre-selection
+            // key is still a valid lower bound after the coverage update.
+            heap.push(Reverse(key));
         }
-        chosen.push(members);
-    }
+        Ok(())
+    })();
+
+    // Recycle the flat tables whether the cover completed or not.
+    scratch::give_u32(orders);
+    scratch::give_u32(radii);
+    scratch::give_u32(dist);
+    outcome?;
 
     Cover::new(chosen, n, k)
 }
 
-/// One greedy round: the best ball over all centers, by the key
-/// `(ratio, center, prefix)`. Splits the center range across
-/// `config.threads` when asked to; every worker polls the budget.
-fn scan_centers(
-    orders: &[Vec<u32>],
-    dm: &PairwiseDistances,
+/// The deterministic selection key: `(ratio, center, prefix length)`,
+/// minimized lexicographically. Unique per candidate ball, so the greedy
+/// minimum is unambiguous.
+type Key = (Ratio, usize, usize);
+
+/// The round-0 scan: every center's exact best key under the (empty)
+/// coverage, split across `config.threads` bands when asked to; every
+/// worker polls the budget. `orders`/`radii` are the flat `n×n` tables
+/// (row `c` at `c·n..`).
+#[allow(clippy::too_many_arguments)]
+fn scan_all_centers(
+    radii: &[u32],
+    n: usize,
     covered: &[bool],
     k: usize,
     config: &CenterConfig,
     budget: &Budget,
-) -> Result<Option<(Ratio, usize, usize)>> {
-    let n = orders.len();
+    keys: &mut [Option<Key>],
+) -> Result<()> {
+    debug_assert!(
+        covered.iter().all(|&c| !c),
+        "round-0 scan expects no coverage"
+    );
+    let scan_band = |band_start: usize, band: &mut [Option<Key>]| -> Result<()> {
+        let mut ticker = budget.ticker();
+        for (i, slot) in band.iter_mut().enumerate() {
+            let c = band_start + i;
+            ticker.tick_many(n as u64)?;
+            // Nothing is covered yet, so every prefix is all-fresh
+            // (`fresh = prefix length`) and the scan reduces to walking
+            // the ≤ m+1 radius classes — no per-row coverage gather.
+            let rad_row = &radii[c * n..(c + 1) * n];
+            let mut best: Option<Key> = None;
+            let mut p = 0usize;
+            while p < n {
+                let radius = rad_row[p];
+                let end = p + rad_row[p..].partition_point(|&d| d == radius);
+                if end >= k && (radius != 0 || config.include_zero_radius) {
+                    let key = (Ratio::new(u64::from(radius), end as u64), c, end - 1);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+                p = end;
+            }
+            *slot = best;
+        }
+        Ok(())
+    };
     if config.threads <= 1 || n < 64 {
-        return scan_center_range(orders, dm, covered, k, config, budget, 0, n);
+        return scan_band(0, keys);
     }
     let band = n.div_ceil(config.threads);
-    let outcomes: Vec<Result<Option<(Ratio, usize, usize)>>> = std::thread::scope(|scope| {
+    let outcomes: Vec<Result<()>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        let mut start = 0usize;
-        while start < n {
-            let end = (start + band).min(n);
-            handles.push(scope.spawn(move || {
-                scan_center_range(orders, dm, covered, k, config, budget, start, end)
-            }));
-            start = end;
+        for (b, chunk) in keys.chunks_mut(band).enumerate() {
+            let scan_band = &scan_band;
+            handles.push(scope.spawn(move || scan_band(b * band, chunk)));
         }
         handles
             .into_iter()
             .map(|h| h.join().expect("scan thread never panics"))
             .collect()
     });
-    let mut best = None;
-    for outcome in outcomes {
-        if let Some(found) = outcome? {
-            if best.is_none_or(|b| found < b) {
-                best = Some(found);
-            }
-        }
-    }
-    Ok(best)
+    outcomes.into_iter().collect()
 }
 
-/// Sequential scan of centers `start..end`, one budget poll per prefix step.
-#[allow(clippy::too_many_arguments)]
-fn scan_center_range(
-    orders: &[Vec<u32>],
-    dm: &PairwiseDistances,
+/// One center's best ball under the current coverage. Radii come from the
+/// contiguous sorted-radius table — the scan touches two streaming `u32`
+/// rows and never probes the triangular cache. The caller accounts the
+/// `n` steps on its ticker.
+fn best_for_center(
+    orders: &[u32],
+    radii: &[u32],
+    n: usize,
     covered: &[bool],
     k: usize,
-    config: &CenterConfig,
-    budget: &Budget,
-    start: usize,
-    end: usize,
-) -> Result<Option<(Ratio, usize, usize)>> {
-    let mut ticker = budget.ticker();
-    let mut best: Option<(Ratio, usize, usize)> = None;
-    for (c, order) in orders.iter().enumerate().take(end).skip(start) {
-        let mut fresh = 0u64;
-        for (p, &r) in order.iter().enumerate() {
-            ticker.tick()?;
-            if !covered[r as usize] {
-                fresh += 1;
-            }
-            let size = p + 1;
-            if size < k || fresh == 0 {
-                continue;
-            }
-            let radius = u64::from(dm.get(c, r as usize));
-            if radius == 0 && !config.include_zero_radius {
-                continue;
-            }
-            // Only prefixes ending at the last row of a radius class are
-            // candidate balls; a prefix cut inside a class is not
-            // S_{c,radius}. Peek at the next row's distance.
-            if let Some(&next) = order.get(p + 1) {
-                if u64::from(dm.get(c, next as usize)) == radius {
-                    continue;
-                }
-            }
-            let key = (Ratio::new(radius, fresh), c, p);
+    include_zero_radius: bool,
+    c: usize,
+) -> Option<Key> {
+    let order = &orders[c * n..(c + 1) * n];
+    let rad_row = &radii[c * n..(c + 1) * n];
+    let mut fresh = 0u64;
+    let mut best: Option<Key> = None;
+    // Only prefixes ending at the last row of a radius class are candidate
+    // balls (a prefix cut inside a class is not S_{c,radius}), so walk the
+    // ≤ m+1 classes: gather the class's fresh count in one tight loop,
+    // then evaluate the single candidate at the class boundary.
+    let mut p = 0usize;
+    while p < n {
+        let radius = rad_row[p];
+        let end = p + rad_row[p..].partition_point(|&d| d == radius);
+        for &r in &order[p..end] {
+            fresh += u64::from(!covered[r as usize]);
+        }
+        if end >= k && fresh > 0 && (radius != 0 || include_zero_radius) {
+            let key = (Ratio::new(u64::from(radius), fresh), c, end - 1);
             if best.is_none_or(|b| key < b) {
                 best = Some(key);
             }
         }
+        p = end;
     }
-    Ok(best)
+    best
 }
 
 #[cfg(test)]

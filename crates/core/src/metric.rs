@@ -18,8 +18,22 @@
 //! word op — with the scalar [`hamming`] kept as the exact-agreement
 //! fallback for wide alphabets. See DESIGN.md §4.2a for the encoding and
 //! the lane-width selection rules.
+//!
+//! ## Kernel dispatch and column-major packing
+//!
+//! The word-level arithmetic lives in [`crate::kernel`], which resolves a
+//! [`Kernel`] tier (scalar / SWAR / AVX2 / NEON) once per process. Both
+//! packed codecs capture the tier at build time, so probes pay zero
+//! per-call dispatch. [`PackedColumns`] stores the same words
+//! **column-major** (`words[w·n + i]`): a one-to-many sweep — the access
+//! pattern of the distance-cache build and of every center-greedy radius
+//! scan — then streams `n` contiguous words per word-column instead of
+//! striding `words_per_row` apart, which is what lets the SIMD tiers run
+//! at memory bandwidth. See DESIGN.md §13 for the dispatch rules and the
+//! work-stealing pipeline that sits on top.
 
 use crate::dataset::{Dataset, Value};
+use crate::kernel::{self, Kernel};
 
 /// Hamming distance between two equal-length value slices.
 ///
@@ -33,7 +47,7 @@ use crate::dataset::{Dataset, Value};
 #[must_use]
 pub fn hamming(u: &[Value], v: &[Value]) -> usize {
     debug_assert_eq!(u.len(), v.len(), "hamming distance needs equal lengths");
-    u.iter().zip(v).filter(|(a, b)| a != b).count()
+    kernel::hamming_u32(u, v, kernel::kernel())
 }
 
 /// Hamming distance with early exit: returns `None` as soon as the distance
@@ -76,23 +90,28 @@ enum Lane {
     B16,
 }
 
-/// Per-byte SWAR nonzero test: one bit set in the `0x80` position of every
-/// nonzero byte lane of `x`, so `count_ones` of the mask counts differing
-/// attributes. The inner `(x | HI) - LO` never borrows across lanes because
-/// every byte of `x | HI` is at least `0x80`.
-#[inline]
-fn nonzero_u8_lanes(x: u64) -> u32 {
-    const LO: u64 = 0x0101_0101_0101_0101;
-    const HI: u64 = 0x8080_8080_8080_8080;
-    ((x | ((x | HI) - LO)) & HI).count_ones()
+/// Picks the narrowest packed lane that holds the dataset's largest
+/// dictionary code, or `None` when some code exceeds `u16::MAX` (callers
+/// fall back to the scalar [`hamming`], which is exact for any alphabet).
+fn pick_lane(ds: &Dataset) -> Option<Lane> {
+    match ds.max_value() {
+        None => Some(Lane::B8), // empty dataset: nothing to pack or compare
+        Some(v) if v <= Value::from(u8::MAX) => Some(Lane::B8),
+        Some(v) if v <= Value::from(u16::MAX) => Some(Lane::B16),
+        Some(_) => None,
+    }
 }
 
-/// 16-bit-lane sibling of [`nonzero_u8_lanes`].
+/// Packs one row's attribute codes into zero-initialised `u64` words,
+/// little-endian within each word. Shared by the row-major and
+/// column-major codecs so both produce bit-identical words.
 #[inline]
-fn nonzero_u16_lanes(x: u64) -> u32 {
-    const LO: u64 = 0x0001_0001_0001_0001;
-    const HI: u64 = 0x8000_8000_8000_8000;
-    ((x | ((x | HI) - LO)) & HI).count_ones()
+fn pack_lane(lane: Lane, j: usize, v: Value) -> (usize, u64) {
+    let (word, shift) = match lane {
+        Lane::B8 => (j / 8, (j % 8) * 8),
+        Lane::B16 => (j / 4, (j % 4) * 16),
+    };
+    (word, u64::from(v) << shift)
 }
 
 /// Bit-packed row codec: each row's `m` attribute codes packed
@@ -117,6 +136,7 @@ pub struct PackedRows {
     n: usize,
     words_per_row: usize,
     lane: Lane,
+    kernel: Kernel,
     words: Box<[u64]>,
 }
 
@@ -125,33 +145,34 @@ impl PackedRows {
     /// dataset's largest dictionary code. Returns `None` when some code
     /// exceeds `u16::MAX` — callers fall back to the scalar [`hamming`]
     /// (wide-alphabet datasets are rare and the fallback is exact, just
-    /// slower).
+    /// slower). Probes use the process-wide [`kernel::kernel`] tier,
+    /// captured at build time.
     #[must_use]
     pub fn try_build(ds: &Dataset) -> Option<Self> {
-        let lane = match ds.max_value() {
-            None => Lane::B8, // empty dataset: nothing to pack, nothing to compare
-            Some(v) if v <= Value::from(u8::MAX) => Lane::B8,
-            Some(v) if v <= Value::from(u16::MAX) => Lane::B16,
-            Some(_) => return None,
-        };
+        Self::try_build_with(ds, kernel::kernel())
+    }
+
+    /// [`PackedRows::try_build`] with an explicit kernel tier, so the
+    /// differential suites can exercise every tier in one process
+    /// regardless of `KANON_FORCE_KERNEL`.
+    #[must_use]
+    pub fn try_build_with(ds: &Dataset, kernel: Kernel) -> Option<Self> {
+        let lane = pick_lane(ds)?;
         let (n, m) = (ds.n_rows(), ds.n_cols());
-        let per_word = lane_count(lane);
-        let words_per_row = m.div_ceil(per_word);
+        let words_per_row = m.div_ceil(lane_count(lane));
         let mut words = vec![0u64; n * words_per_row];
         for (i, row) in ds.rows().enumerate() {
             let out = &mut words[i * words_per_row..(i + 1) * words_per_row];
             for (j, &v) in row.iter().enumerate() {
-                let shift = match lane {
-                    Lane::B8 => (j % 8) * 8,
-                    Lane::B16 => (j % 4) * 16,
-                };
-                out[j / per_word] |= u64::from(v) << shift;
+                let (word, bits) = pack_lane(lane, j, v);
+                out[word] |= bits;
             }
         }
         Some(PackedRows {
             n,
             words_per_row,
             lane,
+            kernel,
             words: words.into_boxed_slice(),
         })
     }
@@ -173,7 +194,7 @@ impl PackedRows {
     }
 
     /// Hamming distance between packed rows `i` and `j`: per word,
-    /// XOR + SWAR nonzero-lane mask + popcount.
+    /// XOR + nonzero-lane count, via the kernel tier captured at build.
     ///
     /// # Panics
     /// Panics if either index is out of bounds.
@@ -183,20 +204,124 @@ impl PackedRows {
         let w = self.words_per_row;
         let a = &self.words[i * w..(i + 1) * w];
         let b = &self.words[j * w..(j + 1) * w];
-        let mut d = 0u32;
         match self.lane {
-            Lane::B8 => {
-                for (&x, &y) in a.iter().zip(b) {
-                    d += nonzero_u8_lanes(x ^ y);
-                }
-            }
-            Lane::B16 => {
-                for (&x, &y) in a.iter().zip(b) {
-                    d += nonzero_u16_lanes(x ^ y);
-                }
+            Lane::B8 => kernel::diff_words_b8(a, b, self.kernel),
+            Lane::B16 => kernel::diff_words_b16(a, b, self.kernel),
+        }
+    }
+}
+
+/// Column-major bit-packed codec: the same per-attribute lanes as
+/// [`PackedRows`], but word-column `w` of every row is stored contiguously
+/// (`words[w·n + i]`), so the one-to-many distance sweep — the inner loop
+/// of the cache build and of every greedy radius scan — reads `n`
+/// consecutive words per word-column and the SIMD tiers stream at memory
+/// bandwidth instead of striding.
+///
+/// Agrees **exactly** with the scalar [`hamming`] for every kernel tier
+/// (pinned by the `kernel_equiv` differential suite).
+///
+/// ```
+/// use kanon_core::{Dataset, metric::{hamming, PackedColumns}};
+/// let ds = Dataset::from_rows(vec![
+///     vec![1, 0, 1, 0, 3, 250, 9, 0, 1],
+///     vec![0, 1, 1, 0, 3, 251, 9, 0, 2],
+///     vec![1, 0, 1, 0, 3, 250, 9, 0, 1],
+/// ]).unwrap();
+/// let cols = PackedColumns::try_build(&ds).unwrap();
+/// let mut out = vec![0u32; 3];
+/// cols.distances_one_to_many(0, &mut out);
+/// assert_eq!(out[1] as usize, hamming(ds.row(0), ds.row(1)));
+/// assert_eq!(out, vec![0, 4, 0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PackedColumns {
+    n: usize,
+    words_per_row: usize,
+    lane: Lane,
+    kernel: Kernel,
+    /// Laid out `words[w * n + i]` for word-column `w`, row `i`.
+    words: Vec<u64>,
+}
+
+impl PackedColumns {
+    /// Packs `ds` column-major with the process-wide kernel tier. Returns
+    /// `None` when some code exceeds `u16::MAX` (same fallback contract as
+    /// [`PackedRows::try_build`]).
+    #[must_use]
+    pub fn try_build(ds: &Dataset) -> Option<Self> {
+        Self::try_build_with(ds, kernel::kernel())
+    }
+
+    /// [`PackedColumns::try_build`] with an explicit kernel tier.
+    #[must_use]
+    pub fn try_build_with(ds: &Dataset, kernel: Kernel) -> Option<Self> {
+        let lane = pick_lane(ds)?;
+        let (n, m) = (ds.n_rows(), ds.n_cols());
+        let words_per_row = m.div_ceil(lane_count(lane));
+        let mut words = crate::scratch::take_u64(n * words_per_row);
+        for (i, row) in ds.rows().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                let (word, bits) = pack_lane(lane, j, v);
+                words[word * n + i] |= bits;
             }
         }
-        d
+        Some(PackedColumns {
+            n,
+            words_per_row,
+            lane,
+            kernel,
+            words,
+        })
+    }
+
+    /// Number of rows encoded.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes of packed storage (for planned-allocation accounting); same
+    /// bound as [`PackedRows::storage_bytes`].
+    #[must_use]
+    pub fn storage_bytes(n: usize, m: usize) -> u64 {
+        PackedRows::storage_bytes(n, m)
+    }
+
+    /// Fills `out[j - from] = d(i, j)` for every `j in from..to`. The
+    /// batched one-to-many entry point: per word-column, one broadcast
+    /// word versus `to - from` contiguous words.
+    ///
+    /// # Panics
+    /// Panics if the range or `i` is out of bounds, or if
+    /// `out.len() != to - from`.
+    pub fn distances_span(&self, i: usize, from: usize, to: usize, out: &mut [u32]) {
+        assert!(from <= to && to <= self.n && i < self.n);
+        assert_eq!(out.len(), to - from);
+        out.fill(0);
+        for w in 0..self.words_per_row {
+            let base = w * self.n;
+            let x = self.words[base + i];
+            let col = &self.words[base + from..base + to];
+            match self.lane {
+                Lane::B8 => kernel::accum_diff_b8(x, col, out, self.kernel),
+                Lane::B16 => kernel::accum_diff_b16(x, col, out, self.kernel),
+            }
+        }
+    }
+
+    /// Distances from row `i` to **every** row: `out[j] = d(i, j)`
+    /// (`out[i]` is 0). `out.len()` must equal [`PackedColumns::n`].
+    pub fn distances_one_to_many(&self, i: usize, out: &mut [u32]) {
+        self.distances_span(i, 0, self.n, out);
+    }
+}
+
+impl Drop for PackedColumns {
+    fn drop(&mut self) {
+        // Recycle the packed words into the thread-local scratch pool so
+        // per-shard rebuilds in the pipeline stop allocating.
+        crate::scratch::give_u64(std::mem::take(&mut self.words));
     }
 }
 
@@ -456,28 +581,56 @@ mod tests {
         }
     }
 
+    /// Column-major storage must agree with both the scalar reference and
+    /// the row-major codec, for every kernel tier this machine can run,
+    /// across lane widths and partial-word row lengths.
     #[test]
-    fn swar_lane_tests_cover_boundary_bytes() {
-        // Every lane position, with values whose high/low bits stress the
-        // borrow-free subtraction argument.
-        for lane in 0..8 {
-            for v in [1u64, 0x7F, 0x80, 0xFF] {
-                assert_eq!(nonzero_u8_lanes(v << (8 * lane)), 1, "v={v:#x} lane={lane}");
+    fn packed_columns_agree_with_scalar_for_every_tier() {
+        use crate::kernel::{simd_available, Kernel};
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        for (alphabet, m) in [(2u32, 3usize), (6, 8), (250, 9), (256, 16), (60_000, 5)] {
+            let mut rng = StdRng::seed_from_u64(u64::from(alphabet) ^ m as u64);
+            let n = 257; // odd, exercises SIMD tails in the column sweep
+            let ds = Dataset::from_fn(n, m, |_, _| rng.gen_range(0..alphabet));
+            for tier in [Kernel::Scalar, Kernel::Swar, Kernel::Simd] {
+                if tier == Kernel::Simd && !simd_available() {
+                    continue;
+                }
+                let cols = PackedColumns::try_build_with(&ds, tier).unwrap();
+                assert_eq!(cols.n(), n);
+                let mut out = vec![0u32; n];
+                for i in [0usize, 1, 17, n - 1] {
+                    cols.distances_one_to_many(i, &mut out);
+                    for (j, &d) in out.iter().enumerate() {
+                        assert_eq!(
+                            d as usize,
+                            hamming(ds.row(i), ds.row(j)),
+                            "alphabet={alphabet} m={m} tier={tier} ({i},{j})"
+                        );
+                    }
+                    // Spans must match the full sweep's slices.
+                    let (from, to) = (i, n.min(i + 100));
+                    let mut span = vec![0u32; to - from];
+                    cols.distances_span(i, from, to, &mut span);
+                    assert_eq!(&span, &out[from..to], "span tier={tier} i={i}");
+                }
             }
         }
-        assert_eq!(nonzero_u8_lanes(0), 0);
-        assert_eq!(nonzero_u8_lanes(u64::MAX), 8);
-        for lane in 0..4 {
-            for v in [1u64, 0x7FFF, 0x8000, 0xFFFF] {
-                assert_eq!(
-                    nonzero_u16_lanes(v << (16 * lane)),
-                    1,
-                    "v={v:#x} lane={lane}"
-                );
-            }
-        }
-        assert_eq!(nonzero_u16_lanes(0), 0);
-        assert_eq!(nonzero_u16_lanes(u64::MAX), 4);
+    }
+
+    #[test]
+    fn packed_columns_edge_cases() {
+        // Wide alphabets refuse to pack; empty and zero-column datasets
+        // pack to nothing and compare 0.
+        let wide = Dataset::from_rows(vec![vec![70_000, 1], vec![2, 3]]).unwrap();
+        assert!(PackedColumns::try_build(&wide).is_none());
+        let zero_cols = Dataset::from_rows(vec![vec![], vec![]]).unwrap();
+        let p = PackedColumns::try_build(&zero_cols).unwrap();
+        let mut out = vec![9u32; 2];
+        p.distances_one_to_many(0, &mut out);
+        assert_eq!(out, vec![0, 0]);
+        let empty = Dataset::from_rows(vec![]).unwrap();
+        assert!(PackedColumns::try_build(&empty).is_some());
     }
 
     proptest! {

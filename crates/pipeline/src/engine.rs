@@ -1,23 +1,43 @@
 //! The pipeline engine: solve every shard under a budget slice, then merge.
 //!
-//! ## Worker pool
+//! ## Work-stealing pool
 //!
-//! Shards are solved by a pool of `std::thread` workers fed through a
-//! bounded channel. The dispatcher materializes one shard sub-table at a
-//! time and blocks when the channel is full, so at most about `2 × workers`
-//! shard tables exist concurrently — solver memory is bounded by shard
-//! size, not table size. Results flow back through a second bounded
-//! channel drained by the caller's thread.
+//! Shards are solved by a pool of `std::thread` workers around a shared
+//! injector (a deque of shard ids) and one deque of unit tasks per worker.
+//! A worker pops work from the front of its own deque; when that runs dry
+//! it pulls the next shard id from the injector and expands it into unit
+//! tasks on its own deque, and when the injector is empty too it steals a
+//! unit from the *back* of a sibling's deque — the classic Chase-Lev
+//! discipline (owner LIFO-ish front, thieves FIFO back), here with plain
+//! mutex-guarded deques since contention is one lock per solved unit, not
+//! per distance probe.
+//!
+//! Units are whole shards by default. With [`PipelineConfig::split_unit`]
+//! set, shards larger than the threshold are cut into near-equal
+//! consecutive sub-units that solve (and steal) independently, so one
+//! oversized shard cannot serialize the tail of a run. The split is a pure
+//! function of the plan — never of worker count or timing — and both the
+//! sequential and parallel paths apply it identically, so the output table
+//! is invariant across worker counts.
+//!
+//! Workers materialize each unit's sub-table into a worker-local flat
+//! buffer that is recycled from unit to unit
+//! ([`Dataset::select_rows_into`] / [`Dataset::into_flat_buffer`]), so at
+//! most one materialized sub-table exists per worker and steady-state
+//! dispatch performs no per-unit row-buffer allocation.
 //!
 //! ## Budget slicing
 //!
-//! Each shard receives a [`Budget::child_with_memory`] slice at dispatch
-//! time: its deadline share is `remaining × shard_rows × workers /
-//! undispatched_rows` (proportional to its size, scaled up because
+//! Each shard receives a [`Budget::child_with_memory`] slice, computed in
+//! shard-id order *before* the pool starts (so scheduling cannot influence
+//! any shard's allowance): its deadline share is `remaining × shard_rows ×
+//! workers / unsliced_rows` (proportional to its size, scaled up because
 //! `workers` shards run concurrently, capped at the parent's remaining
 //! time), and its memory cap is `global_cap / workers` so the pool's
-//! aggregate planned allocations respect the global cap. The residue group
-//! is solved last, alone, with everything that remains.
+//! aggregate planned allocations respect the global cap. Sub-units of one
+//! shard share that shard's slice (budget clones share the deadline
+//! window, the memory counter, and the cancellation flag). The residue
+//! group is solved last, alone, with everything that remains.
 //!
 //! ## Fallback
 //!
@@ -28,15 +48,16 @@
 //! always finishes, so a pipeline run completes — possibly degraded, never
 //! wedged — whatever the budget.
 
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use kanon_baselines::ladder::{run_ladder, LadderConfig, Rung};
 use kanon_core::algo::anonymization_from_partition;
 use kanon_core::distcache::resolve_threads;
 use kanon_core::govern::Budget;
-use kanon_core::{Algorithm, Anonymization, Dataset, Partition, Resource};
+use kanon_core::{Algorithm, Anonymization, Dataset, Partition, Resource, Value};
 
 use crate::config::PipelineConfig;
 use crate::error::{Error, Result};
@@ -79,16 +100,8 @@ pub(crate) struct Solved {
     pub(crate) report: ShardReport,
 }
 
-/// One unit of work for the pool.
-struct Task {
-    id: usize,
-    sub: Dataset,
-    budget: Budget,
-}
-
 pub(crate) fn select(ds: &Dataset, rows: &[u32]) -> Dataset {
-    let idx: Vec<usize> = rows.iter().map(|&r| r as usize).collect();
-    ds.select_rows(&idx)
+    ds.select_rows_into(rows, Vec::new())
         .expect("shard plan only holds in-range row indices")
 }
 
@@ -201,6 +214,83 @@ pub(crate) fn slice_budget(
     parent.child_with_memory(allowance, mem_slice)
 }
 
+/// The consecutive sub-unit ranges a shard of `len` rows splits into under
+/// `split_unit`. Mirrors [`chunk_near_equal`]'s arithmetic exactly: with a
+/// target of `max(split, 2k-1)`, an oversized shard becomes
+/// `ceil(len / target)` near-equal consecutive pieces, each at least `k`
+/// rows. `None` (and any shard at or under the target) yields the whole
+/// shard as one unit — the pre-splitting behaviour, byte for byte.
+pub(crate) fn unit_ranges(len: usize, split: Option<usize>, k: usize) -> Vec<(usize, usize)> {
+    let target = match split {
+        Some(s) => s.max(2 * k.max(1) - 1),
+        None => return vec![(0, len)],
+    };
+    if len <= target {
+        return vec![(0, len)];
+    }
+    let q = len.div_ceil(target).max(1);
+    let base = len / q;
+    let extra = len % q; // first `extra` pieces get one more row
+    let mut out = Vec::with_capacity(q);
+    let mut at = 0;
+    for i in 0..q {
+        let size = base + usize::from(i < extra);
+        out.push((at, at + size));
+        at += size;
+    }
+    out
+}
+
+/// Combines the solved pieces of one logical shard (sub-units in range
+/// order, or residue chunks in chunk order) into a single [`Solved`]: the
+/// concatenated partition plus one report entry whose `solved_by` is the
+/// weakest piece's guarantee — a degraded piece is never hidden behind a
+/// stronger sibling. `elapsed` is the *sum* of piece times (CPU cost, not
+/// wall time — pieces may have run concurrently).
+pub(crate) fn combine_solved(id: usize, pieces: Vec<Solved>) -> Result<Solved> {
+    debug_assert!(!pieces.is_empty(), "a shard always has at least one unit");
+    if pieces.len() == 1 {
+        return Ok(pieces.into_iter().next().expect("one piece"));
+    }
+    let mut parts = Vec::with_capacity(pieces.len());
+    let mut rows = 0;
+    let mut cost = 0;
+    let mut attempts = 0;
+    let mut degraded = false;
+    let mut elapsed = Duration::ZERO;
+    let mut worst: Option<SolvedBy> = None;
+    let mut note = None;
+    for s in pieces {
+        rows += s.report.rows;
+        cost += s.report.cost;
+        attempts += s.report.attempts;
+        degraded |= s.report.degraded;
+        elapsed += s.report.elapsed;
+        if note.is_none() {
+            note = s.report.note;
+        }
+        worst = Some(match worst {
+            None => s.report.solved_by,
+            Some(w) => weaker_solver(w, s.report.solved_by),
+        });
+        parts.push(s.partition);
+    }
+    let partition = Partition::concat_disjoint(parts).map_err(Error::Core)?;
+    Ok(Solved {
+        partition,
+        report: ShardReport {
+            id,
+            rows,
+            solved_by: worst.expect("at least one piece"),
+            degraded,
+            attempts,
+            cost,
+            elapsed,
+            note,
+        },
+    })
+}
+
 /// Solves the residue pool as a sequence of near-equal chunks of `target`
 /// rows, combined into one [`Solved`] unit (one report entry, one progress
 /// tick — the residue stays a single logical shard to callers).
@@ -223,43 +313,20 @@ pub(crate) fn solve_residue(
     if chunks.len() == 1 {
         return solve_shard(id, sub, k, config, parent.child(None));
     }
-    let mut parts = Vec::with_capacity(chunks.len());
-    let mut rows_total = 0;
-    let mut cost = 0;
-    let mut attempts = 0;
-    let mut degraded = false;
-    let mut worst: Option<SolvedBy> = None;
-    let mut note = None;
+    let mut buf: Vec<Value> = Vec::new();
+    let mut pieces = Vec::with_capacity(chunks.len());
     for chunk in &chunks {
-        let piece = select(sub, chunk);
-        let s = solve_shard(id, &piece, k, config, parent.child(None))?;
-        rows_total += s.report.rows;
-        cost += s.report.cost;
-        attempts += s.report.attempts;
-        degraded |= s.report.degraded;
-        if note.is_none() {
-            note = s.report.note;
-        }
-        worst = Some(match worst {
-            None => s.report.solved_by,
-            Some(w) => weaker_solver(w, s.report.solved_by),
-        });
-        parts.push(s.partition);
+        let piece = sub
+            .select_rows_into(chunk, std::mem::take(&mut buf))
+            .expect("residue chunks index the residue sub-table");
+        pieces.push(solve_shard(id, &piece, k, config, parent.child(None))?);
+        buf = piece.into_flat_buffer();
     }
-    let partition = Partition::concat_disjoint(parts).map_err(Error::Core)?;
-    Ok(Solved {
-        partition,
-        report: ShardReport {
-            id,
-            rows: rows_total,
-            solved_by: worst.expect("at least one chunk"),
-            degraded,
-            attempts,
-            cost,
-            elapsed: started.elapsed(),
-            note,
-        },
-    })
+    let mut s = combine_solved(id, pieces)?;
+    // The residue runs alone on the caller's thread; wall time is the
+    // honest figure here, matching the pre-chunking single-solve report.
+    s.report.elapsed = started.elapsed();
+    Ok(s)
 }
 
 /// Of two chunk outcomes, the one with the weaker guarantee — that is what
@@ -302,6 +369,75 @@ pub(crate) fn finalize_merge(
     partition.validate_group_sizes(k).map_err(Error::Core)?;
     anonymization_from_partition(ds, partition, k, Algorithm::External("pipeline"))
         .map_err(Error::Core)
+}
+
+/// One stealable unit of work: a consecutive range of one shard's rows.
+#[derive(Clone, Copy)]
+struct Unit {
+    shard: usize,
+    unit: usize,
+    lo: usize,
+    hi: usize,
+}
+
+/// Shared state of the work-stealing pool. All precomputed — workers only
+/// ever *remove* work (the injector drains shard ids, deques drain units),
+/// so the unit count is fixed up front and `remaining` is the sole
+/// termination signal.
+struct Pool<'a> {
+    /// Per-shard unit ranges, indexed by shard id.
+    ranges: &'a [Vec<(usize, usize)>],
+    /// Shard ids not yet expanded into unit tasks.
+    injector: Mutex<VecDeque<usize>>,
+    /// One unit deque per worker: the owner pops the front, thieves pop
+    /// the back, so an owner keeps the cache-warm front of its own shard
+    /// while thieves drain the far end.
+    deques: Vec<Mutex<VecDeque<Unit>>>,
+    /// Units not yet finished. Workers exit when this reaches zero.
+    remaining: AtomicUsize,
+    /// Parked workers wait here (with a short timeout) when a scan finds
+    /// no runnable unit but `remaining > 0` — i.e. every outstanding unit
+    /// is either mid-solve or mid-expansion on another worker.
+    idle_gate: Mutex<()>,
+    idle: Condvar,
+}
+
+impl Pool<'_> {
+    /// Finds the next unit for worker `w`: own deque front, then injector
+    /// expansion, then a steal from a sibling's back. `None` means nothing
+    /// is runnable *right now* (work may still appear from an in-flight
+    /// expansion — the caller checks `remaining` before sleeping/exiting).
+    fn find_work(&self, w: usize) -> Option<Unit> {
+        if let Some(u) = self.deques[w].lock().expect("own deque").pop_front() {
+            return Some(u);
+        }
+        let shard = self.injector.lock().expect("injector").pop_front();
+        if let Some(s) = shard {
+            let mut q = self.deques[w].lock().expect("own deque");
+            for (i, &(lo, hi)) in self.ranges[s].iter().enumerate() {
+                q.push_back(Unit {
+                    shard: s,
+                    unit: i,
+                    lo,
+                    hi,
+                });
+            }
+            let first = q.pop_front();
+            drop(q);
+            if self.ranges[s].len() > 1 {
+                // New stealable units appeared; wake anyone parked.
+                self.idle.notify_all();
+            }
+            return first;
+        }
+        for i in 1..self.deques.len() {
+            let v = (w + i) % self.deques.len();
+            if let Some(u) = self.deques[v].lock().expect("sibling deque").pop_back() {
+                return Some(u);
+            }
+        }
+        None
+    }
 }
 
 /// Runs the sharded pipeline over an already-encoded table: plan shards,
@@ -354,22 +490,40 @@ pub fn run_pipeline_with_progress(
         }));
     }
 
+    // The unit split is fixed by the plan alone (shard sizes, split_unit,
+    // k) — both execution paths below apply exactly these ranges, which is
+    // what makes the output invariant across worker counts.
+    let ranges: Vec<Vec<(usize, usize)>> = plan
+        .shards
+        .iter()
+        .map(|rows| unit_ranges(rows.len(), config.split_unit, k))
+        .collect();
+    let total_units: usize = ranges.iter().map(Vec::len).sum();
+
     let workers = resolve_threads(config.workers)
         .max(1)
-        .min(plan.shards.len().max(1));
+        .min(total_units.max(1));
     let mem_slice = config.budget.memory_limit().map(|m| m / workers as u64);
     let total_rows: u64 =
         plan.shards.iter().map(|s| s.len() as u64).sum::<u64>() + plan.residue.len() as u64;
 
     let mut solved: Vec<Option<Solved>> = (0..plan.shards.len()).map(|_| None).collect();
 
-    if workers <= 1 || plan.shards.len() <= 1 {
+    if workers <= 1 || total_units <= 1 {
         let mut rows_left = total_rows;
+        let mut buf: Vec<Value> = Vec::new();
         for (id, rows) in plan.shards.iter().enumerate() {
-            let sub = select(ds, rows);
             let budget = slice_budget(&config.budget, rows.len(), rows_left, 1, mem_slice);
             rows_left -= rows.len() as u64;
-            let s = solve_shard(id, &sub, k, config, budget)?;
+            let mut pieces = Vec::with_capacity(ranges[id].len());
+            for &(lo, hi) in &ranges[id] {
+                let sub = ds
+                    .select_rows_into(&rows[lo..hi], std::mem::take(&mut buf))
+                    .expect("shard plan only holds in-range row indices");
+                pieces.push(solve_shard(id, &sub, k, config, budget.clone())?);
+                buf = sub.into_flat_buffer();
+            }
+            let s = combine_solved(id, pieces)?;
             on_progress(Progress::UnitSolved {
                 done: id + 1,
                 units,
@@ -378,68 +532,122 @@ pub fn run_pipeline_with_progress(
             solved[id] = Some(s);
         }
     } else {
+        // Budget slices are fixed in shard-id order before any worker
+        // starts: `rows_left` must shrink deterministically, so the pool's
+        // schedule cannot influence any shard's allowance.
+        let mut shard_budgets = Vec::with_capacity(plan.shards.len());
+        {
+            let mut rows_left = total_rows;
+            for rows in &plan.shards {
+                shard_budgets.push(slice_budget(
+                    &config.budget,
+                    rows.len(),
+                    rows_left,
+                    workers,
+                    mem_slice,
+                ));
+                rows_left -= rows.len() as u64;
+            }
+        }
+        let pool = Pool {
+            ranges: &ranges,
+            injector: Mutex::new((0..plan.shards.len()).collect()),
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            remaining: AtomicUsize::new(total_units),
+            idle_gate: Mutex::new(()),
+            idle: Condvar::new(),
+        };
         let shards = &plan.shards;
+        let shard_budgets = &shard_budgets;
         let solved_ref = &mut solved;
         std::thread::scope(|scope| -> Result<()> {
-            let (task_tx, task_rx) = mpsc::sync_channel::<Task>(2 * workers);
-            let task_rx = Arc::new(Mutex::new(task_rx));
-            let (done_tx, done_rx) = mpsc::sync_channel::<(usize, Result<Solved>)>(2 * workers);
-
-            for _ in 0..workers {
-                let task_rx = Arc::clone(&task_rx);
+            let (done_tx, done_rx) = mpsc::channel::<(usize, usize, Result<Solved>)>();
+            for w in 0..workers {
+                let pool = &pool;
                 let done_tx = done_tx.clone();
-                scope.spawn(move || loop {
-                    // Hold the lock across `recv` — `Receiver` is not
-                    // `Sync`, so the mutex is the hand-off point.
-                    let task = {
-                        let rx = task_rx.lock().expect("task receiver lock");
-                        rx.recv()
-                    };
-                    let Ok(task) = task else { break };
-                    let out = solve_shard(task.id, &task.sub, k, config, task.budget);
-                    if done_tx.send((task.id, out)).is_err() {
-                        break;
+                scope.spawn(move || {
+                    let mut buf: Vec<Value> = Vec::new();
+                    loop {
+                        let Some(unit) = pool.find_work(w) else {
+                            if pool.remaining.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            // Outstanding units are mid-solve elsewhere;
+                            // park briefly, then rescan (an expansion may
+                            // have made units stealable).
+                            let gate = pool.idle_gate.lock().expect("idle gate");
+                            let _ = pool
+                                .idle
+                                .wait_timeout(gate, Duration::from_millis(1))
+                                .expect("idle wait");
+                            continue;
+                        };
+                        let rows = &shards[unit.shard][unit.lo..unit.hi];
+                        let sub = ds
+                            .select_rows_into(rows, std::mem::take(&mut buf))
+                            .expect("shard plan only holds in-range row indices");
+                        let out = solve_shard(
+                            unit.shard,
+                            &sub,
+                            k,
+                            config,
+                            shard_budgets[unit.shard].clone(),
+                        );
+                        buf = sub.into_flat_buffer();
+                        let last = pool.remaining.fetch_sub(1, Ordering::AcqRel) == 1;
+                        if done_tx.send((unit.shard, unit.unit, out)).is_err() {
+                            break;
+                        }
+                        if last {
+                            pool.idle.notify_all();
+                        }
                     }
                 });
             }
             drop(done_tx);
 
-            // Dispatcher on its own thread: the bounded `send` is the
-            // backpressure that keeps materialized sub-tables to O(workers).
-            let budget = &config.budget;
-            scope.spawn(move || {
-                let mut rows_left = total_rows;
-                for (id, rows) in shards.iter().enumerate() {
-                    let slice = slice_budget(budget, rows.len(), rows_left, workers, mem_slice);
-                    rows_left -= rows.len() as u64;
-                    let task = Task {
-                        id,
-                        sub: select(ds, rows),
-                        budget: slice,
-                    };
-                    if task_tx.send(task).is_err() {
-                        break; // drain loop gave up after an error
-                    }
-                }
-                // Dropping `task_tx` closes the channel; idle workers exit.
-            });
-
+            // Collect on the caller's thread: units of a shard can land in
+            // any order and interleaved across shards; a shard completes —
+            // and ticks progress — when its last unit arrives.
+            let mut pending: Vec<Vec<Option<Solved>>> = ranges
+                .iter()
+                .map(|r| (0..r.len()).map(|_| None).collect())
+                .collect();
+            let mut left: Vec<usize> = ranges.iter().map(Vec::len).collect();
             let mut first_err: Option<Error> = None;
             let mut done = 0usize;
-            for (id, out) in done_rx {
+            for (shard, unit, out) in done_rx {
                 match out {
                     Ok(s) => {
-                        done += 1;
-                        on_progress(Progress::UnitSolved {
-                            done,
-                            units,
-                            degraded: s.report.degraded,
-                        });
-                        solved_ref[id] = Some(s);
+                        pending[shard][unit] = Some(s);
+                        left[shard] -= 1;
+                        if left[shard] > 0 || first_err.is_some() {
+                            continue;
+                        }
+                        let pieces: Vec<Solved> = pending[shard]
+                            .iter_mut()
+                            .map(|p| p.take().expect("all units of this shard arrived"))
+                            .collect();
+                        match combine_solved(shard, pieces) {
+                            Ok(s) => {
+                                done += 1;
+                                on_progress(Progress::UnitSolved {
+                                    done,
+                                    units,
+                                    degraded: s.report.degraded,
+                                });
+                                solved_ref[shard] = Some(s);
+                            }
+                            Err(e) => {
+                                config.budget.cancel();
+                                first_err = Some(e);
+                            }
+                        }
                     }
                     Err(e) if first_err.is_none() => {
                         // Abort in-flight solvers; keep draining so every
-                        // worker can exit and the scope can join.
+                        // worker can exit and the scope can join (cancelled
+                        // units fall back cheaply).
                         config.budget.cancel();
                         first_err = Some(e);
                     }
@@ -572,6 +780,86 @@ mod tests {
     }
 
     #[test]
+    fn unit_ranges_mirror_near_equal_chunking() {
+        // No split → one unit regardless of size.
+        assert_eq!(unit_ranges(1000, None, 3), vec![(0, 1000)]);
+        // At or under the target → one unit.
+        assert_eq!(unit_ranges(12, Some(12), 3), vec![(0, 12)]);
+        // Over the target → consecutive near-equal pieces covering the
+        // shard, each at least k rows.
+        for (len, split, k) in [(100, 30, 3), (100, 5, 3), (37, 12, 5), (6, 5, 2)] {
+            let ranges = unit_ranges(len, Some(split), k);
+            assert!(ranges.len() > 1, "{len}/{split} should split");
+            let mut at = 0;
+            for &(lo, hi) in &ranges {
+                assert_eq!(lo, at);
+                assert!(hi - lo >= k, "piece {lo}..{hi} below k={k}");
+                at = hi;
+            }
+            assert_eq!(at, len);
+            // Exactly chunk_near_equal's arithmetic on the same inputs.
+            let rows: Vec<u32> = (0..len as u32).collect();
+            let chunks = chunk_near_equal(&rows, split.max(2 * k - 1));
+            assert_eq!(ranges.len(), chunks.len());
+            for (r, c) in ranges.iter().zip(&chunks) {
+                assert_eq!(r.1 - r.0, c.len());
+            }
+        }
+    }
+
+    #[test]
+    fn split_units_do_not_change_the_answer_across_worker_counts() {
+        let ds = dataset(100);
+        // One big bucket → one 100-row shard → four ~25-row units, so the
+        // pool genuinely exercises injector expansion and stealing.
+        let mut outputs = Vec::new();
+        for workers in [1, 2, 4] {
+            let config = PipelineConfig {
+                shard_size: 100,
+                n_buckets: Some(1),
+                split_unit: Some(25),
+                workers: Some(workers),
+                ..PipelineConfig::default()
+            };
+            let (anon, report) = run_pipeline(&ds, 3, &config).unwrap();
+            assert!(anon.table.is_k_anonymous(3));
+            anon.partition.validate_group_sizes(3).unwrap();
+            assert_eq!(report.shards.len(), 1);
+            assert_eq!(report.shards[0].rows, 100);
+            // Splitting unlocks parallelism beyond the shard count.
+            assert_eq!(report.workers, workers);
+            outputs.push((anon.partition, anon.cost));
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+    }
+
+    #[test]
+    fn split_and_unsplit_runs_are_both_valid() {
+        let ds = dataset(140);
+        let unsplit = PipelineConfig {
+            shard_size: 48,
+            ..PipelineConfig::default()
+        };
+        let split = PipelineConfig {
+            shard_size: 48,
+            split_unit: Some(12),
+            workers: Some(3),
+            ..PipelineConfig::default()
+        };
+        let (a, ra) = run_pipeline(&ds, 3, &unsplit).unwrap();
+        let (b, rb) = run_pipeline(&ds, 3, &split).unwrap();
+        assert!(a.table.is_k_anonymous(3));
+        assert!(b.table.is_k_anonymous(3));
+        // Same plan, same shard row counts — only the per-shard solve
+        // granularity differs (and with it, possibly the cost).
+        assert_eq!(ra.shards.len(), rb.shards.len());
+        for (x, y) in ra.shards.iter().zip(&rb.shards) {
+            assert_eq!(x.rows, y.rows);
+        }
+    }
+
+    #[test]
     fn exhausted_budget_degrades_but_completes() {
         let ds = dataset(150);
         let config = PipelineConfig {
@@ -612,10 +900,11 @@ mod tests {
     #[test]
     fn progress_events_cover_every_unit_in_order() {
         let ds = dataset(100);
-        for workers in [1, 3] {
+        for (workers, split) in [(1, None), (3, None), (3, Some(8))] {
             let config = PipelineConfig {
                 shard_size: 16,
                 workers: Some(workers),
+                split_unit: split,
                 ..PipelineConfig::default()
             };
             let events = Mutex::new(Vec::new());
