@@ -39,6 +39,21 @@ use crate::agglomerative::try_agglomerative_governed;
 /// One rung of the degradation ladder, in descending guarantee order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Rung {
+    /// Full-domain generalization via the lattice search in
+    /// `kanon-relation` — the ladder's top rung, sitting *above* the
+    /// suppression rungs: when hierarchies are available it finds the
+    /// exact minimum-total-generalization node, which typically loses far
+    /// less information than cell suppression.
+    ///
+    /// This rung is orchestrated at whole-table scope by the pipeline's
+    /// auto path (full-domain levels must be uniform across the table, so
+    /// it cannot run per shard) and needs hierarchies plus a codec that
+    /// this suppression-domain module does not carry. It is therefore
+    /// **not** a member of [`Rung::ALL`]: [`run_ladder`] asked to start
+    /// here runs the entire suppression ladder beneath it, which is
+    /// exactly the fall-through the pipeline performs when the lattice
+    /// trips its budget.
+    Generalization,
     /// Theorem 4.1 exhaustive greedy cover: `3k(1+ln k)`-approximate,
     /// exponential in `k`.
     #[default]
@@ -51,7 +66,10 @@ pub enum Rung {
 }
 
 impl Rung {
-    /// The three rungs, best guarantee first.
+    /// The three *suppression* rungs [`run_ladder`] drives, best guarantee
+    /// first. [`Rung::Generalization`] sits above them but is excluded: it
+    /// runs in a different output domain (a generalized table, not a
+    /// suppressor) and is dispatched by the pipeline layer.
     pub const ALL: [Rung; 3] = [
         Rung::FullGreedyCover,
         Rung::CenterGreedy,
@@ -62,6 +80,7 @@ impl Rung {
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
+            Rung::Generalization => "generalization-lattice",
             Rung::FullGreedyCover => "full-greedy-cover",
             Rung::CenterGreedy => "center-greedy",
             Rung::Agglomerative => "agglomerative",
@@ -72,6 +91,7 @@ impl Rung {
     #[must_use]
     pub fn guarantee(self) -> &'static str {
         match self {
+            Rung::Generalization => "minimal full-domain generalization (exact)",
             Rung::FullGreedyCover => "3k(1+ln k)",
             Rung::CenterGreedy => "6k(1+ln m)",
             Rung::Agglomerative => "heuristic (no worst-case guarantee)",
@@ -172,6 +192,14 @@ fn attempt(
     budget: &Budget,
 ) -> Result<Anonymization> {
     match rung {
+        // The generalization rung needs hierarchies and a codec this
+        // suppression-domain runner does not carry; it is dispatched by the
+        // pipeline's auto path. Here it fails *recoverably*, so a ladder
+        // reaching it falls straight through to the suppression rungs.
+        Rung::Generalization => Err(Error::InstanceTooLarge {
+            solver: "generalization-lattice",
+            limit: "requires hierarchies; driven by the pipeline auto path".to_string(),
+        }),
         Rung::FullGreedyCover => try_exhaustive_greedy_governed(ds, k, &config.full, budget),
         Rung::CenterGreedy => try_center_greedy_governed(ds, k, &config.center, budget),
         Rung::Agglomerative => {
@@ -211,10 +239,13 @@ fn run_ladder_with(
     mut run_rung: impl FnMut(&Dataset, usize, &LadderConfig, Rung, &Budget) -> Result<Anonymization>,
 ) -> Result<(Anonymization, RunReport)> {
     ds.check_k(k)?;
+    // `Rung::Generalization` is not in `ALL` (it lives above the
+    // suppression ladder, dispatched by the pipeline); starting there
+    // means "the whole suppression ladder beneath it".
     let start = Rung::ALL
         .iter()
         .position(|&r| r == config.start)
-        .expect("Rung::ALL contains every rung");
+        .unwrap_or(0);
     let rungs = &Rung::ALL[start..];
     let mut attempts = Vec::with_capacity(rungs.len());
     let mut last_err: Option<Error> = None;
@@ -450,7 +481,7 @@ mod tests {
                 },
                 // Fail instantly so the *last* rung's slice is observable.
                 Rung::CenterGreedy => Err(budget_trip()),
-                Rung::Agglomerative => attempt(ds, k, config, rung, slice),
+                Rung::Agglomerative | Rung::Generalization => attempt(ds, k, config, rung, slice),
             }
         })
         .unwrap();
@@ -477,5 +508,23 @@ mod tests {
         assert_eq!(Rung::FullGreedyCover.to_string(), "full-greedy-cover");
         assert_eq!(Rung::CenterGreedy.name(), "center-greedy");
         assert!(Rung::Agglomerative.guarantee().contains("heuristic"));
+        assert_eq!(Rung::Generalization.name(), "generalization-lattice");
+        assert!(Rung::Generalization.guarantee().contains("generalization"));
+        assert!(!Rung::ALL.contains(&Rung::Generalization));
+    }
+
+    /// Starting at the (pipeline-dispatched) generalization rung must not
+    /// panic: the suppression ladder runs in full beneath it — the exact
+    /// fall-through the pipeline performs when the lattice trips.
+    #[test]
+    fn generalization_start_falls_through_to_the_suppression_ladder() {
+        let ds = dataset();
+        let config = LadderConfig {
+            start: Rung::Generalization,
+            ..Default::default()
+        };
+        let (anon, report) = run_ladder(&ds, 3, &config).unwrap();
+        assert_eq!(report.rung, Rung::FullGreedyCover);
+        assert!(anon.table.is_k_anonymous(3));
     }
 }

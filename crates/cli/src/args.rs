@@ -64,8 +64,16 @@ pub enum Command {
         workers: Option<usize>,
         /// Work-stealing sub-unit row threshold (`None` = whole shards).
         split_unit: Option<usize>,
-        /// Quasi-identifier column names (`None` = all columns).
+        /// Quasi-identifier column names. `None` selects the schema-driven
+        /// auto path: infer the schema, rank a quasi-identifier, and try
+        /// the generalization rung before degrading to suppression.
         quasi: Option<Vec<String>>,
+        /// Hierarchy-override JSON file for the auto path (`None` derives
+        /// every hierarchy from the inferred schema).
+        hierarchies: Option<String>,
+        /// On the auto path, also run the suppression pipeline and report
+        /// both information losses side by side.
+        compare: bool,
         /// Wall-clock budget in milliseconds (`None` = unlimited).
         deadline_ms: Option<u64>,
         /// Planned-allocation memory budget in MiB (`None` = unlimited).
@@ -75,6 +83,8 @@ pub enum Command {
     },
     /// `kanon delta`: incremental anonymization over a durable store.
     Delta(DeltaAction),
+    /// `kanon schema`: probe/infer/verify for messy CSVs.
+    Schema(SchemaAction),
     /// `kanon verify`.
     Verify {
         /// Privacy parameter to check.
@@ -110,6 +120,9 @@ pub enum Command {
         alphabet: u32,
         /// Skew exponent, parsed as f64 at execution (zipf workload only).
         exponent: String,
+        /// Messy mode: semicolon delimiter, mixed column types, injected
+        /// null markers — exercise for the schema toolchain.
+        messy: bool,
         /// Output CSV path (`None` = stdout). The zipf workload streams
         /// row-by-row when writing to a file.
         output: Option<String>,
@@ -158,6 +171,33 @@ pub enum Command {
     },
     /// `kanon help`.
     Help,
+}
+
+/// The `kanon schema` sub-actions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaAction {
+    /// `kanon schema probe`: structural detection only (delimiter,
+    /// quoting, field count, record consistency).
+    Probe {
+        /// Input CSV path (`-` reads stdin).
+        input: String,
+    },
+    /// `kanon schema infer`: full inference, rendering the versioned
+    /// `.schema` file.
+    Infer {
+        /// Input CSV path (`-` reads stdin).
+        input: String,
+        /// `.schema` output path (`None` = stdout).
+        output: Option<String>,
+    },
+    /// `kanon schema verify`: re-infer and diff against a stored `.schema`
+    /// file; exits nonzero on drift.
+    Verify {
+        /// Stored `.schema` file path.
+        schema: String,
+        /// Input CSV path (`-` reads stdin).
+        input: String,
+    },
 }
 
 /// The `kanon delta` sub-actions.
@@ -233,8 +273,12 @@ USAGE:
     kanon pipeline  -k <K> --input <FILE|-> [--output <FILE>]
                     [--shard-size N] [--strategy hash|sorted] [--buckets N]
                     [--workers N] [--split-unit N]
-                    [--quasi col1,col2,...] [--json]
+                    [--quasi col1,col2,...] [--hierarchies <FILE>]
+                    [--compare] [--json]
                     [--deadline-ms MS] [--max-memory-mb MB]
+    kanon schema probe  --input <FILE|->
+    kanon schema infer  --input <FILE|-> [--output <FILE.schema>]
+    kanon schema verify --schema <FILE.schema> --input <FILE|->
     kanon delta init    --dir <DIR> -k <K> --input <FILE|->
                     [--shard-size N] [--buckets N] [--quasi col1,col2,...]
                     [--deadline-ms MS] [--max-memory-mb MB] [--json]
@@ -246,7 +290,7 @@ USAGE:
     kanon verify    -k <K> --input <FILE|-> [--quasi col1,col2,...]
     kanon attack    --released <FILE> --external <FILE> --join col1,col2,...
     kanon generate  [--rows N] [--seed S] [--output <FILE>]
-                    [--workload census|zipf] [--regions R]
+                    [--workload census|zipf] [--regions R] [--messy]
                     [--cols M] [--alphabet A] [--exponent E]
     kanon serve     [--addr HOST:PORT] [--workers N] [--queue-depth N]
                     [--pool-memory-mb MB] [--data-dir DIR]
@@ -268,6 +312,19 @@ COMMANDS:
                 into independently stolen sub-units (N >= 2k-1; same
                 output at every worker count, at a possible cost penalty
                 versus solving each shard whole).
+                Without --quasi the run takes the schema-driven auto path:
+                the delimiter and column types are inferred, a ranked
+                quasi-identifier is chosen, and full-domain generalization
+                (auto-derived hierarchies; override with --hierarchies
+                JSON) is tried first, degrading to sharded suppression
+                when the lattice cannot reach k in budget. --compare also
+                runs suppression and reports both information losses.
+    schema      The probe -> infer -> verify toolchain for messy CSVs.
+                `probe` reports delimiter/quoting/field-count structure;
+                `infer` renders the versioned .schema file (column types,
+                null rates, quasi-identifier ranking, snapshot hash);
+                `verify` re-infers and diffs against a stored .schema,
+                exiting nonzero on drift.
     delta       Incremental anonymization over a durable store (WAL +
                 snapshot). `init` ingests and solves a table once;
                 `apply` replays an ops CSV (header `op,id,<columns...>`,
@@ -282,7 +339,9 @@ COMMANDS:
                 data and report how many records are uniquely linkable.
     generate    Emit a synthetic CSV for experimentation: census-like
                 typed microdata, or zipf-skewed categorical data that
-                streams to --output for very large --rows.
+                streams to --output for very large --rows. --messy roughs
+                the census workload up for the schema toolchain:
+                semicolon delimiter, mixed types, injected null markers.
     serve       Run the anonymization server: POST /v1/anonymize submits
                 a job (202 + id, or 429 + Retry-After when the queue or
                 memory pool is full), GET /v1/jobs/<id> polls it, and
@@ -464,10 +523,11 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--workers",
                     "--split-unit",
                     "--quasi",
+                    "--hierarchies",
                     "--deadline-ms",
                     "--max-memory-mb",
                 ],
-                &["--json"],
+                &["--json", "--compare"],
             )?;
             let k = parse_k(flag("-k"))?;
             let input = flag("--input")
@@ -507,10 +567,73 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 workers: positive("--workers")?,
                 split_unit: positive("--split-unit")?,
                 quasi: quasi(flag("--quasi")),
+                hierarchies: flag("--hierarchies").cloned(),
+                compare: has_switch("--compare"),
                 deadline_ms: budget_flag("--deadline-ms")?,
                 max_memory_mb: budget_flag("--max-memory-mb")?,
                 json: has_switch("--json"),
             })
+        }
+        "schema" => {
+            let Some(action) = rest.first().map(|s| s.as_str()) else {
+                return Err(CliError::Usage(format!(
+                    "schema needs an action (probe | infer | verify)\n\n{}",
+                    usage()
+                )));
+            };
+            let rest = &rest[1..];
+            let flag = |name: &str| -> Option<&String> {
+                rest.iter()
+                    .position(|a| **a == name)
+                    .and_then(|i| rest.get(i + 1).copied())
+            };
+            let unexpected = |allowed: &[&str]| -> Result<(), CliError> {
+                let mut i = 0;
+                while i < rest.len() {
+                    let a = rest[i].as_str();
+                    if allowed.contains(&a) {
+                        i += 2;
+                    } else {
+                        return Err(CliError::Usage(format!(
+                            "unexpected argument `{a}`\n\n{}",
+                            usage()
+                        )));
+                    }
+                }
+                Ok(())
+            };
+            let input = || -> Result<String, CliError> {
+                flag("--input")
+                    .cloned()
+                    .ok_or_else(|| CliError::Usage(format!("--input is required\n\n{}", usage())))
+            };
+            match action {
+                "probe" => {
+                    unexpected(&["--input"])?;
+                    Ok(Command::Schema(SchemaAction::Probe { input: input()? }))
+                }
+                "infer" => {
+                    unexpected(&["--input", "--output"])?;
+                    Ok(Command::Schema(SchemaAction::Infer {
+                        input: input()?,
+                        output: flag("--output").cloned(),
+                    }))
+                }
+                "verify" => {
+                    unexpected(&["--schema", "--input"])?;
+                    let schema = flag("--schema").cloned().ok_or_else(|| {
+                        CliError::Usage(format!("--schema is required\n\n{}", usage()))
+                    })?;
+                    Ok(Command::Schema(SchemaAction::Verify {
+                        schema,
+                        input: input()?,
+                    }))
+                }
+                other => Err(CliError::Usage(format!(
+                    "unknown schema action `{other}` (probe | infer | verify)\n\n{}",
+                    usage()
+                ))),
+            }
         }
         "delta" => {
             let Some(action) = rest.first().map(|s| s.as_str()) else {
@@ -687,7 +810,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--exponent",
                     "--output",
                 ],
-                &[],
+                &["--messy"],
             )?;
             let parse_or = |name: &str, default: u64| -> Result<u64, CliError> {
                 match flag(name) {
@@ -714,6 +837,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 cols: parse_or("--cols", 8)? as usize,
                 alphabet: parse_or("--alphabet", 50)? as u32,
                 exponent: flag("--exponent").cloned().unwrap_or_else(|| "1.0".into()),
+                messy: has_switch("--messy"),
                 output: flag("--output").cloned(),
             })
         }
@@ -862,6 +986,7 @@ mod tests {
                 cols: 8,
                 alphabet: 50,
                 exponent: "1.0".into(),
+                messy: false,
                 output: None,
             }
         );
@@ -887,6 +1012,8 @@ mod tests {
                 workers: Some(4),
                 split_unit: Some(256),
                 quasi: Some(vec!["age".into(), "zip".into()]),
+                hierarchies: None,
+                compare: false,
                 deadline_ms: Some(30_000),
                 max_memory_mb: None,
                 json: true,
@@ -906,11 +1033,27 @@ mod tests {
                 workers: None,
                 split_unit: None,
                 quasi: None,
+                hierarchies: None,
+                compare: false,
                 deadline_ms: None,
                 max_memory_mb: None,
                 json: false,
             }
         );
+        // The auto path's knobs.
+        let cmd = parse(&argv(
+            "pipeline -k 3 --input messy.csv --hierarchies h.json --compare",
+        ))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Pipeline {
+                quasi: None,
+                hierarchies: Some(ref h),
+                compare: true,
+                ..
+            } if h == "h.json"
+        ));
         // Errors.
         for bad in [
             "pipeline --input -",
@@ -946,6 +1089,7 @@ mod tests {
                 cols: 6,
                 alphabet: 30,
                 exponent: "1.2".into(),
+                messy: false,
                 output: Some("data.csv".into()),
             }
         );
@@ -953,6 +1097,56 @@ mod tests {
             parse(&argv("generate --workload weibull")),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parse_generate_messy() {
+        let cmd = parse(&argv("generate --messy --rows 500 --seed 3")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Generate {
+                messy: true,
+                rows: 500,
+                seed: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_schema_actions() {
+        assert_eq!(
+            parse(&argv("schema probe --input messy.csv")).unwrap(),
+            Command::Schema(SchemaAction::Probe {
+                input: "messy.csv".into(),
+            })
+        );
+        assert_eq!(
+            parse(&argv("schema infer --input messy.csv --output t.schema")).unwrap(),
+            Command::Schema(SchemaAction::Infer {
+                input: "messy.csv".into(),
+                output: Some("t.schema".into()),
+            })
+        );
+        assert_eq!(
+            parse(&argv("schema verify --schema t.schema --input messy.csv")).unwrap(),
+            Command::Schema(SchemaAction::Verify {
+                schema: "t.schema".into(),
+                input: "messy.csv".into(),
+            })
+        );
+        for bad in [
+            "schema",
+            "schema guess --input x",
+            "schema probe",            // --input missing
+            "schema verify --input x", // --schema missing
+            "schema infer --input x --bogus y",
+        ] {
+            assert!(
+                matches!(parse(&argv(bad)), Err(CliError::Usage(_))),
+                "{bad}"
+            );
+        }
     }
 
     #[test]

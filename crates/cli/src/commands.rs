@@ -9,7 +9,7 @@ use kanon_workloads::{census_table, CensusParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::args::{usage, Algorithm, Command};
+use crate::args::{usage, Algorithm, Command, SchemaAction};
 use crate::{CliError, Outcome};
 
 /// Executes a parsed command.
@@ -31,18 +31,24 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
             cols,
             alphabet,
             exponent,
+            messy,
             output,
         } => {
-            let mut outcome = match workload.as_str() {
-                "zipf" => {
-                    generate_zipf(*rows, *seed, *cols, *alphabet, exponent, output.as_deref())?
+            let streams_itself = workload == "zipf" || *messy;
+            let mut outcome = if *messy {
+                generate_messy(*rows, *seed, *regions, output.as_deref())?
+            } else {
+                match workload.as_str() {
+                    "zipf" => {
+                        generate_zipf(*rows, *seed, *cols, *alphabet, exponent, output.as_deref())?
+                    }
+                    _ => generate(*rows, *seed, *regions)?,
                 }
-                _ => generate(*rows, *seed, *regions)?,
             };
-            // The zipf generator streams to the file itself; census output
-            // (small by design) is written here.
+            // The zipf and messy generators stream to the file themselves;
+            // census output (small by design) is written here.
             if let Some(path) = output {
-                if workload != "zipf" {
+                if !streams_itself {
                     std::fs::write(path, &outcome.stdout)
                         .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
                     outcome.stdout = String::new();
@@ -119,6 +125,8 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
             workers,
             split_unit,
             quasi,
+            hierarchies,
+            compare,
             deadline_ms,
             max_memory_mb,
             json,
@@ -132,10 +140,13 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
             *workers,
             *split_unit,
             quasi.as_deref(),
+            hierarchies.as_deref(),
+            *compare,
             *deadline_ms,
             *max_memory_mb,
             *json,
         ),
+        Command::Schema(action) => schema_cmd(action),
         Command::Delta(action) => delta(action),
         Command::Serve {
             addr,
@@ -605,7 +616,8 @@ fn anonymize(
 /// Runs the sharded out-of-core engine: streams the input CSV (never
 /// holding the raw text in memory when reading a file), solves shards
 /// under the budget, and writes the released CSV to `output` (streamed) or
-/// stdout.
+/// stdout. Without `--quasi` the run takes the schema-driven auto path:
+/// infer the schema, pick a quasi-identifier, try the generalization rung.
 #[allow(clippy::too_many_arguments)]
 fn pipeline(
     k: usize,
@@ -617,6 +629,8 @@ fn pipeline(
     workers: Option<usize>,
     split_unit: Option<usize>,
     quasi: Option<&[String]>,
+    hierarchies: Option<&str>,
+    compare: bool,
     deadline_ms: Option<u64>,
     max_memory_mb: Option<u64>,
     json: bool,
@@ -630,6 +644,17 @@ fn pipeline(
         budget: build_budget(deadline_ms, max_memory_mb),
         ..Default::default()
     };
+    let Some(quasi) = quasi else {
+        return pipeline_auto(k, input, output, &config, hierarchies, compare, json);
+    };
+    if hierarchies.is_some() || compare {
+        return Err(CliError::Usage(format!(
+            "--hierarchies and --compare belong to the schema-driven auto \
+             path; drop --quasi to use them\n\n{}",
+            usage()
+        )));
+    }
+    let quasi = Some(quasi);
     let run = if input == "-" {
         kanon_pipeline::run_csv(std::io::stdin().lock(), k, quasi, &config)
     } else {
@@ -716,6 +741,219 @@ fn pipeline_json(run: &kanon_pipeline::CsvRun, csv: Option<&str>) -> String {
     obj.finish()
 }
 
+/// The schema-driven auto path: probe the delimiter, infer the schema and
+/// quasi-identifier, try the generalization rung, degrade to suppression.
+fn pipeline_auto(
+    k: usize,
+    input: &str,
+    output: Option<&str>,
+    config: &kanon_pipeline::PipelineConfig,
+    hierarchies: Option<&str>,
+    compare: bool,
+    json: bool,
+) -> Result<Outcome, CliError> {
+    let overrides = hierarchies.map(read_input).transpose()?;
+    let auto = kanon_pipeline::AutoConfig { overrides, compare };
+    let run = if input == "-" {
+        kanon_pipeline::run_csv_auto(std::io::stdin().lock(), k, config, &auto)
+    } else {
+        let file = std::fs::File::open(input)
+            .map_err(|e| CliError::Failed(format!("cannot read `{input}`: {e}")))?;
+        kanon_pipeline::run_csv_auto(std::io::BufReader::new(file), k, config, &auto)
+    }
+    .map_err(|e| map_pipeline_error(e, k))?;
+
+    let quasi_names: Vec<&str> = run
+        .quasi
+        .iter()
+        .map(|&j| run.codec.header()[j].as_str())
+        .collect();
+    let mut notes = vec![format!(
+        "schema: delimiter `{}`, {} column(s), quasi-identifier: {}",
+        char::from(run.schema.delimiter),
+        run.schema.columns.len(),
+        quasi_names.join(","),
+    )];
+    match &run.outcome {
+        kanon_pipeline::AutoOutcome::Generalized(g) => {
+            let gen = run
+                .report
+                .generalization
+                .as_ref()
+                .expect("generalized runs carry a generalization report");
+            notes.push(format!(
+                "generalization rung answered at levels {:?} of heights {:?} \
+                 (precision loss {:.4})",
+                gen.levels, gen.heights, g.precision_loss,
+            ));
+            if let Some(supp) = gen.suppression_loss {
+                notes.push(format!(
+                    "information loss: generalization {:.4} vs suppression {:.4}",
+                    run.report.information_loss(),
+                    supp,
+                ));
+            }
+        }
+        kanon_pipeline::AutoOutcome::Suppressed {
+            anonymization,
+            reason,
+        } => {
+            notes.push(format!("generalization rung declined: {reason}"));
+            notes.push(format!(
+                "suppressed {} of {} quasi-identifier cells ({:.1}%)",
+                anonymization.cost,
+                anonymization.table.n_rows() * anonymization.table.n_cols(),
+                100.0 * anonymization.suppression_rate(),
+            ));
+        }
+    }
+
+    let stdout = if let Some(path) = output {
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
+        run.write_release(std::io::BufWriter::new(file))
+            .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
+        notes.push(format!("wrote {path}"));
+        if json {
+            auto_json(&run, None)
+        } else {
+            String::new()
+        }
+    } else {
+        let mut buf = Vec::new();
+        run.write_release(&mut buf)
+            .map_err(|e| CliError::Failed(format!("cannot render release: {e}")))?;
+        let released = String::from_utf8(buf)
+            .map_err(|e| CliError::Failed(format!("cannot render release: {e}")))?;
+        if json {
+            auto_json(&run, Some(&released))
+        } else {
+            released
+        }
+    };
+    Ok(Outcome { stdout, notes })
+}
+
+/// The auto path's `--json` object: same `"command":"pipeline"` envelope as
+/// the explicit-quasi path, plus which rung released.
+fn auto_json(run: &kanon_pipeline::AutoRun, csv: Option<&str>) -> String {
+    let mode = match run.outcome {
+        kanon_pipeline::AutoOutcome::Generalized(_) => "generalization",
+        kanon_pipeline::AutoOutcome::Suppressed { .. } => "suppression",
+    };
+    let mut obj = crate::json::JsonObject::new();
+    obj.string("command", "pipeline")
+        .string("mode", mode)
+        .raw("report", &run.report.to_json());
+    if let Some(csv) = csv {
+        obj.string("csv", csv);
+    }
+    obj.finish()
+}
+
+/// Runs a `kanon schema` action: probe, infer, or verify.
+fn schema_cmd(action: &SchemaAction) -> Result<Outcome, CliError> {
+    // The toolchain works on a bounded byte sample, so even `probe` on a
+    // multi-gigabyte file reads at most SAMPLE_BYTES.
+    let sample_of = |path: &str| -> Result<(Vec<u8>, bool), CliError> {
+        let sample = if path == "-" {
+            kanon_schema::read_sample(&mut std::io::stdin().lock())
+        } else {
+            let file = std::fs::File::open(path)
+                .map_err(|e| CliError::Failed(format!("cannot read `{path}`: {e}")))?;
+            kanon_schema::read_sample(&mut std::io::BufReader::new(file))
+        }
+        .map_err(|e| CliError::Failed(format!("cannot read `{path}`: {e}")))?;
+        let truncated = sample.len() == kanon_schema::probe::SAMPLE_BYTES;
+        Ok((sample, truncated))
+    };
+    let infer = |path: &str| -> Result<kanon_schema::InferredSchema, CliError> {
+        let (sample, truncated) = sample_of(path)?;
+        kanon_schema::infer_bytes(&sample, truncated, kanon_schema::infer::DEFAULT_SAMPLE_ROWS)
+            .map_err(|e| CliError::Failed(format!("schema inference failed: {e}")))
+    };
+    match action {
+        SchemaAction::Probe { input } => {
+            let (sample, truncated) = sample_of(input)?;
+            let probe = kanon_schema::probe_bytes(&sample, truncated)
+                .map_err(|e| CliError::Failed(format!("probe failed: {e}")))?;
+            let stdout = format!(
+                "delimiter: {}\nfields per record: {}\nlines sampled: {}\n\
+                 consistency: {:.3}\nquoted fields: {}\n",
+                probe.delimiter_name(),
+                probe.n_fields,
+                probe.lines_sampled,
+                probe.consistency,
+                if probe.quoted { "yes" } else { "no" },
+            );
+            Ok(Outcome {
+                stdout,
+                notes: Vec::new(),
+            })
+        }
+        SchemaAction::Infer { input, output } => {
+            let schema = infer(input)?;
+            let text = kanon_schema::render_schema_file(&schema);
+            let suggestion = schema.quasi_suggestion();
+            let mut notes = vec![format!(
+                "inferred {} column(s) from {} sampled row(s) ({} ragged)",
+                schema.columns.len(),
+                schema.rows_sampled,
+                schema.ragged_rows,
+            )];
+            notes.push(if suggestion.is_empty() {
+                "no quasi-identifier suggestion (no column carries signal)".to_string()
+            } else {
+                format!(
+                    "suggested quasi-identifier (ranked): {}",
+                    suggestion.join(",")
+                )
+            });
+            match output {
+                Some(path) => {
+                    std::fs::write(path, &text)
+                        .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
+                    notes.push(format!("wrote {path}"));
+                    Ok(Outcome {
+                        stdout: String::new(),
+                        notes,
+                    })
+                }
+                None => Ok(Outcome {
+                    stdout: text,
+                    notes,
+                }),
+            }
+        }
+        SchemaAction::Verify { schema, input } => {
+            let stored_text = read_input(schema)?;
+            let stored = kanon_schema::parse_schema_file(&stored_text)
+                .map_err(|e| CliError::Failed(format!("bad schema file `{schema}`: {e}")))?;
+            let current = infer(input)?;
+            match kanon_schema::verify(&stored.schema, &current) {
+                Ok(kanon_schema::VerifyReport::Exact) => Ok(Outcome {
+                    stdout: "schema verified: exact match\n".to_string(),
+                    notes: Vec::new(),
+                }),
+                Ok(kanon_schema::VerifyReport::StatsChanged(changes)) => Ok(Outcome {
+                    stdout: format!(
+                        "schema verified: structure unchanged, {} stat(s) moved\n{}\n",
+                        changes.len(),
+                        changes.join("\n"),
+                    ),
+                    notes: Vec::new(),
+                }),
+                // Drift exits nonzero so CI and cron jobs can gate on it.
+                Err(kanon_schema::Error::Drift(reasons)) => Err(CliError::Failed(format!(
+                    "schema drift detected:\n{}",
+                    reasons.join("\n"),
+                ))),
+                Err(e) => Err(CliError::Failed(format!("verify failed: {e}"))),
+            }
+        }
+    }
+}
+
 /// Maps pipeline-layer errors onto CLI exit classes; shared by the
 /// `pipeline` and `delta` commands.
 fn map_pipeline_error(e: kanon_pipeline::Error, k: usize) -> CliError {
@@ -730,6 +968,13 @@ fn map_pipeline_error(e: kanon_pipeline::Error, k: usize) -> CliError {
         }
         kanon_pipeline::Error::Config(msg) => CliError::Usage(msg),
         kanon_pipeline::Error::Delta(msg) => CliError::Failed(format!("delta rejected: {msg}")),
+        e @ kanon_pipeline::Error::UnknownColumn { .. } => CliError::Usage(e.to_string()),
+        kanon_pipeline::Error::Schema(kanon_schema::Error::Override(msg)) => {
+            CliError::Usage(format!("bad --hierarchies override: {msg}"))
+        }
+        kanon_pipeline::Error::Schema(e) => {
+            CliError::Failed(format!("schema inference failed: {e}"))
+        }
         other => CliError::Failed(format!("pipeline failed: {other}")),
     }
 }
@@ -930,6 +1175,55 @@ fn generate_zipf(
         None => {
             let mut buf = Vec::new();
             kanon_workloads::write_zipf_csv(&mut rng, &params, &mut buf)
+                .map_err(|e| CliError::Failed(format!("cannot render workload: {e}")))?;
+            let stdout = String::from_utf8(buf)
+                .map_err(|e| CliError::Failed(format!("cannot render workload: {e}")))?;
+            Ok(Outcome {
+                stdout,
+                notes: vec![note],
+            })
+        }
+    }
+}
+
+/// Streams the messy schema-inference workload: `;`-delimited, mixed
+/// types, null markers, quoted fields. With `--output` the rows go
+/// straight to the file.
+fn generate_messy(
+    rows: usize,
+    seed: u64,
+    regions: usize,
+    output: Option<&str>,
+) -> Result<Outcome, CliError> {
+    if regions == 0 || regions > 900 {
+        return Err(CliError::Usage(format!(
+            "--regions must be in 1..=900 for the messy workload\n\n{}",
+            usage()
+        )));
+    }
+    let params = kanon_workloads::MessyParams {
+        n: rows,
+        regions,
+        ..kanon_workloads::MessyParams::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let note = format!("generated {rows} messy rows ({regions} region(s), seed {seed})");
+    match output {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
+            let mut w = std::io::BufWriter::new(file);
+            kanon_workloads::write_messy_csv(&mut rng, &params, &mut w)
+                .and_then(|()| std::io::Write::flush(&mut w))
+                .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
+            Ok(Outcome {
+                stdout: String::new(),
+                notes: vec![note],
+            })
+        }
+        None => {
+            let mut buf = Vec::new();
+            kanon_workloads::write_messy_csv(&mut rng, &params, &mut buf)
                 .map_err(|e| CliError::Failed(format!("cannot render workload: {e}")))?;
             let stdout = String::from_utf8(buf)
                 .map_err(|e| CliError::Failed(format!("cannot render workload: {e}")))?;
@@ -1147,6 +1441,7 @@ mod tests {
             cols: 8,
             alphabet: 50,
             exponent: "1.0".into(),
+            messy: false,
             output: None,
         })
         .unwrap();

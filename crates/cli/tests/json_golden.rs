@@ -94,6 +94,8 @@ fn pipeline_json_shape_is_stable() {
         "2",
         "--input",
         input.to_str().unwrap(),
+        "--quasi",
+        "a,b",
         "--shard-size",
         "5",
         "--workers",
@@ -102,6 +104,32 @@ fn pipeline_json_shape_is_stable() {
     ]))
     .unwrap();
     assert_matches_golden(&outcome.stdout, "pipeline.json");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Without `--quasi` the pipeline takes the schema-driven auto path; its
+/// JSON keeps the `"command":"pipeline"` envelope and adds `"mode"` plus a
+/// `"generalization"` block inside the report.
+#[test]
+fn pipeline_auto_json_shape_is_stable() {
+    let dir = std::env::temp_dir().join(format!("kanon-golden-g-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("in.csv");
+    std::fs::write(&input, MEDIUM).unwrap();
+    let outcome = run(&args(&[
+        "pipeline",
+        "-k",
+        "2",
+        "--input",
+        input.to_str().unwrap(),
+        "--shard-size",
+        "5",
+        "--workers",
+        "1",
+        "--json",
+    ]))
+    .unwrap();
+    assert_matches_golden(&outcome.stdout, "pipeline_auto.json");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -714,6 +714,7 @@ pub fn run_pipeline_with_progress(
         residue_rows: plan.residue.len(),
         total_cost: anon.cost,
         elapsed: started.elapsed(),
+        generalization: None,
     };
     Ok((anon, report))
 }

@@ -22,6 +22,18 @@ pub enum Error {
     /// mismatch, table would shrink below `k`). Rejected *before* the batch
     /// reaches the WAL, so durable state never holds an invalid op.
     Delta(String),
+    /// A `--quasi` column name that is not in the ingested header. Carries
+    /// the header's actual names so the caller can render an actionable
+    /// message instead of a bare "unknown attribute".
+    UnknownColumn {
+        /// The name that failed to resolve.
+        name: String,
+        /// The header's actual column names, in table order.
+        known: Vec<String>,
+    },
+    /// Wrapped schema-inference error from the auto-ingestion path
+    /// (unprobeable input, bad `.schema` file, hierarchy override problems).
+    Schema(kanon_schema::Error),
 }
 
 impl Error {
@@ -50,6 +62,12 @@ impl fmt::Display for Error {
             Error::Config(msg) => write!(f, "pipeline config error: {msg}"),
             Error::Store(e) => write!(f, "store error: {e}"),
             Error::Delta(msg) => write!(f, "delta error: {msg}"),
+            Error::UnknownColumn { name, known } => write!(
+                f,
+                "unknown quasi-identifier column `{name}` (known columns: {})",
+                known.join(", ")
+            ),
+            Error::Schema(e) => write!(f, "schema error: {e}"),
         }
     }
 }
@@ -60,7 +78,8 @@ impl std::error::Error for Error {
             Error::Core(e) => Some(e),
             Error::Relation(e) => Some(e),
             Error::Store(e) => Some(e),
-            Error::Config(_) | Error::Delta(_) => None,
+            Error::Schema(e) => Some(e),
+            Error::Config(_) | Error::Delta(_) | Error::UnknownColumn { .. } => None,
         }
     }
 }
@@ -83,6 +102,12 @@ impl From<kanon_store::Error> for Error {
     }
 }
 
+impl From<kanon_schema::Error> for Error {
+    fn from(e: kanon_schema::Error) -> Self {
+        Error::Schema(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +125,19 @@ mod tests {
         let cfg = Error::Config("bad shard size".into());
         assert_eq!(cfg.to_string(), "pipeline config error: bad shard size");
         assert!(std::error::Error::source(&cfg).is_none());
+
+        let unknown = Error::UnknownColumn {
+            name: "salary".into(),
+            known: vec!["age".into(), "zip".into()],
+        };
+        assert_eq!(
+            unknown.to_string(),
+            "unknown quasi-identifier column `salary` (known columns: age, zip)"
+        );
+        assert!(std::error::Error::source(&unknown).is_none());
+
+        let schema: Error = kanon_schema::Error::Unprobeable("empty".into()).into();
+        assert!(schema.to_string().contains("schema error"));
+        assert!(std::error::Error::source(&schema).is_some());
     }
 }

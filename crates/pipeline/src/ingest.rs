@@ -27,7 +27,18 @@ use crate::report::PipelineReport;
 /// rows, CSV syntax/arity errors with their 1-based line number, and I/O
 /// failures from the underlying reader.
 pub fn ingest_csv<R: io::Read>(reader: R) -> Result<(Dataset, Codec)> {
-    let mut records = Reader::new(reader);
+    ingest_csv_with_delimiter(reader, b',')
+}
+
+/// As [`ingest_csv`] with an explicit field delimiter — the entry point
+/// the schema-driven auto path uses after probing a messy file (`;`, tab,
+/// `|`). A non-ASCII delimiter falls back to `,` (mirroring
+/// [`kanon_relation::csv::Reader::with_delimiter`]).
+///
+/// # Errors
+/// As [`ingest_csv`].
+pub fn ingest_csv_with_delimiter<R: io::Read>(reader: R, delim: u8) -> Result<(Dataset, Codec)> {
+    let mut records = Reader::with_delimiter(reader, delim);
     let header = match records.read_record()? {
         Some(h) => h,
         None => return Err(kanon_relation::Error::EmptyTable.into()),
@@ -73,9 +84,9 @@ pub struct CsvRun {
 /// every column as quasi-identifying.
 ///
 /// # Errors
-/// Ingestion errors from [`ingest_csv`],
-/// [`kanon_relation::Error::UnknownAttribute`] for an unrecognized column
-/// name, and every [`crate::engine::run_pipeline`] error.
+/// Ingestion errors from [`ingest_csv`], [`Error::UnknownColumn`] (naming
+/// the header's actual columns) for an unrecognized column name, and every
+/// [`crate::engine::run_pipeline`] error.
 pub fn run_csv<R: io::Read>(
     reader: R,
     k: usize,
@@ -108,8 +119,9 @@ pub fn run_csv_with_progress<R: io::Read>(
                     .header()
                     .iter()
                     .position(|h| h == name)
-                    .ok_or_else(|| {
-                        Error::Relation(kanon_relation::Error::UnknownAttribute(name.clone()))
+                    .ok_or_else(|| Error::UnknownColumn {
+                        name: name.clone(),
+                        known: codec.header().to_vec(),
                     })
             })
             .collect::<Result<_>>()?,
@@ -183,14 +195,30 @@ mod tests {
         assert_eq!(run.report.n_rows, 6);
 
         let missing = vec!["salary".to_string()];
-        assert!(matches!(
-            run_csv(
-                CSV.as_bytes(),
-                2,
-                Some(&missing),
-                &PipelineConfig::default()
-            ),
-            Err(Error::Relation(kanon_relation::Error::UnknownAttribute(_)))
-        ));
+        match run_csv(
+            CSV.as_bytes(),
+            2,
+            Some(&missing),
+            &PipelineConfig::default(),
+        ) {
+            Err(Error::UnknownColumn { name, known }) => {
+                assert_eq!(name, "salary");
+                assert_eq!(known, vec!["age", "zip", "job"]);
+            }
+            Err(other) => panic!("expected a structured UnknownColumn error, got {other}"),
+            Ok(_) => panic!("expected a structured UnknownColumn error, got success"),
+        }
+    }
+
+    #[test]
+    fn alternate_delimiter_ingestion_matches_comma() {
+        let semicolon = CSV.replace(',', ";");
+        let (ds, codec) = ingest_csv_with_delimiter(semicolon.as_bytes(), b';').unwrap();
+        let (base_ds, base_codec) = ingest_csv(CSV.as_bytes()).unwrap();
+        assert_eq!(codec.header(), base_codec.header());
+        assert_eq!(ds.n_rows(), base_ds.n_rows());
+        for i in 0..ds.n_rows() {
+            assert_eq!(ds.row(i), base_ds.row(i));
+        }
     }
 }

@@ -41,6 +41,7 @@ pub mod config;
 pub mod delta;
 pub mod engine;
 pub mod error;
+pub mod generalize;
 pub mod ingest;
 pub mod json;
 pub mod release;
@@ -51,7 +52,8 @@ pub use config::{PipelineConfig, ShardStrategy};
 pub use delta::{ApplyReport, DeltaConfig, DeltaOp, DeltaStatus, DeltaStore};
 pub use engine::{run_pipeline, run_pipeline_with_progress, Progress};
 pub use error::{Error, Result};
-pub use ingest::{ingest_csv, run_csv, run_csv_with_progress, CsvRun};
-pub use release::write_release;
-pub use report::{json_escape, PipelineReport, ShardReport, SolvedBy};
+pub use generalize::{run_csv_auto, AutoConfig, AutoOutcome, AutoRun, Generalized};
+pub use ingest::{ingest_csv, ingest_csv_with_delimiter, run_csv, run_csv_with_progress, CsvRun};
+pub use release::{write_generalized_release, write_release};
+pub use report::{json_escape, GeneralizationReport, PipelineReport, ShardReport, SolvedBy};
 pub use shard::{full_cover_candidates, plan_shards, ShardPlan};

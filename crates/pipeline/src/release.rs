@@ -62,6 +62,56 @@ pub fn write_release(
     w.flush()
 }
 
+/// Streams a *generalized* release to `w`: header, then one record per
+/// row, quasi-identifier cells replaced by their hierarchy rendering at
+/// the winning lattice node's level, non-quasi columns untouched.
+///
+/// `rendered` is the generalization rung's dictionary: the quasi
+/// projection's position `pos` maps dictionary code `c` of table column
+/// `quasi[pos]` to `rendered[pos][c]`. Suppression's `*` is just the
+/// degenerate rendering where every code maps to `*` — the two release
+/// shapes stay byte-compatible for downstream parsers.
+///
+/// # Errors
+/// I/O errors from `w`.
+///
+/// # Panics
+/// If a dataset code is outside its `rendered` column or `quasi` is out of
+/// bounds — both mean the caller paired state from different runs.
+pub fn write_generalized_release(
+    dataset: &Dataset,
+    codec: &Codec,
+    quasi: &[usize],
+    rendered: &[Vec<String>],
+    mut w: impl io::Write,
+) -> io::Result<()> {
+    let arity = codec.arity();
+    let mut qi_pos: Vec<Option<usize>> = vec![None; arity];
+    for (pos, &j) in quasi.iter().enumerate() {
+        qi_pos[j] = Some(pos);
+    }
+    let mut line = String::new();
+    csv::write_record(&mut line, codec.header().iter().map(String::as_str));
+    w.write_all(line.as_bytes())?;
+    let mut fields: Vec<&str> = Vec::with_capacity(arity);
+    for i in 0..dataset.n_rows() {
+        fields.clear();
+        for (j, pos) in qi_pos.iter().enumerate() {
+            let code = dataset.get(i, j);
+            match pos {
+                Some(pos) => fields.push(rendered[*pos][code as usize].as_str()),
+                None => {
+                    fields.push(codec.value(j, code).expect("codes come from this codec"));
+                }
+            }
+        }
+        line.clear();
+        csv::write_record(&mut line, fields.iter().copied());
+        w.write_all(line.as_bytes())?;
+    }
+    w.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +145,25 @@ mod tests {
         // Star count equals the reported suppression cost.
         let stars = text.matches('*').count();
         assert_eq!(stars, run.anonymization.cost);
+    }
+
+    #[test]
+    fn generalized_release_maps_quasi_cells_through_the_dictionary() {
+        let (dataset, codec) = crate::ingest::ingest_csv(CSV.as_bytes()).unwrap();
+        let quasi = vec![0usize]; // age
+                                  // A fake rung answer: every age code renders as the same interval.
+        let rendered = vec![vec!["[30,40)".to_string(); codec.alphabet_size(0)]];
+        let mut buf = Vec::new();
+        write_generalized_release(&dataset, &codec, &quasi, &rendered, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "age,zip,job");
+        for (line, want) in lines[1..].iter().zip(CSV.lines().skip(1)) {
+            // The interval rendering contains a comma, so the writer must
+            // quote it; the non-quasi columns pass through untouched.
+            let rest = want.split_once(',').unwrap().1;
+            assert_eq!(*line, format!("\"[30,40)\",{rest}"));
+        }
     }
 
     #[test]

@@ -49,6 +49,28 @@ pub struct ShardReport {
     pub note: Option<String>,
 }
 
+/// Account of a whole-table generalization-rung answer: which lattice node
+/// won, what it cost in precision, and (when the caller asked for the
+/// side-by-side) what suppression would have cost on the same input.
+#[derive(Clone, Debug)]
+pub struct GeneralizationReport {
+    /// The quasi-identifier column names, in lattice order.
+    pub columns: Vec<String>,
+    /// The winning node's level per column.
+    pub levels: Vec<usize>,
+    /// Each column's hierarchy height (the lattice's top node).
+    pub heights: Vec<usize>,
+    /// Samarati's `Prec` loss of the winning node, in `[0, 1]` — directly
+    /// comparable to the suppression path's suppressed-cell fraction.
+    pub precision_loss: f64,
+    /// Suppression-only cost on the same projection, when the caller ran
+    /// the comparison (`None` = not measured).
+    pub suppression_cost: Option<usize>,
+    /// The comparison run's suppressed-cell fraction, same scale as
+    /// `precision_loss`.
+    pub suppression_loss: Option<f64>,
+}
+
 /// Summary of a completed [`crate::run_pipeline`] call.
 #[derive(Clone, Debug)]
 pub struct PipelineReport {
@@ -74,6 +96,10 @@ pub struct PipelineReport {
     pub total_cost: usize,
     /// End-to-end wall-clock time (plan + solve + merge).
     pub elapsed: Duration,
+    /// Present when the generalization rung answered (the auto path): the
+    /// winning lattice node and its precision loss. `None` for suppression
+    /// runs, whose loss is `total_cost` over the cell count.
+    pub generalization: Option<Box<GeneralizationReport>>,
 }
 
 impl PipelineReport {
@@ -87,6 +113,26 @@ impl PipelineReport {
     #[must_use]
     pub fn degraded_shards(&self) -> usize {
         self.shards.iter().filter(|s| s.degraded).count()
+    }
+
+    /// Normalized information loss in `[0, 1]`, comparable across the two
+    /// release mechanisms: for a generalization answer, Samarati's `Prec`
+    /// (mean `level/height`); for a suppression answer, the suppressed
+    /// fraction of quasi-identifier cells. This single scale is what lets
+    /// the auto path report "generalization beat suppression" honestly.
+    #[must_use]
+    pub fn information_loss(&self) -> f64 {
+        match &self.generalization {
+            Some(g) => g.precision_loss,
+            None => {
+                let cells = self.n_rows * self.n_cols;
+                if cells == 0 {
+                    0.0
+                } else {
+                    self.total_cost as f64 / cells as f64
+                }
+            }
+        }
     }
 
     /// Rows anonymized per wall-clock second.
@@ -133,6 +179,38 @@ impl PipelineReport {
             "rows_per_sec",
             &format!("{:.1}", self.rows_per_sec()),
         );
+        push_kv(
+            &mut out,
+            "information_loss",
+            &format!("{:.6}", self.information_loss()),
+        );
+        if let Some(g) = &self.generalization {
+            let mut gen = String::from("{");
+            let names: Vec<String> = g
+                .columns
+                .iter()
+                .map(|c| format!("\"{}\"", json_escape(c)))
+                .collect();
+            push_kv(&mut gen, "columns", &format!("[{}]", names.join(",")));
+            let levels: Vec<String> = g.levels.iter().map(ToString::to_string).collect();
+            push_kv(&mut gen, "levels", &format!("[{}]", levels.join(",")));
+            let heights: Vec<String> = g.heights.iter().map(ToString::to_string).collect();
+            push_kv(&mut gen, "heights", &format!("[{}]", heights.join(",")));
+            push_kv(
+                &mut gen,
+                "precision_loss",
+                &format!("{:.6}", g.precision_loss),
+            );
+            if let Some(cost) = g.suppression_cost {
+                push_kv(&mut gen, "suppression_cost", &cost.to_string());
+            }
+            if let Some(loss) = g.suppression_loss {
+                push_kv(&mut gen, "suppression_loss", &format!("{loss:.6}"));
+            }
+            gen.pop();
+            gen.push('}');
+            push_kv(&mut out, "generalization", &gen);
+        }
         out.push_str("\"shards\":[");
         for (i, shard) in self.shards.iter().enumerate() {
             if i > 0 {
@@ -232,6 +310,7 @@ mod tests {
             residue_rows: 0,
             total_cost: 25,
             elapsed: Duration::from_millis(12),
+            generalization: None,
         }
     }
 
@@ -255,6 +334,33 @@ mod tests {
         assert_eq!(r.n_shards(), 2);
         assert_eq!(r.degraded_shards(), 1);
         assert!(r.rows_per_sec() > 0.0);
+        // Suppression loss: 25 starred cells of 20·3.
+        assert!((r.information_loss() - 25.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generalization_section_renders_and_drives_information_loss() {
+        let mut r = report();
+        r.shards.clear();
+        r.total_cost = 0;
+        r.generalization = Some(Box::new(GeneralizationReport {
+            columns: vec!["age".into(), "zip".into()],
+            levels: vec![1, 2],
+            heights: vec![2, 4],
+            precision_loss: 0.5,
+            suppression_cost: Some(25),
+            suppression_loss: Some(25.0 / 60.0),
+        }));
+        assert!((r.information_loss() - 0.5).abs() < 1e-12);
+        let json = r.to_json();
+        assert!(json.starts_with("{\"n_rows\":20,"), "{json}");
+        assert!(json.contains("\"information_loss\":0.500000"));
+        assert!(json.contains("\"generalization\":{\"columns\":[\"age\",\"zip\"]"));
+        assert!(json.contains("\"levels\":[1,2]"));
+        assert!(json.contains("\"heights\":[2,4]"));
+        assert!(json.contains("\"suppression_cost\":25"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

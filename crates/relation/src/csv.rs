@@ -146,12 +146,29 @@ pub struct Reader<R: io::Read> {
     eof: bool,
     /// 1-based line of the byte about to be consumed.
     line: usize,
+    /// Field separator (ASCII). `,` for [`Reader::new`].
+    delim: u8,
 }
 
 impl<R: io::Read> Reader<R> {
     /// Wraps a byte source. The reader performs its own chunked buffering,
     /// so there is no need for an outer `BufReader`.
     pub fn new(inner: R) -> Self {
+        Self::with_delimiter(inner, b',')
+    }
+
+    /// As [`Reader::new`], with an explicit field delimiter — `;`, `\t`,
+    /// and `|` files parse with the same quoting state machine. The
+    /// delimiter must be ASCII so the byte-level scanner cannot split a
+    /// multi-byte UTF-8 sequence; non-ASCII bytes fall back to `,`.
+    ///
+    /// ```
+    /// use kanon_relation::csv::Reader;
+    /// let mut r = Reader::with_delimiter("a;b\n1;\"x;y\"\n".as_bytes(), b';');
+    /// assert_eq!(r.read_record().unwrap().unwrap().fields, vec!["a", "b"]);
+    /// assert_eq!(r.read_record().unwrap().unwrap().fields, vec!["1", "x;y"]);
+    /// ```
+    pub fn with_delimiter(inner: R, delim: u8) -> Self {
         Reader {
             inner,
             buf: vec![0; CHUNK],
@@ -159,6 +176,7 @@ impl<R: io::Read> Reader<R> {
             len: 0,
             eof: false,
             line: 1,
+            delim: if delim.is_ascii() { delim } else { b',' },
         }
     }
 
@@ -256,7 +274,7 @@ impl<R: io::Read> Reader<R> {
                     }
                     in_quotes = true;
                 }
-                b',' => Self::push_field(&mut record, &mut field, self.line)?,
+                d if d == self.delim => Self::push_field(&mut record, &mut field, self.line)?,
                 b'\r' => {
                     // Swallow; `\r\n` handled by the `\n` branch.
                 }
@@ -398,6 +416,31 @@ mod tests {
                 },
             )
             .expect("CSV writer/parser roundtrip must hold for printable fields");
+    }
+
+    #[test]
+    fn reader_with_alternate_delimiters() {
+        for (text, delim) in [
+            ("a;b\n1;2\n", b';'),
+            ("a\tb\n1\t2\n", b'\t'),
+            ("a|b\n1|2\n", b'|'),
+        ] {
+            let recs: Vec<Record> = Reader::with_delimiter(text.as_bytes(), delim)
+                .collect::<Result<Vec<_>>>()
+                .unwrap();
+            assert_eq!(recs.len(), 2, "{text:?}");
+            assert_eq!(recs[1].fields, vec!["1", "2"]);
+        }
+        // Quoting still protects the delimiter; commas are now plain bytes.
+        let recs: Vec<Record> = Reader::with_delimiter("a;b\n\"x;y\";1,2\n".as_bytes(), b';')
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(recs[1].fields, vec!["x;y", "1,2"]);
+        // A non-ASCII delimiter byte falls back to comma.
+        let recs: Vec<Record> = Reader::with_delimiter("a,b\n1,2\n".as_bytes(), 0xC3)
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(recs[1].fields, vec!["1", "2"]);
     }
 
     /// An `io::Read` that yields at most one byte per call, forcing the

@@ -38,6 +38,16 @@ pub enum Hierarchy {
         /// Band widths, strictly increasing, each dividing the next.
         widths: Vec<i64>,
     },
+    /// As [`Hierarchy::Intervals`], but a value that does not parse as an
+    /// integer (a null marker, stray text in a messy column) generalizes to
+    /// `*` at every level ≥ 1 instead of erroring. This is what inferred
+    /// schemas use: real numeric columns carry junk, and junk must merge
+    /// rather than abort the lattice search. Still a coarsening chain —
+    /// non-integers map to the same `*` at every level.
+    LenientIntervals {
+        /// Band widths, strictly increasing, each dividing the next.
+        widths: Vec<i64>,
+    },
     /// Level `ℓ` applies `levels[0..ℓ]` in order; `levels[i]` maps a
     /// level-`i` value to its level-`i+1` ancestor.
     Explicit {
@@ -47,13 +57,21 @@ pub enum Hierarchy {
 }
 
 impl Hierarchy {
+    /// Renders the width-`w` band containing `v` as `lo-hi`.
+    fn band(v: i64, w: i64) -> String {
+        let lo = v.div_euclid(w) * w;
+        format!("{lo}-{}", lo + w - 1)
+    }
+
     /// Number of generalization levels above the original value.
     #[must_use]
     pub fn height(&self) -> usize {
         match self {
             Hierarchy::SuppressOnly => 1,
             Hierarchy::PrefixMask { height } => *height,
-            Hierarchy::Intervals { widths } => widths.len(),
+            Hierarchy::Intervals { widths } | Hierarchy::LenientIntervals { widths } => {
+                widths.len()
+            }
             Hierarchy::Explicit { levels } => levels.len(),
         }
     }
@@ -73,7 +91,7 @@ impl Hierarchy {
                 }
                 Ok(())
             }
-            Hierarchy::Intervals { widths } => {
+            Hierarchy::Intervals { widths } | Hierarchy::LenientIntervals { widths } => {
                 if widths.is_empty() {
                     return Err(Error::Hierarchy(
                         "Intervals needs at least one width".into(),
@@ -147,10 +165,12 @@ impl Hierarchy {
                 let v: i64 = value.parse().map_err(|_| {
                     Error::Hierarchy(format!("`{value}` is not an integer for Intervals"))
                 })?;
-                let w = widths[level - 1];
-                let lo = v.div_euclid(w) * w;
-                Ok(format!("{lo}-{}", lo + w - 1))
+                Ok(Self::band(v, widths[level - 1]))
             }
+            Hierarchy::LenientIntervals { widths } => match value.trim().parse::<i64>() {
+                Ok(v) => Ok(Self::band(v, widths[level - 1])),
+                Err(_) => Ok("*".to_string()),
+            },
             Hierarchy::Explicit { levels } => {
                 let mut current = value.to_string();
                 for (i, map) in levels.iter().take(level).enumerate() {
@@ -236,6 +256,31 @@ mod tests {
         .is_ok());
         let h = Hierarchy::Intervals { widths: vec![10] };
         assert!(h.generalize("abc", 1).is_err());
+    }
+
+    #[test]
+    fn lenient_intervals_absorb_junk() {
+        let h = Hierarchy::LenientIntervals {
+            widths: vec![10, 20],
+        };
+        h.validate().unwrap();
+        // Integers band exactly like `Intervals`.
+        assert_eq!(h.generalize("34", 1).unwrap(), "30-39");
+        assert_eq!(h.generalize("34", 2).unwrap(), "20-39");
+        assert_eq!(h.generalize(" 34 ", 1).unwrap(), "30-39");
+        // Junk merges to the star at every level ≥ 1 instead of erroring.
+        assert_eq!(h.generalize("N/A", 1).unwrap(), "*");
+        assert_eq!(h.generalize("", 2).unwrap(), "*");
+        assert_eq!(h.generalize("N/A", 0).unwrap(), "N/A");
+        // Same nesting validation as the strict variant.
+        assert!(Hierarchy::LenientIntervals {
+            widths: vec![10, 15]
+        }
+        .validate()
+        .is_err());
+        assert!(Hierarchy::LenientIntervals { widths: vec![] }
+            .validate()
+            .is_err());
     }
 
     #[test]

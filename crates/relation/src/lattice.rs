@@ -12,7 +12,47 @@ use crate::error::{Error, Result};
 use crate::hierarchy::Hierarchy;
 use crate::table::Table;
 
+use kanon_core::govern::{Budget, PollTicker};
+
 use std::collections::HashMap;
+
+/// Budget instrumentation threaded through the lattice search: one
+/// candidate charge per node evaluated, one amortized poll per generalized
+/// row. The ungoverned entry points run this against
+/// [`Budget::unlimited`], whose checks are branch-cheap.
+struct Governor<'a> {
+    budget: &'a Budget,
+    ticker: PollTicker<'a>,
+    nodes_evaluated: u64,
+}
+
+impl<'a> Governor<'a> {
+    fn new(budget: &'a Budget) -> Self {
+        Governor {
+            budget,
+            ticker: budget.ticker(),
+            nodes_evaluated: 0,
+        }
+    }
+
+    /// Charges one lattice node against the candidate cap and performs a
+    /// real deadline/cancellation check — a node costs a full pass over the
+    /// table, so an unamortized check here is cheap relative to the work it
+    /// gates and guarantees cancellation is observed between nodes even on
+    /// tiny tables.
+    fn node(&mut self) -> Result<()> {
+        self.nodes_evaluated += 1;
+        self.budget.check_candidates(self.nodes_evaluated)?;
+        self.budget.check()?;
+        Ok(())
+    }
+
+    /// Accounts one generalized row (deadline/cancellation poll).
+    fn row(&mut self) -> Result<()> {
+        self.ticker.tick()?;
+        Ok(())
+    }
+}
 
 /// A choice of generalization level per attribute.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -80,12 +120,24 @@ impl<'a> GeneralizationLattice<'a> {
     /// # Errors
     /// Propagates generalization errors.
     pub fn is_k_anonymous(&self, node: &LatticeNode, k: usize) -> Result<bool> {
+        let unlimited = Budget::unlimited();
+        self.is_k_anonymous_with(node, k, &mut Governor::new(&unlimited))
+    }
+
+    fn is_k_anonymous_with(
+        &self,
+        node: &LatticeNode,
+        k: usize,
+        gov: &mut Governor,
+    ) -> Result<bool> {
         if k == 0 {
             return Ok(false);
         }
         self.check_node(node)?;
+        gov.node()?;
         let mut counts: HashMap<Vec<String>, usize> = HashMap::new();
         for row in self.table.rows() {
+            gov.row()?;
             let gen_row: Result<Vec<String>> = row
                 .iter()
                 .enumerate()
@@ -106,11 +158,33 @@ impl<'a> GeneralizationLattice<'a> {
     /// # Errors
     /// Propagates generalization errors.
     pub fn search_minimal(&self, k: usize) -> Result<Option<LatticeNode>> {
+        let unlimited = Budget::unlimited();
+        self.search_minimal_with(k, &mut Governor::new(&unlimited))
+    }
+
+    /// Budget-governed twin of [`GeneralizationLattice::search_minimal`]:
+    /// polls the deadline/cancellation flag roughly once per generalized
+    /// row and charges each lattice node evaluated against the candidate
+    /// cap, so a large lattice respects `--deadline-ms` instead of running
+    /// to completion.
+    ///
+    /// # Errors
+    /// [`Error::Core`] wrapping `BudgetExceeded` when the budget trips;
+    /// otherwise as [`GeneralizationLattice::search_minimal`].
+    pub fn try_search_minimal_governed(
+        &self,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<Option<LatticeNode>> {
+        self.search_minimal_with(k, &mut Governor::new(budget))
+    }
+
+    fn search_minimal_with(&self, k: usize, gov: &mut Governor) -> Result<Option<LatticeNode>> {
         let heights = self.heights();
         let max_sum: usize = heights.iter().sum();
         for target in 0..=max_sum {
             let mut levels = vec![0usize; heights.len()];
-            if let Some(node) = self.scan_stratum(&heights, &mut levels, 0, target, k)? {
+            if let Some(node) = self.scan_stratum(&heights, &mut levels, 0, target, k, gov)? {
                 return Ok(Some(node));
             }
         }
@@ -129,6 +203,26 @@ impl<'a> GeneralizationLattice<'a> {
     /// # Errors
     /// Propagates generalization errors.
     pub fn search_all_minimal(&self, k: usize) -> Result<Vec<LatticeNode>> {
+        let unlimited = Budget::unlimited();
+        self.search_all_minimal_with(k, &mut Governor::new(&unlimited))
+    }
+
+    /// Budget-governed twin of
+    /// [`GeneralizationLattice::search_all_minimal`], with the same polling
+    /// contract as [`GeneralizationLattice::try_search_minimal_governed`].
+    ///
+    /// # Errors
+    /// [`Error::Core`] wrapping `BudgetExceeded` when the budget trips;
+    /// otherwise as [`GeneralizationLattice::search_all_minimal`].
+    pub fn try_search_all_minimal_governed(
+        &self,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<Vec<LatticeNode>> {
+        self.search_all_minimal_with(k, &mut Governor::new(budget))
+    }
+
+    fn search_all_minimal_with(&self, k: usize, gov: &mut Governor) -> Result<Vec<LatticeNode>> {
         let heights = self.heights();
         let max_sum: usize = heights.iter().sum();
         let mut minimal: Vec<LatticeNode> = Vec::new();
@@ -163,7 +257,7 @@ impl<'a> GeneralizationLattice<'a> {
                     continue;
                 }
                 let node = LatticeNode { levels };
-                if self.is_k_anonymous(&node, k)? {
+                if self.is_k_anonymous_with(&node, k, gov)? {
                     minimal.push(node);
                 }
             }
@@ -178,6 +272,7 @@ impl<'a> GeneralizationLattice<'a> {
         j: usize,
         remaining: usize,
         k: usize,
+        gov: &mut Governor,
     ) -> Result<Option<LatticeNode>> {
         if j == heights.len() {
             if remaining != 0 {
@@ -186,7 +281,7 @@ impl<'a> GeneralizationLattice<'a> {
             let node = LatticeNode {
                 levels: levels.clone(),
             };
-            if self.is_k_anonymous(&node, k)? {
+            if self.is_k_anonymous_with(&node, k, gov)? {
                 return Ok(Some(node));
             }
             return Ok(None);
@@ -198,7 +293,7 @@ impl<'a> GeneralizationLattice<'a> {
                 continue;
             }
             levels[j] = l;
-            if let Some(found) = self.scan_stratum(heights, levels, j + 1, remaining - l, k)? {
+            if let Some(found) = self.scan_stratum(heights, levels, j + 1, remaining - l, k, gov)? {
                 return Ok(Some(found));
             }
         }
@@ -356,6 +451,67 @@ mod tests {
         assert!(frontier
             .iter()
             .any(|n| n.levels.iter().sum::<usize>() == minimal_sum));
+    }
+
+    #[test]
+    fn governed_twins_match_ungoverned_under_unlimited_budget() {
+        let t = hospital();
+        let lat = GeneralizationLattice::new(&t, hierarchies()).unwrap();
+        let budget = Budget::unlimited();
+        assert_eq!(
+            lat.try_search_minimal_governed(2, &budget).unwrap(),
+            lat.search_minimal(2).unwrap()
+        );
+        assert_eq!(
+            lat.try_search_all_minimal_governed(2, &budget).unwrap(),
+            lat.search_all_minimal(2).unwrap()
+        );
+    }
+
+    #[test]
+    fn governed_search_trips_candidate_cap() {
+        let t = hospital();
+        let lat = GeneralizationLattice::new(&t, hierarchies()).unwrap();
+        // One candidate = one lattice node; the bottom node alone is not
+        // anonymous, so the search must trip before finding an answer.
+        let budget = Budget::builder().max_candidates(1).build();
+        let err = lat.try_search_minimal_governed(2, &budget).unwrap_err();
+        assert!(
+            matches!(err, Error::Core(kanon_core::Error::BudgetExceeded { .. })),
+            "{err}"
+        );
+        let err = lat.try_search_all_minimal_governed(2, &budget).unwrap_err();
+        assert!(matches!(err, Error::Core(_)), "{err}");
+    }
+
+    #[test]
+    fn governed_search_observes_cancellation_and_deadline() {
+        let t = hospital();
+        let lat = GeneralizationLattice::new(&t, hierarchies()).unwrap();
+        // Cancellation is checked per node, so even a tiny lattice trips
+        // before evaluating its first node.
+        let cancelled = Budget::unlimited();
+        cancelled.cancel();
+        let err = lat.try_search_minimal_governed(2, &cancelled).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::Core(kanon_core::Error::BudgetExceeded {
+                    resource: kanon_core::govern::Resource::Cancelled,
+                    ..
+                })
+            ),
+            "{err}"
+        );
+        // An already-expired deadline trips the same way.
+        let expired = Budget::builder()
+            .deadline(std::time::Duration::ZERO)
+            .build();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let err = lat
+            .try_search_all_minimal_governed(2, &expired)
+            .unwrap_err();
+        assert!(matches!(err, Error::Core(_)), "{err}");
     }
 
     #[test]

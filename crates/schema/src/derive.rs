@@ -1,0 +1,370 @@
+//! Auto-derivation of generalization hierarchies from inferred profiles.
+//!
+//! The paper's hierarchies ("age → 20-40", "Reyser → R*") "must be given
+//! prior to the input"; this module manufactures them from what inference
+//! learned, so a messy CSV with no user-supplied domain knowledge can
+//! still ride the generalization lattice:
+//!
+//! * **int** → [`Hierarchy::LenientIntervals`] on a decimal ladder
+//!   (widths 10, 100, …) grown until one band covers the observed range —
+//!   junk cells merge to `*` instead of aborting;
+//! * **date / float / short text** → [`Hierarchy::PrefixMask`] over the
+//!   longest observed value (the classic zip-code ladder);
+//! * **categorical / long free text** → [`Hierarchy::SuppressOnly`]
+//!   (prefixes of prose or enum labels carry no domain meaning).
+//!
+//! A user-supplied JSON override file replaces the derived hierarchy for
+//! named columns — domain knowledge always wins over inference.
+
+use kanon_relation::Hierarchy;
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::infer::{ColumnProfile, ColumnType, InferredSchema};
+use crate::json::{self, Value};
+
+/// Longest value, in characters, still worth a prefix ladder; longer
+/// columns are treated as free text and suppressed whole. Also bounds the
+/// per-column lattice height, keeping the node count tame.
+pub const MAX_PREFIX_HEIGHT: usize = 10;
+
+/// Most interval-ladder levels derived for one numeric column.
+const MAX_INTERVAL_LEVELS: usize = 6;
+
+/// Derives the hierarchy for one column from its profile.
+#[must_use]
+pub fn derive_hierarchy(profile: &ColumnProfile) -> Hierarchy {
+    match profile.ctype {
+        ColumnType::Int => {
+            let lo = profile.min_int.unwrap_or(0);
+            let hi = profile.max_int.unwrap_or(0);
+            // Span of the band that must eventually cover every value so
+            // the column can fully merge at the top of the ladder.
+            let span = hi.saturating_sub(lo).saturating_add(1).max(1);
+            let mut widths: Vec<i64> = vec![10];
+            while {
+                let w = *widths.last().expect("non-empty");
+                // The top band merges everything only when one width-w
+                // aligned band covers [lo, hi].
+                w < span || lo.div_euclid(w) != hi.div_euclid(w)
+            } && widths.len() < MAX_INTERVAL_LEVELS
+            {
+                let w = *widths.last().expect("non-empty");
+                widths.push(w.saturating_mul(10));
+            }
+            Hierarchy::LenientIntervals { widths }
+        }
+        ColumnType::Date | ColumnType::Float => prefix_or_suppress(profile.max_len),
+        ColumnType::Text => prefix_or_suppress(profile.max_len),
+        ColumnType::Categorical => Hierarchy::SuppressOnly,
+    }
+}
+
+fn prefix_or_suppress(max_len: usize) -> Hierarchy {
+    if (1..=MAX_PREFIX_HEIGHT).contains(&max_len) {
+        Hierarchy::PrefixMask { height: max_len }
+    } else {
+        Hierarchy::SuppressOnly
+    }
+}
+
+/// Derives one hierarchy per column of `schema`, in column order, applying
+/// `overrides` (JSON text, see below) on top. Every returned hierarchy is
+/// validated.
+///
+/// Override format — an object keyed by column name:
+///
+/// ```json
+/// {
+///   "age":  {"type": "intervals", "widths": [5, 25]},
+///   "zip":  {"type": "prefix", "height": 3},
+///   "race": {"type": "suppress"},
+///   "city": {"type": "explicit", "levels": [{"Boston": "MA"}, {"MA": "*"}]}
+/// }
+/// ```
+///
+/// `intervals` overrides build [`Hierarchy::LenientIntervals`] — explicit
+/// domain widths should still tolerate the junk cells that motivated the
+/// schema toolchain in the first place.
+///
+/// # Errors
+/// [`Error::Override`] for unparseable JSON, unknown column names, or a
+/// malformed spec; [`Error::Relation`] when a spec fails hierarchy
+/// validation.
+pub fn derive_hierarchies(
+    schema: &InferredSchema,
+    overrides: Option<&str>,
+) -> Result<Vec<Hierarchy>> {
+    let mut by_name: HashMap<String, Hierarchy> = HashMap::new();
+    if let Some(text) = overrides {
+        let doc = json::parse(text).map_err(Error::Override)?;
+        let entries = doc
+            .as_obj()
+            .ok_or_else(|| Error::Override("top level must be an object".into()))?;
+        for (name, spec) in entries {
+            if schema.column(name).is_none() {
+                let known: Vec<&str> = schema.columns.iter().map(|c| c.name.as_str()).collect();
+                return Err(Error::Override(format!(
+                    "unknown column `{name}` (known: {})",
+                    known.join(", ")
+                )));
+            }
+            by_name.insert(name.clone(), parse_override(name, spec)?);
+        }
+    }
+    let mut out = Vec::with_capacity(schema.columns.len());
+    for c in &schema.columns {
+        let h = by_name
+            .remove(&c.name)
+            .unwrap_or_else(|| derive_hierarchy(c));
+        h.validate()?;
+        out.push(h);
+    }
+    Ok(out)
+}
+
+fn parse_override(name: &str, spec: &Value) -> Result<Hierarchy> {
+    let kind = spec
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| Error::Override(format!("column `{name}`: missing `type`")))?;
+    match kind {
+        "suppress" => Ok(Hierarchy::SuppressOnly),
+        "prefix" => {
+            let height = spec
+                .get("height")
+                .and_then(Value::as_i64)
+                .filter(|&h| h > 0)
+                .ok_or_else(|| {
+                    Error::Override(format!(
+                        "column `{name}`: `prefix` needs a positive `height`"
+                    ))
+                })?;
+            Ok(Hierarchy::PrefixMask {
+                height: height as usize,
+            })
+        }
+        "intervals" => {
+            let widths: Vec<i64> = spec
+                .get("widths")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| {
+                    Error::Override(format!("column `{name}`: `intervals` needs `widths` array"))
+                })?
+                .iter()
+                .map(|w| {
+                    w.as_i64().ok_or_else(|| {
+                        Error::Override(format!("column `{name}`: widths must be integers"))
+                    })
+                })
+                .collect::<Result<_>>()?;
+            Ok(Hierarchy::LenientIntervals { widths })
+        }
+        "explicit" => {
+            let levels = spec
+                .get("levels")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| {
+                    Error::Override(format!("column `{name}`: `explicit` needs `levels` array"))
+                })?
+                .iter()
+                .map(|level| {
+                    let entries = level.as_obj().ok_or_else(|| {
+                        Error::Override(format!("column `{name}`: each level must be an object"))
+                    })?;
+                    let mut map = HashMap::new();
+                    for (child, parent) in entries {
+                        let parent = parent.as_str().ok_or_else(|| {
+                            Error::Override(format!(
+                                "column `{name}`: level values must be strings"
+                            ))
+                        })?;
+                        map.insert(child.clone(), parent.to_string());
+                    }
+                    Ok(map)
+                })
+                .collect::<Result<Vec<_>>>()?;
+            Ok(Hierarchy::Explicit { levels })
+        }
+        other => Err(Error::Override(format!(
+            "column `{name}`: unknown hierarchy type `{other}`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::infer_bytes;
+
+    fn profile(ctype: ColumnType, max_len: usize, range: Option<(i64, i64)>) -> ColumnProfile {
+        ColumnProfile {
+            name: "c".into(),
+            ctype,
+            null_rate: 0.0,
+            distinct: 5,
+            uniqueness: 0.5,
+            max_len,
+            min_int: range.map(|(lo, _)| lo),
+            max_int: range.map(|(_, hi)| hi),
+        }
+    }
+
+    #[test]
+    fn int_gets_decimal_ladder_covering_range() {
+        let h = derive_hierarchy(&profile(ColumnType::Int, 2, Some((18, 97))));
+        let Hierarchy::LenientIntervals { widths } = &h else {
+            panic!("want LenientIntervals, got {h:?}");
+        };
+        assert_eq!(widths, &vec![10, 100]);
+        h.validate().unwrap();
+        // The top level merges the whole observed range into one band.
+        let top = widths.len();
+        assert_eq!(
+            h.generalize("18", top).unwrap(),
+            h.generalize("97", top).unwrap()
+        );
+    }
+
+    #[test]
+    fn int_ladder_spans_wide_and_negative_ranges() {
+        let h = derive_hierarchy(&profile(ColumnType::Int, 6, Some((30_000, 90_000))));
+        let Hierarchy::LenientIntervals { widths } = &h else {
+            panic!()
+        };
+        assert_eq!(*widths.last().unwrap(), 100_000);
+        let top = widths.len();
+        assert_eq!(
+            h.generalize("30000", top).unwrap(),
+            h.generalize("90000", top).unwrap()
+        );
+        // An all-negative range converges too (bands are euclid-aligned,
+        // so a range straddling zero can never merge into one band — the
+        // ladder then simply caps and the rung falls back to suppression).
+        let h = derive_hierarchy(&profile(ColumnType::Int, 3, Some((-40, -4))));
+        let Hierarchy::LenientIntervals { widths } = &h else {
+            panic!()
+        };
+        let top = widths.len();
+        assert_eq!(
+            h.generalize("-40", top).unwrap(),
+            h.generalize("-4", top).unwrap()
+        );
+        // Cross-zero: ladder caps at its maximum depth instead of looping.
+        let h = derive_hierarchy(&profile(ColumnType::Int, 3, Some((-40, 40))));
+        let Hierarchy::LenientIntervals { widths } = &h else {
+            panic!()
+        };
+        assert_eq!(widths.len(), 6);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn strings_split_between_prefix_and_suppress() {
+        assert!(matches!(
+            derive_hierarchy(&profile(ColumnType::Text, 6, None)),
+            Hierarchy::PrefixMask { height: 6 }
+        ));
+        assert!(matches!(
+            derive_hierarchy(&profile(ColumnType::Text, 40, None)),
+            Hierarchy::SuppressOnly
+        ));
+        assert!(matches!(
+            derive_hierarchy(&profile(ColumnType::Date, 10, None)),
+            Hierarchy::PrefixMask { height: 10 }
+        ));
+        assert!(matches!(
+            derive_hierarchy(&profile(ColumnType::Categorical, 6, None)),
+            Hierarchy::SuppressOnly
+        ));
+        // All-null column (max_len 0) suppresses.
+        assert!(matches!(
+            derive_hierarchy(&profile(ColumnType::Text, 0, None)),
+            Hierarchy::SuppressOnly
+        ));
+    }
+
+    fn messy_schema() -> InferredSchema {
+        infer_bytes(
+            b"age;race;zip\n34;Cauc;02139\n47;Hisp;02144\nN/A;Cauc;02139\n22;Hisp;02144\n",
+            false,
+            usize::MAX,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn derive_all_without_overrides() {
+        let schema = messy_schema();
+        let hs = derive_hierarchies(&schema, None).unwrap();
+        assert_eq!(hs.len(), 3);
+        assert!(matches!(hs[0], Hierarchy::LenientIntervals { .. })); // age
+        assert!(matches!(hs[1], Hierarchy::SuppressOnly)); // race (categorical)
+                                                           // zip parses as int (leading zeros survive i64? "02139" parses to
+                                                           // 2139) — yes, zips vote int and get interval ladders too.
+        assert!(matches!(hs[2], Hierarchy::LenientIntervals { .. }));
+    }
+
+    #[test]
+    fn overrides_replace_and_validate() {
+        let schema = messy_schema();
+        let hs = derive_hierarchies(
+            &schema,
+            Some(r#"{"zip": {"type": "prefix", "height": 5}, "age": {"type": "intervals", "widths": [5, 25]}}"#),
+        )
+        .unwrap();
+        assert!(matches!(hs[2], Hierarchy::PrefixMask { height: 5 }));
+        assert!(matches!(&hs[0], Hierarchy::LenientIntervals { widths } if widths == &vec![5, 25]));
+        // Race untouched.
+        assert!(matches!(hs[1], Hierarchy::SuppressOnly));
+    }
+
+    #[test]
+    fn override_errors() {
+        let schema = messy_schema();
+        // Unknown column names the known ones.
+        let err =
+            derive_hierarchies(&schema, Some(r#"{"salary": {"type": "suppress"}}"#)).unwrap_err();
+        assert!(
+            matches!(&err, Error::Override(m) if m.contains("age, race, zip")),
+            "{err}"
+        );
+        // Bad JSON.
+        assert!(matches!(
+            derive_hierarchies(&schema, Some("{nope")),
+            Err(Error::Override(_))
+        ));
+        // Bad spec shape.
+        assert!(matches!(
+            derive_hierarchies(&schema, Some(r#"{"age": {"type": "prefix"}}"#)),
+            Err(Error::Override(_))
+        ));
+        assert!(matches!(
+            derive_hierarchies(&schema, Some(r#"{"age": {"type": "wavelet"}}"#)),
+            Err(Error::Override(_))
+        ));
+        // Non-nesting widths fail hierarchy validation, not silently pass.
+        assert!(matches!(
+            derive_hierarchies(
+                &schema,
+                Some(r#"{"age": {"type": "intervals", "widths": [10, 15]}}"#)
+            ),
+            Err(Error::Relation(_))
+        ));
+    }
+
+    #[test]
+    fn explicit_override_round_trips() {
+        let schema = messy_schema();
+        let hs = derive_hierarchies(
+            &schema,
+            Some(
+                r#"{"race": {"type": "explicit", "levels": [{"Cauc": "Euro", "Hisp": "Amer"}, {"Euro": "*", "Amer": "*"}]}}"#,
+            ),
+        )
+        .unwrap();
+        assert_eq!(hs[1].generalize("Cauc", 1).unwrap(), "Euro");
+        assert_eq!(hs[1].generalize("Hisp", 2).unwrap(), "*");
+    }
+}

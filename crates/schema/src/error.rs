@@ -1,0 +1,138 @@
+//! Error type for the schema toolchain.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from probing, inference, `.schema` parsing, and verification.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The input sample had no parseable records under any candidate
+    /// delimiter.
+    Unprobeable(String),
+    /// A `.schema` file that does not parse, or parses to an unsupported
+    /// version.
+    BadSchemaFile {
+        /// 1-based line the problem was detected on (0 = whole file).
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// `verify` found the data drifted from the stored schema. Each entry
+    /// names one mismatch in human-readable form.
+    Drift(Vec<String>),
+    /// A user-supplied hierarchy override that does not parse or names an
+    /// unknown column.
+    Override(String),
+    /// Wrapped relational error (CSV syntax, hierarchy validation).
+    Relation(kanon_relation::Error),
+    /// Wrapped core error (budget trips during sampling).
+    Core(kanon_core::Error),
+    /// An I/O failure, rendered so the enum stays `Clone + PartialEq`.
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Unprobeable(msg) => write!(f, "cannot probe input: {msg}"),
+            Error::BadSchemaFile { line, message } => {
+                if *line == 0 {
+                    write!(f, "bad .schema file: {message}")
+                } else {
+                    write!(f, "bad .schema file at line {line}: {message}")
+                }
+            }
+            Error::Drift(mismatches) => {
+                write!(f, "schema drift ({} mismatch(es)): ", mismatches.len())?;
+                for (i, m) in mismatches.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{m}")?;
+                }
+                Ok(())
+            }
+            Error::Override(msg) => write!(f, "hierarchy override error: {msg}"),
+            Error::Relation(e) => write!(f, "relation error: {e}"),
+            Error::Core(e) => write!(f, "core error: {e}"),
+            Error::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Relation(e) => Some(e),
+            Error::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kanon_relation::Error> for Error {
+    fn from(e: kanon_relation::Error) -> Self {
+        Error::Relation(e)
+    }
+}
+
+impl From<kanon_core::Error> for Error {
+    fn from(e: kanon_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::Unprobeable("binary junk".into()), "binary junk"),
+            (
+                Error::BadSchemaFile {
+                    line: 3,
+                    message: "bad type".into(),
+                },
+                "line 3",
+            ),
+            (
+                Error::BadSchemaFile {
+                    line: 0,
+                    message: "empty".into(),
+                },
+                "bad .schema file: empty",
+            ),
+            (
+                Error::Drift(vec!["column `age` was int, now text".into()]),
+                "drift",
+            ),
+            (Error::Override("unknown column `x`".into()), "override"),
+            (Error::Io("pipe closed".into()), "pipe closed"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let e: Error = kanon_relation::Error::EmptyTable.into();
+        assert!(matches!(e, Error::Relation(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: Error = kanon_core::Error::KZero.into();
+        assert!(matches!(e, Error::Core(_)));
+        let e: Error = std::io::Error::other("disk on fire").into();
+        assert!(e.to_string().contains("disk on fire"));
+    }
+}

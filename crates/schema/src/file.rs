@@ -1,0 +1,450 @@
+//! The versioned `.schema` file: render, parse, snapshot hash, verify.
+//!
+//! A `.schema` file is the persisted contract between an `infer` run and
+//! later `verify` runs. It is deliberately line-oriented plain text — diff
+//! friendly, hand-inspectable — with an FNV-1a snapshot hash over the body
+//! so both hand edits and upstream data drift are detectable:
+//!
+//! ```text
+//! kanon-schema v1
+//! hash 53a3c1f1e2b4d596
+//! delimiter ;
+//! rows-sampled 500
+//! ragged-rows 2
+//! column int null-rate=0.0200 distinct=63 uniqueness=0.1286 max-len=3 range=18..97 name=age
+//! column categorical null-rate=0.0000 distinct=3 uniqueness=0.0060 max-len=6 name=race
+//! ```
+//!
+//! The `name=` field is always last so column names may contain spaces,
+//! `=`, or any other printable byte except a newline.
+
+use std::fmt::Write as _;
+
+use crate::error::{Error, Result};
+use crate::infer::{ColumnProfile, ColumnType, InferredSchema};
+
+/// Current file-format version; bump on any incompatible layout change.
+pub const FORMAT_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over `bytes`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A parsed `.schema` file: the schema plus its stored snapshot hash.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchemaFile {
+    /// The schema the file describes.
+    pub schema: InferredSchema,
+    /// The body hash stored in (and verified against) the file.
+    pub hash: u64,
+}
+
+/// The canonical body — everything except the `hash` line — that the
+/// snapshot hash covers. Rates are rounded to four decimals here, so the
+/// hash is stable across re-renders of the same data.
+fn render_body(schema: &InferredSchema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "kanon-schema v{FORMAT_VERSION}");
+    let delim = match schema.delimiter {
+        b'\t' => "\\t".to_string(),
+        d => char::from(d).to_string(),
+    };
+    let _ = writeln!(out, "delimiter {delim}");
+    let _ = writeln!(out, "rows-sampled {}", schema.rows_sampled);
+    let _ = writeln!(out, "ragged-rows {}", schema.ragged_rows);
+    for c in &schema.columns {
+        let _ = write!(
+            out,
+            "column {} null-rate={:.4} distinct={} uniqueness={:.4} max-len={}",
+            c.ctype.name(),
+            c.null_rate,
+            c.distinct,
+            c.uniqueness,
+            c.max_len
+        );
+        if let (Some(lo), Some(hi)) = (c.min_int, c.max_int) {
+            let _ = write!(out, " range={lo}..{hi}");
+        }
+        let _ = writeln!(out, " name={}", c.name);
+    }
+    out
+}
+
+/// The snapshot hash of a schema (the hash its `.schema` file carries).
+#[must_use]
+pub fn snapshot_hash(schema: &InferredSchema) -> u64 {
+    fnv1a(render_body(schema).as_bytes())
+}
+
+/// Renders the complete `.schema` file text, hash line included.
+#[must_use]
+pub fn render(schema: &InferredSchema) -> String {
+    let body = render_body(schema);
+    let hash = fnv1a(body.as_bytes());
+    let mut lines = body.splitn(2, '\n');
+    let version_line = lines.next().unwrap_or("");
+    let rest = lines.next().unwrap_or("");
+    format!("{version_line}\nhash {hash:016x}\n{rest}")
+}
+
+fn bad(line: usize, message: impl Into<String>) -> Error {
+    Error::BadSchemaFile {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_stat<T: std::str::FromStr>(token: &str, key: &str, line: usize) -> Result<T> {
+    let value = token
+        .strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| bad(line, format!("expected `{key}=...`, found `{token}`")))?;
+    value
+        .parse()
+        .map_err(|_| bad(line, format!("bad value for `{key}`: `{value}`")))
+}
+
+/// Parses `.schema` text, validating the version and the stored hash
+/// against the recomputed body hash (a mismatch means the file was
+/// hand-edited after `infer` wrote it).
+///
+/// # Errors
+/// [`Error::BadSchemaFile`] naming the offending line.
+pub fn parse(text: &str) -> Result<SchemaFile> {
+    let mut lines = text.lines().enumerate();
+    let (_, version_line) = lines.next().ok_or_else(|| bad(0, "empty file"))?;
+    let version: u32 = version_line
+        .strip_prefix("kanon-schema v")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| bad(1, "first line must be `kanon-schema v<N>`"))?;
+    if version != FORMAT_VERSION {
+        return Err(bad(
+            1,
+            format!("unsupported version {version} (this build reads v{FORMAT_VERSION})"),
+        ));
+    }
+    let (_, hash_line) = lines.next().ok_or_else(|| bad(0, "missing hash line"))?;
+    let stored_hash = hash_line
+        .strip_prefix("hash ")
+        .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+        .ok_or_else(|| bad(2, "second line must be `hash <16 hex digits>`"))?;
+
+    let mut delimiter: Option<u8> = None;
+    let mut rows_sampled: Option<usize> = None;
+    let mut ragged_rows: Option<usize> = None;
+    let mut columns: Vec<ColumnProfile> = Vec::new();
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("delimiter ") {
+            delimiter = Some(match rest {
+                "\\t" => b'\t',
+                s if s.len() == 1 && s.is_ascii() => s.as_bytes()[0],
+                s => return Err(bad(lineno, format!("bad delimiter `{s}`"))),
+            });
+        } else if let Some(rest) = line.strip_prefix("rows-sampled ") {
+            rows_sampled = Some(
+                rest.parse()
+                    .map_err(|_| bad(lineno, "bad rows-sampled count"))?,
+            );
+        } else if let Some(rest) = line.strip_prefix("ragged-rows ") {
+            ragged_rows = Some(
+                rest.parse()
+                    .map_err(|_| bad(lineno, "bad ragged-rows count"))?,
+            );
+        } else if let Some(rest) = line.strip_prefix("column ") {
+            // `name=` is last and may contain anything, so split it off
+            // before tokenizing the stats.
+            let (stats, name) = rest
+                .split_once(" name=")
+                .ok_or_else(|| bad(lineno, "column line missing `name=`"))?;
+            let mut tokens = stats.split_whitespace();
+            let ctype = tokens
+                .next()
+                .and_then(ColumnType::from_name)
+                .ok_or_else(|| bad(lineno, "unknown column type"))?;
+            let mut tok = |key: &str| -> Result<String> {
+                tokens
+                    .next()
+                    .map(str::to_string)
+                    .ok_or_else(|| bad(lineno, format!("missing `{key}=`")))
+            };
+            let null_rate: f64 = parse_stat(&tok("null-rate")?, "null-rate", lineno)?;
+            let distinct: usize = parse_stat(&tok("distinct")?, "distinct", lineno)?;
+            let uniqueness: f64 = parse_stat(&tok("uniqueness")?, "uniqueness", lineno)?;
+            let max_len: usize = parse_stat(&tok("max-len")?, "max-len", lineno)?;
+            let (min_int, max_int) = match tokens.next() {
+                None => (None, None),
+                Some(t) => {
+                    let range: String = parse_stat(t, "range", lineno)?;
+                    let (lo, hi) = range
+                        .split_once("..")
+                        .ok_or_else(|| bad(lineno, "bad range (want lo..hi)"))?;
+                    (
+                        Some(lo.parse().map_err(|_| bad(lineno, "bad range lo"))?),
+                        Some(hi.parse().map_err(|_| bad(lineno, "bad range hi"))?),
+                    )
+                }
+            };
+            columns.push(ColumnProfile {
+                name: name.to_string(),
+                ctype,
+                null_rate,
+                distinct,
+                uniqueness,
+                max_len,
+                min_int,
+                max_int,
+            });
+        } else {
+            return Err(bad(lineno, format!("unrecognized line `{line}`")));
+        }
+    }
+    let schema = InferredSchema {
+        delimiter: delimiter.ok_or_else(|| bad(0, "missing `delimiter` line"))?,
+        rows_sampled: rows_sampled.ok_or_else(|| bad(0, "missing `rows-sampled` line"))?,
+        ragged_rows: ragged_rows.ok_or_else(|| bad(0, "missing `ragged-rows` line"))?,
+        columns,
+    };
+    if schema.columns.is_empty() {
+        return Err(bad(0, "no `column` lines"));
+    }
+    let recomputed = snapshot_hash(&schema);
+    if recomputed != stored_hash {
+        return Err(bad(
+            2,
+            format!("snapshot hash mismatch: stored {stored_hash:016x}, body {recomputed:016x}"),
+        ));
+    }
+    Ok(SchemaFile {
+        schema,
+        hash: stored_hash,
+    })
+}
+
+/// What `verify` concluded when the structure still matches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyReport {
+    /// Snapshot hashes are identical: the data is byte-for-byte the same
+    /// shape the schema was inferred from.
+    Exact,
+    /// Same structure (columns, types, delimiter) but statistics moved;
+    /// each entry describes one change. New data arriving is the benign
+    /// cause; worth a look, not an error.
+    StatsChanged(Vec<String>),
+}
+
+/// Tolerances under which a stat movement is not even worth reporting.
+const NULL_RATE_TOLERANCE: f64 = 0.02;
+const UNIQUENESS_TOLERANCE: f64 = 0.05;
+
+/// Compares a stored schema against a freshly inferred one.
+///
+/// Structural mismatches — delimiter, column count, names, or voted types
+/// — are *drift* and fail; statistical movement within the same structure
+/// is reported but passes.
+///
+/// # Errors
+/// [`Error::Drift`] listing every structural mismatch.
+pub fn verify(stored: &InferredSchema, current: &InferredSchema) -> Result<VerifyReport> {
+    let mut drift: Vec<String> = Vec::new();
+    if stored.delimiter != current.delimiter {
+        drift.push(format!(
+            "delimiter was `{}`, now `{}`",
+            char::from(stored.delimiter),
+            char::from(current.delimiter)
+        ));
+    }
+    if stored.columns.len() != current.columns.len() {
+        drift.push(format!(
+            "column count was {}, now {}",
+            stored.columns.len(),
+            current.columns.len()
+        ));
+    }
+    for (s, c) in stored.columns.iter().zip(&current.columns) {
+        if s.name != c.name {
+            drift.push(format!("column `{}` is now named `{}`", s.name, c.name));
+            continue;
+        }
+        if s.ctype != c.ctype {
+            drift.push(format!(
+                "column `{}` was {}, now {}",
+                s.name,
+                s.ctype.name(),
+                c.ctype.name()
+            ));
+        }
+    }
+    if !drift.is_empty() {
+        return Err(Error::Drift(drift));
+    }
+    if snapshot_hash(stored) == snapshot_hash(current) {
+        return Ok(VerifyReport::Exact);
+    }
+    let mut changes: Vec<String> = Vec::new();
+    if stored.rows_sampled != current.rows_sampled {
+        changes.push(format!(
+            "rows sampled: {} → {}",
+            stored.rows_sampled, current.rows_sampled
+        ));
+    }
+    for (s, c) in stored.columns.iter().zip(&current.columns) {
+        if (s.null_rate - c.null_rate).abs() > NULL_RATE_TOLERANCE {
+            changes.push(format!(
+                "column `{}` null rate: {:.4} → {:.4}",
+                s.name, s.null_rate, c.null_rate
+            ));
+        }
+        if (s.uniqueness - c.uniqueness).abs() > UNIQUENESS_TOLERANCE {
+            changes.push(format!(
+                "column `{}` uniqueness: {:.4} → {:.4}",
+                s.name, s.uniqueness, c.uniqueness
+            ));
+        }
+        if s.distinct != c.distinct {
+            changes.push(format!(
+                "column `{}` distinct values: {} → {}",
+                s.name, s.distinct, c.distinct
+            ));
+        }
+    }
+    Ok(VerifyReport::StatsChanged(changes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::infer_bytes;
+
+    const MESSY: &[u8] =
+        b"age;race;note\n34;Cauc;alpha\n47;Hisp;beta\nN/A;Cauc;gamma\n22;Hisp;delta\n";
+
+    fn sample() -> InferredSchema {
+        infer_bytes(MESSY, false, usize::MAX).unwrap()
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let schema = sample();
+        let text = render(&schema);
+        assert!(text.starts_with("kanon-schema v1\nhash "));
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.hash, snapshot_hash(&schema));
+        assert_eq!(parsed.schema.delimiter, b';');
+        assert_eq!(parsed.schema.columns.len(), 3);
+        assert_eq!(parsed.schema.column("age").unwrap().ctype, ColumnType::Int);
+        assert_eq!(parsed.schema.column("age").unwrap().min_int, Some(22));
+        // Re-rendering the parsed schema reproduces the identical file.
+        assert_eq!(render(&parsed.schema), text);
+    }
+
+    #[test]
+    fn hash_is_stable_and_sensitive() {
+        let h1 = snapshot_hash(&sample());
+        let h2 = snapshot_hash(&sample());
+        assert_eq!(h1, h2);
+        let mut other = sample();
+        other.columns[0].distinct += 1;
+        assert_ne!(h1, snapshot_hash(&other));
+    }
+
+    #[test]
+    fn hand_edit_detected() {
+        let text = render(&sample());
+        let tampered = text.replace("rows-sampled 4", "rows-sampled 40");
+        let err = parse(&tampered).unwrap_err();
+        assert!(matches!(err, Error::BadSchemaFile { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("hash mismatch"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(matches!(parse(""), Err(Error::BadSchemaFile { .. })));
+        assert!(matches!(
+            parse("kanon-schema v9\nhash 0000000000000000\n"),
+            Err(Error::BadSchemaFile { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse("kanon-schema v1\nnot-a-hash\n"),
+            Err(Error::BadSchemaFile { line: 2, .. })
+        ));
+        let bad_col = "kanon-schema v1\nhash 0000000000000000\ndelimiter ,\nrows-sampled 1\nragged-rows 0\ncolumn wat name=x\n";
+        assert!(matches!(
+            parse(bad_col),
+            Err(Error::BadSchemaFile { line: 6, .. })
+        ));
+    }
+
+    #[test]
+    fn names_with_spaces_and_equals_survive() {
+        let mut schema = sample();
+        schema.columns[2].name = "note = free text".to_string();
+        let parsed = parse(&render(&schema)).unwrap();
+        assert_eq!(parsed.schema.columns[2].name, "note = free text");
+    }
+
+    #[test]
+    fn verify_exact_and_stats() {
+        let schema = sample();
+        assert_eq!(verify(&schema, &schema).unwrap(), VerifyReport::Exact);
+        // New rows shift stats but not structure.
+        let grown = infer_bytes(
+            b"age;race;note\n34;Cauc;alpha\n47;Hisp;beta\nN/A;Cauc;gamma\n22;Hisp;delta\n51;Cauc;epsilon\n60;Hisp;zeta\n",
+            false,
+            usize::MAX,
+        )
+        .unwrap();
+        match verify(&schema, &grown).unwrap() {
+            VerifyReport::StatsChanged(changes) => assert!(!changes.is_empty()),
+            VerifyReport::Exact => panic!("stats should have moved"),
+        }
+    }
+
+    #[test]
+    fn verify_drift_on_structure() {
+        let schema = sample();
+        // Type flip: age becomes text.
+        let flipped = infer_bytes(
+            b"age;race;note\nxx;Cauc;alpha\nyy;Hisp;beta\nzz;Cauc;gamma\nqq;Hisp;delta\n",
+            false,
+            usize::MAX,
+        )
+        .unwrap();
+        let err = verify(&schema, &flipped).unwrap_err();
+        match &err {
+            Error::Drift(ms) => {
+                assert!(ms.iter().any(|m| m.contains("`age`")), "{ms:?}");
+            }
+            other => panic!("want Drift, got {other:?}"),
+        }
+        // Renamed column.
+        let renamed = infer_bytes(
+            b"years;race;note\n34;Cauc;a\n47;Hisp;b\n22;Cauc;c\n",
+            false,
+            usize::MAX,
+        )
+        .unwrap();
+        assert!(matches!(verify(&schema, &renamed), Err(Error::Drift(_))));
+        // Different delimiter.
+        let comma = infer_bytes(
+            b"age,race,note\n34,Cauc,a\n47,Hisp,b\n22,Cauc,c\n",
+            false,
+            usize::MAX,
+        )
+        .unwrap();
+        assert!(matches!(verify(&schema, &comma), Err(Error::Drift(_))));
+    }
+}

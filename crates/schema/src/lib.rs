@@ -1,0 +1,57 @@
+//! # kanon-schema
+//!
+//! Schema inference for messy CSVs: the `probe → infer → verify` contract
+//! that lets the anonymization pipeline ingest real-shaped files — odd
+//! delimiters, mixed types, injected nulls, no hand-picked
+//! quasi-identifier list — and still drive the generalization lattice in
+//! `kanon-relation`.
+//!
+//! * [`probe`] — structural delimiter/quoting detection over a byte
+//!   sample;
+//! * [`infer`] — per-column type voting (int / float / date / categorical
+//!   / text), null-rate, cardinality, uniqueness, and a ranked
+//!   quasi-identifier suggestion;
+//! * [`mod@file`] — the versioned `.schema` file with an FNV snapshot hash so
+//!   `verify` detects both hand edits and upstream data drift;
+//! * [`mod@derive`] — auto-derivation of [`kanon_relation::Hierarchy`] chains
+//!   from profiles (numeric → interval ladders, strings →
+//!   prefix/suppress), with user JSON overrides on top.
+//!
+//! Typical flow:
+//!
+//! ```
+//! use kanon_schema::{infer, file, derive};
+//!
+//! let csv = b"age;race\n34;Cauc\n47;Hisp\nN/A;Cauc\n22;Hisp\n";
+//! let schema = infer::infer_bytes(csv, false, usize::MAX).unwrap();
+//! assert_eq!(schema.delimiter, b';');
+//! assert_eq!(schema.quasi_suggestion()[0], "age");
+//!
+//! // Persist, reload, verify.
+//! let text = file::render(&schema);
+//! let stored = file::parse(&text).unwrap();
+//! assert_eq!(file::verify(&stored.schema, &schema).unwrap(), file::VerifyReport::Exact);
+//!
+//! // One hierarchy per column, ready for the generalization lattice.
+//! let hierarchies = derive::derive_hierarchies(&schema, None).unwrap();
+//! assert_eq!(hierarchies.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod derive;
+pub mod error;
+pub mod file;
+pub mod infer;
+pub mod json;
+pub mod probe;
+
+pub use derive::{derive_hierarchies, derive_hierarchy};
+pub use error::{Error, Result};
+pub use file::{
+    parse as parse_schema_file, render as render_schema_file, snapshot_hash, verify, SchemaFile,
+    VerifyReport,
+};
+pub use infer::{infer_bytes, infer_reader, ColumnProfile, ColumnType, InferredSchema};
+pub use probe::{probe_bytes, read_sample, ProbeReport};

@@ -1,0 +1,286 @@
+//! Delimiter and quoting detection over a raw byte sample.
+//!
+//! The probe is deliberately structural: it never interprets values, only
+//! counts candidate delimiters per line *outside quoted regions* and picks
+//! the candidate whose nonzero per-line count is most consistent. This is
+//! the `probe` third of the `probe → infer → verify` contract — cheap
+//! enough to run on a buffered prefix of a stream before the real
+//! ingestion starts.
+
+use crate::error::{Error, Result};
+
+/// Delimiters the probe considers, in preference order for ties.
+pub const CANDIDATE_DELIMITERS: [u8; 4] = [b',', b';', b'\t', b'|'];
+
+/// How many bytes of input the convenience helpers sample.
+pub const SAMPLE_BYTES: usize = 256 * 1024;
+
+/// What the structural probe concluded about a CSV-shaped input.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbeReport {
+    /// The winning field delimiter.
+    pub delimiter: u8,
+    /// Fields per record implied by the winning delimiter (count + 1).
+    pub n_fields: usize,
+    /// Complete lines examined (an unterminated trailing line is ignored
+    /// when the sample was cut mid-record).
+    pub lines_sampled: usize,
+    /// Lines whose field count matched the majority, as a fraction. 1.0 is
+    /// a perfectly regular file.
+    pub consistency: f64,
+    /// True when any RFC-4180 quoted field was seen in the sample.
+    pub quoted: bool,
+}
+
+impl ProbeReport {
+    /// The delimiter as a printable name (`","`, `";"`, `"\t"`, `"|"`).
+    #[must_use]
+    pub fn delimiter_name(&self) -> String {
+        match self.delimiter {
+            b'\t' => "\\t".to_string(),
+            d => char::from(d).to_string(),
+        }
+    }
+}
+
+/// Counts `delim` occurrences outside quoted regions per line; returns the
+/// per-line counts and whether a quote was ever opened.
+fn count_per_line(sample: &[u8], delim: u8, complete_only: bool) -> (Vec<usize>, bool) {
+    let mut counts = Vec::new();
+    let mut current = 0usize;
+    let mut in_quotes = false;
+    let mut saw_quote = false;
+    let mut line_terminated = true;
+    for &b in sample {
+        line_terminated = false;
+        if in_quotes {
+            if b == b'"' {
+                // Doubled quotes stay inside the region; a lone quote
+                // closes it. The distinction does not matter for counting.
+                in_quotes = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => {
+                in_quotes = true;
+                saw_quote = true;
+            }
+            b'\n' => {
+                counts.push(current);
+                current = 0;
+                line_terminated = true;
+            }
+            b'\r' => {}
+            _ if b == delim => current += 1,
+            _ => {}
+        }
+    }
+    // A trailing unterminated line is only trustworthy when the sample is
+    // the whole input; mid-stream cuts would skew the vote.
+    if !line_terminated && !complete_only {
+        counts.push(current);
+    }
+    (counts, saw_quote)
+}
+
+/// Probes `sample` for the field delimiter. `truncated` says the sample
+/// was cut from a longer stream (the final partial line is then ignored).
+///
+/// The winner maximizes, in order: the number of lines agreeing on a
+/// nonzero count, the agreed count itself, and candidate preference order.
+/// A file with no delimiter at all (single-column CSV) falls back to `,`.
+///
+/// # Errors
+/// [`Error::Unprobeable`] when the sample holds no complete line.
+pub fn probe_bytes(sample: &[u8], truncated: bool) -> Result<ProbeReport> {
+    let mut best: Option<(usize, usize, u8, usize, bool)> = None;
+    let mut lines_sampled = 0usize;
+    for &delim in &CANDIDATE_DELIMITERS {
+        let (counts, quoted) = count_per_line(sample, delim, truncated);
+        if counts.is_empty() {
+            continue;
+        }
+        lines_sampled = counts.len();
+        // Majority vote over nonzero per-line counts.
+        let mut tally: Vec<(usize, usize)> = Vec::new();
+        for &c in &counts {
+            if c == 0 {
+                continue;
+            }
+            match tally.iter_mut().find(|(count, _)| *count == c) {
+                Some((_, votes)) => *votes += 1,
+                None => tally.push((c, 1)),
+            }
+        }
+        let Some(&(count, votes)) = tally.iter().max_by_key(|&&(c, v)| (v, c)) else {
+            continue;
+        };
+        let better = match best {
+            None => true,
+            Some((best_votes, best_count, ..)) => {
+                votes > best_votes || (votes == best_votes && count > best_count)
+            }
+        };
+        if better {
+            best = Some((votes, count, delim, counts.len(), quoted));
+        }
+    }
+    if lines_sampled == 0 {
+        // No candidate produced a line count: empty sample or one partial
+        // line. Distinguish truly empty from "all bytes, no newline".
+        return Err(Error::Unprobeable(if sample.is_empty() {
+            "empty input".into()
+        } else {
+            "no complete line in sample".into()
+        }));
+    }
+    match best {
+        Some((votes, count, delim, lines, quoted)) => Ok(ProbeReport {
+            delimiter: delim,
+            n_fields: count + 1,
+            lines_sampled: lines,
+            consistency: votes as f64 / lines as f64,
+            quoted,
+        }),
+        None => {
+            // Every line had zero of every candidate: a one-column file.
+            let (counts, quoted) = count_per_line(sample, b',', truncated);
+            Ok(ProbeReport {
+                delimiter: b',',
+                n_fields: 1,
+                lines_sampled: counts.len(),
+                consistency: 1.0,
+                quoted,
+            })
+        }
+    }
+}
+
+/// Reads up to [`SAMPLE_BYTES`] from `reader` and returns the sample
+/// buffer; pair with [`probe_bytes`] and `std::io::Read::chain` to probe a
+/// stream and then ingest it without rewinding.
+///
+/// # Errors
+/// I/O errors from the reader.
+pub fn read_sample<R: std::io::Read>(reader: &mut R) -> Result<Vec<u8>> {
+    let mut sample = vec![0u8; SAMPLE_BYTES];
+    let mut filled = 0usize;
+    while filled < sample.len() {
+        match reader.read(&mut sample[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    sample.truncate(filled);
+    Ok(sample)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comma_file() {
+        let r = probe_bytes(b"a,b,c\n1,2,3\n4,5,6\n", false).unwrap();
+        assert_eq!(r.delimiter, b',');
+        assert_eq!(r.n_fields, 3);
+        assert_eq!(r.lines_sampled, 3);
+        assert!((r.consistency - 1.0).abs() < 1e-12);
+        assert!(!r.quoted);
+    }
+
+    #[test]
+    fn semicolon_beats_comma_inside_values() {
+        // Commas appear, but inconsistently; semicolons are the structure.
+        let r = probe_bytes(b"name;note\nstone;a,b\nreyser;c\nramos;d,e,f\n", false).unwrap();
+        assert_eq!(r.delimiter, b';');
+        assert_eq!(r.n_fields, 2);
+    }
+
+    #[test]
+    fn tab_and_pipe() {
+        assert_eq!(
+            probe_bytes(b"a\tb\n1\t2\n", false).unwrap().delimiter,
+            b'\t'
+        );
+        assert_eq!(probe_bytes(b"a|b\n1|2\n", false).unwrap().delimiter, b'|');
+    }
+
+    #[test]
+    fn quoted_delimiters_do_not_count() {
+        let r = probe_bytes(b"a,b\n\"x,y,z\",2\n\"p,q\",4\n", false).unwrap();
+        assert_eq!(r.delimiter, b',');
+        assert_eq!(r.n_fields, 2);
+        assert!(r.quoted);
+    }
+
+    #[test]
+    fn single_column_falls_back_to_comma() {
+        let r = probe_bytes(b"id\n1\n2\n", false).unwrap();
+        assert_eq!(r.delimiter, b',');
+        assert_eq!(r.n_fields, 1);
+        assert!((r.consistency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_sample_ignores_partial_tail() {
+        // The tail `4,5` is a cut record; it must not dilute the vote.
+        let full = probe_bytes(b"a;b\n1;2\n4,5", false).unwrap();
+        let cut = probe_bytes(b"a;b\n1;2\n4,5", true).unwrap();
+        assert_eq!(cut.delimiter, b';');
+        assert_eq!(cut.lines_sampled, 2);
+        // Untruncated, the trailing line still counts as a line.
+        assert_eq!(full.lines_sampled, 3);
+    }
+
+    #[test]
+    fn unprobeable_inputs() {
+        assert!(matches!(
+            probe_bytes(b"", false),
+            Err(Error::Unprobeable(_))
+        ));
+        assert!(matches!(
+            probe_bytes(b"no newline at all", true),
+            Err(Error::Unprobeable(_))
+        ));
+        // A single complete line is enough.
+        assert!(probe_bytes(b"a,b\n", true).is_ok());
+    }
+
+    #[test]
+    fn consistency_reflects_ragged_lines() {
+        let r = probe_bytes(b"a,b\n1,2\n3,4,5\n6,7\n", false).unwrap();
+        assert_eq!(r.delimiter, b',');
+        assert_eq!(r.n_fields, 2);
+        assert!(r.consistency < 1.0);
+    }
+
+    #[test]
+    fn delimiter_names() {
+        for (d, name) in [(b',', ","), (b';', ";"), (b'\t', "\\t"), (b'|', "|")] {
+            let r = ProbeReport {
+                delimiter: d,
+                n_fields: 2,
+                lines_sampled: 1,
+                consistency: 1.0,
+                quoted: false,
+            };
+            assert_eq!(r.delimiter_name(), name);
+        }
+    }
+
+    #[test]
+    fn read_sample_caps_and_chains() {
+        let data = vec![b'x'; SAMPLE_BYTES + 100];
+        let mut cursor = std::io::Cursor::new(data.clone());
+        let sample = read_sample(&mut cursor).unwrap();
+        assert_eq!(sample.len(), SAMPLE_BYTES);
+        // The remainder is still readable from the source.
+        let mut rest = Vec::new();
+        std::io::Read::read_to_end(&mut cursor, &mut rest).unwrap();
+        assert_eq!(rest.len(), 100);
+    }
+}

@@ -1,0 +1,223 @@
+//! Cross-crate integration for the schema toolchain: probe → infer →
+//! verify on the messy workload, the generalization rung end-to-end
+//! through the auto pipeline, and the hierarchy-coarsening property the
+//! lattice search relies on.
+
+use std::collections::HashMap;
+
+use kanon_pipeline::{run_csv_auto, AutoConfig, AutoOutcome, PipelineConfig};
+use kanon_relation::{Codec, Hierarchy};
+use kanon_workloads::{write_messy_csv, MessyParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn messy(seed: u64, n: usize) -> String {
+    let params = MessyParams {
+        n,
+        ..MessyParams::default()
+    };
+    let mut buf = Vec::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    write_messy_csv(&mut rng, &params, &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+fn infer(csv: &str) -> kanon_schema::InferredSchema {
+    let sample = kanon_schema::read_sample(&mut csv.as_bytes()).unwrap();
+    let truncated = sample.len() == kanon_schema::probe::SAMPLE_BYTES;
+    kanon_schema::infer_bytes(&sample, truncated, kanon_schema::infer::DEFAULT_SAMPLE_ROWS).unwrap()
+}
+
+/// The full round trip a production deployment runs: infer once, persist
+/// the `.schema` file, then verify tomorrow's export against it.
+#[test]
+fn infer_verify_round_trip_on_messy_workload() {
+    let csv = messy(7, 400);
+    let schema = infer(&csv);
+    assert_eq!(schema.delimiter, b';');
+    let names: Vec<&str> = schema.columns.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names, ["age", "zip", "income", "sex", "note"]);
+
+    let text = kanon_schema::render_schema_file(&schema);
+    let parsed = kanon_schema::parse_schema_file(&text).unwrap();
+    assert_eq!(parsed.hash, kanon_schema::snapshot_hash(&schema));
+    assert!(matches!(
+        kanon_schema::verify(&parsed.schema, &schema),
+        Ok(kanon_schema::VerifyReport::Exact)
+    ));
+
+    // A same-shaped export from another seed drifts in stats at most —
+    // structure (names, delimiter, types) is identical.
+    let other = infer(&messy(8, 400));
+    match kanon_schema::verify(&parsed.schema, &other) {
+        Ok(kanon_schema::VerifyReport::Exact | kanon_schema::VerifyReport::StatsChanged(_)) => {}
+        other => panic!("same-shaped export should verify: {other:?}"),
+    }
+
+    // A structurally different export is drift, not a stats wobble.
+    let renamed = csv.replacen("age;", "years;", 1);
+    let drifted = infer(&renamed);
+    match kanon_schema::verify(&parsed.schema, &drifted) {
+        Err(kanon_schema::Error::Drift(reasons)) => {
+            assert!(!reasons.is_empty());
+        }
+        other => panic!("renamed column must be drift: {other:?}"),
+    }
+}
+
+/// Pins the snapshot hash of a fixed literal input: any change to the
+/// inference pipeline or the FNV serialization shows up here first, which
+/// is the whole point of persisting the hash in `.schema` files.
+#[test]
+fn snapshot_hash_is_stable_for_fixed_input() {
+    const FIXED: &str = "age;zip;note\n31;90210;cats\n35;90210;dogs\n42;90211;cats\n\
+                         47;90211;dogs\nN/A;90210;cats\n";
+    let schema = infer(FIXED);
+    let hash = kanon_schema::snapshot_hash(&schema);
+    assert_eq!(
+        hash, GOLDEN_SNAPSHOT_HASH,
+        "snapshot hash drifted: got {hash:#018x} — if the inference change \
+         is intentional, update GOLDEN_SNAPSHOT_HASH"
+    );
+    // Rendering and re-parsing preserves the hash byte for byte.
+    let parsed =
+        kanon_schema::parse_schema_file(&kanon_schema::render_schema_file(&schema)).unwrap();
+    assert_eq!(parsed.hash, hash);
+}
+
+const GOLDEN_SNAPSHOT_HASH: u64 = 0x7ca2_b668_2ca3_28e8;
+
+/// The PR's acceptance gate: on a messy instance the auto pipeline's
+/// generalization rung releases with strictly lower information loss than
+/// suppression, and the release re-verifies k-anonymous.
+#[test]
+fn generalization_beats_suppression_on_messy_instance() {
+    let k = 5;
+    let run = run_csv_auto(
+        messy(7, 400).as_bytes(),
+        k,
+        &PipelineConfig::default(),
+        &AutoConfig {
+            overrides: None,
+            compare: true,
+        },
+    )
+    .unwrap();
+
+    let gen = run
+        .report
+        .generalization
+        .as_ref()
+        .expect("messy instance reaches the generalization rung");
+    match &run.outcome {
+        AutoOutcome::Generalized(_) => {}
+        AutoOutcome::Suppressed { reason, .. } => panic!("fell through to suppression: {reason}"),
+    }
+    let suppression = gen.suppression_loss.expect("compare ran");
+    assert!(
+        run.report.information_loss() < suppression,
+        "generalization {} !< suppression {}",
+        run.report.information_loss(),
+        suppression
+    );
+
+    // Independent re-verification: parse the released CSV from scratch and
+    // count quasi-identifier multiplicities.
+    let mut buf = Vec::new();
+    run.write_release(&mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let table = kanon_relation::csv::parse(&text).unwrap();
+    let (released, _) = Codec::encode(&table);
+    let qi = released.project_columns(&run.quasi).unwrap();
+    let mut counts = HashMap::new();
+    for i in 0..qi.n_rows() {
+        *counts.entry(qi.row(i).to_vec()).or_insert(0usize) += 1;
+    }
+    assert!(
+        counts.values().all(|&c| c >= k),
+        "release not {k}-anonymous"
+    );
+}
+
+/// Builds one of the four hierarchy shapes from primitive draws; interval
+/// widths nest by construction (each next width is a multiple of the last).
+fn build_hierarchy(kind: usize, height: usize, base: i64, muls: &[i64]) -> Hierarchy {
+    let mut widths = vec![base];
+    for &m in muls {
+        let next = widths.last().unwrap() * m;
+        widths.push(next);
+    }
+    match kind {
+        0 => Hierarchy::SuppressOnly,
+        1 => Hierarchy::PrefixMask { height },
+        2 => Hierarchy::LenientIntervals { widths },
+        _ => Hierarchy::Intervals { widths },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Generalization chains are coarsenings: values merged at level `ℓ`
+    /// stay merged at every level above. The lattice's monotone search and
+    /// the k-anonymity guarantee of any released node both rest on this.
+    #[test]
+    fn generalize_is_monotone_up_the_chain(
+        kind in 0usize..4,
+        height in 1usize..6,
+        base in 1i64..20,
+        muls in proptest::collection::vec(2i64..5, 0usize..3),
+        a_int in -1000i64..1000,
+        b_int in -1000i64..1000,
+        a_txt in proptest::string::string_regex("[a-z0-9]{0,6}").unwrap(),
+        b_txt in proptest::string::string_regex("[a-z0-9]{0,6}").unwrap(),
+        a_is_int in proptest::bool::ANY,
+        b_is_int in proptest::bool::ANY,
+    ) {
+        let h = build_hierarchy(kind, height, base, &muls);
+        let a = if a_is_int { a_int.to_string() } else { a_txt };
+        let b = if b_is_int { b_int.to_string() } else { b_txt };
+        prop_assert!(h.validate().is_ok());
+        for level in 0..h.height() {
+            let (Ok(ga), Ok(gb)) = (h.generalize(&a, level), h.generalize(&b, level)) else {
+                // Strict Intervals rejects non-integers at levels ≥ 1;
+                // nothing to check for such values.
+                continue;
+            };
+            if ga == gb {
+                let (Ok(na), Ok(nb)) = (h.generalize(&a, level + 1), h.generalize(&b, level + 1))
+                else {
+                    continue;
+                };
+                prop_assert_eq!(
+                    &na, &nb,
+                    "merged at level {} ({}) but split at {}: {} vs {}",
+                    level, ga, level + 1, na, nb
+                );
+            }
+        }
+    }
+
+    /// Every level of every hierarchy renders non-empty output — the CSV
+    /// writer depends on it (an empty quasi cell would be ambiguous with a
+    /// null marker).
+    #[test]
+    fn generalize_never_renders_empty(
+        kind in 0usize..4,
+        height in 1usize..6,
+        base in 1i64..20,
+        muls in proptest::collection::vec(2i64..5, 0usize..3),
+        v_int in -1000i64..1000,
+        v_txt in proptest::string::string_regex("[a-z0-9]{0,6}").unwrap(),
+        v_is_int in proptest::bool::ANY,
+    ) {
+        let h = build_hierarchy(kind, height, base, &muls);
+        let v = if v_is_int { v_int.to_string() } else { v_txt };
+        for level in 1..=h.height() {
+            if let Ok(s) = h.generalize(&v, level) {
+                prop_assert!(!s.is_empty());
+            }
+        }
+    }
+}

@@ -27,6 +27,7 @@
 pub mod census;
 pub mod clustered;
 pub mod correlated;
+pub mod messy;
 pub mod stream;
 pub mod uniform;
 pub mod zipf;
@@ -34,6 +35,7 @@ pub mod zipf;
 pub use census::{census_table, CensusParams};
 pub use clustered::{clustered, knn_lower_bound, ClusteredParams, PlantedInstance};
 pub use correlated::{correlated, CorrelatedParams};
+pub use messy::{write_messy_csv, MessyParams};
 pub use stream::write_zipf_csv;
 pub use uniform::uniform;
 pub use zipf::{zipf, ZipfParams};

@@ -1,0 +1,167 @@
+//! A deliberately messy CSV generator: the adversarial input for the
+//! `kanon-schema` probe → infer → verify toolchain.
+//!
+//! Real microdata exports rarely look like the clean comma-delimited
+//! tables the other generators emit. This one writes what a hospital's
+//! billing system actually produces: semicolon-delimited records, an
+//! integer age column salted with `N/A` markers, a five-digit zip that is
+//! numeric but means a prefix ladder, a float income with its own blank
+//! cells, a low-cardinality categorical, and a free-text note column —
+//! one value even carries an embedded delimiter to exercise quoting. The
+//! column mix is chosen so inference must produce one of each
+//! [`kanon_schema::ColumnType`]-shaped hierarchy: interval ladder (age),
+//! prefix mask (zip), and suppress-only (sex, note).
+
+use std::io::{self, Write};
+
+use rand::Rng;
+
+/// Parameters for [`write_messy_csv`].
+#[derive(Clone, Copy, Debug)]
+pub struct MessyParams {
+    /// Number of records.
+    pub n: usize,
+    /// Zip-code regions: zips are drawn as `90200 + region`, so `regions`
+    /// controls quasi-identifier cardinality the way the census generator
+    /// does.
+    pub regions: usize,
+    /// Fraction of age/income cells replaced by a null marker.
+    pub null_rate: f64,
+}
+
+impl Default for MessyParams {
+    fn default() -> Self {
+        MessyParams {
+            n: 100,
+            regions: 8,
+            null_rate: 0.08,
+        }
+    }
+}
+
+const NOTES: [&str; 6] = [
+    "routine checkup",
+    "follow-up visit",
+    "referred; see chart", // embedded delimiter forces quoting
+    "new patient",
+    "lab work",
+    "none",
+];
+
+const NULLS: [&str; 3] = ["N/A", "", "null"];
+
+/// Writes the messy table to `out`, one row at a time (O(1) memory).
+///
+/// Header `age;zip;income;sex;note`, `;`-delimited throughout; fields
+/// containing the delimiter are double-quoted per RFC 4180. Ages cluster
+/// by decade (20–79) so a width-10 interval ladder merges them early;
+/// zips share `regions` five-digit values; income is a float with two
+/// decimals; `sex` is a three-value categorical; `note` draws from a
+/// small free-text pool.
+///
+/// # Errors
+/// Any `io::Error` from the underlying writer.
+///
+/// # Panics
+/// Panics if `regions == 0` or `null_rate` is not in `[0, 1]`.
+pub fn write_messy_csv(
+    rng: &mut impl Rng,
+    params: &MessyParams,
+    out: &mut impl Write,
+) -> io::Result<()> {
+    assert!(params.regions > 0, "regions must be non-empty");
+    assert!(
+        (0.0..=1.0).contains(&params.null_rate),
+        "null_rate must be in [0, 1]"
+    );
+    out.write_all(b"age;zip;income;sex;note\n")?;
+    let mut line = String::with_capacity(64);
+    for _ in 0..params.n {
+        line.clear();
+        // Age: decade-clustered so the derived interval ladder has real
+        // merging structure, with injected null markers.
+        if rng.gen::<f64>() < params.null_rate {
+            line.push_str(NULLS[rng.gen_range(0..NULLS.len())]);
+        } else {
+            let decade: u32 = 20 + 10 * rng.gen_range(0..6u32);
+            line.push_str(&(decade + rng.gen_range(0..10u32)).to_string());
+        }
+        line.push(';');
+        line.push_str(&(90200 + rng.gen_range(0..params.regions)).to_string());
+        line.push(';');
+        if rng.gen::<f64>() < params.null_rate {
+            line.push_str(NULLS[rng.gen_range(0..NULLS.len())]);
+        } else {
+            let cents = rng.gen_range(1_800_000..18_000_000u64);
+            line.push_str(&format!("{}.{:02}", cents / 100, cents % 100));
+        }
+        line.push(';');
+        line.push_str(["F", "M", "X"][rng.gen_range(0..3usize)]);
+        line.push(';');
+        let note = NOTES[rng.gen_range(0..NOTES.len())];
+        if note.contains(';') {
+            line.push('"');
+            line.push_str(note);
+            line.push('"');
+        } else {
+            line.push_str(note);
+        }
+        line.push('\n');
+        out.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn render(seed: u64, params: &MessyParams) -> String {
+        let mut buf = Vec::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        write_messy_csv(&mut rng, params, &mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn shape_nulls_and_quoting() {
+        let params = MessyParams {
+            n: 400,
+            regions: 4,
+            null_rate: 0.1,
+        };
+        let text = render(7, &params);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 401);
+        assert_eq!(lines[0], "age;zip;income;sex;note");
+        let mut saw_null = false;
+        let mut saw_quoted = false;
+        for line in &lines[1..] {
+            // The quoted note is the only field that may hold a `;`, so a
+            // raw split sees either 5 fields (unquoted note) or more
+            // (quoted, delimiter inside) — a real CSV reader handles both.
+            assert!(line.split(';').count() >= 5, "{line}");
+            let age = line.split(';').next().unwrap();
+            if age.parse::<u32>().is_err() {
+                saw_null = true;
+            } else {
+                let age: u32 = age.parse().unwrap();
+                assert!((20..80).contains(&age), "{age}");
+            }
+            if line.contains('"') {
+                saw_quoted = true;
+            }
+        }
+        assert!(saw_null, "null markers should appear at 10% over 400 rows");
+        assert!(saw_quoted, "the embedded-delimiter note should appear");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let params = MessyParams::default();
+        assert_eq!(render(5, &params), render(5, &params));
+        assert_ne!(render(5, &params), render(6, &params));
+    }
+}
