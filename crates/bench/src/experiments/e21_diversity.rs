@@ -12,7 +12,7 @@
 use crate::report::{self, Table};
 use crate::Ctx;
 use kanon_baselines::knn_greedy;
-use kanon_core::diversity::{diversity_violations, enforce_l_diversity, is_l_diverse};
+use kanon_privacy::{diversity_violations, enforce_l_diversity, is_l_diverse};
 use kanon_workloads::{census_table, CensusParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

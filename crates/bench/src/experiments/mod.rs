@@ -23,6 +23,7 @@ pub mod e19_attribute_gap;
 pub mod e20_weighted;
 pub mod e21_diversity;
 pub mod e22_ladder;
+pub mod e23_attack;
 
 use crate::Ctx;
 
@@ -150,6 +151,11 @@ pub fn all() -> Vec<Experiment> {
             claim: "robustness: degradation ladder answers with the best affordable guarantee",
             run: e22_ladder::run,
         },
+        Experiment {
+            id: "e23",
+            claim: "extension: measured linkage-attack risk across k / l / t",
+            run: e23_attack::run,
+        },
     ]
 }
 
@@ -164,11 +170,11 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = super::all();
-        assert_eq!(all.len(), 22);
+        assert_eq!(all.len(), 23);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 22);
+        assert_eq!(ids.len(), 23);
         assert!(super::by_id("e5").is_some());
         assert!(super::by_id("e99").is_none());
     }

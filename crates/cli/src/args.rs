@@ -74,6 +74,15 @@ pub enum Command {
         /// On the auto path, also run the suppression pipeline and report
         /// both information losses side by side.
         compare: bool,
+        /// Privacy model beyond k-anonymity, as a validated spec string
+        /// (`l=2`, `entropy-l=2.5`, `t=0.2`, `emd-t=0.15`; `None` = plain
+        /// `k`). Parsed once here for the early usage error, re-parsed at
+        /// run time ([`kanon_privacy::PrivacyModel`] holds an `f64`, so it
+        /// cannot ride in this `Eq` enum).
+        privacy: Option<String>,
+        /// Sensitive column held to the privacy model; kept out of the
+        /// quasi-identifier (and the shard hash) on the solve path.
+        sensitive: Option<String>,
         /// Wall-clock budget in milliseconds (`None` = unlimited).
         deadline_ms: Option<u64>,
         /// Planned-allocation memory budget in MiB (`None` = unlimited).
@@ -274,6 +283,8 @@ USAGE:
                     [--shard-size N] [--strategy hash|sorted] [--buckets N]
                     [--workers N] [--split-unit N]
                     [--quasi col1,col2,...] [--hierarchies <FILE>]
+                    [--privacy k|l=N|entropy-l=X|t=X|emd-t=X]
+                    [--sensitive COL]
                     [--compare] [--json]
                     [--deadline-ms MS] [--max-memory-mb MB]
     kanon schema probe  --input <FILE|->
@@ -319,6 +330,12 @@ COMMANDS:
                 JSON) is tried first, degrading to sharded suppression
                 when the lattice cannot reach k in budget. --compare also
                 runs suppression and reports both information losses.
+                --privacy holds the release to a model beyond k on the
+                --sensitive column (l=N distinct l-diversity,
+                entropy-l=X, t=X variational t-closeness, emd-t=X ordered
+                EMD); the sensitive column stays out of the
+                quasi-identifier and the release is re-verified after the
+                post-merge repair.
     schema      The probe -> infer -> verify toolchain for messy CSVs.
                 `probe` reports delimiter/quoting/field-count structure;
                 `infer` renders the versioned .schema file (column types,
@@ -524,6 +541,8 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--split-unit",
                     "--quasi",
                     "--hierarchies",
+                    "--privacy",
+                    "--sensitive",
                     "--deadline-ms",
                     "--max-memory-mb",
                 ],
@@ -557,6 +576,14 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 Some(name) => kanon_pipeline::ShardStrategy::from_name(name)
                     .map_err(|e| CliError::Usage(format!("{e}\n\n{}", usage())))?,
             };
+            let privacy = match flag("--privacy") {
+                None => None,
+                Some(spec) => {
+                    kanon_privacy::PrivacyModel::parse(spec)
+                        .map_err(|e| CliError::Usage(format!("{e}\n\n{}", usage())))?;
+                    Some(spec.clone())
+                }
+            };
             Ok(Command::Pipeline {
                 k,
                 input,
@@ -569,6 +596,8 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 quasi: quasi(flag("--quasi")),
                 hierarchies: flag("--hierarchies").cloned(),
                 compare: has_switch("--compare"),
+                privacy,
+                sensitive: flag("--sensitive").cloned(),
                 deadline_ms: budget_flag("--deadline-ms")?,
                 max_memory_mb: budget_flag("--max-memory-mb")?,
                 json: has_switch("--json"),
@@ -1014,6 +1043,8 @@ mod tests {
                 quasi: Some(vec!["age".into(), "zip".into()]),
                 hierarchies: None,
                 compare: false,
+                privacy: None,
+                sensitive: None,
                 deadline_ms: Some(30_000),
                 max_memory_mb: None,
                 json: true,
@@ -1035,6 +1066,8 @@ mod tests {
                 quasi: None,
                 hierarchies: None,
                 compare: false,
+                privacy: None,
+                sensitive: None,
                 deadline_ms: None,
                 max_memory_mb: None,
                 json: false,
@@ -1054,6 +1087,30 @@ mod tests {
                 ..
             } if h == "h.json"
         ));
+        // The privacy knob.
+        let cmd = parse(&argv(
+            "pipeline -k 3 --input t.csv --quasi age,zip --privacy l=2 --sensitive diagnosis",
+        ))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Pipeline {
+                privacy: Some(ref p),
+                sensitive: Some(ref s),
+                ..
+            } if p == "l=2" && s == "diagnosis"
+        ));
+        let cmd = parse(&argv(
+            "pipeline -k 3 --input t.csv --privacy emd-t=0.2 --sensitive d",
+        ))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Pipeline {
+                privacy: Some(ref p),
+                ..
+            } if p == "emd-t=0.2"
+        ));
         // Errors.
         for bad in [
             "pipeline --input -",
@@ -1064,6 +1121,8 @@ mod tests {
             "pipeline -k 3 --input - --workers 0",
             "pipeline -k 3 --input - --split-unit 0",
             "pipeline -k 3 --input - --bogus x",
+            "pipeline -k 3 --input - --privacy l=1",
+            "pipeline -k 3 --input - --privacy bogus",
         ] {
             assert!(
                 matches!(parse(&argv(bad)), Err(CliError::Usage(_))),

@@ -127,6 +127,8 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
             quasi,
             hierarchies,
             compare,
+            privacy,
+            sensitive,
             deadline_ms,
             max_memory_mb,
             json,
@@ -142,6 +144,8 @@ pub fn execute(cmd: &Command) -> Result<Outcome, CliError> {
             quasi.as_deref(),
             hierarchies.as_deref(),
             *compare,
+            privacy.as_deref(),
+            sensitive.as_deref(),
             *deadline_ms,
             *max_memory_mb,
             *json,
@@ -631,10 +635,20 @@ fn pipeline(
     quasi: Option<&[String]>,
     hierarchies: Option<&str>,
     compare: bool,
+    privacy: Option<&str>,
+    sensitive: Option<&str>,
     deadline_ms: Option<u64>,
     max_memory_mb: Option<u64>,
     json: bool,
 ) -> Result<Outcome, CliError> {
+    // Already validated at arg-parse time; re-parsed here because the
+    // model's f64 parameters cannot ride in the `Eq` Command enum.
+    let privacy = match privacy {
+        None => kanon_privacy::PrivacyModel::KOnly,
+        Some(spec) => {
+            kanon_privacy::PrivacyModel::parse(spec).map_err(|e| CliError::Usage(e.to_string()))?
+        }
+    };
     let config = kanon_pipeline::PipelineConfig {
         shard_size,
         strategy,
@@ -644,26 +658,71 @@ fn pipeline(
         budget: build_budget(deadline_ms, max_memory_mb),
         ..Default::default()
     };
-    let Some(quasi) = quasi else {
-        return pipeline_auto(k, input, output, &config, hierarchies, compare, json);
-    };
+    // A privacy model beyond k (or an explicit sensitive column) routes to
+    // the suppression path with the sensitive column carved out; without
+    // either, no --quasi means the schema-driven auto path.
+    let private = privacy.requires_sensitive() || sensitive.is_some();
+    if !private {
+        let Some(quasi) = quasi else {
+            return pipeline_auto(k, input, output, &config, hierarchies, compare, json);
+        };
+        if hierarchies.is_some() || compare {
+            return Err(CliError::Usage(format!(
+                "--hierarchies and --compare belong to the schema-driven auto \
+                 path; drop --quasi to use them\n\n{}",
+                usage()
+            )));
+        }
+        let quasi = Some(quasi);
+        let run = if input == "-" {
+            kanon_pipeline::run_csv(std::io::stdin().lock(), k, quasi, &config)
+        } else {
+            let file = std::fs::File::open(input)
+                .map_err(|e| CliError::Failed(format!("cannot read `{input}`: {e}")))?;
+            kanon_pipeline::run_csv(std::io::BufReader::new(file), k, quasi, &config)
+        }
+        .map_err(|e| map_pipeline_error(e, k))?;
+        return render_pipeline_run(run, output, json);
+    }
     if hierarchies.is_some() || compare {
         return Err(CliError::Usage(format!(
             "--hierarchies and --compare belong to the schema-driven auto \
-             path; drop --quasi to use them\n\n{}",
+             path; they cannot combine with --privacy/--sensitive\n\n{}",
             usage()
         )));
     }
-    let quasi = Some(quasi);
     let run = if input == "-" {
-        kanon_pipeline::run_csv(std::io::stdin().lock(), k, quasi, &config)
+        kanon_pipeline::run_csv_private(
+            std::io::stdin().lock(),
+            k,
+            quasi,
+            sensitive,
+            privacy,
+            &config,
+        )
     } else {
         let file = std::fs::File::open(input)
             .map_err(|e| CliError::Failed(format!("cannot read `{input}`: {e}")))?;
-        kanon_pipeline::run_csv(std::io::BufReader::new(file), k, quasi, &config)
+        kanon_pipeline::run_csv_private(
+            std::io::BufReader::new(file),
+            k,
+            quasi,
+            sensitive,
+            privacy,
+            &config,
+        )
     }
     .map_err(|e| map_pipeline_error(e, k))?;
+    render_pipeline_run(run, output, json)
+}
 
+/// Renders a finished pipeline run — notes, released CSV, optional JSON —
+/// shared by the plain and privacy-constrained paths.
+fn render_pipeline_run(
+    run: kanon_pipeline::CsvRun,
+    output: Option<&str>,
+    json: bool,
+) -> Result<Outcome, CliError> {
     let mut notes = vec![
         format!(
             "pipeline: {} rows in {} shard(s) (+{} residue rows), strategy {}, {} worker(s)",
@@ -690,6 +749,22 @@ fn pipeline(
             run.report.elapsed,
         ),
     ];
+    if let Some(p) = &run.report.privacy {
+        notes.push(format!(
+            "privacy: {} on `{}` {} ({} violating block(s) before, {} merge(s), cost {} -> {})",
+            p.spec,
+            p.sensitive,
+            if p.verified {
+                "verified"
+            } else {
+                "NOT verified"
+            },
+            p.violations_before,
+            p.merges,
+            p.cost_before,
+            p.cost_after,
+        ));
+    }
 
     let stdout = if let Some(path) = output {
         let file = std::fs::File::create(path)
@@ -909,6 +984,22 @@ fn schema_cmd(action: &SchemaAction) -> Result<Outcome, CliError> {
                     suggestion.join(",")
                 )
             });
+            let screening = schema.sensitive_screening();
+            notes.push(if screening.is_empty() {
+                "no sensitive-column candidate (no repeating column supports l >= 2)".to_string()
+            } else {
+                format!(
+                    "sensitive-column candidates (ranked, distinct l / entropy l): {}",
+                    screening
+                        .iter()
+                        .map(|c| format!(
+                            "{} ({} / {:.1})",
+                            c.name, c.max_distinct_l, c.effective_l
+                        ))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            });
             match output {
                 Some(path) => {
                     std::fs::write(path, &text)
@@ -969,6 +1060,13 @@ fn map_pipeline_error(e: kanon_pipeline::Error, k: usize) -> CliError {
         kanon_pipeline::Error::Config(msg) => CliError::Usage(msg),
         kanon_pipeline::Error::Delta(msg) => CliError::Failed(format!("delta rejected: {msg}")),
         e @ kanon_pipeline::Error::UnknownColumn { .. } => CliError::Usage(e.to_string()),
+        kanon_pipeline::Error::Privacy(e) => match e {
+            // Both are user declarations to fix, not run failures.
+            kanon_privacy::Error::SensitiveIsQuasi { .. } | kanon_privacy::Error::Spec(_) => {
+                CliError::Usage(e.to_string())
+            }
+            other => CliError::Failed(format!("privacy constraint failed: {other}")),
+        },
         kanon_pipeline::Error::Schema(kanon_schema::Error::Override(msg)) => {
             CliError::Usage(format!("bad --hierarchies override: {msg}"))
         }

@@ -6,8 +6,12 @@
 //! (experiments E1/E2), and as the decision oracle inside the hardness
 //! reduction verifiers (experiments E5/E6).
 //!
-//! Three engines with different sweet spots:
+//! Four engines with different sweet spots:
 //!
+//! * [`fpt`] — fixed-parameter search over *distinct row patterns* with
+//!   multiplicities; exact for any `n` when the table carries few distinct
+//!   rows (small degree × small alphabet, the regime of the hardness
+//!   gadgets). The preferred engine whenever it applies.
 //! * [`subset_dp`] — dynamic programming over row bitmasks,
 //!   `O(3^n)`-ish but exact and allocation-light; the default for `n ≤ 20`.
 //! * [`branch_and_bound`] — partition search with admissible lower bounds
@@ -23,12 +27,14 @@
 //! use groups of size at most `2k − 1`.
 
 mod branch_and_bound;
+mod fpt;
 mod pattern_bb;
 mod subset_dp;
 
 pub use branch_and_bound::{
     branch_and_bound, try_branch_and_bound_governed, BranchBoundConfig, BranchBoundResult,
 };
+pub use fpt::{fpt, try_fpt_governed, FptConfig};
 pub use pattern_bb::{pattern_bb, try_pattern_bb_governed, PatternConfig};
 pub use subset_dp::{
     min_diameter_sum, subset_dp, try_min_diameter_sum_governed, try_subset_dp_governed,
@@ -50,15 +56,25 @@ pub struct Optimal {
     pub partition: Partition,
 }
 
-/// Solves the instance exactly with the most appropriate engine:
-/// `subset_dp` when `n` fits, otherwise `branch_and_bound` with its proof
-/// flag required.
+/// Solves the instance exactly with the most appropriate engine: the
+/// pattern-collapsed `fpt` search when the table has few distinct rows
+/// (exact at any `n`), else `subset_dp` when `n` fits, otherwise
+/// `branch_and_bound` with its proof flag required.
 ///
 /// # Errors
 /// Propagates engine errors; fails if no engine can certify optimality
 /// within its limits.
 pub fn optimal(ds: &Dataset, k: usize) -> Result<Optimal> {
     ds.check_k(k)?;
+    let fpt_config = FptConfig::default();
+    if fpt::pattern_count_within(ds, fpt_config.max_patterns) {
+        match fpt(ds, k, &fpt_config) {
+            Ok(opt) => return Ok(opt),
+            // Node/depth exhaustion: fall through to the other engines.
+            Err(crate::error::Error::InstanceTooLarge { .. }) => {}
+            Err(e) => return Err(e),
+        }
+    }
     if ds.n_rows() <= SubsetDpConfig::default().max_rows {
         return subset_dp(ds, k, &SubsetDpConfig::default());
     }

@@ -62,7 +62,6 @@ pub mod cover;
 pub mod dataset;
 pub mod diameter;
 pub mod distcache;
-pub mod diversity;
 pub mod error;
 pub mod exact;
 pub mod govern;

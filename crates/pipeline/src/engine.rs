@@ -715,6 +715,7 @@ pub fn run_pipeline_with_progress(
         total_cost: anon.cost,
         elapsed: started.elapsed(),
         generalization: None,
+        privacy: None,
     };
     Ok((anon, report))
 }

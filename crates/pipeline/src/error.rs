@@ -34,6 +34,10 @@ pub enum Error {
     /// Wrapped schema-inference error from the auto-ingestion path
     /// (unprobeable input, bad `.schema` file, hierarchy override problems).
     Schema(kanon_schema::Error),
+    /// Wrapped privacy-constraint error from the `--privacy` path: a
+    /// malformed spec, a sensitive column declared quasi-identifying, an
+    /// unreachable constraint, or a sensitive-column arity mismatch.
+    Privacy(kanon_privacy::Error),
 }
 
 impl Error {
@@ -68,6 +72,7 @@ impl fmt::Display for Error {
                 known.join(", ")
             ),
             Error::Schema(e) => write!(f, "schema error: {e}"),
+            Error::Privacy(e) => write!(f, "privacy error: {e}"),
         }
     }
 }
@@ -79,6 +84,7 @@ impl std::error::Error for Error {
             Error::Relation(e) => Some(e),
             Error::Store(e) => Some(e),
             Error::Schema(e) => Some(e),
+            Error::Privacy(e) => Some(e),
             Error::Config(_) | Error::Delta(_) | Error::UnknownColumn { .. } => None,
         }
     }
@@ -105,6 +111,12 @@ impl From<kanon_store::Error> for Error {
 impl From<kanon_schema::Error> for Error {
     fn from(e: kanon_schema::Error) -> Self {
         Error::Schema(e)
+    }
+}
+
+impl From<kanon_privacy::Error> for Error {
+    fn from(e: kanon_privacy::Error) -> Self {
+        Error::Privacy(e)
     }
 }
 
@@ -139,5 +151,14 @@ mod tests {
         let schema: Error = kanon_schema::Error::Unprobeable("empty".into()).into();
         assert!(schema.to_string().contains("schema error"));
         assert!(std::error::Error::source(&schema).is_some());
+
+        let privacy: Error = kanon_privacy::Error::SensitiveIsQuasi {
+            column: "diagnosis".into(),
+            quasi: vec!["age".into(), "diagnosis".into()],
+        }
+        .into();
+        assert!(privacy.to_string().contains("privacy error"));
+        assert!(privacy.to_string().contains("diagnosis"));
+        assert!(std::error::Error::source(&privacy).is_some());
     }
 }

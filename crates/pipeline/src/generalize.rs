@@ -215,6 +215,7 @@ pub fn run_csv_auto<R: io::Read>(
                     suppression_cost,
                     suppression_loss,
                 })),
+                privacy: None,
             };
             (AutoOutcome::Generalized(gen), report)
         }

@@ -28,6 +28,12 @@
 //!    against the (k, 2k-1) band before the final
 //!    [`kanon_core::Anonymization`] is assembled.
 //!
+//! A fifth, optional stage ([`run_csv_private`]) holds the merged release
+//! to a [`kanon_privacy::PrivacyModel`] beyond k-anonymity: the sensitive
+//! column is kept out of the quasi-identifier (it never keys the shard
+//! hash), violating blocks are greedily merged post-merge, and the result
+//! is independently re-verified before it is reported.
+//!
 //! Solver memory scales with `shard_size²`, not `n²`; the table itself is
 //! held encoded (4 bytes per cell). Sharding costs approximation quality —
 //! groups can only form within a shard — which is the price of scale; the
@@ -44,6 +50,7 @@ pub mod error;
 pub mod generalize;
 pub mod ingest;
 pub mod json;
+pub mod privacy;
 pub mod release;
 pub mod report;
 pub mod shard;
@@ -54,6 +61,9 @@ pub use engine::{run_pipeline, run_pipeline_with_progress, Progress};
 pub use error::{Error, Result};
 pub use generalize::{run_csv_auto, AutoConfig, AutoOutcome, AutoRun, Generalized};
 pub use ingest::{ingest_csv, ingest_csv_with_delimiter, run_csv, run_csv_with_progress, CsvRun};
-pub use release::{write_generalized_release, write_release};
-pub use report::{json_escape, GeneralizationReport, PipelineReport, ShardReport, SolvedBy};
+pub use privacy::{run_csv_private, run_csv_private_with_progress};
+pub use release::{attack_tables, write_generalized_release, write_release};
+pub use report::{
+    json_escape, GeneralizationReport, PipelineReport, PrivacyReport, ShardReport, SolvedBy,
+};
 pub use shard::{full_cover_candidates, plan_shards, ShardPlan};

@@ -12,7 +12,9 @@ use std::io;
 
 use kanon_core::{Dataset, Suppressor};
 use kanon_relation::csv;
-use kanon_relation::Codec;
+use kanon_relation::{Codec, Schema, Table};
+
+use crate::ingest::CsvRun;
 
 /// Streams the released table to `w`: header, then one CSV record per row,
 /// original values everywhere except suppressed quasi-identifier cells,
@@ -112,6 +114,53 @@ pub fn write_generalized_release(
     w.flush()
 }
 
+/// Builds the two tables a linkage attacker joins: the **released**
+/// quasi-identifier projection (`*` on suppressed cells) and the
+/// **external** original values for the same rows, both over the
+/// quasi-identifier columns only and capped at `cap` rows.
+///
+/// Using the run's own rows as the external table measures the release
+/// against the strongest realistic adversary — one whose side information
+/// is exactly the population the release came from. Feed both tables to
+/// [`kanon_relation::linkage_attack`] joined on every shared column name.
+///
+/// # Errors
+/// [`kanon_relation::Error`] if the quasi headers collide (duplicate CSV
+/// header names).
+///
+/// # Panics
+/// If `run` pairs state from different runs (codes unknown to its codec).
+pub fn attack_tables(run: &CsvRun, cap: usize) -> kanon_relation::Result<(Table, Table)> {
+    let names: Vec<&str> = run
+        .quasi
+        .iter()
+        .map(|&j| run.codec.header()[j].as_str())
+        .collect();
+    let mut released = Table::new(Schema::new(names.clone())?);
+    let mut external = Table::new(Schema::new(names)?);
+    let rows = run.dataset.n_rows().min(cap);
+    for i in 0..rows {
+        let row = run.dataset.row(i);
+        let mut rel = Vec::with_capacity(run.quasi.len());
+        let mut ext = Vec::with_capacity(run.quasi.len());
+        for (pos, &j) in run.quasi.iter().enumerate() {
+            let value = run
+                .codec
+                .value(j, row[j])
+                .expect("codes come from this codec");
+            ext.push(value.to_string());
+            rel.push(if run.anonymization.suppressor.is_suppressed(i, pos) {
+                "*".to_string()
+            } else {
+                value.to_string()
+            });
+        }
+        released.push_row(rel)?;
+        external.push_row(ext)?;
+    }
+    Ok((released, external))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +213,35 @@ mod tests {
             let rest = want.split_once(',').unwrap().1;
             assert_eq!(*line, format!("\"[30,40)\",{rest}"));
         }
+    }
+
+    #[test]
+    fn attack_tables_agree_with_the_written_release() {
+        let quasi = vec!["age".to_string(), "zip".to_string()];
+        let run = run_csv(CSV.as_bytes(), 3, Some(&quasi), &PipelineConfig::default()).unwrap();
+        let (released, external) = attack_tables(&run, usize::MAX).unwrap();
+        assert_eq!(released.n_rows(), 6);
+        assert_eq!(external.n_rows(), 6);
+        // The released table's star count is the suppression cost, and
+        // the external table has no stars at all.
+        let stars = |t: &kanon_relation::Table| {
+            (0..t.n_rows())
+                .flat_map(|i| t.row(i).iter())
+                .filter(|v| *v == "*")
+                .count()
+        };
+        assert_eq!(stars(&released), run.anonymization.cost);
+        assert_eq!(stars(&external), 0);
+        // A k=3 release never re-identifies anyone; the attacker's best
+        // expected success is 1/k.
+        let report =
+            kanon_relation::linkage_attack(&released, &external, &[("age", "age"), ("zip", "zip")])
+                .unwrap();
+        assert_eq!(report.unique_matches, 0);
+        assert!(report.expected_success <= 1.0 / 3.0 + 1e-12);
+        // The cap truncates the sample.
+        let (capped, _) = attack_tables(&run, 2).unwrap();
+        assert_eq!(capped.n_rows(), 2);
     }
 
     #[test]

@@ -71,6 +71,35 @@ pub struct GeneralizationReport {
     pub suppression_loss: Option<f64>,
 }
 
+/// Account of the post-merge privacy-constraint step: which model the
+/// release was held to, what the merged k-anonymous partition violated,
+/// how much repair cost, and whether the independent re-check passed.
+#[derive(Clone, Debug)]
+pub struct PrivacyReport {
+    /// The model in spec-grammar form (`l=2`, `entropy-l=2.5`, `t=0.2`,
+    /// `emd-t=0.15`) — parseable back with `PrivacyModel::parse`.
+    pub spec: String,
+    /// Stable model-family name (`l-distinct`, `l-entropy`,
+    /// `t-variational`, `t-emd`).
+    pub family: &'static str,
+    /// The sensitive column's header name.
+    pub sensitive: String,
+    /// Blocks of the merged k-anonymous partition that violated the
+    /// constraint before repair.
+    pub violations_before: usize,
+    /// Merges the greedy repair performed (0 when already satisfying).
+    pub merges: usize,
+    /// Suppression cost before repair (the k-only release's cost).
+    pub cost_before: usize,
+    /// Suppression cost after repair — the privacy premium is
+    /// `cost_after - cost_before`.
+    pub cost_after: usize,
+    /// Whether the repaired release passed an independent re-verification
+    /// of both the constraint and k-anonymity. Always `true` on success;
+    /// recorded so downstream consumers never have to take it on faith.
+    pub verified: bool,
+}
+
 /// Summary of a completed [`crate::run_pipeline`] call.
 #[derive(Clone, Debug)]
 pub struct PipelineReport {
@@ -100,6 +129,10 @@ pub struct PipelineReport {
     /// winning lattice node and its precision loss. `None` for suppression
     /// runs, whose loss is `total_cost` over the cell count.
     pub generalization: Option<Box<GeneralizationReport>>,
+    /// Present when the run was held to a privacy model beyond
+    /// k-anonymity: the post-merge constraint repair and re-verification
+    /// account. `None` for plain k-only runs.
+    pub privacy: Option<Box<PrivacyReport>>,
 }
 
 impl PipelineReport {
@@ -211,6 +244,28 @@ impl PipelineReport {
             gen.push('}');
             push_kv(&mut out, "generalization", &gen);
         }
+        if let Some(p) = &self.privacy {
+            let mut pv = String::from("{");
+            push_kv(&mut pv, "spec", &format!("\"{}\"", json_escape(&p.spec)));
+            push_kv(&mut pv, "family", &format!("\"{}\"", json_escape(p.family)));
+            push_kv(
+                &mut pv,
+                "sensitive",
+                &format!("\"{}\"", json_escape(&p.sensitive)),
+            );
+            push_kv(
+                &mut pv,
+                "violations_before",
+                &p.violations_before.to_string(),
+            );
+            push_kv(&mut pv, "merges", &p.merges.to_string());
+            push_kv(&mut pv, "cost_before", &p.cost_before.to_string());
+            push_kv(&mut pv, "cost_after", &p.cost_after.to_string());
+            push_kv(&mut pv, "verified", &p.verified.to_string());
+            pv.pop();
+            pv.push('}');
+            push_kv(&mut out, "privacy", &pv);
+        }
         out.push_str("\"shards\":[");
         for (i, shard) in self.shards.iter().enumerate() {
             if i > 0 {
@@ -311,6 +366,7 @@ mod tests {
             total_cost: 25,
             elapsed: Duration::from_millis(12),
             generalization: None,
+            privacy: None,
         }
     }
 
@@ -361,6 +417,31 @@ mod tests {
         assert!(json.contains("\"suppression_cost\":25"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn privacy_section_renders() {
+        let mut r = report();
+        r.privacy = Some(Box::new(PrivacyReport {
+            spec: "l=2".into(),
+            family: "l-distinct",
+            sensitive: "diagnosis".into(),
+            violations_before: 3,
+            merges: 2,
+            cost_before: 25,
+            cost_after: 31,
+            verified: true,
+        }));
+        let json = r.to_json();
+        assert!(json.contains("\"privacy\":{\"spec\":\"l=2\""));
+        assert!(json.contains("\"family\":\"l-distinct\""));
+        assert!(json.contains("\"sensitive\":\"diagnosis\""));
+        assert!(json.contains("\"violations_before\":3"));
+        assert!(json.contains("\"merges\":2"));
+        assert!(json.contains("\"cost_before\":25"));
+        assert!(json.contains("\"cost_after\":31"));
+        assert!(json.contains("\"verified\":true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

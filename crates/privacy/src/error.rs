@@ -1,0 +1,93 @@
+//! Error type for the privacy-constraint layer.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from constraint specification, verification, and repair.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Wrapped core error (invalid partition, bad `k`).
+    Core(kanon_core::Error),
+    /// A `--privacy` specification string that does not parse.
+    Spec(String),
+    /// The sensitive column does not cover every row of the partition.
+    SensitiveMismatch {
+        /// Sensitive values supplied.
+        values: usize,
+        /// Rows the partition covers.
+        rows: usize,
+    },
+    /// A declared sensitive column also appears in the quasi-identifier
+    /// list. A sensitive attribute must never key the release (nor the
+    /// shard hash); this names the column in both roles so the caller can
+    /// fix whichever declaration was wrong.
+    SensitiveIsQuasi {
+        /// The column declared sensitive.
+        column: String,
+        /// The quasi-identifier list it also appears in.
+        quasi: Vec<String>,
+    },
+    /// No partition of this table can satisfy the constraint (e.g. fewer
+    /// distinct sensitive values than `l` in the whole table).
+    Unreachable(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "core error: {e}"),
+            Error::Spec(msg) => write!(f, "bad privacy spec: {msg}"),
+            Error::SensitiveMismatch { values, rows } => {
+                write!(f, "{values} sensitive values for {rows} rows")
+            }
+            Error::SensitiveIsQuasi { column, quasi } => write!(
+                f,
+                "column `{column}` is declared sensitive but also appears in the \
+                 quasi-identifier list ({}); a sensitive attribute cannot key the release",
+                quasi.join(", ")
+            ),
+            Error::Unreachable(msg) => write!(f, "constraint unreachable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kanon_core::Error> for Error {
+    fn from(e: kanon_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_both_roles() {
+        let e = Error::SensitiveIsQuasi {
+            column: "occupation".into(),
+            quasi: vec!["age".into(), "occupation".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("`occupation`"));
+        assert!(msg.contains("sensitive"));
+        assert!(msg.contains("quasi-identifier"));
+        assert!(msg.contains("age, occupation"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let core: Error = kanon_core::Error::KZero.into();
+        assert!(core.to_string().contains("core error"));
+        assert!(std::error::Error::source(&core).is_some());
+    }
+}

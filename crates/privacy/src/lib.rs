@@ -1,0 +1,44 @@
+//! Richer privacy models layered on the paper's k-anonymity.
+//!
+//! The source paper proves hardness and approximation bounds for
+//! k-anonymity alone; the follow-up literature strengthens the release
+//! guarantee — **l-diversity** (Machanavajjhala et al., ICDE 2006) stops
+//! attribute disclosure from uniform sensitive groups, and **t-closeness**
+//! (Li, Li & Venkatasubramanian, ICDE 2007) stops distributional skew
+//! leaking what the distinct-count check misses. This crate makes both
+//! *verifiable constraints* over the workspace's core types:
+//!
+//! * [`PrivacyModel`] — the `privacy=` knob shared by the CLI pipeline and
+//!   the service: `k`, `l=N`, `entropy-l=X`, `t=X`, `emd-t=X`;
+//! * [`verify_l_diversity`] / [`verify_entropy_l_diversity`] /
+//!   [`verify_t_closeness`] / [`verify`] — pure checkers returning a
+//!   structured [`ConstraintReport`] with per-block [`Violation`]s;
+//! * [`fn@enforce`] — greedy merge repair turning any k-feasible partition
+//!   into a constraint-satisfying one (preserving the ≥ k floor), with
+//!   up-front reachability checks;
+//! * the former `kanon-core::diversity` API ([`enforce_l_diversity`],
+//!   [`is_l_diverse`], [`diversity_violations`]), absorbed here.
+//!
+//! Everything is std-only and operates on [`kanon_core::Dataset`] /
+//! [`kanon_core::Partition`]; the sensitive column rides *outside* the
+//! quasi-identifier dataset (as in practice — it is released verbatim and
+//! must never key the anonymization or the shard hash).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod enforce;
+pub mod error;
+pub mod spec;
+
+pub use check::{
+    verify, verify_entropy_l_diversity, verify_l_diversity, verify_t_closeness, ConstraintReport,
+    Violation, ViolationKind,
+};
+pub use enforce::{
+    diversity_violations, enforce, enforce_l_diversity, is_l_diverse, DiversityResult,
+    EnforceOutcome,
+};
+pub use error::{Error, Result};
+pub use spec::{ClosenessMetric, PrivacyModel};

@@ -1,0 +1,235 @@
+//! The `privacy=` knob: which constraint a release must satisfy beyond
+//! k-anonymity, and the little grammar the CLI and service share for it.
+//!
+//! Grammar (one clause):
+//!
+//! * `k` — k-anonymity only (the paper's model, the default);
+//! * `l=N` — distinct l-diversity: every block carries ≥ N distinct
+//!   sensitive values (Machanavajjhala et al., ICDE 2006);
+//! * `entropy-l=X` — entropy l-diversity: every block's sensitive-value
+//!   entropy is ≥ ln X (X may be fractional);
+//! * `t=X` — t-closeness with variational distance (categorical
+//!   sensitive domains);
+//! * `emd-t=X` — t-closeness with the Earth Mover's Distance over the
+//!   ordered sensitive domain (Li, Li & Venkatasubramanian, ICDE 2007).
+
+use crate::error::{Error, Result};
+
+/// How a t-closeness distance is measured over the sensitive domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClosenessMetric {
+    /// Total-variation distance `½·Σ|p − q|`: categorical domains, where
+    /// no value is "nearer" another.
+    Variational,
+    /// Ordered-domain EMD with unit ground distance between adjacent
+    /// values, normalized to `[0, 1]`: numeric or otherwise ordered
+    /// domains, where shifting mass one step is cheaper than shifting it
+    /// across the range.
+    Emd,
+}
+
+impl ClosenessMetric {
+    /// Stable short name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ClosenessMetric::Variational => "variational",
+            ClosenessMetric::Emd => "emd",
+        }
+    }
+}
+
+/// The privacy model a release is held to.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum PrivacyModel {
+    /// k-anonymity alone (the paper's model).
+    #[default]
+    KOnly,
+    /// Distinct l-diversity: ≥ `l` distinct sensitive values per block.
+    Distinct {
+        /// Required distinct sensitive values per block (≥ 2 to mean
+        /// anything; 1 is vacuous).
+        l: usize,
+    },
+    /// Entropy l-diversity: per-block sensitive entropy ≥ ln `l`.
+    Entropy {
+        /// Effective diversity target; the threshold is `ln l`.
+        l: f64,
+    },
+    /// t-closeness: per-block sensitive distribution within distance `t`
+    /// of the whole table's.
+    Closeness {
+        /// Maximum allowed distance, in `[0, 1]`.
+        t: f64,
+        /// The distance measure.
+        metric: ClosenessMetric,
+    },
+}
+
+impl PrivacyModel {
+    /// Parses one spec clause (see module docs for the grammar).
+    ///
+    /// # Errors
+    /// [`Error::Spec`] naming the malformed clause.
+    pub fn parse(spec: &str) -> Result<PrivacyModel> {
+        let s = spec.trim();
+        if s.eq_ignore_ascii_case("k") {
+            return Ok(PrivacyModel::KOnly);
+        }
+        let (key, raw) = s.split_once('=').ok_or_else(|| {
+            Error::Spec(format!(
+                "`{s}` (expected k, l=N, entropy-l=X, t=X, or emd-t=X)"
+            ))
+        })?;
+        match key.trim() {
+            "l" => {
+                let l: usize =
+                    raw.trim().parse().ok().filter(|&l| l >= 2).ok_or_else(|| {
+                        Error::Spec(format!("l must be an integer ≥ 2, got `{raw}`"))
+                    })?;
+                Ok(PrivacyModel::Distinct { l })
+            }
+            "entropy-l" => {
+                let l: f64 = raw
+                    .trim()
+                    .parse()
+                    .ok()
+                    .filter(|&l: &f64| l.is_finite() && l > 1.0)
+                    .ok_or_else(|| {
+                        Error::Spec(format!("entropy-l must be a number > 1, got `{raw}`"))
+                    })?;
+                Ok(PrivacyModel::Entropy { l })
+            }
+            "t" | "emd-t" => {
+                let t: f64 = raw
+                    .trim()
+                    .parse()
+                    .ok()
+                    .filter(|&t: &f64| (0.0..=1.0).contains(&t))
+                    .ok_or_else(|| Error::Spec(format!("t must be in [0, 1], got `{raw}`")))?;
+                let metric = if key.trim() == "t" {
+                    ClosenessMetric::Variational
+                } else {
+                    ClosenessMetric::Emd
+                };
+                Ok(PrivacyModel::Closeness { t, metric })
+            }
+            other => Err(Error::Spec(format!(
+                "unknown privacy parameter `{other}` (expected k, l, entropy-l, t, or emd-t)"
+            ))),
+        }
+    }
+
+    /// Stable short name of the model family.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PrivacyModel::KOnly => "k",
+            PrivacyModel::Distinct { .. } => "l-distinct",
+            PrivacyModel::Entropy { .. } => "l-entropy",
+            PrivacyModel::Closeness {
+                metric: ClosenessMetric::Variational,
+                ..
+            } => "t-variational",
+            PrivacyModel::Closeness {
+                metric: ClosenessMetric::Emd,
+                ..
+            } => "t-emd",
+        }
+    }
+
+    /// Renders the model back in the spec grammar (`parse` round trip).
+    #[must_use]
+    pub fn render(self) -> String {
+        match self {
+            PrivacyModel::KOnly => "k".to_string(),
+            PrivacyModel::Distinct { l } => format!("l={l}"),
+            PrivacyModel::Entropy { l } => format!("entropy-l={l}"),
+            PrivacyModel::Closeness { t, metric } => match metric {
+                ClosenessMetric::Variational => format!("t={t}"),
+                ClosenessMetric::Emd => format!("emd-t={t}"),
+            },
+        }
+    }
+
+    /// Whether this model needs a designated sensitive column.
+    #[must_use]
+    pub fn requires_sensitive(self) -> bool {
+        !matches!(self, PrivacyModel::KOnly)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_clause() {
+        assert_eq!(PrivacyModel::parse("k").unwrap(), PrivacyModel::KOnly);
+        assert_eq!(PrivacyModel::parse(" K ").unwrap(), PrivacyModel::KOnly);
+        assert_eq!(
+            PrivacyModel::parse("l=2").unwrap(),
+            PrivacyModel::Distinct { l: 2 }
+        );
+        assert_eq!(
+            PrivacyModel::parse("entropy-l=2.5").unwrap(),
+            PrivacyModel::Entropy { l: 2.5 }
+        );
+        assert_eq!(
+            PrivacyModel::parse("t=0.3").unwrap(),
+            PrivacyModel::Closeness {
+                t: 0.3,
+                metric: ClosenessMetric::Variational
+            }
+        );
+        assert_eq!(
+            PrivacyModel::parse("emd-t=0.15").unwrap(),
+            PrivacyModel::Closeness {
+                t: 0.15,
+                metric: ClosenessMetric::Emd
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_clauses() {
+        for bad in [
+            "",
+            "q",
+            "l",
+            "l=",
+            "l=1",
+            "l=x",
+            "l=-3",
+            "entropy-l=1.0",
+            "entropy-l=inf",
+            "t=1.5",
+            "t=-0.1",
+            "t=x",
+            "emd-t=2",
+            "z=3",
+        ] {
+            assert!(PrivacyModel::parse(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn render_round_trips() {
+        for spec in ["k", "l=3", "entropy-l=2.5", "t=0.3", "emd-t=0.2"] {
+            let model = PrivacyModel::parse(spec).unwrap();
+            assert_eq!(PrivacyModel::parse(&model.render()).unwrap(), model);
+        }
+    }
+
+    #[test]
+    fn only_k_needs_no_sensitive_column() {
+        assert!(!PrivacyModel::KOnly.requires_sensitive());
+        assert!(PrivacyModel::Distinct { l: 2 }.requires_sensitive());
+        assert!(PrivacyModel::Entropy { l: 2.0 }.requires_sensitive());
+        assert!(PrivacyModel::Closeness {
+            t: 0.5,
+            metric: ClosenessMetric::Emd
+        }
+        .requires_sensitive());
+    }
+}

@@ -10,6 +10,8 @@
 //!   the classic zip-code hierarchy;
 //! * [`Hierarchy::Intervals`] — numeric banding with nested widths
 //!   (`34 → 30-39 → 20-39`);
+//! * [`Hierarchy::Dates`] — the calendar ladder
+//!   (`2024-03-17 → 2024-03 → 2024 → *`);
 //! * [`Hierarchy::Explicit`] — arbitrary taxonomy chains
 //!   (`Cauc → European → Any`).
 //!
@@ -48,12 +50,54 @@ pub enum Hierarchy {
         /// Band widths, strictly increasing, each dividing the next.
         widths: Vec<i64>,
     },
+    /// Calendar ladder for date-typed columns: level 1 truncates the day
+    /// (`2024-03-17 → 2024-03`), level 2 truncates the month (`→ 2024`),
+    /// level 3 is the star. Accepts three numeric groups split by `-` or
+    /// `/` with a 4-digit year first (ISO) or last (`17/03/2024`); when the
+    /// year is last, the month is taken from the middle group unless it
+    /// exceeds 12 and the first fits (US `03/17/2024` order). Values that
+    /// do not parse as dates generalize to `*` at every level ≥ 1, like
+    /// [`Hierarchy::LenientIntervals`] junk — inferred date columns carry
+    /// null markers and they must merge rather than abort.
+    Dates,
     /// Level `ℓ` applies `levels[0..ℓ]` in order; `levels[i]` maps a
     /// level-`i` value to its level-`i+1` ancestor.
     Explicit {
         /// Parent maps, one per level step.
         levels: Vec<HashMap<String, String>>,
     },
+}
+
+/// Extracts `(year, month)` from a supported date rendering, `None` on
+/// anything else. See [`Hierarchy::Dates`] for the accepted shapes.
+fn parse_date(value: &str) -> Option<(String, u32)> {
+    let v = value.trim();
+    let sep = if v.contains('-') {
+        '-'
+    } else if v.contains('/') {
+        '/'
+    } else {
+        return None;
+    };
+    let parts: Vec<&str> = v.split(sep).collect();
+    if parts.len() != 3
+        || parts
+            .iter()
+            .any(|p| p.is_empty() || !p.bytes().all(|b| b.is_ascii_digit()))
+    {
+        return None;
+    }
+    let month_in_range = |p: &str| p.parse::<u32>().ok().filter(|m| (1..=12).contains(m));
+    if parts[0].len() == 4 {
+        // ISO year-month-day.
+        return Some((parts[0].to_string(), month_in_range(parts[1])?));
+    }
+    if parts[2].len() == 4 {
+        // Year-last: middle group is the month unless only the first fits.
+        let month = month_in_range(parts[1]).or_else(|| month_in_range(parts[0]))?;
+        return Some((parts[2].to_string(), month));
+    }
+    None
 }
 
 impl Hierarchy {
@@ -72,6 +116,7 @@ impl Hierarchy {
             Hierarchy::Intervals { widths } | Hierarchy::LenientIntervals { widths } => {
                 widths.len()
             }
+            Hierarchy::Dates => 3,
             Hierarchy::Explicit { levels } => levels.len(),
         }
     }
@@ -112,6 +157,7 @@ impl Hierarchy {
                 }
                 Ok(())
             }
+            Hierarchy::Dates => Ok(()),
             Hierarchy::Explicit { levels } => {
                 if levels.is_empty() {
                     return Err(Error::Hierarchy("Explicit needs at least one level".into()));
@@ -171,6 +217,11 @@ impl Hierarchy {
                 Ok(v) => Ok(Self::band(v, widths[level - 1])),
                 Err(_) => Ok("*".to_string()),
             },
+            Hierarchy::Dates => Ok(match (parse_date(value), level) {
+                (Some((year, month)), 1) => format!("{year}-{month:02}"),
+                (Some((year, _)), 2) => year,
+                _ => "*".to_string(),
+            }),
             Hierarchy::Explicit { levels } => {
                 let mut current = value.to_string();
                 for (i, map) in levels.iter().take(level).enumerate() {
@@ -281,6 +332,56 @@ mod tests {
         assert!(Hierarchy::LenientIntervals { widths: vec![] }
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn date_ladder_truncates_day_then_month() {
+        let h = Hierarchy::Dates;
+        h.validate().unwrap();
+        assert_eq!(h.height(), 3);
+        assert_eq!(h.generalize("2024-03-17", 0).unwrap(), "2024-03-17");
+        assert_eq!(h.generalize("2024-03-17", 1).unwrap(), "2024-03");
+        assert_eq!(h.generalize("2024-03-17", 2).unwrap(), "2024");
+        assert_eq!(h.generalize("2024-03-17", 3).unwrap(), "*");
+        assert!(h.generalize("2024-03-17", 4).is_err());
+    }
+
+    #[test]
+    fn date_ladder_handles_year_last_orders() {
+        let h = Hierarchy::Dates;
+        // Day-month-year: the middle group is the month.
+        assert_eq!(h.generalize("17/03/2024", 1).unwrap(), "2024-03");
+        // US month-day-year: the middle group exceeds 12, the first fits.
+        assert_eq!(h.generalize("03/17/2024", 1).unwrap(), "2024-03");
+        assert_eq!(h.generalize("17/03/2024", 2).unwrap(), "2024");
+    }
+
+    #[test]
+    fn date_ladder_is_a_coarsening_chain() {
+        let h = Hierarchy::Dates;
+        for (a, b) in [("2024-03-17", "2024-03-01"), ("2024-03-17", "17/03/2024")] {
+            assert_eq!(h.generalize(a, 1).unwrap(), h.generalize(b, 1).unwrap());
+            assert_eq!(h.generalize(a, 2).unwrap(), h.generalize(b, 2).unwrap());
+        }
+    }
+
+    #[test]
+    fn date_ladder_absorbs_junk() {
+        let h = Hierarchy::Dates;
+        for junk in [
+            "N/A",
+            "",
+            "2024",
+            "2024-13-01",
+            "12-31",
+            "a/b/2024",
+            "1/2/3",
+        ] {
+            assert_eq!(h.generalize(junk, 1).unwrap(), "*", "junk `{junk}`");
+            assert_eq!(h.generalize(junk, 2).unwrap(), "*");
+        }
+        // Level 0 always passes values through untouched.
+        assert_eq!(h.generalize("N/A", 0).unwrap(), "N/A");
     }
 
     #[test]

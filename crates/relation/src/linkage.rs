@@ -31,6 +31,13 @@ pub struct LinkageReport {
     pub mean_candidates: f64,
     /// Smallest non-zero candidate set seen.
     pub min_candidates: usize,
+    /// Expected attacker success: the mean over attacked records of
+    /// `1 / |candidates|` (0 for no-match records). This is the probability
+    /// a uniformly-guessing attacker names the right released record, so —
+    /// unlike [`LinkageReport::unique_matches`], which saturates at 0 for
+    /// every `k ≥ 2` — it keeps *strictly* falling as candidate sets grow,
+    /// which makes it the right y-axis for attack-vs-loss sweeps.
+    pub expected_success: f64,
 }
 
 impl LinkageReport {
@@ -112,6 +119,7 @@ pub fn linkage_attack(
     let mut total_candidates = 0usize;
     let mut matched_records = 0usize;
     let mut min_candidates = usize::MAX;
+    let mut success_mass = 0.0f64;
     for e in 0..external.n_rows() {
         let ext_row = external.row(e);
         let ext_key: Vec<&str> = ext_cols.iter().map(|&j| ext_row[j].as_str()).collect();
@@ -133,11 +141,13 @@ pub fn linkage_attack(
                 matched_records += 1;
                 total_candidates += 1;
                 min_candidates = min_candidates.min(1);
+                success_mass += 1.0;
             }
             c => {
                 matched_records += 1;
                 total_candidates += c;
                 min_candidates = min_candidates.min(c);
+                success_mass += 1.0 / c as f64;
             }
         }
     }
@@ -155,6 +165,11 @@ pub fn linkage_attack(
             0
         } else {
             min_candidates
+        },
+        expected_success: if external.n_rows() == 0 {
+            0.0
+        } else {
+            success_mass / external.n_rows() as f64
         },
     })
 }
@@ -215,6 +230,27 @@ mod tests {
         assert_eq!(report.unique_matches, 0);
         assert_eq!(report.min_candidates, 2);
         assert_eq!(report.mean_candidates, 2.0);
+        // A uniform guess among 2 candidates succeeds half the time.
+        assert!((report.expected_success - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_success_keeps_falling_where_unique_matches_saturate() {
+        let external = table(
+            &["name", "age"],
+            &[&["A", "30"], &["B", "31"], &["C", "32"], &["D", "33"]],
+        );
+        // Two releases, both with zero unique matches: one pools rows in
+        // pairs, the other in a single 4-row group.
+        let pairs = table(&["age"], &[&["30-31"], &["30-31"], &["32-33"], &["32-33"]]);
+        let pooled = table(&["age"], &[&["30-33"], &["30-33"], &["30-33"], &["30-33"]]);
+        let r2 = linkage_attack(&pairs, &external, &[("age", "age")]).unwrap();
+        let r4 = linkage_attack(&pooled, &external, &[("age", "age")]).unwrap();
+        assert_eq!(r2.unique_matches, 0);
+        assert_eq!(r4.unique_matches, 0);
+        assert!((r2.expected_success - 0.5).abs() < 1e-12);
+        assert!((r4.expected_success - 0.25).abs() < 1e-12);
+        assert!(r4.expected_success < r2.expected_success);
     }
 
     #[test]

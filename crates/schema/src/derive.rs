@@ -8,7 +8,10 @@
 //! * **int** → [`Hierarchy::LenientIntervals`] on a decimal ladder
 //!   (widths 10, 100, …) grown until one band covers the observed range —
 //!   junk cells merge to `*` instead of aborting;
-//! * **date / float / short text** → [`Hierarchy::PrefixMask`] over the
+//! * **date** → [`Hierarchy::Dates`], the calendar ladder
+//!   (`2024-03-17 → 2024-03 → 2024 → *`) — an interval structure a prefix
+//!   mask can't express for year-last renderings like `17/03/2024`;
+//! * **float / short text** → [`Hierarchy::PrefixMask`] over the
 //!   longest observed value (the classic zip-code ladder);
 //! * **categorical / long free text** → [`Hierarchy::SuppressOnly`]
 //!   (prefixes of prose or enum labels carry no domain meaning).
@@ -55,8 +58,8 @@ pub fn derive_hierarchy(profile: &ColumnProfile) -> Hierarchy {
             }
             Hierarchy::LenientIntervals { widths }
         }
-        ColumnType::Date | ColumnType::Float => prefix_or_suppress(profile.max_len),
-        ColumnType::Text => prefix_or_suppress(profile.max_len),
+        ColumnType::Date => Hierarchy::Dates,
+        ColumnType::Float | ColumnType::Text => prefix_or_suppress(profile.max_len),
         ColumnType::Categorical => Hierarchy::SuppressOnly,
     }
 }
@@ -80,6 +83,7 @@ fn prefix_or_suppress(max_len: usize) -> Hierarchy {
 ///   "age":  {"type": "intervals", "widths": [5, 25]},
 ///   "zip":  {"type": "prefix", "height": 3},
 ///   "race": {"type": "suppress"},
+///   "born": {"type": "dates"},
 ///   "city": {"type": "explicit", "levels": [{"Boston": "MA"}, {"MA": "*"}]}
 /// }
 /// ```
@@ -131,6 +135,7 @@ fn parse_override(name: &str, spec: &Value) -> Result<Hierarchy> {
         .ok_or_else(|| Error::Override(format!("column `{name}`: missing `type`")))?;
     match kind {
         "suppress" => Ok(Hierarchy::SuppressOnly),
+        "dates" => Ok(Hierarchy::Dates),
         "prefix" => {
             let height = spec
                 .get("height")
@@ -205,6 +210,7 @@ mod tests {
             null_rate: 0.0,
             distinct: 5,
             uniqueness: 0.5,
+            entropy: 5.0f64.ln(),
             max_len,
             min_int: range.map(|(lo, _)| lo),
             max_int: range.map(|(_, hi)| hi),
@@ -270,10 +276,11 @@ mod tests {
             derive_hierarchy(&profile(ColumnType::Text, 40, None)),
             Hierarchy::SuppressOnly
         ));
-        assert!(matches!(
-            derive_hierarchy(&profile(ColumnType::Date, 10, None)),
-            Hierarchy::PrefixMask { height: 10 }
-        ));
+        // Date columns get the calendar ladder, not a prefix mask.
+        let date = derive_hierarchy(&profile(ColumnType::Date, 10, None));
+        assert!(matches!(date, Hierarchy::Dates));
+        assert_eq!(date.generalize("2024-03-17", 1).unwrap(), "2024-03");
+        assert_eq!(date.generalize("2024-03-17", 2).unwrap(), "2024");
         assert!(matches!(
             derive_hierarchy(&profile(ColumnType::Categorical, 6, None)),
             Hierarchy::SuppressOnly

@@ -6,13 +6,13 @@
 //! so both hand edits and upstream data drift are detectable:
 //!
 //! ```text
-//! kanon-schema v1
+//! kanon-schema v2
 //! hash 53a3c1f1e2b4d596
 //! delimiter ;
 //! rows-sampled 500
 //! ragged-rows 2
-//! column int null-rate=0.0200 distinct=63 uniqueness=0.1286 max-len=3 range=18..97 name=age
-//! column categorical null-rate=0.0000 distinct=3 uniqueness=0.0060 max-len=6 name=race
+//! column int null-rate=0.0200 distinct=63 uniqueness=0.1286 entropy=3.8812 max-len=3 range=18..97 name=age
+//! column categorical null-rate=0.0000 distinct=3 uniqueness=0.0060 entropy=1.0571 max-len=6 name=race
 //! ```
 //!
 //! The `name=` field is always last so column names may contain spaces,
@@ -24,7 +24,8 @@ use crate::error::{Error, Result};
 use crate::infer::{ColumnProfile, ColumnType, InferredSchema};
 
 /// Current file-format version; bump on any incompatible layout change.
-pub const FORMAT_VERSION: u32 = 1;
+/// v2 added the per-column `entropy=` stat (sensitive-column screening).
+pub const FORMAT_VERSION: u32 = 2;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -64,11 +65,12 @@ fn render_body(schema: &InferredSchema) -> String {
     for c in &schema.columns {
         let _ = write!(
             out,
-            "column {} null-rate={:.4} distinct={} uniqueness={:.4} max-len={}",
+            "column {} null-rate={:.4} distinct={} uniqueness={:.4} entropy={:.4} max-len={}",
             c.ctype.name(),
             c.null_rate,
             c.distinct,
             c.uniqueness,
+            c.entropy,
             c.max_len
         );
         if let (Some(lo), Some(hi)) = (c.min_int, c.max_int) {
@@ -184,6 +186,7 @@ pub fn parse(text: &str) -> Result<SchemaFile> {
             let null_rate: f64 = parse_stat(&tok("null-rate")?, "null-rate", lineno)?;
             let distinct: usize = parse_stat(&tok("distinct")?, "distinct", lineno)?;
             let uniqueness: f64 = parse_stat(&tok("uniqueness")?, "uniqueness", lineno)?;
+            let entropy: f64 = parse_stat(&tok("entropy")?, "entropy", lineno)?;
             let max_len: usize = parse_stat(&tok("max-len")?, "max-len", lineno)?;
             let (min_int, max_int) = match tokens.next() {
                 None => (None, None),
@@ -204,6 +207,7 @@ pub fn parse(text: &str) -> Result<SchemaFile> {
                 null_rate,
                 distinct,
                 uniqueness,
+                entropy,
                 max_len,
                 min_int,
                 max_int,
@@ -340,7 +344,7 @@ mod tests {
     fn render_parse_round_trip() {
         let schema = sample();
         let text = render(&schema);
-        assert!(text.starts_with("kanon-schema v1\nhash "));
+        assert!(text.starts_with("kanon-schema v2\nhash "));
         let parsed = parse(&text).unwrap();
         assert_eq!(parsed.hash, snapshot_hash(&schema));
         assert_eq!(parsed.schema.delimiter, b';');
@@ -378,10 +382,14 @@ mod tests {
             Err(Error::BadSchemaFile { line: 1, .. })
         ));
         assert!(matches!(
-            parse("kanon-schema v1\nnot-a-hash\n"),
+            parse("kanon-schema v2\nnot-a-hash\n"),
             Err(Error::BadSchemaFile { line: 2, .. })
         ));
-        let bad_col = "kanon-schema v1\nhash 0000000000000000\ndelimiter ,\nrows-sampled 1\nragged-rows 0\ncolumn wat name=x\n";
+        // Previous-version files are rejected with a version message, not a
+        // confusing parse failure further down.
+        let err = parse("kanon-schema v1\nhash 0000000000000000\n").unwrap_err();
+        assert!(err.to_string().contains("unsupported version 1"), "{err}");
+        let bad_col = "kanon-schema v2\nhash 0000000000000000\ndelimiter ,\nrows-sampled 1\nragged-rows 0\ncolumn wat name=x\n";
         assert!(matches!(
             parse(bad_col),
             Err(Error::BadSchemaFile { line: 6, .. })

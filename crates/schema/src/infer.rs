@@ -8,7 +8,7 @@
 //! is exactly what makes the derived hierarchies (see [`crate::derive`])
 //! usable on real files.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 use kanon_relation::csv::Reader;
 
@@ -118,6 +118,11 @@ pub struct ColumnProfile {
     pub distinct: usize,
     /// `distinct / non-null cells` ∈ [0, 1]; 1.0 means every value unique.
     pub uniqueness: f64,
+    /// Shannon entropy of the non-null value distribution, in nats
+    /// (computed over the tracked values; saturates with the distinct
+    /// cap). `exp(entropy)` is the column's *effective diversity* — the
+    /// largest entropy-l-diversity target any release of it could meet.
+    pub entropy: f64,
     /// Longest non-null value, in characters.
     pub max_len: usize,
     /// Minimum integer seen (Int columns; junk cells excluded).
@@ -133,6 +138,28 @@ impl ColumnProfile {
     pub fn quasi_score(&self) -> f64 {
         self.uniqueness * (1.0 - self.null_rate)
     }
+
+    /// Effective diversity `exp(entropy)`: the ceiling on any entropy-l
+    /// target a release keyed elsewhere could hold this column to.
+    #[must_use]
+    pub fn effective_l(&self) -> f64 {
+        self.entropy.exp()
+    }
+}
+
+/// A column that could serve as the *sensitive* attribute of an
+/// l-diverse / t-close release, with the stats that bound the achievable
+/// constraint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SensitiveCandidate {
+    /// Column name.
+    pub name: String,
+    /// Distinct values — the hard ceiling on distinct l-diversity.
+    pub max_distinct_l: usize,
+    /// Shannon entropy (nats) of the value distribution.
+    pub entropy: f64,
+    /// `exp(entropy)` — the ceiling on entropy l-diversity.
+    pub effective_l: f64,
 }
 
 /// The full inference result: delimiter, per-column profiles, sample size.
@@ -174,6 +201,34 @@ impl InferredSchema {
         });
         ranked.into_iter().map(|c| c.name.clone()).collect()
     }
+
+    /// Screens columns for *sensitive-attribute* duty: low-uniqueness
+    /// repeating columns (categorical or enum-like) whose value
+    /// distribution could support an l-diversity constraint at all
+    /// (≥ 2 distinct values). Ranked by effective diversity, best first —
+    /// the complement of [`InferredSchema::quasi_suggestion`], which ranks
+    /// columns by how strongly they *key* a release.
+    #[must_use]
+    pub fn sensitive_screening(&self) -> Vec<SensitiveCandidate> {
+        let mut found: Vec<SensitiveCandidate> = self
+            .columns
+            .iter()
+            .filter(|c| c.distinct >= 2 && c.uniqueness <= 0.5 && c.null_rate < 1.0)
+            .map(|c| SensitiveCandidate {
+                name: c.name.clone(),
+                max_distinct_l: c.distinct,
+                entropy: c.entropy,
+                effective_l: c.effective_l(),
+            })
+            .collect();
+        found.sort_by(|a, b| {
+            b.effective_l
+                .partial_cmp(&a.effective_l)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        found
+    }
 }
 
 /// Per-column accumulator for one inference pass.
@@ -183,7 +238,9 @@ struct Accumulator {
     ints: usize,
     floats: usize,
     dates: usize,
-    distinct: HashSet<String>,
+    /// Value → occurrence count; key growth stops at the distinct cap but
+    /// already-tracked values keep counting so entropy stays meaningful.
+    distinct: HashMap<String, usize>,
     max_len: usize,
     min_int: Option<i64>,
     max_int: Option<i64>,
@@ -197,7 +254,7 @@ impl Accumulator {
             ints: 0,
             floats: 0,
             dates: 0,
-            distinct: HashSet::new(),
+            distinct: HashMap::new(),
             max_len: 0,
             min_int: None,
             max_int: None,
@@ -213,7 +270,9 @@ impl Accumulator {
         let t = raw.trim();
         self.max_len = self.max_len.max(t.chars().count());
         if self.distinct.len() < DISTINCT_CAP {
-            self.distinct.insert(t.to_string());
+            *self.distinct.entry(t.to_string()).or_insert(0) += 1;
+        } else if let Some(count) = self.distinct.get_mut(t) {
+            *count += 1;
         }
         if let Ok(v) = t.parse::<i64>() {
             self.ints += 1;
@@ -255,6 +314,19 @@ impl Accumulator {
             ColumnType::Text
         };
         let keep_range = ctype == ColumnType::Int;
+        let tracked: usize = self.distinct.values().sum();
+        let entropy = if tracked == 0 {
+            0.0
+        } else {
+            -self
+                .distinct
+                .values()
+                .map(|&c| {
+                    let p = c as f64 / tracked as f64;
+                    p * p.ln()
+                })
+                .sum::<f64>()
+        };
         ColumnProfile {
             name,
             ctype,
@@ -265,6 +337,7 @@ impl Accumulator {
             },
             distinct: self.distinct.len(),
             uniqueness: frac(self.distinct.len()),
+            entropy: entropy.max(0.0),
             max_len: self.max_len,
             min_int: if keep_range { self.min_int } else { None },
             max_int: if keep_range { self.max_int } else { None },
@@ -457,6 +530,59 @@ mod tests {
         assert_eq!(ranked[0], "id"); // uniqueness 1.0, no nulls
         assert_eq!(*ranked.last().unwrap(), "race"); // 1 distinct over 4
         assert!(ranked.contains(&"half".to_string()));
+    }
+
+    #[test]
+    fn entropy_tracks_value_distribution() {
+        // Uniform over 4 values → ln 4; constant column → 0.
+        let mut text = String::from("race,flag\n");
+        for i in 0..100 {
+            text.push_str(["Cauc", "Hisp", "Afr-Am", "Asian"][i % 4]);
+            text.push_str(",y\n");
+        }
+        let s = infer(&text);
+        let race = s.column("race").unwrap();
+        assert!((race.entropy - 4.0f64.ln()).abs() < 1e-9);
+        assert!((race.effective_l() - 4.0).abs() < 1e-9);
+        assert_eq!(s.column("flag").unwrap().entropy, 0.0);
+    }
+
+    #[test]
+    fn skew_lowers_entropy_below_distinct_count() {
+        // 97 of one value, 1 each of three others: 4 distinct but nowhere
+        // near ln 4 of entropy — distinct-l would overstate the diversity.
+        let mut text = String::from("diag\n");
+        for _ in 0..97 {
+            text.push_str("flu\n");
+        }
+        text.push_str("gout\nzika\nmmr\n");
+        let s = infer(&text);
+        let col = s.column("diag").unwrap();
+        assert_eq!(col.distinct, 4);
+        assert!(col.entropy > 0.0 && col.entropy < 4.0f64.ln() / 2.0);
+        assert!(col.effective_l() < 2.0);
+    }
+
+    #[test]
+    fn sensitive_screening_ranks_repeating_columns() {
+        let mut text = String::from("id,race,diag\n");
+        for i in 0..100 {
+            text.push_str(&format!(
+                "u{i},{},{}\n",
+                ["Cauc", "Hisp"][i % 2],
+                ["flu", "gout", "zika", "mmr"][i % 4]
+            ));
+        }
+        let s = infer(&text);
+        let found = s.sensitive_screening();
+        let names: Vec<&str> = found.iter().map(|c| c.name.as_str()).collect();
+        // id is all-unique — a key, never a sensitive candidate.
+        assert!(!names.contains(&"id"));
+        // diag (4 uniform values) outranks race (2).
+        assert_eq!(names, vec!["diag", "race"]);
+        assert_eq!(found[0].max_distinct_l, 4);
+        assert!((found[0].effective_l - 4.0).abs() < 1e-9);
+        assert!((found[1].effective_l - 2.0).abs() < 1e-9);
     }
 
     #[test]

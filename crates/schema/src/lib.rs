@@ -9,8 +9,9 @@
 //! * [`probe`] — structural delimiter/quoting detection over a byte
 //!   sample;
 //! * [`infer`] — per-column type voting (int / float / date / categorical
-//!   / text), null-rate, cardinality, uniqueness, and a ranked
-//!   quasi-identifier suggestion;
+//!   / text), null-rate, cardinality, uniqueness, value entropy, a ranked
+//!   quasi-identifier suggestion, and a sensitive-column screening for
+//!   l-diversity duty;
 //! * [`mod@file`] — the versioned `.schema` file with an FNV snapshot hash so
 //!   `verify` detects both hand edits and upstream data drift;
 //! * [`mod@derive`] — auto-derivation of [`kanon_relation::Hierarchy`] chains
@@ -53,5 +54,7 @@ pub use file::{
     parse as parse_schema_file, render as render_schema_file, snapshot_hash, verify, SchemaFile,
     VerifyReport,
 };
-pub use infer::{infer_bytes, infer_reader, ColumnProfile, ColumnType, InferredSchema};
+pub use infer::{
+    infer_bytes, infer_reader, ColumnProfile, ColumnType, InferredSchema, SensitiveCandidate,
+};
 pub use probe::{probe_bytes, read_sample, ProbeReport};

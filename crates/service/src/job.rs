@@ -17,6 +17,22 @@ use kanon_pipeline::PipelineReport;
 /// Opaque job identifier, allocated sequentially from 1.
 pub type JobId = u64;
 
+/// Measured linkage attack against a completed job's release: the job's
+/// own (capped sample of) original rows play the external table, so the
+/// numbers answer "could the uploader's population be re-identified from
+/// what we just released?".
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AttackSummary {
+    /// Rows attacked (at most the sampling cap).
+    pub attacked: usize,
+    /// Rows re-identified outright — candidate set of size one. Zero for
+    /// any correct k ≥ 2 release.
+    pub unique_matches: usize,
+    /// Mean probability a uniformly-guessing attacker names the right
+    /// released row; at most `1/k` for a k-anonymous release.
+    pub expected_success: f64,
+}
+
 /// Lifecycle state of one job.
 #[derive(Debug)]
 pub enum JobState {
@@ -36,6 +52,11 @@ pub enum JobState {
         report: PipelineReport,
         /// Whether the service re-verified k-anonymity of the output.
         k_anonymous: bool,
+        /// Whether the service's independent re-check of the requested
+        /// privacy model passed; `None` when the job ran plain k.
+        privacy_verified: Option<bool>,
+        /// Linkage-attack measurement of the release, when one ran.
+        attack: Option<AttackSummary>,
         /// End-to-end milliseconds from admission to completion.
         elapsed_ms: u128,
     },
@@ -94,10 +115,26 @@ impl JobRecord {
             JobState::Completed {
                 report,
                 k_anonymous,
+                privacy_verified,
+                attack,
                 elapsed_ms,
             } => {
-                obj.boolean("k_anonymous", *k_anonymous)
-                    .number("elapsed_ms", *elapsed_ms)
+                obj.boolean("k_anonymous", *k_anonymous);
+                if let Some(verified) = privacy_verified {
+                    obj.boolean("privacy_verified", *verified);
+                }
+                if let Some(attack) = attack {
+                    let mut inner = JsonObject::new();
+                    inner
+                        .number("attacked", attack.attacked as u128)
+                        .number("unique_matches", attack.unique_matches as u128)
+                        .raw(
+                            "expected_success",
+                            &format!("{:.6}", attack.expected_success),
+                        );
+                    obj.raw("attack", &inner.finish());
+                }
+                obj.number("elapsed_ms", *elapsed_ms)
                     .raw("report", &report.to_json());
             }
             JobState::Failed { error, elapsed_ms } => {
@@ -157,12 +194,22 @@ impl JobStore {
         });
     }
 
-    /// Marks the job completed with its report and verification verdict.
-    pub fn complete(&self, id: JobId, report: PipelineReport, k_anonymous: bool) {
+    /// Marks the job completed with its report, the verification
+    /// verdicts, and the attack measurement (when one ran).
+    pub fn complete(
+        &self,
+        id: JobId,
+        report: PipelineReport,
+        k_anonymous: bool,
+        privacy_verified: Option<bool>,
+        attack: Option<AttackSummary>,
+    ) {
         self.update(id, |r| {
             r.state = JobState::Completed {
                 report,
                 k_anonymous,
+                privacy_verified,
+                attack,
                 elapsed_ms: r.submitted.elapsed().as_millis(),
             };
         });
@@ -242,6 +289,51 @@ mod tests {
 
         assert!(store.render(99).is_none());
         assert!(!store.is_finished(99));
+    }
+
+    #[test]
+    fn completed_job_renders_privacy_and_attack_sections() {
+        let report = || PipelineReport {
+            n_rows: 4,
+            n_cols: 2,
+            k: 2,
+            shard_size: 64,
+            strategy: "hash",
+            workers: 1,
+            shards: Vec::new(),
+            residue_rows: 0,
+            total_cost: 2,
+            elapsed: std::time::Duration::from_millis(5),
+            generalization: None,
+            privacy: None,
+        };
+        let store = JobStore::new();
+
+        let private = store.create(2);
+        store.complete(
+            private,
+            report(),
+            true,
+            Some(true),
+            Some(AttackSummary {
+                attacked: 4,
+                unique_matches: 0,
+                expected_success: 0.5,
+            }),
+        );
+        let json = store.render(private).unwrap();
+        assert!(json.contains("\"k_anonymous\":true"));
+        assert!(json.contains("\"privacy_verified\":true"));
+        assert!(json.contains(
+            "\"attack\":{\"attacked\":4,\"unique_matches\":0,\"expected_success\":0.500000}"
+        ));
+
+        // A plain-k job renders neither of the new keys.
+        let plain = store.create(2);
+        store.complete(plain, report(), true, None, None);
+        let json = store.render(plain).unwrap();
+        assert!(!json.contains("privacy_verified"));
+        assert!(!json.contains("\"attack\""));
     }
 
     #[test]

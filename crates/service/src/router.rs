@@ -27,6 +27,14 @@ pub struct SubmitParams {
     /// Server-side CSV path for out-of-core inputs; the request body is
     /// the CSV when absent.
     pub path: Option<String>,
+    /// Privacy model spec beyond plain k-anonymity (`l=N`, `entropy-l=X`,
+    /// `t=X`, `emd-t=X`), validated at parse time but stored as the spec
+    /// string — [`kanon_privacy::PrivacyModel`] carries thresholds as
+    /// `f64` and cannot ride in this `Eq` struct. Re-parsed by the worker.
+    pub privacy: Option<String>,
+    /// Sensitive column name for the privacy model (and excluded from the
+    /// quasi-identifier projection even under plain k).
+    pub sensitive: Option<String>,
 }
 
 /// Validated parameters of a `PUT /v1/tables/{name}` creation.
@@ -225,6 +233,26 @@ fn parse_submit(query: &[(String, String)]) -> Result<SubmitParams, Reject> {
             .map(str::to_string)
             .collect::<Vec<_>>()
     });
+    let sensitive = lookup("sensitive").map(str::to_string);
+    // Validate the privacy spec here so a typo answers 400 immediately
+    // instead of failing the job after admission; the worker re-parses
+    // the (now known-good) spec string.
+    let privacy = match lookup("privacy") {
+        None => None,
+        Some(raw) => {
+            let model = kanon_privacy::PrivacyModel::parse(raw).map_err(|e| Reject {
+                status: 400,
+                reason: format!("bad query parameter privacy={raw:?}: {e}"),
+            })?;
+            if model.requires_sensitive() && sensitive.is_none() {
+                return Err(Reject {
+                    status: 400,
+                    reason: format!("privacy={raw} needs a sensitive column (pass sensitive=COL)"),
+                });
+            }
+            Some(raw.to_string())
+        }
+    };
     Ok(SubmitParams {
         k,
         shard_size: parse_usize("shard_size")?,
@@ -233,6 +261,8 @@ fn parse_submit(query: &[(String, String)]) -> Result<SubmitParams, Reject> {
         strategy,
         quasi,
         path: lookup("path").map(str::to_string),
+        privacy,
+        sensitive,
     })
 }
 
@@ -333,6 +363,8 @@ mod tests {
                 assert_eq!(params.k, 3);
                 assert_eq!(params.shard_size, None);
                 assert_eq!(params.path, None);
+                assert_eq!(params.privacy, None);
+                assert_eq!(params.sensitive, None);
             }
             other => panic!("expected Submit, got {other:?}"),
         }
@@ -341,7 +373,8 @@ mod tests {
     #[test]
     fn submit_parses_every_parameter() {
         let target = "/v1/anonymize?k=5&shard_size=64&deadline_ms=2000&max_memory_mb=32\
-                      &strategy=sorted&quasi=age,zip&path=%2Fdata%2Fin.csv";
+                      &strategy=sorted&quasi=age,zip&path=%2Fdata%2Fin.csv\
+                      &privacy=l=2&sensitive=diagnosis";
         match route(&request("POST", target)).unwrap() {
             Route::Submit(params) => {
                 assert_eq!(params.k, 5);
@@ -354,8 +387,36 @@ mod tests {
                     Some(vec!["age".to_string(), "zip".to_string()])
                 );
                 assert_eq!(params.path.as_deref(), Some("/data/in.csv"));
+                assert_eq!(params.privacy.as_deref(), Some("l=2"));
+                assert_eq!(params.sensitive.as_deref(), Some("diagnosis"));
             }
             other => panic!("expected Submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_privacy_specs_are_validated_up_front() {
+        // Every model family parses when a sensitive column rides along.
+        for spec in ["k", "l=2", "entropy-l=2.5", "t=0.3", "emd-t=0.2"] {
+            let target = format!("/v1/anonymize?k=2&privacy={spec}&sensitive=diag");
+            match route(&request("POST", &target)).unwrap() {
+                Route::Submit(params) => assert_eq!(params.privacy.as_deref(), Some(spec)),
+                other => panic!("expected Submit for {spec}, got {other:?}"),
+            }
+        }
+        // Malformed specs and a missing sensitive column answer 400 before
+        // anything is admitted.
+        for bad in [
+            "/v1/anonymize?k=2&privacy=l=1&sensitive=diag",
+            "/v1/anonymize?k=2&privacy=bogus&sensitive=diag",
+            "/v1/anonymize?k=2&privacy=t=1.5&sensitive=diag",
+            "/v1/anonymize?k=2&privacy=l=2",
+        ] {
+            assert_eq!(
+                route(&request("POST", bad)).unwrap_err().status,
+                400,
+                "for {bad}"
+            );
         }
     }
 

@@ -24,12 +24,15 @@ use std::time::{Duration, Instant};
 
 use kanon_core::BudgetPool;
 use kanon_pipeline::json::JsonObject;
-use kanon_pipeline::{run_csv_with_progress, PipelineConfig, Progress};
+use kanon_pipeline::{run_csv_private_with_progress, run_csv_with_progress, CsvRun};
+use kanon_pipeline::{PipelineConfig, Progress};
+use kanon_privacy::PrivacyModel;
+use kanon_relation::linkage_attack;
 
 use crate::config::ServiceConfig;
 use crate::error::Result;
 use crate::http::{read_request, write_response, Reject, Request, Response};
-use crate::job::{JobId, JobStore};
+use crate::job::{AttackSummary, JobId, JobStore};
 use crate::metrics::Metrics;
 use crate::queue::{JobQueue, PushError};
 use crate::router::{route, Route, SubmitParams};
@@ -441,19 +444,15 @@ fn run_job(state: &ServiceState, job: QueuedJob) {
         Progress::UnitSolved { done, units, .. } => state.jobs.set_progress(id, done, units),
         Progress::Merging => {}
     };
-    let quasi = params.quasi.as_deref();
     let outcome = match source {
-        JobSource::Inline(bytes) => {
-            run_csv_with_progress(bytes.as_slice(), params.k, quasi, &config, &on_progress)
-        }
+        JobSource::Inline(bytes) => run_source(bytes.as_slice(), &params, &config, &on_progress),
         JobSource::Path(path) => match std::fs::File::open(&path) {
-            Ok(file) => run_csv_with_progress(
+            Ok(file) => run_source(
                 BufReader::new(LimitedRead {
                     inner: file,
                     left: state.config.max_body_bytes,
                 }),
-                params.k,
-                quasi,
+                &params,
                 &config,
                 &on_progress,
             ),
@@ -465,8 +464,12 @@ fn run_job(state: &ServiceState, job: QueuedJob) {
     match outcome {
         Ok(run) => {
             let k_anonymous = run.anonymization.table.is_k_anonymous(params.k);
+            let privacy_verified = run.report.privacy.as_ref().map(|p| p.verified);
+            let attack = measure_attack(&run);
             state.metrics.record_completed(&run.report);
-            state.jobs.complete(id, run.report, k_anonymous);
+            state
+                .jobs
+                .complete(id, run.report, k_anonymous, privacy_verified, attack);
         }
         Err(e) => {
             state.metrics.record_failed();
@@ -474,6 +477,66 @@ fn run_job(state: &ServiceState, job: QueuedJob) {
         }
     }
     drop(lease);
+}
+
+/// Runs one CSV source through the plain pipeline, or the privacy-aware
+/// path when the submission asked for a model beyond k or named a
+/// sensitive column (which must stay out of the quasi-identifier even
+/// under plain k).
+fn run_source<R: Read>(
+    reader: R,
+    params: &SubmitParams,
+    config: &PipelineConfig,
+    on_progress: &(dyn Fn(Progress) + Sync),
+) -> kanon_pipeline::Result<CsvRun> {
+    // The router validated the spec string at admission; re-parsing here
+    // cannot fail for routed traffic, but in-process callers get the
+    // structured error instead of a panic.
+    let model = match params.privacy.as_deref() {
+        Some(spec) => PrivacyModel::parse(spec).map_err(kanon_pipeline::Error::Privacy)?,
+        None => PrivacyModel::KOnly,
+    };
+    let quasi = params.quasi.as_deref();
+    if model.requires_sensitive() || params.sensitive.is_some() {
+        run_csv_private_with_progress(
+            reader,
+            params.k,
+            quasi,
+            params.sensitive.as_deref(),
+            model,
+            config,
+            on_progress,
+        )
+    } else {
+        run_csv_with_progress(reader, params.k, quasi, config, on_progress)
+    }
+}
+
+/// Rows the post-completion linkage attack samples. The attack joins the
+/// sample against the distinct released keys, so the cap keeps it a
+/// bounded epilogue on huge jobs rather than a second job's worth of work.
+const ATTACK_SAMPLE_CAP: usize = 20_000;
+
+/// Measures the release the job just produced: its own original rows (up
+/// to [`ATTACK_SAMPLE_CAP`]) play the attacker's external table, joined on
+/// every quasi-identifier column, so the job status answers "what would a
+/// linking attacker get back out of this release?". Returns `None` if the
+/// replay fails in any way — the measurement is advisory and must never
+/// turn a completed job into a failed one.
+fn measure_attack(run: &CsvRun) -> Option<AttackSummary> {
+    let (released, external) = kanon_pipeline::attack_tables(run, ATTACK_SAMPLE_CAP).ok()?;
+    let names: Vec<&str> = run
+        .quasi
+        .iter()
+        .map(|&j| run.codec.header()[j].as_str())
+        .collect();
+    let pairs: Vec<(&str, &str)> = names.iter().map(|&n| (n, n)).collect();
+    let report = linkage_attack(&released, &external, &pairs).ok()?;
+    Some(AttackSummary {
+        attacked: report.attacked,
+        unique_matches: report.unique_matches,
+        expected_success: report.expected_success,
+    })
 }
 
 /// Caps how much of a server-side file a job may read, mirroring the

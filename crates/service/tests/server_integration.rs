@@ -58,6 +58,50 @@ fn a_job_runs_queued_to_completed_and_counters_agree() {
 }
 
 #[test]
+fn a_private_job_re_verifies_the_constraint_and_measures_the_attack() {
+    let server = Server::start(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // `job` is the sensitive column: it stays out of the quasi-identifier
+    // and every released block must carry at least two distinct values.
+    let (status, _, body) = common::http(
+        addr,
+        "POST",
+        "/v1/anonymize?k=2&shard_size=8&privacy=l=2&sensitive=job",
+        CSV.as_bytes(),
+    );
+    assert_eq!(status, 202, "{body}");
+    let id = common::extract_number(&body, "\"id\":").expect("job id");
+
+    let done = common::await_job(addr, id);
+    assert!(done.contains("\"state\":\"completed\""), "{done}");
+    assert!(done.contains("\"k_anonymous\":true"), "{done}");
+    assert!(done.contains("\"privacy_verified\":true"), "{done}");
+    assert!(done.contains("\"privacy\":{\"spec\":\"l=2\""), "{done}");
+    assert!(done.contains("\"sensitive\":\"job\""), "{done}");
+    // The sensitive column is excluded, so the solver saw two columns.
+    assert!(done.contains("\"n_cols\":2"), "{done}");
+    // The measured attack ran and nobody was re-identified outright.
+    assert!(done.contains("\"attack\":{"), "{done}");
+    assert!(done.contains("\"unique_matches\":0"), "{done}");
+
+    // A malformed spec or a model with no sensitive column never admits.
+    for bad in [
+        "/v1/anonymize?k=2&privacy=l=0&sensitive=job",
+        "/v1/anonymize?k=2&privacy=l=2",
+    ] {
+        let (status, _, body) = common::http(addr, "POST", bad, CSV.as_bytes());
+        assert_eq!(status, 400, "{body}");
+    }
+    server.shutdown();
+}
+
+#[test]
 fn burst_overload_yields_clean_429s_that_reconcile_exactly() {
     // One worker, one queue slot: a 16-submission burst must mostly bounce.
     let server = Server::start(ServiceConfig {

@@ -5,10 +5,10 @@
 
 use kanon_baselines::forest::{forest, ForestConfig};
 use kanon_baselines::knn_greedy;
-use kanon_core::diversity::{enforce_l_diversity, is_l_diverse};
 use kanon_core::exact::{subset_dp, SubsetDpConfig};
 use kanon_core::local_search::{improve_weighted, LocalSearchConfig};
 use kanon_core::weighted::{weighted_knn_greedy, weighted_partition_cost, ColumnWeights};
+use kanon_privacy::{enforce_l_diversity, is_l_diverse};
 use kanon_relation::cellgen::{anonymize_cells, is_table_k_anonymous};
 use kanon_relation::{Hierarchy, Schema, Table};
 use kanon_workloads::{uniform, zipf, ZipfParams};
